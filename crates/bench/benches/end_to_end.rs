@@ -1,0 +1,43 @@
+//! End-to-end simulation benches: one tiny run per translation mechanism
+//! (Figs 12–14's engine) and per system (Figs 4–5's engine), measuring the
+//! simulator's own throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+
+fn tiny(system: SystemKind, cores: u32, m: Mechanism) -> SimConfig {
+    SimConfig::new(system, cores, m, WorkloadId::Rnd)
+        .with_ops(2_000, 4_000)
+        .with_footprint(256 << 20)
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_mechanism");
+    group.sample_size(10);
+    for m in Mechanism::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, &m| {
+            b.iter(|| black_box(Machine::new(tiny(SystemKind::Ndp, 1, m)).run()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_system");
+    group.sample_size(10);
+    for (name, system, cores) in [
+        ("ndp_x1", SystemKind::Ndp, 1u32),
+        ("ndp_x4", SystemKind::Ndp, 4),
+        ("cpu_x4", SystemKind::Cpu, 4),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(Machine::new(tiny(system, cores, Mechanism::Radix)).run()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms, bench_systems);
+criterion_main!(benches);

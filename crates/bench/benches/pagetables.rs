@@ -1,0 +1,93 @@
+//! Criterion microbenches for the page-table designs: map, translate and
+//! walk-path generation per design (supports the Fig 12–14 mechanism
+//! comparisons with component-level numbers).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndp_types::Vpn;
+use ndpage::alloc::FrameAllocator;
+use ndpage::table::PageTable;
+use ndpage::Mechanism;
+
+const PAGES: u64 = 50_000;
+
+fn mapped_table(mechanism: Mechanism) -> (FrameAllocator, Box<dyn PageTable>) {
+    let mut alloc = FrameAllocator::new(8 << 30);
+    let mut table = mechanism.build_table(&mut alloc).expect("real mechanism");
+    for i in 0..PAGES {
+        table.map(Vpn::new(i * 613), &mut alloc);
+    }
+    (alloc, table)
+}
+
+fn bench_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagetable_map");
+    for mechanism in Mechanism::REAL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.name()),
+            &mechanism,
+            |b, &m| {
+                b.iter_batched(
+                    || {
+                        let mut alloc = FrameAllocator::new(8 << 30);
+                        let table = m.build_table(&mut alloc).expect("real");
+                        (alloc, table, 0u64)
+                    },
+                    |(mut alloc, mut table, mut i)| {
+                        for _ in 0..64 {
+                            table.map(Vpn::new(i * 613), &mut alloc);
+                            i += 1;
+                        }
+                        black_box(table.mapped_pages())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagetable_translate");
+    for mechanism in Mechanism::REAL {
+        let (_alloc, table) = mapped_table(mechanism);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.name()),
+            &table,
+            |b, table| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 1) % PAGES;
+                    black_box(table.translate(Vpn::new(i * 613)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_walk_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagetable_walk_path");
+    for mechanism in Mechanism::REAL {
+        let (_alloc, table) = mapped_table(mechanism);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.name()),
+            &table,
+            |b, table| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 1) % PAGES;
+                    black_box(table.walk_path(Vpn::new(i * 613)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_map, bench_translate, bench_walk_path
+}
+criterion_main!(benches);

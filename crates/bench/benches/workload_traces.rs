@@ -1,0 +1,33 @@
+//! Criterion benches for trace generation: ops/sec per Table II workload
+//! (the simulator's front-end cost).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndp_workloads::{TraceParams, WorkloadId};
+
+fn bench_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(4096));
+    for w in WorkloadId::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, &w| {
+            let params = TraceParams::new(1).with_footprint(1 << 30);
+            let mut trace = w.trace(params);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..4096 {
+                    if let Some(op) = trace.next() {
+                        acc ^= op.addr().map_or(1, |a| a.as_u64());
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_traces
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Calibration scratchpad: prints the key shape metrics for a few
+//! workloads so model constants can be tuned against the paper's targets.
+
+use ndp_sim::experiment::{run, Scale};
+use ndp_sim::{SimConfig, SystemKind};
+use ndpage::Mechanism;
+use ndp_workloads::WorkloadId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let footprint_mb: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let ops: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let workloads = [WorkloadId::Rnd, WorkloadId::Bfs, WorkloadId::Xs];
+
+    println!("== footprint {footprint_mb} MB, {ops} ops/core ==");
+    for w in workloads {
+        for cores in [1u32, 4, 8] {
+            for system in [SystemKind::Ndp, SystemKind::Cpu] {
+                if system == SystemKind::Cpu && cores != 4 {
+                    continue;
+                }
+                let mut radix_cycles = 0u64;
+                for m in [
+                    Mechanism::Radix,
+                    Mechanism::Ech,
+                    Mechanism::HugePage,
+                    Mechanism::NdPage,
+                    Mechanism::Ideal,
+                ] {
+                    let cfg = SimConfig::new(system, cores, m, w)
+                        .with_ops(ops / 3, ops)
+                        .with_footprint(footprint_mb << 20);
+                    let r = run(cfg);
+                    if m == Mechanism::Radix {
+                        radix_cycles = r.total_cycles.as_u64();
+                    }
+                    let speedup = radix_cycles as f64 / r.total_cycles.as_u64() as f64;
+                    println!(
+                        "{:>4} {:>3} x{} {:<9} | cyc {:>12} spd {:>5.3} | ptw {:>6.1} n={:<7} | walkrate {:>5.1}% | L1 d/md miss {:>5.1}/{:>5.1}% | mdfrac {:>4.1}% | flt 4k/2m/fb {}/{}/{} | trans {:>4.1}%",
+                        w.name(), system.to_string(), cores, m.name(),
+                        r.total_cycles.as_u64(), speedup,
+                        r.avg_ptw_latency(), r.ptw.count,
+                        r.tlb_walk_rate()*100.0,
+                        r.l1_data.miss_rate()*100.0, r.l1_metadata.miss_rate()*100.0,
+                        r.mem_traffic.metadata_fraction()*100.0,
+                        r.faults.minor_4k, r.faults.minor_2m, r.faults.fallback,
+                        r.translation_fraction()*100.0,
+                    );
+                    if std::env::var("PWC").is_ok() {
+                        let pwc: Vec<String> = r
+                            .pwc
+                            .iter()
+                            .map(|(l, hm)| format!("{l}={:.1}%({})", hm.hit_rate() * 100.0, hm.total()))
+                            .collect();
+                        println!("      pwc: {}", pwc.join(" "));
+                    }
+                }
+            }
+        }
+        println!();
+    }
+    let _ = Scale::Quick;
+}

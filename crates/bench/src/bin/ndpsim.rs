@@ -1,0 +1,116 @@
+//! `ndpsim` — run one simulation with explicit knobs and print the full
+//! report (including the PTW latency histogram and PWC profile).
+//!
+//! ```text
+//! cargo run -p ndp-bench --release --bin ndpsim -- \
+//!     --workload BFS --mechanism ndpage --system ndp --cores 4 \
+//!     [--footprint-mb 2048] [--ops 50000] [--warmup 20000] [--seed 7] \
+//!     [--pwc-entries 64] [--tlb-l2 1536] [--no-fracture]
+//! ```
+
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+
+fn parse_mechanism(s: &str) -> Option<Mechanism> {
+    Mechanism::ALL
+        .into_iter()
+        .find(|m| m.name().replace(' ', "").eq_ignore_ascii_case(&s.replace(['-', '_', ' '], "")))
+}
+
+fn parse_workload(s: &str) -> Option<WorkloadId> {
+    WorkloadId::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(s))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+
+    if has("--help") || args.is_empty() {
+        eprintln!(
+            "usage: ndpsim --workload <BC|BFS|CC|GC|PR|TC|SP|XS|RND|DLRM|GEN> \\\n\
+             \x20             --mechanism <radix|ech|hugepage|ndpage|ideal> \\\n\
+             \x20             [--system ndp|cpu] [--cores N] [--footprint-mb MB] \\\n\
+             \x20             [--ops N] [--warmup N] [--seed S] [--pwc-entries N] \\\n\
+             \x20             [--tlb-l2 N] [--no-fracture] [--histogram]"
+        );
+        return;
+    }
+
+    let workload = get("--workload")
+        .and_then(|s| parse_workload(&s))
+        .unwrap_or(WorkloadId::Bfs);
+    let mechanism = get("--mechanism")
+        .and_then(|s| parse_mechanism(&s))
+        .unwrap_or(Mechanism::NdPage);
+    let system = match get("--system").as_deref() {
+        Some("cpu") => SystemKind::Cpu,
+        _ => SystemKind::Ndp,
+    };
+    let cores: u32 = get("--cores").and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let mut cfg = SimConfig::new(system, cores, mechanism, workload);
+    if let Some(mb) = get("--footprint-mb").and_then(|s| s.parse::<u64>().ok()) {
+        cfg.footprint_override = Some(mb << 20);
+    } else {
+        cfg.footprint_override = Some(1 << 30); // CLI default: fast
+    }
+    if let Some(ops) = get("--ops").and_then(|s| s.parse().ok()) {
+        cfg.measure_ops = ops;
+    } else {
+        cfg.measure_ops = 30_000;
+    }
+    cfg.warmup_ops = get("--warmup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cfg.measure_ops / 3);
+    if let Some(seed) = get("--seed").and_then(|s| s.parse().ok()) {
+        cfg.seed = seed;
+    }
+    if let Some(entries) = get("--pwc-entries").and_then(|s| s.parse().ok()) {
+        cfg.pwc_entries = Some(entries);
+    }
+    if let Some(entries) = get("--tlb-l2").and_then(|s| s.parse().ok()) {
+        cfg.tlb_l2_entries = Some(entries);
+    }
+    if has("--no-fracture") {
+        cfg.tlb_fracture_huge = Some(false);
+    }
+
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+
+    let report = Machine::new(cfg).run();
+    println!("{report}\n");
+
+    println!("PWC hit rates:");
+    for (level, hm) in &report.pwc {
+        println!("  {level:<8} {:.2}%  ({} probes)", hm.hit_rate() * 100.0, hm.total());
+    }
+
+    if has("--histogram") && report.ptw_histogram.count() > 0 {
+        println!("\nPTW latency histogram (cycles):");
+        let total = report.ptw_histogram.count() as f64;
+        for (lower, count) in report.ptw_histogram.iter() {
+            let share = count as f64 / total;
+            println!(
+                "  >= {lower:>7}: {:<40} {:.1}%",
+                "#".repeat((share * 40.0).ceil() as usize),
+                share * 100.0
+            );
+        }
+        println!(
+            "  p50 ~{} cyc, p99 ~{} cyc",
+            report.ptw_histogram.quantile(0.5),
+            report.ptw_histogram.quantile(0.99)
+        );
+    }
+}

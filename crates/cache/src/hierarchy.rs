@@ -1,0 +1,261 @@
+//! Multi-level cache assembly: NDP (L1 only) vs CPU (L1+L2+L3).
+//!
+//! The hierarchy resolves lookups top-down and reports either the hit level
+//! (with the accumulated lookup latency) or a full miss (the caller then
+//! goes to the memory controller and calls [`CacheHierarchy::fill`]).
+
+use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache, Writeback};
+use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
+
+/// Outcome of a hierarchy lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Hit at `level` (0 = L1); `latency` includes every level probed.
+    Hit {
+        /// Index of the hitting level (0 = L1).
+        level: usize,
+        /// Accumulated probe latency up to and including the hit.
+        latency: Cycles,
+    },
+    /// Missed every level; `lookup_latency` is the cost of probing them all.
+    MissAll {
+        /// Accumulated probe latency of all levels.
+        lookup_latency: Cycles,
+    },
+}
+
+impl LookupResult {
+    /// Whether any level hit.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        matches!(self, LookupResult::Hit { .. })
+    }
+
+    /// Latency spent probing, regardless of outcome.
+    #[must_use]
+    pub fn latency(self) -> Cycles {
+        match self {
+            LookupResult::Hit { latency, .. } => latency,
+            LookupResult::MissAll { lookup_latency } => lookup_latency,
+        }
+    }
+}
+
+/// An inclusive-enough multi-level cache (fills install in every level,
+/// evictions are independent — adequate for miss-rate and latency studies;
+/// the paper's bypass concern about inclusion does not arise in NDP's
+/// single-level hierarchy, §V-A).
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<SetAssocCache>,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from level configurations, outermost last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty or any geometry is invalid.
+    #[must_use]
+    pub fn new(configs: Vec<CacheConfig>) -> Self {
+        assert!(!configs.is_empty(), "hierarchy needs at least one level");
+        CacheHierarchy {
+            levels: configs.into_iter().map(SetAssocCache::new).collect(),
+        }
+    }
+
+    /// The NDP per-core hierarchy from Table I: a single 32 KB L1.
+    #[must_use]
+    pub fn ndp() -> Self {
+        CacheHierarchy::new(vec![CacheConfig::l1d()])
+    }
+
+    /// The CPU per-core hierarchy from Table I: L1 + L2 + (shared) L3.
+    ///
+    /// The L3 is sized `2 MB × cores`; in this per-core model each core gets
+    /// a private slice of the same total capacity, a standard simplification.
+    #[must_use]
+    pub fn cpu(cores: u32) -> Self {
+        CacheHierarchy::new(vec![
+            CacheConfig::l1d(),
+            CacheConfig::l2(),
+            CacheConfig::l3(cores),
+        ])
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Statistics of one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn level_stats(&self, level: usize) -> &CacheStats {
+        self.levels[level].stats()
+    }
+
+    /// Configuration of one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn level_config(&self, level: usize) -> &CacheConfig {
+        self.levels[level].config()
+    }
+
+    /// Probes levels in order until a hit; records per-level hit/miss stats.
+    pub fn lookup(&mut self, addr: PhysAddr, rw: RwKind, class: AccessClass) -> LookupResult {
+        let mut latency = Cycles::ZERO;
+        for (idx, level) in self.levels.iter_mut().enumerate() {
+            latency += level.config().latency;
+            if level.access(addr, rw, class) {
+                return LookupResult::Hit { level: idx, latency };
+            }
+        }
+        LookupResult::MissAll {
+            lookup_latency: latency,
+        }
+    }
+
+    /// Installs a line in every level after a memory fill, collecting any
+    /// dirty victims that must be written back to memory.
+    pub fn fill(&mut self, addr: PhysAddr, class: AccessClass, dirty: bool) -> Vec<Writeback> {
+        self.levels
+            .iter_mut()
+            .filter_map(|level| level.fill(addr, class, dirty))
+            .collect()
+    }
+
+    /// Installs a line only in levels at or below `from_level` (e.g. fill
+    /// L2/L3 but not L1 — used for partial-bypass ablations).
+    pub fn fill_from(
+        &mut self,
+        from_level: usize,
+        addr: PhysAddr,
+        class: AccessClass,
+        dirty: bool,
+    ) -> Vec<Writeback> {
+        self.levels
+            .iter_mut()
+            .skip(from_level)
+            .filter_map(|level| level.fill(addr, class, dirty))
+            .collect()
+    }
+
+    /// Invalidates a line everywhere.
+    pub fn invalidate(&mut self, addr: PhysAddr) {
+        for level in &mut self.levels {
+            level.invalidate(addr);
+        }
+    }
+
+    /// Clears contents and statistics of every level.
+    pub fn reset(&mut self) {
+        for level in &mut self.levels {
+            level.reset();
+        }
+    }
+
+    /// Clears statistics of every level, preserving contents.
+    pub fn clear_stats(&mut self) {
+        for level in &mut self.levels {
+            level.clear_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndp_has_one_level_cpu_has_three() {
+        assert_eq!(CacheHierarchy::ndp().depth(), 1);
+        assert_eq!(CacheHierarchy::cpu(4).depth(), 3);
+    }
+
+    #[test]
+    fn miss_fill_hit_cycle() {
+        let mut h = CacheHierarchy::ndp();
+        let a = PhysAddr::new(0x2000);
+        let miss = h.lookup(a, RwKind::Read, AccessClass::Data);
+        assert!(!miss.is_hit());
+        assert_eq!(miss.latency(), Cycles::new(4));
+        h.fill(a, AccessClass::Data, false);
+        let hit = h.lookup(a, RwKind::Read, AccessClass::Data);
+        assert_eq!(
+            hit,
+            LookupResult::Hit {
+                level: 0,
+                latency: Cycles::new(4)
+            }
+        );
+    }
+
+    #[test]
+    fn cpu_miss_probes_all_levels() {
+        let mut h = CacheHierarchy::cpu(1);
+        let r = h.lookup(PhysAddr::new(0), RwKind::Read, AccessClass::Data);
+        assert_eq!(r.latency(), Cycles::new(4 + 16 + 35));
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = CacheHierarchy::cpu(1);
+        let a = PhysAddr::new(0);
+        h.fill(a, AccessClass::Data, false);
+        // Evict `a` from L1 by filling its whole L1 set (8 ways), with
+        // addresses that land in different L2/L3 sets.
+        for i in 1..=8u64 {
+            h.fill(PhysAddr::new(i * 64 * 64), AccessClass::Data, false);
+        }
+        let r = h.lookup(a, RwKind::Read, AccessClass::Data);
+        match r {
+            LookupResult::Hit { level, .. } => assert_eq!(level, 1),
+            LookupResult::MissAll { .. } => panic!("expected an L2 hit"),
+        }
+    }
+
+    #[test]
+    fn fill_from_skips_l1() {
+        let mut h = CacheHierarchy::cpu(1);
+        let a = PhysAddr::new(0x40);
+        h.fill_from(1, a, AccessClass::Metadata, false);
+        let r = h.lookup(a, RwKind::Read, AccessClass::Metadata);
+        match r {
+            LookupResult::Hit { level, .. } => assert_eq!(level, 1),
+            LookupResult::MissAll { .. } => panic!("expected an L2 hit"),
+        }
+    }
+
+    #[test]
+    fn invalidate_everywhere() {
+        let mut h = CacheHierarchy::cpu(1);
+        let a = PhysAddr::new(0x80);
+        h.fill(a, AccessClass::Data, false);
+        h.invalidate(a);
+        assert!(!h.lookup(a, RwKind::Read, AccessClass::Data).is_hit());
+    }
+
+    #[test]
+    fn reset_clears_all_levels() {
+        let mut h = CacheHierarchy::cpu(1);
+        h.fill(PhysAddr::new(0), AccessClass::Data, false);
+        h.lookup(PhysAddr::new(0), RwKind::Read, AccessClass::Data);
+        h.reset();
+        assert_eq!(h.level_stats(0).total().total(), 0);
+        assert!(!h.lookup(PhysAddr::new(0), RwKind::Read, AccessClass::Data).is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_hierarchy_rejected() {
+        let _ = CacheHierarchy::new(vec![]);
+    }
+}

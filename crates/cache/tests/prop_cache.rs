@@ -1,0 +1,164 @@
+//! Property tests checking the set-associative cache against a reference
+//! model (a per-set LRU list) under random access/fill sequences.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ndp_cache::replacement::ReplacementPolicy;
+use ndp_cache::set_assoc::{CacheConfig, SetAssocCache};
+use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
+use std::collections::VecDeque;
+
+/// Reference model: per-set MRU-ordered deque of line addresses.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<VecDeque<u64>>,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets,
+            ways,
+            lines: vec![VecDeque::new(); sets],
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / 64) as usize) & (self.sets - 1)
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let line = addr / 64;
+        let dq = &mut self.lines[set];
+        if let Some(pos) = dq.iter().position(|&l| l == line) {
+            dq.remove(pos);
+            dq.push_front(line);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u64) {
+        let set = self.set_of(addr);
+        let line = addr / 64;
+        let dq = &mut self.lines[set];
+        if let Some(pos) = dq.iter().position(|&l| l == line) {
+            dq.remove(pos);
+        } else if dq.len() == self.ways {
+            dq.pop_back();
+        }
+        dq.push_front(line);
+    }
+}
+
+fn tiny_config() -> CacheConfig {
+    CacheConfig {
+        name: "prop",
+        size_bytes: 4096, // 8 sets x 8 ways
+        ways: 8,
+        line_bytes: 64,
+        latency: Cycles::new(1),
+        replacement: ReplacementPolicy::Lru,
+        metadata_lru_insert: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under pure-LRU data traffic, the cache must agree with the
+    /// reference model on every hit/miss decision.
+    #[test]
+    fn matches_reference_lru(addrs in vec(0u64..32_768, 1..400)) {
+        let mut cache = SetAssocCache::new(tiny_config());
+        let mut reference = RefCache::new(8, 8);
+        for &addr in &addrs {
+            let a = PhysAddr::new(addr & !63);
+            let got = cache.access(a, RwKind::Read, AccessClass::Data);
+            let want = reference.access(addr & !63);
+            prop_assert_eq!(got, want, "divergence at {:#x}", addr);
+            if !got {
+                cache.fill(a, AccessClass::Data, false);
+            }
+            if !want {
+                reference.fill(addr & !63);
+            }
+        }
+    }
+
+    /// Statistics identities: hits + misses == accesses; probe never
+    /// changes them; resident set size never exceeds capacity.
+    #[test]
+    fn stats_identities(addrs in vec(0u64..16_384, 1..300)) {
+        let mut cache = SetAssocCache::new(tiny_config());
+        for &addr in &addrs {
+            let a = PhysAddr::new(addr);
+            let before = cache.stats().total().total();
+            let _ = cache.probe(a);
+            prop_assert_eq!(cache.stats().total().total(), before, "probe counted");
+            if !cache.access(a, RwKind::Read, AccessClass::Data) {
+                cache.fill(a, AccessClass::Data, false);
+            }
+        }
+        prop_assert_eq!(cache.stats().total().total(), addrs.len() as u64);
+        // Everything just filled must be resident or evicted — re-probing
+        // all addresses can't yield more residents than capacity.
+        let resident = addrs
+            .iter()
+            .map(|&a| a & !63)
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .filter(|&a| cache.probe(PhysAddr::new(a)))
+            .count();
+        prop_assert!(resident <= 64, "capacity is 64 lines, found {resident}");
+    }
+
+    /// Metadata-LIP mode never changes *correctness* (hit iff resident),
+    /// only survival time: a just-filled line is always resident.
+    #[test]
+    fn lip_mode_is_still_a_cache(ops in vec((0u64..8_192, prop::bool::ANY), 1..300)) {
+        let mut cfg = tiny_config();
+        cfg.metadata_lru_insert = true;
+        let mut cache = SetAssocCache::new(cfg);
+        for &(addr, is_meta) in &ops {
+            let a = PhysAddr::new(addr);
+            let class = if is_meta {
+                AccessClass::Metadata
+            } else {
+                AccessClass::Data
+            };
+            let hit = cache.access(a, RwKind::Read, class);
+            prop_assert_eq!(hit, cache.probe(a), "access/probe disagree");
+            if !hit {
+                cache.fill(a, class, false);
+                prop_assert!(cache.probe(a), "fill must install");
+            }
+        }
+    }
+
+    /// Writebacks only ever emerge for lines that were written.
+    #[test]
+    fn writebacks_require_stores(ops in vec((0u64..4_096, prop::bool::ANY), 1..300)) {
+        let mut cache = SetAssocCache::new(tiny_config());
+        let mut written: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for &(addr, is_store) in &ops {
+            let a = PhysAddr::new(addr & !63);
+            let rw = if is_store { RwKind::Write } else { RwKind::Read };
+            if is_store {
+                written.insert(a.as_u64());
+            }
+            if !cache.access(a, rw, AccessClass::Data) {
+                if let Some(wb) = cache.fill(a, AccessClass::Data, is_store) {
+                    prop_assert!(
+                        written.contains(&wb.addr.as_u64()),
+                        "writeback of never-written line {:#x}",
+                        wb.addr.as_u64()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The metadata L1-cache-bypass policy (§V-A) — the paper's first
+//! mechanism.
+//!
+//! NDPage observes that PTE accesses in NDP systems miss the L1 ~98% of the
+//! time while evicting useful data, so it makes them non-cacheable: the OS
+//! marks the (64 B-aligned, 4 KB) PTE regions, and the walker issues
+//! PFLD-style loads that go straight to memory. Because NDP has a single
+//! cache level, no inclusive-hierarchy complications arise.
+
+use ndp_types::AccessClass;
+
+/// Whether (and where) metadata requests skip the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BypassPolicy {
+    /// All requests are cacheable (conventional behaviour; the Radix, ECH
+    /// and Huge Page baselines).
+    #[default]
+    None,
+    /// Metadata (PTE) requests skip the L1 and go straight to memory —
+    /// NDPage's policy.
+    MetadataL1Bypass,
+}
+
+impl BypassPolicy {
+    /// Whether a request of `class` should bypass the L1.
+    #[must_use]
+    pub fn bypasses(self, class: AccessClass) -> bool {
+        matches!(self, BypassPolicy::MetadataL1Bypass) && class.is_metadata()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_bypasses() {
+        assert!(!BypassPolicy::None.bypasses(AccessClass::Data));
+        assert!(!BypassPolicy::None.bypasses(AccessClass::Metadata));
+    }
+
+    #[test]
+    fn ndpage_bypasses_only_metadata() {
+        let p = BypassPolicy::MetadataL1Bypass;
+        assert!(p.bypasses(AccessClass::Metadata));
+        assert!(!p.bypasses(AccessClass::Data));
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(BypassPolicy::default(), BypassPolicy::None);
+    }
+}

@@ -1,0 +1,379 @@
+//! Elastic cuckoo hash table (ECH) — the paper's strongest baseline
+//! (Skarlatos et al., ASPLOS 2020).
+//!
+//! ECH replaces the radix tree with `d` hashed ways probed **in parallel**:
+//! a walk costs one memory round-trip of `d` concurrent PTE fetches instead
+//! of four dependent ones. The costs, which the paper's multi-core results
+//! expose, are (a) `d`× the metadata memory traffic per walk and (b) no
+//! page-walk-cache locality to exploit. "Elastic" refers to the online
+//! resize: when load exceeds a threshold each way doubles and entries
+//! rehash incrementally; we model the rehash work by counting moved
+//! entries (the simulator charges latency for them).
+
+use crate::alloc::{FrameAllocator, FramePurpose};
+use crate::occupancy::{LevelOccupancy, OccupancyReport};
+use crate::pte::Pte;
+use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, Translation};
+use crate::walk::{WalkPath, WalkStep};
+use ndp_types::addr::{PAGE_SIZE, PTE_SIZE};
+use ndp_types::{PageSize, Pfn, PtLevel, Vpn};
+
+/// Number of cuckoo ways (3-ary, as in the ECH paper's default).
+pub const WAYS: usize = 3;
+/// Resize when any way's load factor crosses this threshold.
+pub const RESIZE_THRESHOLD: f64 = 0.6;
+/// Give up cuckoo displacement after this many evictions and resize.
+const MAX_KICKS: usize = 32;
+
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+struct Way {
+    base: Pfn,
+    vpns: Vec<u64>,
+    ptes: Vec<Pte>,
+    used: usize,
+    seed: u64,
+}
+
+impl Way {
+    fn new(base: Pfn, slots: usize, seed: u64) -> Self {
+        Way {
+            base,
+            vpns: vec![EMPTY; slots],
+            ptes: vec![Pte::NULL; slots],
+            used: 0,
+            seed,
+        }
+    }
+
+    fn slots(&self) -> usize {
+        self.vpns.len()
+    }
+
+    fn index(&self, vpn: Vpn) -> usize {
+        // Multiply-shift hashing with a per-way odd seed.
+        let h = vpn.as_u64().wrapping_mul(self.seed);
+        (h >> (64 - self.slots().trailing_zeros())) as usize
+    }
+
+    fn entry_addr(&self, idx: usize) -> ndp_types::PhysAddr {
+        self.base.entry_addr(idx)
+    }
+}
+
+/// Statistics specific to the elastic behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CuckooStats {
+    /// Completed resizes.
+    pub resizes: u64,
+    /// Entries moved by resizes (charged as OS work by the simulator).
+    pub rehashed_entries: u64,
+    /// Displacements performed by cuckoo insertion.
+    pub kicks: u64,
+}
+
+/// The elastic cuckoo page table ("ECH" in Figs 12–14).
+#[derive(Debug, Clone)]
+pub struct ElasticCuckooTable {
+    ways: Vec<Way>,
+    mapped: u64,
+    stats: CuckooStats,
+    /// Entries rehashed since last drained by the simulator.
+    pending_rehash: u64,
+}
+
+impl ElasticCuckooTable {
+    /// Initial slots per way.
+    pub const INITIAL_SLOTS: usize = 4096;
+
+    /// Creates an empty table with [`WAYS`] ways of
+    /// [`Self::INITIAL_SLOTS`] slots each.
+    #[must_use]
+    pub fn new(alloc: &mut FrameAllocator) -> Self {
+        let seeds = [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F, 0x1656_67B1_9E37_79F9];
+        let ways = (0..WAYS)
+            .map(|w| {
+                let base = Self::alloc_way(alloc, Self::INITIAL_SLOTS);
+                Way::new(base, Self::INITIAL_SLOTS, seeds[w] | 1)
+            })
+            .collect();
+        ElasticCuckooTable {
+            ways,
+            mapped: 0,
+            stats: CuckooStats::default(),
+            pending_rehash: 0,
+        }
+    }
+
+    fn alloc_way(alloc: &mut FrameAllocator, slots: usize) -> Pfn {
+        let frames = ((slots as u64 * PTE_SIZE).div_ceil(PAGE_SIZE)).max(1);
+        alloc
+            .alloc_contiguous(frames, FramePurpose::PageTable)
+            .expect("page-table reservations always succeed")
+    }
+
+    /// Elastic-resize statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CuckooStats {
+        &self.stats
+    }
+
+    /// Takes (and clears) the count of entries rehashed since the last
+    /// call; the simulator charges OS latency proportional to it.
+    pub fn take_pending_rehash(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_rehash)
+    }
+
+    /// Current load factor across ways.
+    #[must_use]
+    pub fn load_factor(&self) -> f64 {
+        let used: usize = self.ways.iter().map(|w| w.used).sum();
+        let slots: usize = self.ways.iter().map(Way::slots).sum();
+        used as f64 / slots as f64
+    }
+
+    fn needs_resize(&self) -> bool {
+        self.ways
+            .iter()
+            .any(|w| w.used as f64 / w.slots() as f64 >= RESIZE_THRESHOLD)
+    }
+
+    fn resize(&mut self, alloc: &mut FrameAllocator) {
+        let mut entries: Vec<(u64, Pte)> = Vec::new();
+        for way in &self.ways {
+            for (i, &v) in way.vpns.iter().enumerate() {
+                if v != EMPTY {
+                    entries.push((v, way.ptes[i]));
+                }
+            }
+        }
+        for way in &mut self.ways {
+            let slots = way.slots() * 2;
+            let base = Self::alloc_way(alloc, slots);
+            *way = Way::new(base, slots, way.seed);
+        }
+        self.stats.resizes += 1;
+        self.stats.rehashed_entries += entries.len() as u64;
+        self.pending_rehash += entries.len() as u64;
+        for (vpn, pte) in entries {
+            self.insert(Vpn::new(vpn), pte, alloc);
+        }
+    }
+
+    fn insert(&mut self, vpn: Vpn, pte: Pte, alloc: &mut FrameAllocator) {
+        let mut cur_vpn = vpn.as_u64();
+        let mut cur_pte = pte;
+        let mut way_idx = 0usize;
+        for kick in 0..=MAX_KICKS {
+            // Try every way for an empty slot first.
+            for w in 0..WAYS {
+                let way = &mut self.ways[w];
+                let idx = way.index(Vpn::new(cur_vpn));
+                if way.vpns[idx] == EMPTY {
+                    way.vpns[idx] = cur_vpn;
+                    way.ptes[idx] = cur_pte;
+                    way.used += 1;
+                    return;
+                }
+            }
+            if kick == MAX_KICKS {
+                break;
+            }
+            // Displace from the rotating way.
+            let way = &mut self.ways[way_idx];
+            let idx = way.index(Vpn::new(cur_vpn));
+            std::mem::swap(&mut cur_vpn, &mut way.vpns[idx]);
+            std::mem::swap(&mut cur_pte, &mut way.ptes[idx]);
+            self.stats.kicks += 1;
+            way_idx = (way_idx + 1) % WAYS;
+        }
+        // Path exhausted: grow and retry (always terminates since capacity
+        // doubles).
+        self.resize(alloc);
+        self.insert(Vpn::new(cur_vpn), cur_pte, alloc);
+    }
+
+    fn find(&self, vpn: Vpn) -> Option<(usize, usize)> {
+        let raw = vpn.as_u64();
+        for (w, way) in self.ways.iter().enumerate() {
+            let idx = way.index(vpn);
+            if way.vpns[idx] == raw {
+                return Some((w, idx));
+            }
+        }
+        None
+    }
+}
+
+impl PageTable for ElasticCuckooTable {
+    fn kind(&self) -> PageTableKind {
+        PageTableKind::ElasticCuckoo
+    }
+
+    fn translate(&self, vpn: Vpn) -> Option<Translation> {
+        self.find(vpn).map(|(w, idx)| Translation {
+            pfn: self.ways[w].ptes[idx].pfn(),
+            size: PageSize::Size4K,
+        })
+    }
+
+    fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome {
+        if self.find(vpn).is_some() {
+            return MapOutcome::already_mapped();
+        }
+        let tables_before = self.stats.resizes;
+        if self.needs_resize() {
+            self.resize(alloc);
+        }
+        let frame = alloc.alloc_frame(FramePurpose::Data);
+        self.insert(vpn, Pte::leaf(frame), alloc);
+        self.mapped += 1;
+        MapOutcome {
+            newly_mapped: true,
+            fault: Some(FaultKind::Minor4K),
+            tables_allocated: ((self.stats.resizes - tables_before) * WAYS as u64) as u32,
+        }
+    }
+
+    fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
+        self.find(vpn)?;
+        // Hardware probes every way in parallel regardless of where the
+        // entry lives — all steps share group 0.
+        let steps = self
+            .ways
+            .iter()
+            .enumerate()
+            .map(|(w, way)| WalkStep {
+                addr: way.entry_addr(way.index(vpn)),
+                level: PtLevel::HashWay(w as u8),
+                group: 0,
+            })
+            .collect();
+        Some(WalkPath::new(steps))
+    }
+
+    fn occupancy(&self) -> OccupancyReport {
+        let mut report = OccupancyReport::new();
+        for (w, way) in self.ways.iter().enumerate() {
+            report.set(
+                PtLevel::HashWay(w as u8),
+                LevelOccupancy {
+                    nodes: 1,
+                    valid_entries: way.used as u64,
+                    capacity: way.slots() as u64,
+                },
+            );
+        }
+        report
+    }
+
+    fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.ways
+            .iter()
+            .map(|w| (w.slots() as u64 * PTE_SIZE).div_ceil(PAGE_SIZE) * PAGE_SIZE)
+            .sum()
+    }
+
+    fn take_pending_os_work(&mut self) -> u64 {
+        self.take_pending_rehash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FrameAllocator, ElasticCuckooTable) {
+        let mut alloc = FrameAllocator::new(4 << 30);
+        let table = ElasticCuckooTable::new(&mut alloc);
+        (alloc, table)
+    }
+
+    #[test]
+    fn map_translate_round_trip() {
+        let (mut alloc, mut t) = setup();
+        let vpn = Vpn::new(0xdead_beef);
+        assert!(t.map(vpn, &mut alloc).newly_mapped);
+        assert!(t.translate(vpn).is_some());
+        assert!(!t.map(vpn, &mut alloc).newly_mapped);
+        assert_eq!(t.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn walk_probes_all_ways_in_parallel() {
+        let (mut alloc, mut t) = setup();
+        let vpn = Vpn::new(123_456);
+        t.map(vpn, &mut alloc);
+        let path = t.walk_path(vpn).unwrap();
+        assert_eq!(path.len(), WAYS);
+        assert_eq!(path.sequential_depth(), 1, "single parallel round");
+    }
+
+    #[test]
+    fn many_inserts_trigger_elastic_resize() {
+        let (mut alloc, mut t) = setup();
+        let n = (ElasticCuckooTable::INITIAL_SLOTS as f64 * WAYS as f64 * 0.7) as u64;
+        for i in 0..n {
+            t.map(Vpn::new(i * 7919 + 1), &mut alloc);
+        }
+        assert!(t.stats().resizes >= 1, "resize should have fired");
+        assert!(t.stats().rehashed_entries > 0);
+        // Every mapping survives the resizes.
+        for i in 0..n {
+            assert!(t.translate(Vpn::new(i * 7919 + 1)).is_some(), "vpn {i}");
+        }
+        assert_eq!(t.mapped_pages(), n);
+        assert!(t.load_factor() < RESIZE_THRESHOLD + 0.05);
+    }
+
+    #[test]
+    fn pending_rehash_is_drained_once() {
+        let (mut alloc, mut t) = setup();
+        let n = (ElasticCuckooTable::INITIAL_SLOTS as f64 * WAYS as f64 * 0.7) as u64;
+        for i in 0..n {
+            t.map(Vpn::new(i + 1), &mut alloc);
+        }
+        let drained = t.take_pending_rehash();
+        assert!(drained > 0);
+        assert_eq!(t.take_pending_rehash(), 0);
+    }
+
+    #[test]
+    fn walk_addresses_are_table_frames_and_distinct_ways() {
+        let (mut alloc, mut t) = setup();
+        let vpn = Vpn::new(99);
+        t.map(vpn, &mut alloc);
+        let path = t.walk_path(vpn).unwrap();
+        let mut bases: Vec<u64> = path.steps().iter().map(|s| s.addr.as_u64()).collect();
+        bases.dedup();
+        assert_eq!(bases.len(), WAYS, "each way probes its own array");
+        for step in path.steps() {
+            assert!(alloc.is_table_frame(step.addr.pfn()));
+        }
+    }
+
+    #[test]
+    fn unmapped_is_none() {
+        let (_, t) = setup();
+        assert!(t.translate(Vpn::new(7)).is_none());
+        assert!(t.walk_path(Vpn::new(7)).is_none());
+    }
+
+    #[test]
+    fn occupancy_reports_each_way() {
+        let (mut alloc, mut t) = setup();
+        for i in 0..100 {
+            t.map(Vpn::new(i), &mut alloc);
+        }
+        let occ = t.occupancy();
+        let total: u64 = (0..WAYS as u8)
+            .map(|w| occ.level(PtLevel::HashWay(w)).unwrap().valid_entries)
+            .sum();
+        assert_eq!(total, 100);
+    }
+}

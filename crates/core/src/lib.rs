@@ -1,0 +1,66 @@
+//! # NDPage: tailored page tables for near-data processing
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Jiang, Tu, An — *NDPage: Efficient Address Translation for Near-Data
+//! Processing Architectures via Tailored Page Table*, DATE 2025):
+//!
+//! 1. **A metadata L1-cache-bypass policy** ([`bypass::BypassPolicy`]) —
+//!    page-table-entry fetches are marked non-cacheable in the NDP L1,
+//!    modelling the paper's PFLD-style special loads over OS-marked,
+//!    64 B-aligned PTE regions (§V-A).
+//! 2. **A flattened L2/L1 page table** ([`flat::FlattenedL2L1`]) — the last
+//!    two radix levels merge into a single 2 MB node with 2^18 entries,
+//!    shortening every walk from 4 to 3 sequential accesses while keeping
+//!    4 KB pages (§V-B).
+//!
+//! To evaluate them against the paper's baselines, the crate also implements
+//! every comparison design behind one [`table::PageTable`] trait:
+//!
+//! * [`radix::Radix4`] — the conventional x86-64 4-level radix table;
+//! * [`cuckoo::ElasticCuckooTable`] — the state-of-the-art hashed design
+//!   (ECH) with parallel way probes and elastic resizing;
+//! * [`huge::HugePageTable`] — 2 MB transparent huge pages with a
+//!   contiguity-aware allocator and 4 KB fallback;
+//! * [`flat_top::FlattenedL4L3`] — a counterpoint that merges the *top*
+//!   two levels instead, showing why the paper's bottom-merge is the
+//!   right one.
+//!
+//! A shared [`alloc::FrameAllocator`] hands out physical frames, tags
+//! page-table frames (so the bypass policy can recognise metadata), and
+//! models physical-contiguity exhaustion — the effect behind Huge Page's
+//! 8-core collapse in Fig 14.
+//!
+//! # Examples
+//!
+//! ```
+//! use ndpage::alloc::FrameAllocator;
+//! use ndpage::flat::FlattenedL2L1;
+//! use ndpage::table::PageTable;
+//! use ndp_types::VirtAddr;
+//!
+//! let mut alloc = FrameAllocator::new(16 << 30);
+//! let mut pt = FlattenedL2L1::new(&mut alloc);
+//! let vpn = VirtAddr::new(0x7f00_2000_1000).vpn();
+//! pt.map(vpn, &mut alloc);
+//! let walk = pt.walk_path(vpn).expect("mapped");
+//! assert_eq!(walk.sequential_depth(), 3); // vs 4 for a radix table
+//! ```
+
+pub mod alloc;
+pub mod bypass;
+pub mod cuckoo;
+pub mod flat;
+pub mod flat_top;
+pub mod huge;
+pub mod mechanism;
+pub mod occupancy;
+pub mod pte;
+pub mod radix;
+pub mod table;
+pub mod walk;
+
+pub use alloc::FrameAllocator;
+pub use bypass::BypassPolicy;
+pub use mechanism::Mechanism;
+pub use table::{PageTable, PageTableKind, Translation};
+pub use walk::{WalkPath, WalkStep};

@@ -1,0 +1,167 @@
+//! The five address-translation mechanisms the paper evaluates (§VI) and
+//! their component wiring.
+
+use crate::alloc::FrameAllocator;
+use crate::bypass::BypassPolicy;
+use crate::cuckoo::ElasticCuckooTable;
+use crate::flat::FlattenedL2L1;
+use crate::huge::HugePageTable;
+use crate::radix::Radix4;
+use crate::table::PageTable;
+use std::fmt;
+
+/// An evaluated address-translation mechanism.
+///
+/// | Mechanism  | Page table              | PWCs | L1 bypass for PTEs |
+/// |------------|-------------------------|------|--------------------|
+/// | `Radix`    | 4-level radix           | yes  | no                 |
+/// | `Ech`      | elastic cuckoo hash     | no   | no                 |
+/// | `HugePage` | 3-level radix, 2 MB leaf| yes  | no                 |
+/// | `NdPage`   | flattened L2/L1 (3-level)| yes | **yes**            |
+/// | `Ideal`    | — (every access L1-TLB hits at zero latency) | — | — |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Conventional x86-64 baseline.
+    Radix,
+    /// Elastic cuckoo hash table (state-of-the-art baseline).
+    Ech,
+    /// 2 MB transparent huge pages.
+    HugePage,
+    /// This paper's contribution: flattened table + metadata bypass.
+    NdPage,
+    /// Upper bound: zero-cost translation.
+    Ideal,
+}
+
+impl Mechanism {
+    /// Every mechanism, in the order the paper's figures list them.
+    pub const ALL: [Mechanism; 5] = [
+        Mechanism::Radix,
+        Mechanism::Ech,
+        Mechanism::HugePage,
+        Mechanism::NdPage,
+        Mechanism::Ideal,
+    ];
+
+    /// The four real mechanisms (excluding the Ideal bound).
+    pub const REAL: [Mechanism; 4] = [
+        Mechanism::Radix,
+        Mechanism::Ech,
+        Mechanism::HugePage,
+        Mechanism::NdPage,
+    ];
+
+    /// Display name as used in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Radix => "Radix",
+            Mechanism::Ech => "ECH",
+            Mechanism::HugePage => "Huge Page",
+            Mechanism::NdPage => "NDPage",
+            Mechanism::Ideal => "Ideal",
+        }
+    }
+
+    /// The cache policy this mechanism applies to PTE requests.
+    #[must_use]
+    pub fn bypass_policy(self) -> BypassPolicy {
+        match self {
+            Mechanism::NdPage => BypassPolicy::MetadataL1Bypass,
+            _ => BypassPolicy::None,
+        }
+    }
+
+    /// Whether the MMU keeps page-walk caches for this mechanism's table.
+    /// Hashed tables have no prefix locality for a PWC to exploit.
+    #[must_use]
+    pub fn uses_pwc(self) -> bool {
+        !matches!(self, Mechanism::Ech | Mechanism::Ideal)
+    }
+
+    /// Whether this mechanism translates at all (`Ideal` does not).
+    #[must_use]
+    pub fn is_ideal(self) -> bool {
+        matches!(self, Mechanism::Ideal)
+    }
+
+    /// Builds the mechanism's page table, or `None` for `Ideal`.
+    #[must_use]
+    pub fn build_table(self, alloc: &mut FrameAllocator) -> Option<Box<dyn PageTable>> {
+        match self {
+            Mechanism::Radix => Some(Box::new(Radix4::new(alloc))),
+            Mechanism::Ech => Some(Box::new(ElasticCuckooTable::new(alloc))),
+            Mechanism::HugePage => Some(Box::new(HugePageTable::new(alloc))),
+            Mechanism::NdPage => Some(Box::new(FlattenedL2L1::new(alloc))),
+            Mechanism::Ideal => None,
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_types::Vpn;
+
+    #[test]
+    fn names_match_figures() {
+        let names: Vec<&str> = Mechanism::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["Radix", "ECH", "Huge Page", "NDPage", "Ideal"]);
+    }
+
+    #[test]
+    fn only_ndpage_bypasses() {
+        for m in Mechanism::ALL {
+            let expects = m == Mechanism::NdPage;
+            assert_eq!(
+                m.bypass_policy() == BypassPolicy::MetadataL1Bypass,
+                expects,
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn pwc_usage() {
+        assert!(Mechanism::Radix.uses_pwc());
+        assert!(Mechanism::NdPage.uses_pwc());
+        assert!(Mechanism::HugePage.uses_pwc());
+        assert!(!Mechanism::Ech.uses_pwc());
+        assert!(!Mechanism::Ideal.uses_pwc());
+    }
+
+    #[test]
+    fn build_table_kinds() {
+        let mut alloc = FrameAllocator::new(1 << 30);
+        for m in Mechanism::REAL {
+            let mut t = m.build_table(&mut alloc).expect("real mechanism");
+            let vpn = Vpn::new(0x42);
+            t.map(vpn, &mut alloc);
+            assert!(t.translate(vpn).is_some(), "{m}");
+        }
+        assert!(Mechanism::Ideal.build_table(&mut alloc).is_none());
+        assert!(Mechanism::Ideal.is_ideal());
+    }
+
+    #[test]
+    fn walk_depths_match_paper() {
+        let mut alloc = FrameAllocator::new(1 << 30);
+        let depths: Vec<usize> = Mechanism::REAL
+            .iter()
+            .map(|m| {
+                let mut t = m.build_table(&mut alloc).unwrap();
+                let vpn = Vpn::new(0x1234);
+                t.map(vpn, &mut alloc);
+                t.walk_path(vpn).unwrap().sequential_depth()
+            })
+            .collect();
+        // Radix=4, ECH=1 (parallel), HugePage=3, NDPage=3.
+        assert_eq!(depths, vec![4, 1, 3, 3]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Page-table occupancy accounting (reproduces Fig 8).
+//!
+//! The paper's second key observation (§IV-B): in NDP workloads the PL2 and
+//! PL1 tables are ~98% occupied while PL4/PL3 sit nearly empty — so the
+//! radix tree's lazy-allocation flexibility buys nothing at the bottom two
+//! levels, motivating the merge.
+
+use ndp_types::PtLevel;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Occupancy of one page-table level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelOccupancy {
+    /// Nodes allocated at this level.
+    pub nodes: u64,
+    /// Valid (present) entries across those nodes.
+    pub valid_entries: u64,
+    /// Total entry slots across those nodes.
+    pub capacity: u64,
+}
+
+impl LevelOccupancy {
+    /// Occupancy rate in `[0, 1]`; zero when no nodes exist.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.valid_entries as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Occupancy across all levels of one page-table design.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancyReport {
+    levels: BTreeMap<PtLevel, LevelOccupancy>,
+}
+
+impl OccupancyReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one level's numbers.
+    pub fn set(&mut self, level: PtLevel, occ: LevelOccupancy) {
+        self.levels.insert(level, occ);
+    }
+
+    /// Occupancy of one level, if the design has it.
+    #[must_use]
+    pub fn level(&self, level: PtLevel) -> Option<LevelOccupancy> {
+        self.levels.get(&level).copied()
+    }
+
+    /// Iterates `(level, occupancy)` in level order.
+    pub fn iter(&self) -> impl Iterator<Item = (PtLevel, LevelOccupancy)> + '_ {
+        self.levels.iter().map(|(l, o)| (*l, *o))
+    }
+
+    /// The paper's Fig 8 series for a radix table: occupancy rates at
+    /// PL1, PL2, PL3 and the *hypothetical* combined PL2/PL1 (what the
+    /// rate would be if the two levels were merged).
+    #[must_use]
+    pub fn fig8_series(&self) -> Fig8Series {
+        let l1 = self.level(PtLevel::L1).unwrap_or_default();
+        let l2 = self.level(PtLevel::L2).unwrap_or_default();
+        let l3 = self.level(PtLevel::L3).unwrap_or_default();
+        // A merged node exists per allocated L2 node and holds 2^18 slots;
+        // its valid entries are the L1 leaves beneath.
+        let combined = LevelOccupancy {
+            nodes: l2.nodes,
+            valid_entries: l1.valid_entries,
+            capacity: l2.nodes * (1 << 18),
+        };
+        Fig8Series {
+            pl1: l1.rate(),
+            pl2: l2.rate(),
+            pl3: l3.rate(),
+            combined_pl2_pl1: combined.rate(),
+        }
+    }
+}
+
+/// The four bars of Fig 8 for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Series {
+    /// PL1 occupancy rate.
+    pub pl1: f64,
+    /// PL2 occupancy rate.
+    pub pl2: f64,
+    /// PL3 occupancy rate.
+    pub pl3: f64,
+    /// Combined PL2/PL1 occupancy rate.
+    pub combined_pl2_pl1: f64,
+}
+
+impl fmt::Display for OccupancyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (level, occ) in self.iter() {
+            writeln!(
+                f,
+                "{level}: {} nodes, {}/{} entries ({:.2}%)",
+                occ.nodes,
+                occ.valid_entries,
+                occ.capacity,
+                occ.rate() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_handles_empty() {
+        assert_eq!(LevelOccupancy::default().rate(), 0.0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut r = OccupancyReport::new();
+        r.set(
+            PtLevel::L1,
+            LevelOccupancy {
+                nodes: 2,
+                valid_entries: 1000,
+                capacity: 1024,
+            },
+        );
+        let l1 = r.level(PtLevel::L1).unwrap();
+        assert!((l1.rate() - 1000.0 / 1024.0).abs() < 1e-12);
+        assert!(r.level(PtLevel::L4).is_none());
+    }
+
+    #[test]
+    fn fig8_combined_uses_l2_nodes_and_l1_entries() {
+        let mut r = OccupancyReport::new();
+        r.set(
+            PtLevel::L1,
+            LevelOccupancy {
+                nodes: 512,
+                valid_entries: 512 * 500,
+                capacity: 512 * 512,
+            },
+        );
+        r.set(
+            PtLevel::L2,
+            LevelOccupancy {
+                nodes: 1,
+                valid_entries: 512,
+                capacity: 512,
+            },
+        );
+        r.set(
+            PtLevel::L3,
+            LevelOccupancy {
+                nodes: 1,
+                valid_entries: 1,
+                capacity: 512,
+            },
+        );
+        let s = r.fig8_series();
+        assert!((s.pl2 - 1.0).abs() < 1e-12);
+        assert!((s.combined_pl2_pl1 - (512.0 * 500.0) / f64::from(1 << 18)).abs() < 1e-12);
+        assert!(s.pl3 < 0.01);
+    }
+
+    #[test]
+    fn display_lists_levels() {
+        let mut r = OccupancyReport::new();
+        r.set(
+            PtLevel::L4,
+            LevelOccupancy {
+                nodes: 1,
+                valid_entries: 2,
+                capacity: 512,
+            },
+        );
+        assert!(r.to_string().contains("PL4"));
+    }
+}

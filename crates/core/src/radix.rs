@@ -1,0 +1,299 @@
+//! The conventional x86-64 4-level radix page table (the paper's baseline).
+
+use crate::alloc::{FrameAllocator, FramePurpose};
+use crate::occupancy::{LevelOccupancy, OccupancyReport};
+use crate::pte::Pte;
+use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, Translation};
+use crate::walk::{WalkPath, WalkStep};
+use ndp_types::addr::{ENTRIES_PER_NODE, PAGE_SIZE};
+use ndp_types::{PageSize, Pfn, PtLevel, Vpn};
+use std::collections::HashMap;
+
+const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) frame: Pfn,
+    pub(crate) entries: Vec<Pte>,
+    pub(crate) valid: u32,
+}
+
+impl Node {
+    pub(crate) fn new(frame: Pfn, entries: usize) -> Self {
+        Node {
+            frame,
+            entries: vec![Pte::NULL; entries],
+            valid: 0,
+        }
+    }
+
+    pub(crate) fn set(&mut self, idx: usize, pte: Pte) {
+        if !self.entries[idx].is_present() && pte.is_present() {
+            self.valid += 1;
+        }
+        self.entries[idx] = pte;
+    }
+
+    pub(crate) fn get(&self, idx: usize) -> Pte {
+        self.entries[idx]
+    }
+}
+
+/// The baseline 4-level radix tree ("Radix" in Figs 12–14).
+///
+/// Nodes live in an arena; each node also owns a real physical frame from
+/// the [`FrameAllocator`] so that [`walk_path`](PageTable::walk_path)
+/// reports genuine PTE addresses (which the DRAM model banks on — literally).
+#[derive(Debug, Clone)]
+pub struct Radix4 {
+    nodes: Vec<Node>,
+    /// node index by owning frame, for descent from a PTE's PFN.
+    by_frame: HashMap<u64, usize>,
+    /// per-level node lists: [L4, L3, L2, L1] indices.
+    per_level: [Vec<usize>; 4],
+    root: usize,
+    mapped: u64,
+}
+
+impl Radix4 {
+    /// Creates an empty table, allocating the root node.
+    #[must_use]
+    pub fn new(alloc: &mut FrameAllocator) -> Self {
+        let mut t = Radix4 {
+            nodes: Vec::new(),
+            by_frame: HashMap::new(),
+            per_level: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            root: 0,
+            mapped: 0,
+        };
+        t.root = t.new_node(alloc, 0);
+        t
+    }
+
+    fn new_node(&mut self, alloc: &mut FrameAllocator, level_idx: usize) -> usize {
+        let frame = alloc.alloc_frame(FramePurpose::PageTable);
+        let idx = self.nodes.len();
+        self.nodes.push(Node::new(frame, NODE_ENTRIES));
+        self.by_frame.insert(frame.as_u64(), idx);
+        self.per_level[level_idx].push(idx);
+        idx
+    }
+
+    /// Walks down to the node at `level_idx` (0=L4 .. 3=L1) for `vpn`,
+    /// returning its arena index, or `None` where the path is unmapped.
+    fn descend(&self, vpn: Vpn, level_idx: usize) -> Option<usize> {
+        let mut node = self.root;
+        for (depth, level) in PtLevel::RADIX_WALK.iter().enumerate().take(level_idx) {
+            let pte = self.nodes[node].get(vpn.index_for(*level));
+            if !pte.is_present() {
+                return None;
+            }
+            let _ = depth;
+            node = *self.by_frame.get(&pte.pfn().as_u64())?;
+        }
+        Some(node)
+    }
+}
+
+impl PageTable for Radix4 {
+    fn kind(&self) -> PageTableKind {
+        PageTableKind::Radix4
+    }
+
+    fn translate(&self, vpn: Vpn) -> Option<Translation> {
+        let leaf = self.descend(vpn, 3)?;
+        let pte = self.nodes[leaf].get(vpn.l1_index());
+        pte.is_present().then(|| Translation {
+            pfn: pte.pfn(),
+            size: PageSize::Size4K,
+        })
+    }
+
+    fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome {
+        let mut node = self.root;
+        let mut tables_allocated = 0;
+        for (depth, level) in PtLevel::RADIX_WALK.iter().enumerate().take(3) {
+            let idx = vpn.index_for(*level);
+            let pte = self.nodes[node].get(idx);
+            node = if pte.is_present() {
+                self.by_frame[&pte.pfn().as_u64()]
+            } else {
+                let child = self.new_node(alloc, depth + 1);
+                tables_allocated += 1;
+                let child_frame = self.nodes[child].frame;
+                self.nodes[node].set(idx, Pte::next(child_frame));
+                child
+            };
+        }
+        let l1 = vpn.l1_index();
+        if self.nodes[node].get(l1).is_present() {
+            return MapOutcome::already_mapped();
+        }
+        let frame = alloc.alloc_frame(FramePurpose::Data);
+        self.nodes[node].set(l1, Pte::leaf(frame));
+        self.mapped += 1;
+        MapOutcome {
+            newly_mapped: true,
+            fault: Some(FaultKind::Minor4K),
+            tables_allocated,
+        }
+    }
+
+    fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
+        self.translate(vpn)?;
+        let mut steps = Vec::with_capacity(4);
+        let mut node = self.root;
+        for (group, level) in PtLevel::RADIX_WALK.iter().enumerate() {
+            let idx = vpn.index_for(*level);
+            steps.push(WalkStep {
+                addr: self.nodes[node].frame.entry_addr(idx),
+                level: *level,
+                group: group as u8,
+            });
+            if group < 3 {
+                let pte = self.nodes[node].get(idx);
+                node = self.by_frame[&pte.pfn().as_u64()];
+            }
+        }
+        Some(WalkPath::new(steps))
+    }
+
+    fn occupancy(&self) -> OccupancyReport {
+        let mut report = OccupancyReport::new();
+        for (depth, level) in PtLevel::RADIX_WALK.iter().enumerate() {
+            let nodes = &self.per_level[depth];
+            let valid: u64 = nodes.iter().map(|&i| u64::from(self.nodes[i].valid)).sum();
+            report.set(
+                *level,
+                LevelOccupancy {
+                    nodes: nodes.len() as u64,
+                    valid_entries: valid,
+                    capacity: nodes.len() as u64 * ENTRIES_PER_NODE,
+                },
+            );
+        }
+        report
+    }
+
+    fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.nodes.len() as u64 * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_types::VirtAddr;
+
+    fn setup() -> (FrameAllocator, Radix4) {
+        let mut alloc = FrameAllocator::new(1 << 30);
+        let table = Radix4::new(&mut alloc);
+        (alloc, table)
+    }
+
+    #[test]
+    fn unmapped_translates_to_none() {
+        let (_, t) = setup();
+        assert!(t.translate(Vpn::new(0x1234)).is_none());
+        assert!(t.walk_path(Vpn::new(0x1234)).is_none());
+        assert_eq!(t.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn map_then_translate() {
+        let (mut alloc, mut t) = setup();
+        let vpn = VirtAddr::new(0x7f12_3456_7000).vpn();
+        let o = t.map(vpn, &mut alloc);
+        assert!(o.newly_mapped);
+        assert_eq!(o.fault, Some(FaultKind::Minor4K));
+        assert_eq!(o.tables_allocated, 3); // fresh L3, L2, L1 nodes
+        let tr = t.translate(vpn).unwrap();
+        assert_eq!(tr.size, PageSize::Size4K);
+        assert_eq!(t.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn remap_is_idempotent() {
+        let (mut alloc, mut t) = setup();
+        let vpn = Vpn::new(42);
+        let first = t.map(vpn, &mut alloc).fault;
+        let tr1 = t.translate(vpn).unwrap();
+        let again = t.map(vpn, &mut alloc);
+        assert!(!again.newly_mapped);
+        assert_eq!(first, Some(FaultKind::Minor4K));
+        assert_eq!(t.translate(vpn).unwrap(), tr1);
+        assert_eq!(t.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn neighbours_share_interior_nodes() {
+        let (mut alloc, mut t) = setup();
+        let a = Vpn::new(0x100);
+        let b = Vpn::new(0x101); // same L1 node
+        let o1 = t.map(a, &mut alloc);
+        let o2 = t.map(b, &mut alloc);
+        assert_eq!(o1.tables_allocated, 3);
+        assert_eq!(o2.tables_allocated, 0);
+        assert_ne!(t.translate(a).unwrap().pfn, t.translate(b).unwrap().pfn);
+    }
+
+    #[test]
+    fn walk_has_four_sequential_levels() {
+        let (mut alloc, mut t) = setup();
+        let vpn = Vpn::new(0xabcdef);
+        t.map(vpn, &mut alloc);
+        let path = t.walk_path(vpn).unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(path.sequential_depth(), 4);
+        let levels: Vec<PtLevel> = path.steps().iter().map(|s| s.level).collect();
+        assert_eq!(levels, PtLevel::RADIX_WALK.to_vec());
+    }
+
+    #[test]
+    fn walk_addresses_are_in_table_frames() {
+        let (mut alloc, mut t) = setup();
+        let vpn = Vpn::new(0x7777);
+        t.map(vpn, &mut alloc);
+        for step in t.walk_path(vpn).unwrap().steps() {
+            assert!(alloc.is_table_frame(step.addr.pfn()), "step {step:?}");
+        }
+    }
+
+    #[test]
+    fn occupancy_dense_2mb_region_fills_l1() {
+        let (mut alloc, mut t) = setup();
+        // Map an entire 2 MB region: 512 consecutive pages.
+        for i in 0..512 {
+            t.map(Vpn::new(i), &mut alloc);
+        }
+        let occ = t.occupancy();
+        let l1 = occ.level(PtLevel::L1).unwrap();
+        assert_eq!(l1.nodes, 1);
+        assert!((l1.rate() - 1.0).abs() < 1e-12, "L1 fully occupied");
+        let l4 = occ.level(PtLevel::L4).unwrap();
+        assert!(l4.rate() < 0.01, "root nearly empty");
+    }
+
+    #[test]
+    fn table_bytes_counts_nodes() {
+        let (mut alloc, mut t) = setup();
+        assert_eq!(t.table_bytes(), PAGE_SIZE); // root only
+        t.map(Vpn::new(0), &mut alloc);
+        assert_eq!(t.table_bytes(), 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let (mut alloc, mut t) = setup();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            let vpn = Vpn::new(i * 7919); // scattered
+            t.map(vpn, &mut alloc);
+            assert!(seen.insert(t.translate(vpn).unwrap().pfn));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The [`PageTable`] trait: the common contract of every translation
+//! structure the paper evaluates.
+//!
+//! A design answers three questions:
+//!
+//! 1. *What does a VPN translate to?* — [`PageTable::translate`].
+//! 2. *What must the OS do to create a mapping?* — [`PageTable::map`]
+//!    (allocates frames and table nodes; reports fault kind so the
+//!    simulator can charge fault latency).
+//! 3. *Which physical PTE locations does a hardware walk touch?* —
+//!    [`PageTable::walk_path`], consumed by the MMU's walker.
+
+use crate::alloc::FrameAllocator;
+use crate::occupancy::OccupancyReport;
+use crate::walk::WalkPath;
+use ndp_types::{PageSize, Pfn, Vpn};
+use std::fmt;
+
+/// Identifies a page-table design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageTableKind {
+    /// Conventional x86-64 4-level radix tree.
+    Radix4,
+    /// NDPage's 3-level tree with a merged 2 MB L2/L1 node.
+    FlattenedL2L1,
+    /// Elastic cuckoo hash table (ECH).
+    ElasticCuckoo,
+    /// 3-level radix with 2 MB leaf pages (transparent huge pages).
+    HugePage,
+}
+
+impl fmt::Display for PageTableKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageTableKind::Radix4 => f.write_str("Radix"),
+            PageTableKind::FlattenedL2L1 => f.write_str("NDPage-Flat"),
+            PageTableKind::ElasticCuckoo => f.write_str("ECH"),
+            PageTableKind::HugePage => f.write_str("HugePage"),
+        }
+    }
+}
+
+/// A successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Physical frame of the 4 KB page containing the address (for 2 MB
+    /// mappings, the exact 4 KB frame within the huge page).
+    pub pfn: Pfn,
+    /// The mapping's page size (determines TLB entry reach).
+    pub size: PageSize,
+}
+
+/// What kind of page fault a [`PageTable::map`] call incurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// First touch of a 4 KB page.
+    Minor4K,
+    /// First touch of a 2 MB page (zeroing 512 frames is costly).
+    Minor2M,
+    /// Wanted a 2 MB page but contiguity was exhausted; fell back to 4 KB
+    /// after a failed allocation (and, in real kernels, compaction work).
+    Fallback4K,
+}
+
+/// Result of a [`PageTable::map`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOutcome {
+    /// Whether a new mapping was created (false if already mapped).
+    pub newly_mapped: bool,
+    /// Fault incurred, if any.
+    pub fault: Option<FaultKind>,
+    /// Page-table nodes allocated while creating the mapping.
+    pub tables_allocated: u32,
+}
+
+impl MapOutcome {
+    /// The outcome for an already-present mapping.
+    #[must_use]
+    pub fn already_mapped() -> Self {
+        MapOutcome {
+            newly_mapped: false,
+            fault: None,
+            tables_allocated: 0,
+        }
+    }
+}
+
+/// A translation structure mapping virtual to physical pages.
+///
+/// Implementations must uphold two invariants relied on by the simulator
+/// and checked by the property tests in `tests/`:
+///
+/// * After `map(vpn, ..)` returns, `translate(vpn)` is `Some` and stable.
+/// * `walk_path(vpn)` is `Some` exactly when `translate(vpn)` is, and all
+///   step addresses lie in frames tagged [`FramePurpose::PageTable`]
+///   (so the bypass policy can recognise them).
+///
+/// [`FramePurpose::PageTable`]: crate::alloc::FramePurpose::PageTable
+pub trait PageTable {
+    /// Which design this is.
+    fn kind(&self) -> PageTableKind;
+
+    /// Looks up a translation without side effects.
+    fn translate(&self, vpn: Vpn) -> Option<Translation>;
+
+    /// Ensures `vpn` is mapped, allocating frames/nodes as needed.
+    fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome;
+
+    /// The physical PTE accesses a hardware walk for `vpn` performs, or
+    /// `None` if unmapped.
+    fn walk_path(&self, vpn: Vpn) -> Option<WalkPath>;
+
+    /// Current occupancy of every level.
+    fn occupancy(&self) -> OccupancyReport;
+
+    /// Number of distinct pages currently mapped (huge pages count once).
+    fn mapped_pages(&self) -> u64;
+
+    /// Bytes of physical memory consumed by table nodes themselves.
+    fn table_bytes(&self) -> u64;
+
+    /// Drains pending OS bookkeeping work, in entries processed since the
+    /// last call (e.g. PTEs moved by an elastic-cuckoo resize). The
+    /// simulator charges OS latency per entry. Defaults to none.
+    fn take_pending_os_work(&mut self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display_matches_paper_names() {
+        assert_eq!(PageTableKind::Radix4.to_string(), "Radix");
+        assert_eq!(PageTableKind::ElasticCuckoo.to_string(), "ECH");
+        assert_eq!(PageTableKind::HugePage.to_string(), "HugePage");
+        assert_eq!(PageTableKind::FlattenedL2L1.to_string(), "NDPage-Flat");
+    }
+
+    #[test]
+    fn already_mapped_outcome() {
+        let o = MapOutcome::already_mapped();
+        assert!(!o.newly_mapped);
+        assert!(o.fault.is_none());
+        assert_eq!(o.tables_allocated, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Walk paths: the sequence of physical PTE accesses a hardware page-table
+//! walker performs for one translation.
+//!
+//! Page-table designs *describe* their walks as data ([`WalkPath`]); the MMU
+//! crate's walker executes them against the timing model. Steps carry a
+//! `group` id: steps sharing a group are issued in parallel (ECH probes all
+//! cuckoo ways at once), while distinct groups serialise in order (radix
+//! levels depend on each other's results).
+
+use ndp_types::{PhysAddr, PtLevel};
+
+/// One PTE access of a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStep {
+    /// Physical address of the PTE (within a page-table frame).
+    pub addr: PhysAddr,
+    /// Which table level this access reads.
+    pub level: PtLevel,
+    /// Parallelism group: steps with equal `group` overlap; groups execute
+    /// in ascending order.
+    pub group: u8,
+}
+
+/// An ordered collection of [`WalkStep`]s describing one full walk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalkPath {
+    steps: Vec<WalkStep>,
+}
+
+impl WalkPath {
+    /// An empty path (e.g. the Ideal mechanism performs no walk).
+    #[must_use]
+    pub fn empty() -> Self {
+        WalkPath { steps: Vec::new() }
+    }
+
+    /// Builds a path from steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if groups are not ascending.
+    #[must_use]
+    pub fn new(steps: Vec<WalkStep>) -> Self {
+        debug_assert!(
+            steps.windows(2).all(|w| w[0].group <= w[1].group),
+            "walk groups must be non-decreasing"
+        );
+        WalkPath { steps }
+    }
+
+    /// The steps in issue order.
+    #[must_use]
+    pub fn steps(&self) -> &[WalkStep] {
+        &self.steps
+    }
+
+    /// Total number of PTE accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of *sequential* memory rounds (distinct groups) — the metric
+    /// the paper optimises from 4 to 3 (§V-B).
+    #[must_use]
+    pub fn sequential_depth(&self) -> usize {
+        let mut groups: Vec<u8> = self.steps.iter().map(|s| s.group).collect();
+        groups.dedup();
+        groups.len()
+    }
+
+    /// Iterates over the groups in order, yielding the slice of steps in
+    /// each parallel group.
+    pub fn groups(&self) -> impl Iterator<Item = &[WalkStep]> {
+        GroupIter {
+            steps: &self.steps,
+            pos: 0,
+        }
+    }
+}
+
+struct GroupIter<'a> {
+    steps: &'a [WalkStep],
+    pos: usize,
+}
+
+impl<'a> Iterator for GroupIter<'a> {
+    type Item = &'a [WalkStep];
+
+    fn next(&mut self) -> Option<&'a [WalkStep]> {
+        if self.pos >= self.steps.len() {
+            return None;
+        }
+        let group = self.steps[self.pos].group;
+        let start = self.pos;
+        while self.pos < self.steps.len() && self.steps[self.pos].group == group {
+            self.pos += 1;
+        }
+        Some(&self.steps[start..self.pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(addr: u64, level: PtLevel, group: u8) -> WalkStep {
+        WalkStep {
+            addr: PhysAddr::new(addr),
+            level,
+            group,
+        }
+    }
+
+    #[test]
+    fn empty_path() {
+        let p = WalkPath::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.sequential_depth(), 0);
+        assert_eq!(p.groups().count(), 0);
+    }
+
+    #[test]
+    fn radix_like_path_depth_4() {
+        let p = WalkPath::new(vec![
+            step(0x1000, PtLevel::L4, 0),
+            step(0x2000, PtLevel::L3, 1),
+            step(0x3000, PtLevel::L2, 2),
+            step(0x4000, PtLevel::L1, 3),
+        ]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.sequential_depth(), 4);
+        assert_eq!(p.groups().count(), 4);
+    }
+
+    #[test]
+    fn parallel_groups_collapse_depth() {
+        let p = WalkPath::new(vec![
+            step(0x1000, PtLevel::HashWay(0), 0),
+            step(0x2000, PtLevel::HashWay(1), 0),
+            step(0x3000, PtLevel::HashWay(2), 0),
+        ]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.sequential_depth(), 1);
+        let groups: Vec<usize> = p.groups().map(<[WalkStep]>::len).collect();
+        assert_eq!(groups, vec![3]);
+    }
+
+    #[test]
+    fn mixed_groups_iterate_in_order() {
+        let p = WalkPath::new(vec![
+            step(0x1, PtLevel::L4, 0),
+            step(0x2, PtLevel::HashWay(0), 1),
+            step(0x3, PtLevel::HashWay(1), 1),
+        ]);
+        let sizes: Vec<usize> = p.groups().map(<[WalkStep]>::len).collect();
+        assert_eq!(sizes, vec![1, 2]);
+        assert_eq!(p.sequential_depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    #[cfg(debug_assertions)]
+    fn descending_groups_rejected() {
+        let _ = WalkPath::new(vec![
+            step(0x1, PtLevel::L4, 1),
+            step(0x2, PtLevel::L3, 0),
+        ]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests of the page-table designs' core invariants
+//! (the contract documented on [`ndpage::table::PageTable`]).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ndp_types::{PtLevel, Vpn};
+use ndpage::alloc::FrameAllocator;
+use ndpage::table::PageTable;
+use ndpage::Mechanism;
+use std::collections::{HashMap, HashSet};
+
+/// Arbitrary VPNs within a 16 GB virtual window (plenty of level variety).
+fn arb_vpn() -> impl Strategy<Value = u64> {
+    0u64..(16u64 << 30 >> 12)
+}
+
+fn for_each_design(
+    mut f: impl FnMut(
+        Mechanism,
+        &mut FrameAllocator,
+        Box<dyn PageTable>,
+    ) -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    for mechanism in Mechanism::REAL {
+        let mut alloc = FrameAllocator::new(8 << 30);
+        let table = mechanism.build_table(&mut alloc).expect("real mechanism");
+        f(mechanism, &mut alloc, table)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After `map`, `translate` must succeed and keep returning the same
+    /// frame forever (stability), for every design.
+    #[test]
+    fn translate_after_map_is_stable(vpns in vec(arb_vpn(), 1..200)) {
+        for_each_design(|mechanism, alloc, mut table| {
+            let mut first_seen: HashMap<u64, u64> = HashMap::new();
+            for &raw in &vpns {
+                let vpn = Vpn::new(raw);
+                table.map(vpn, alloc);
+                let tr = table.translate(vpn).unwrap_or_else(
+                    || panic!("{mechanism}: mapped vpn {raw:#x} must translate"));
+                let prev = first_seen.entry(raw).or_insert(tr.pfn.as_u64());
+                prop_assert_eq!(
+                    *prev, tr.pfn.as_u64(),
+                    "{}: translation of {:#x} changed", mechanism, raw
+                );
+            }
+            // Re-check everything at the end (no later map disturbed it).
+            for (&raw, &pfn) in &first_seen {
+                prop_assert_eq!(
+                    table.translate(Vpn::new(raw)).unwrap().pfn.as_u64(),
+                    pfn,
+                    "{}: {:#x} disturbed by later maps", mechanism, raw
+                );
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Distinct 4 KB pages never share a physical frame (within a design;
+    /// huge pages share a *region* but distinct VPNs get distinct frames).
+    #[test]
+    fn distinct_vpns_get_distinct_frames(vpns in vec(arb_vpn(), 1..200)) {
+        for_each_design(|mechanism, alloc, mut table| {
+            let unique: HashSet<u64> = vpns.iter().copied().collect();
+            let mut frames = HashSet::new();
+            for &raw in &unique {
+                let vpn = Vpn::new(raw);
+                table.map(vpn, alloc);
+                let pfn = table.translate(vpn).expect("mapped").pfn.as_u64();
+                prop_assert!(
+                    frames.insert(pfn),
+                    "{}: frame {:#x} assigned twice", mechanism, pfn
+                );
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Walk paths exist exactly for mapped pages, have non-decreasing
+    /// parallel groups, and touch only frames tagged as page-table storage
+    /// (the property the bypass hardware relies on).
+    #[test]
+    fn walk_paths_are_well_formed(vpns in vec(arb_vpn(), 1..150), probe in arb_vpn()) {
+        for_each_design(|mechanism, alloc, mut table| {
+            for &raw in &vpns {
+                table.map(Vpn::new(raw), alloc);
+            }
+            for &raw in &vpns {
+                let path = table.walk_path(Vpn::new(raw)).unwrap_or_else(
+                    || panic!("{mechanism}: mapped vpn needs a walk path"));
+                prop_assert!(!path.is_empty());
+                prop_assert!(path.sequential_depth() <= path.len());
+                for step in path.steps() {
+                    prop_assert!(
+                        alloc.is_table_frame(step.addr.pfn()),
+                        "{}: walk step {:?} outside table frames", mechanism, step
+                    );
+                }
+            }
+            // A Huge Page design maps whole 2 MB regions, so only probe
+            // VPNs whose region is untouched are guaranteed unmapped.
+            let probe_region = probe >> 9;
+            if vpns.iter().all(|v| (v >> 9) != probe_region) {
+                prop_assert!(
+                    table.translate(Vpn::new(probe)).is_none(),
+                    "{}: unmapped vpn must not translate", mechanism
+                );
+                prop_assert!(table.walk_path(Vpn::new(probe)).is_none());
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Mapping is idempotent: re-mapping changes nothing and reports
+    /// `newly_mapped == false`.
+    #[test]
+    fn remap_is_idempotent(vpns in vec(arb_vpn(), 1..100)) {
+        for_each_design(|mechanism, alloc, mut table| {
+            for &raw in &vpns {
+                table.map(Vpn::new(raw), alloc);
+            }
+            let count = table.mapped_pages();
+            for &raw in &vpns {
+                let outcome = table.map(Vpn::new(raw), alloc);
+                prop_assert!(
+                    !outcome.newly_mapped,
+                    "{}: remap of {:#x} claimed new mapping", mechanism, raw
+                );
+            }
+            prop_assert_eq!(table.mapped_pages(), count, "{}", mechanism);
+            Ok(())
+        })?;
+    }
+
+    /// Occupancy accounting is consistent: valid entries never exceed
+    /// capacity, and for the radix design the PL1 valid count equals the
+    /// number of mapped pages.
+    #[test]
+    fn occupancy_is_consistent(vpns in vec(arb_vpn(), 1..200)) {
+        for_each_design(|mechanism, alloc, mut table| {
+            let unique: HashSet<u64> = vpns.iter().copied().collect();
+            for &raw in &unique {
+                table.map(Vpn::new(raw), alloc);
+            }
+            let occ = table.occupancy();
+            for (level, lo) in occ.iter() {
+                prop_assert!(
+                    lo.valid_entries <= lo.capacity,
+                    "{}: {} over-occupied", mechanism, level
+                );
+            }
+            if mechanism == Mechanism::Radix {
+                let l1 = occ.level(PtLevel::L1).expect("radix has PL1");
+                prop_assert_eq!(l1.valid_entries, unique.len() as u64);
+            }
+            Ok(())
+        })?;
+    }
+
+    /// The flattened design's walk is always exactly 3 sequential steps
+    /// and the radix walk exactly 4 — the paper's headline structural
+    /// difference — regardless of which pages are mapped.
+    #[test]
+    fn walk_depths_are_structural(vpns in vec(arb_vpn(), 1..100)) {
+        let mut alloc = FrameAllocator::new(8 << 30);
+        let mut flat = Mechanism::NdPage.build_table(&mut alloc).unwrap();
+        let mut radix = Mechanism::Radix.build_table(&mut alloc).unwrap();
+        let mut ech = Mechanism::Ech.build_table(&mut alloc).unwrap();
+        for &raw in &vpns {
+            let vpn = Vpn::new(raw);
+            flat.map(vpn, &mut alloc);
+            radix.map(vpn, &mut alloc);
+            ech.map(vpn, &mut alloc);
+            prop_assert_eq!(flat.walk_path(vpn).unwrap().sequential_depth(), 3);
+            prop_assert_eq!(radix.walk_path(vpn).unwrap().sequential_depth(), 4);
+            prop_assert_eq!(ech.walk_path(vpn).unwrap().sequential_depth(), 1);
+        }
+    }
+}

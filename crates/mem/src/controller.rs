@@ -1,0 +1,222 @@
+//! Memory controller: the shared front door to DRAM.
+//!
+//! Tracks per-class traffic (normal data vs. PTE metadata) so that the
+//! paper's "main-memory accesses caused by PTEs" statistic (§IV-A, a 200×
+//! inflation in NDP vs CPU) can be measured directly.
+
+use crate::dram::{Dram, DramConfig, DramStats};
+use ndp_types::stats::LatencyStat;
+use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
+
+/// Per-class request counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassTraffic {
+    /// Requests for normal program data.
+    pub data: u64,
+    /// Requests for page-table metadata.
+    pub metadata: u64,
+}
+
+impl ClassTraffic {
+    /// Total requests.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.data + self.metadata
+    }
+
+    /// Fraction of requests that were metadata, in `[0, 1]`.
+    #[must_use]
+    pub fn metadata_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.metadata as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Controller-level statistics (device stats live in [`DramStats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerStats {
+    /// Read/write traffic split by access class.
+    pub traffic: ClassTraffic,
+    /// Latency of metadata requests.
+    pub metadata_latency: LatencyStat,
+    /// Latency of data requests.
+    pub data_latency: LatencyStat,
+}
+
+/// The shared memory controller.
+///
+/// All cores funnel memory requests through one controller instance, which is
+/// what couples them: a burst of PTE fetches from one core delays every other
+/// core's requests to the same banks/channels.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    dram: Dram,
+    /// Fixed controller pipeline overhead added to every request.
+    overhead: Cycles,
+    stats: ControllerStats,
+}
+
+impl MemoryController {
+    /// Default controller pipeline overhead.
+    pub const DEFAULT_OVERHEAD: Cycles = Cycles::new(10);
+
+    /// Builds a controller over a freshly-constructed DRAM device.
+    #[must_use]
+    pub fn new(config: DramConfig) -> Self {
+        MemoryController {
+            dram: Dram::new(config),
+            overhead: Self::DEFAULT_OVERHEAD,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Overrides the fixed controller overhead.
+    #[must_use]
+    pub fn with_overhead(mut self, overhead: Cycles) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Issues one 64 B request arriving at `now`; returns its completion
+    /// timestamp. Writes are modelled with read timing (posted writes would
+    /// only shorten them; the paper's traffic is read-dominated).
+    pub fn request(
+        &mut self,
+        addr: PhysAddr,
+        _rw: RwKind,
+        class: AccessClass,
+        now: Cycles,
+    ) -> Cycles {
+        let result = self.dram.access(addr, now);
+        let done = result.done + self.overhead;
+        let latency = done - now;
+        match class {
+            AccessClass::Data => {
+                self.stats.traffic.data += 1;
+                self.stats.data_latency.record(latency);
+            }
+            AccessClass::Metadata => {
+                self.stats.traffic.metadata += 1;
+                self.stats.metadata_latency.record(latency);
+            }
+        }
+        done
+    }
+
+    /// Device-level statistics.
+    #[must_use]
+    pub fn dram_stats(&self) -> &DramStats {
+        self.dram.stats()
+    }
+
+    /// Controller-level statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// The underlying device configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        self.dram.config()
+    }
+
+    /// Resets device state and statistics.
+    pub fn reset(&mut self) {
+        self.dram.reset();
+        self.stats = ControllerStats::default();
+    }
+
+    /// Clears statistics only, preserving device timing state.
+    pub fn clear_stats(&mut self) {
+        self.dram.clear_stats();
+        self.stats = ControllerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_adds_overhead() {
+        let mut mc = MemoryController::new(DramConfig::hbm2());
+        let done = mc.request(
+            PhysAddr::new(0),
+            RwKind::Read,
+            AccessClass::Data,
+            Cycles::ZERO,
+        );
+        assert_eq!(
+            done,
+            DramConfig::hbm2().timing.row_miss + MemoryController::DEFAULT_OVERHEAD
+        );
+    }
+
+    #[test]
+    fn class_traffic_split() {
+        let mut mc = MemoryController::new(DramConfig::hbm2());
+        for i in 0..4 {
+            mc.request(
+                PhysAddr::new(i * 64),
+                RwKind::Read,
+                AccessClass::Metadata,
+                Cycles::ZERO,
+            );
+        }
+        mc.request(
+            PhysAddr::new(1 << 20),
+            RwKind::Write,
+            AccessClass::Data,
+            Cycles::ZERO,
+        );
+        assert_eq!(mc.stats().traffic.metadata, 4);
+        assert_eq!(mc.stats().traffic.data, 1);
+        assert!((mc.stats().traffic.metadata_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(mc.stats().metadata_latency.count, 4);
+    }
+
+    #[test]
+    fn contention_raises_latency() {
+        let mut mc = MemoryController::new(DramConfig::hbm2());
+        // Hammer one bank from time zero: later requests must queue.
+        let first = mc.request(
+            PhysAddr::new(0),
+            RwKind::Read,
+            AccessClass::Data,
+            Cycles::ZERO,
+        );
+        let mut last = first;
+        for _ in 0..8 {
+            last = mc.request(
+                PhysAddr::new(0),
+                RwKind::Read,
+                AccessClass::Data,
+                Cycles::ZERO,
+            );
+        }
+        assert!(last.as_u64() > first.as_u64() * 4, "queueing accumulates");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut mc = MemoryController::new(DramConfig::hbm2());
+        mc.request(
+            PhysAddr::new(0),
+            RwKind::Read,
+            AccessClass::Data,
+            Cycles::ZERO,
+        );
+        mc.reset();
+        assert_eq!(mc.stats().traffic.total(), 0);
+        assert_eq!(mc.dram_stats().requests, 0);
+    }
+
+    #[test]
+    fn empty_traffic_fraction_is_zero() {
+        assert_eq!(ClassTraffic::default().metadata_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Banked row-buffer DRAM timing model.
+//!
+//! Each bank keeps its open row and a `busy_until` timestamp; each channel
+//! keeps a data-bus `busy_until`. A request's start time is the latest of
+//! its arrival, its bank's free time and its channel's free time — a
+//! conservative FR-FCFS-style approximation that produces realistic
+//! queueing growth under multi-core load without simulating per-command
+//! DRAM state machines.
+
+use ndp_types::stats::LatencyStat;
+use ndp_types::{Cycles, PhysAddr};
+
+/// Row-buffer outcome of a single DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The requested row was already open (CAS only).
+    Hit,
+    /// The bank was idle/closed (ACT + CAS).
+    Miss,
+    /// Another row was open (PRE + ACT + CAS).
+    Conflict,
+}
+
+/// Core-clock-domain service times for the three row-buffer outcomes plus
+/// the per-request data-burst occupancy of bank and channel.
+///
+/// All values are in 2.6 GHz core cycles (Table I), i.e. 1 ns ≈ 2.6 cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Latency when the row buffer hits.
+    pub row_hit: Cycles,
+    /// Latency when the bank is closed.
+    pub row_miss: Cycles,
+    /// Latency when a different row is open.
+    pub row_conflict: Cycles,
+    /// Bank/bus occupancy per 64 B transfer (limits throughput).
+    pub burst: Cycles,
+}
+
+impl DramTiming {
+    /// DDR4-2400 timing (tCL ≈ tRCD ≈ tRP ≈ 13.75 ns) in 2.6 GHz cycles.
+    #[must_use]
+    pub const fn ddr4_2400() -> Self {
+        DramTiming {
+            row_hit: Cycles::new(36),
+            row_miss: Cycles::new(72),
+            row_conflict: Cycles::new(107),
+            // 64 B over a 19.2 GB/s channel ≈ 3.3 ns ≈ 9 cycles.
+            burst: Cycles::new(9),
+        }
+    }
+
+    /// HBM2 timing: comparable array latency to DDR4 but much shorter
+    /// per-channel occupancy thanks to wide, fast stacked channels.
+    #[must_use]
+    pub const fn hbm2() -> Self {
+        DramTiming {
+            row_hit: Cycles::new(34),
+            row_miss: Cycles::new(68),
+            row_conflict: Cycles::new(100),
+            // 64 B over a ~32 GB/s pseudo-channel ≈ 2 ns ≈ 5 cycles.
+            burst: Cycles::new(5),
+        }
+    }
+
+    /// Service latency for an outcome.
+    #[must_use]
+    pub fn service(&self, outcome: RowOutcome) -> Cycles {
+        match outcome {
+            RowOutcome::Hit => self.row_hit,
+            RowOutcome::Miss => self.row_miss,
+            RowOutcome::Conflict => self.row_conflict,
+        }
+    }
+}
+
+/// Geometry + timing of a DRAM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Device timing.
+    pub timing: DramTiming,
+    /// Total capacity in bytes (16 GB in Table I). Informational; the model
+    /// does not allocate backing storage.
+    pub capacity_bytes: u64,
+}
+
+impl DramConfig {
+    /// DDR4-2400, 16 GB, 2 channels × 16 banks (Table I CPU memory).
+    #[must_use]
+    pub const fn ddr4_2400() -> Self {
+        DramConfig {
+            channels: 2,
+            banks_per_channel: 16,
+            row_bytes: 8192,
+            timing: DramTiming::ddr4_2400(),
+            capacity_bytes: 16 << 30,
+        }
+    }
+
+    /// HBM2, 16 GB, 8 channels × 16 banks (Table I NDP memory).
+    #[must_use]
+    pub const fn hbm2() -> Self {
+        DramConfig {
+            channels: 8,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            timing: DramTiming::hbm2(),
+            capacity_bytes: 16 << 30,
+        }
+    }
+
+    /// The NDP cores' *local vault view* of the HBM2 stack: logic-layer
+    /// cores are physically attached to one vault, so the bank-level
+    /// parallelism available to them is a small slice of the full stack.
+    /// This is what makes NDP memory latency contention-sensitive as core
+    /// counts grow (Fig 6) even though aggregate stack bandwidth is high.
+    #[must_use]
+    pub const fn hbm2_vault() -> Self {
+        DramConfig {
+            channels: 4,
+            banks_per_channel: 6,
+            row_bytes: 2048,
+            timing: DramTiming::hbm2(),
+            capacity_bytes: 16 << 30,
+        }
+    }
+
+    /// Total bank count across all channels.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        (self.channels * self.banks_per_channel) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycles,
+}
+
+/// Statistics accumulated by the DRAM device.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DramStats {
+    /// Total requests served.
+    pub requests: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses (closed bank).
+    pub row_misses: u64,
+    /// Row-buffer conflicts.
+    pub row_conflicts: u64,
+    /// Queueing delay distribution (start − arrival).
+    pub queue_delay: LatencyStat,
+    /// End-to-end device latency distribution (done − arrival).
+    pub latency: LatencyStat,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate over all requests.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Result of one DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramResult {
+    /// Timestamp at which the data is available.
+    pub done: Cycles,
+    /// Row-buffer outcome.
+    pub outcome: RowOutcome,
+    /// Queueing delay suffered before service started.
+    pub queue_delay: Cycles,
+}
+
+/// A banked, multi-channel DRAM device with open-row tracking.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    channel_busy_until: Vec<Cycles>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Builds a device from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero channels or banks.
+    #[must_use]
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.channels > 0, "DRAM needs at least one channel");
+        assert!(config.banks_per_channel > 0, "DRAM needs at least one bank");
+        Dram {
+            config,
+            banks: vec![Bank::default(); config.total_banks()],
+            channel_busy_until: vec![Cycles::ZERO; config.channels as usize],
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Maps a physical address to `(channel, bank-within-channel, row)`.
+    ///
+    /// Channels interleave at cache-line granularity (fine interleaving,
+    /// standard for HBM); banks interleave at row granularity.
+    #[must_use]
+    pub fn decode(&self, addr: PhysAddr) -> (u32, u32, u64) {
+        let line = addr.as_u64() >> 6; // 64 B lines
+        let channel = (line % u64::from(self.config.channels)) as u32;
+        let per_channel_addr = line / u64::from(self.config.channels) * 64;
+        let row = per_channel_addr / self.config.row_bytes;
+        let bank = (row % u64::from(self.config.banks_per_channel)) as u32;
+        (channel, bank, row / u64::from(self.config.banks_per_channel))
+    }
+
+    /// Performs one 64 B access arriving at `now`, returning its completion
+    /// time and row outcome. Mutates bank open-row and busy state.
+    pub fn access(&mut self, addr: PhysAddr, now: Cycles) -> DramResult {
+        let (channel, bank_in_ch, row) = self.decode(addr);
+        let bank_idx = (channel * self.config.banks_per_channel + bank_in_ch) as usize;
+        let bank = &mut self.banks[bank_idx];
+
+        let outcome = match bank.open_row {
+            Some(open) if open == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Miss,
+        };
+        bank.open_row = Some(row);
+
+        let ready = now
+            .max(bank.busy_until)
+            .max(self.channel_busy_until[channel as usize]);
+        let queue_delay = ready - now;
+        let service = self.config.timing.service(outcome);
+        let done = ready + service;
+
+        // The bank is tied up for the access plus its data burst; the
+        // channel bus only for the burst.
+        bank.busy_until = done + self.config.timing.burst;
+        self.channel_busy_until[channel as usize] = ready + self.config.timing.burst;
+
+        self.stats.requests += 1;
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Miss => self.stats.row_misses += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        self.stats.queue_delay.record(queue_delay);
+        self.stats.latency.record(done - now);
+
+        DramResult {
+            done,
+            outcome,
+            queue_delay,
+        }
+    }
+
+    /// Clears statistics only, preserving open rows and busy state.
+    pub fn clear_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Resets banks and statistics (not configuration).
+    pub fn reset(&mut self) {
+        self.banks.fill(Bank::default());
+        self.channel_busy_until.fill(Cycles::ZERO);
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dram {
+        Dram::new(DramConfig {
+            channels: 2,
+            banks_per_channel: 2,
+            row_bytes: 1024,
+            timing: DramTiming::hbm2(),
+            capacity_bytes: 1 << 30,
+        })
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = small();
+        let r = d.access(PhysAddr::new(0), Cycles::ZERO);
+        assert_eq!(r.outcome, RowOutcome::Miss);
+        assert_eq!(r.queue_delay, Cycles::ZERO);
+        assert_eq!(r.done, DramTiming::hbm2().row_miss);
+    }
+
+    #[test]
+    fn same_row_hits_after_open() {
+        let mut d = small();
+        let t = DramTiming::hbm2();
+        let first = d.access(PhysAddr::new(0), Cycles::ZERO);
+        // Address 128 is on the same channel (even line) and same row.
+        let second = d.access(PhysAddr::new(128), first.done + t.burst);
+        assert_eq!(second.outcome, RowOutcome::Hit);
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let mut d = small();
+        // Rows interleave over banks; row r and row r+banks share a bank.
+        // Channel 0, per-channel rows: addresses 0 and (2 banks * 1024 B) * 2 ch apart.
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(2 * 1024 * 2 * 2); // same channel, same bank, next row
+        let (ch_a, bk_a, row_a) = d.decode(a);
+        let (ch_b, bk_b, row_b) = d.decode(b);
+        assert_eq!((ch_a, bk_a), (ch_b, bk_b));
+        assert_ne!(row_a, row_b);
+        let first = d.access(a, Cycles::ZERO);
+        let r = d.access(b, first.done + Cycles::new(100));
+        assert_eq!(r.outcome, RowOutcome::Conflict);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut d = small();
+        let r1 = d.access(PhysAddr::new(0), Cycles::ZERO);
+        // Immediately issue to the same bank: must wait for busy_until.
+        let r2 = d.access(PhysAddr::new(0), Cycles::ZERO);
+        assert!(r2.queue_delay > Cycles::ZERO);
+        assert!(r2.done > r1.done);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut d = small();
+        let r1 = d.access(PhysAddr::new(0), Cycles::ZERO); // channel 0
+        let r2 = d.access(PhysAddr::new(64), Cycles::ZERO); // channel 1
+        assert_eq!(r1.queue_delay, Cycles::ZERO);
+        assert_eq!(r2.queue_delay, Cycles::ZERO);
+    }
+
+    #[test]
+    fn decode_spreads_lines_over_channels() {
+        let d = small();
+        let (c0, _, _) = d.decode(PhysAddr::new(0));
+        let (c1, _, _) = d.decode(PhysAddr::new(64));
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = small();
+        d.access(PhysAddr::new(0), Cycles::ZERO);
+        d.access(PhysAddr::new(64), Cycles::ZERO);
+        assert_eq!(d.stats().requests, 2);
+        assert_eq!(d.stats().row_misses, 2);
+        assert_eq!(d.stats().row_hit_rate(), 0.0);
+        d.reset();
+        assert_eq!(d.stats().requests, 0);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let ddr = DramConfig::ddr4_2400();
+        let hbm = DramConfig::hbm2();
+        assert!(hbm.channels > ddr.channels, "HBM has more channels");
+        assert!(hbm.timing.burst < ddr.timing.burst, "HBM has more bandwidth");
+        assert_eq!(ddr.capacity_bytes, 16 << 30);
+        assert_eq!(hbm.capacity_bytes, 16 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let mut cfg = DramConfig::hbm2();
+        cfg.channels = 0;
+        let _ = Dram::new(cfg);
+    }
+}

@@ -1,0 +1,41 @@
+//! Main-memory substrate for the NDPage reproduction: DRAM device timing,
+//! a contention-modelling memory controller, and the mesh interconnect.
+//!
+//! The paper's key motivation results (Figs 4–6) hinge on memory-system
+//! behaviour: NDP cores reach 3D-stacked HBM2 through one logic-layer hop
+//! but have no L2/L3 to absorb page-table traffic, so page-table walks both
+//! suffer and cause DRAM contention as core counts grow. This crate provides
+//! the pieces that reproduce that behaviour:
+//!
+//! * [`dram`] — banked row-buffer DRAM timing (DDR4-2400 and HBM2 presets
+//!   matching Table I).
+//! * [`controller`] — a memory controller that serialises requests per bank
+//!   and per channel (FR-FCFS-like next-free-time model), accumulating
+//!   queueing delay under load.
+//! * [`noc`] — the mesh interconnect of Table I (4-cycle hop latency,
+//!   512-bit links).
+//!
+//! # Examples
+//!
+//! ```
+//! use ndp_mem::controller::MemoryController;
+//! use ndp_mem::dram::DramConfig;
+//! use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
+//!
+//! let mut mc = MemoryController::new(DramConfig::hbm2());
+//! let done = mc.request(
+//!     PhysAddr::new(0x4000),
+//!     RwKind::Read,
+//!     AccessClass::Data,
+//!     Cycles::ZERO,
+//! );
+//! assert!(done > Cycles::ZERO);
+//! ```
+
+pub mod controller;
+pub mod dram;
+pub mod noc;
+
+pub use controller::MemoryController;
+pub use dram::{Dram, DramConfig, DramTiming};
+pub use noc::MeshNoc;

@@ -1,0 +1,346 @@
+//! Page-walk caches (§V-C).
+//!
+//! One small fully-associative LRU cache per page-table level, tagged by
+//! the virtual-address prefix that selects the PTE at that level:
+//!
+//! | level     | tag bits (of the VPN)            | distinct tags per 8 GB |
+//! |-----------|----------------------------------|------------------------|
+//! | PL4       | bits 35..27 (9)                  | 1                      |
+//! | PL3       | bits 35..18 (18)                 | 8                      |
+//! | PL2       | bits 35..9  (27)                 | 4096                   |
+//! | PL1       | all 36                           | 2 M                    |
+//! | PL2/PL1   | all 36                           | 2 M                    |
+//!
+//! The tag population explains the paper's measured hit rates directly:
+//! PL4/PL3 tags fit trivially in a 64-entry cache (≈100% / 98.6%) while
+//! PL2/PL1 tags outnumber it by orders of magnitude (≈15.4%). NDPage's
+//! flattening keeps the good PWCs and collapses the two bad ones into a
+//! single miss per walk.
+
+use ndp_types::stats::HitMiss;
+use ndp_types::{PtLevel, Vpn};
+use std::collections::BTreeMap;
+
+/// Entries per per-level PWC (Victima-style: 64 entries).
+pub const PWC_ENTRIES: usize = 64;
+
+/// A single level's page-walk cache.
+#[derive(Debug, Clone)]
+pub struct Pwc {
+    level: PtLevel,
+    /// (tag, stamp) pairs, fully associative.
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+    tick: u64,
+    stats: HitMiss,
+}
+
+impl Pwc {
+    /// Builds an empty PWC for `level` with [`PWC_ENTRIES`] entries.
+    #[must_use]
+    pub fn new(level: PtLevel) -> Self {
+        Self::with_capacity(level, PWC_ENTRIES)
+    }
+
+    /// Builds with an explicit capacity (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(level: PtLevel, capacity: usize) -> Self {
+        assert!(capacity > 0, "PWC needs at least one entry");
+        Pwc {
+            level,
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: HitMiss::default(),
+        }
+    }
+
+    /// The level this PWC serves.
+    #[must_use]
+    pub fn level(&self) -> PtLevel {
+        self.level
+    }
+
+    /// Hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> &HitMiss {
+        &self.stats
+    }
+
+    /// The VA prefix tag a level uses.
+    #[must_use]
+    pub fn tag_for(level: PtLevel, vpn: Vpn) -> u64 {
+        let v = vpn.as_u64();
+        match level {
+            PtLevel::L4 => v >> 27,
+            PtLevel::L3 => v >> 18,
+            PtLevel::L2 => v >> 9,
+            PtLevel::L1 | PtLevel::FlatL2L1 => v,
+            PtLevel::HashWay(_) => v, // unused: hashed tables have no PWC
+        }
+    }
+
+    /// Probes (and on hit refreshes) the PWC; records statistics.
+    pub fn access(&mut self, vpn: Vpn) -> bool {
+        self.tick += 1;
+        let tag = Self::tag_for(self.level, vpn);
+        if let Some(e) = self.entries.iter_mut().find(|(t, _)| *t == tag) {
+            e.1 = self.tick;
+            self.stats.record(true);
+            return true;
+        }
+        self.stats.record(false);
+        false
+    }
+
+    /// Installs the tag after a successful memory fetch of this level.
+    pub fn fill(&mut self, vpn: Vpn) {
+        self.tick += 1;
+        let tag = Self::tag_for(self.level, vpn);
+        if let Some(e) = self.entries.iter_mut().find(|(t, _)| *t == tag) {
+            e.1 = self.tick;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((tag, self.tick));
+            return;
+        }
+        let victim = self
+            .entries
+            .iter_mut()
+            .min_by_key(|(_, s)| *s)
+            .expect("capacity > 0");
+        *victim = (tag, self.tick);
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+        self.stats = HitMiss::default();
+    }
+
+    /// Clears statistics only, preserving contents.
+    pub fn clear_stats(&mut self) {
+        self.stats = HitMiss::default();
+    }
+}
+
+/// The per-level PWC bank of one MMU.
+///
+/// PWCs are created lazily per level on first use, so the same type serves
+/// the 4-level radix walker (PL4..PL1), NDPage's 3-level walker
+/// (PL4, PL3, PL2/PL1) and the Huge Page walker.
+#[derive(Debug, Clone)]
+pub struct PwcSet {
+    pwcs: BTreeMap<PtLevel, Pwc>,
+    enabled: bool,
+    capacity: usize,
+}
+
+impl Default for PwcSet {
+    fn default() -> Self {
+        Self::enabled()
+    }
+}
+
+impl PwcSet {
+    /// An enabled, empty PWC bank with the default [`PWC_ENTRIES`] per
+    /// level.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::enabled_with_capacity(PWC_ENTRIES)
+    }
+
+    /// An enabled bank with `capacity` entries per level (for the PWC-size
+    /// sweep experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn enabled_with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "PWC needs at least one entry");
+        PwcSet {
+            pwcs: BTreeMap::new(),
+            enabled: true,
+            capacity,
+        }
+    }
+
+    /// A disabled bank: every probe misses, fills are ignored (the ECH and
+    /// no-PWC-ablation configurations).
+    #[must_use]
+    pub fn disabled() -> Self {
+        PwcSet {
+            pwcs: BTreeMap::new(),
+            enabled: false,
+            capacity: PWC_ENTRIES,
+        }
+    }
+
+    /// Whether the bank is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Probes the PWC for `level`; always misses when disabled.
+    pub fn access(&mut self, level: PtLevel, vpn: Vpn) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let capacity = self.capacity;
+        self.pwcs
+            .entry(level)
+            .or_insert_with(|| Pwc::with_capacity(level, capacity))
+            .access(vpn)
+    }
+
+    /// Fills the PWC for `level` (no-op when disabled).
+    pub fn fill(&mut self, level: PtLevel, vpn: Vpn) {
+        if !self.enabled {
+            return;
+        }
+        let capacity = self.capacity;
+        self.pwcs
+            .entry(level)
+            .or_insert_with(|| Pwc::with_capacity(level, capacity))
+            .fill(vpn);
+    }
+
+    /// Per-level hit/miss statistics, in level order.
+    pub fn stats(&self) -> impl Iterator<Item = (PtLevel, &HitMiss)> {
+        self.pwcs.iter().map(|(l, p)| (*l, p.stats()))
+    }
+
+    /// Statistics for one level, if it has been touched.
+    #[must_use]
+    pub fn level_stats(&self, level: PtLevel) -> Option<&HitMiss> {
+        self.pwcs.get(&level).map(Pwc::stats)
+    }
+
+    /// Clears contents and statistics of all levels.
+    pub fn reset(&mut self) {
+        for pwc in self.pwcs.values_mut() {
+            pwc.reset();
+        }
+    }
+
+    /// Clears statistics of all levels, preserving contents.
+    pub fn clear_stats(&mut self) {
+        for pwc in self.pwcs.values_mut() {
+            pwc.clear_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_follow_prefix_widths() {
+        let vpn = Vpn::new(0xF_FFFF_FFFF);
+        assert_eq!(Pwc::tag_for(PtLevel::L4, vpn), 0xF_FFFF_FFFF >> 27);
+        assert_eq!(Pwc::tag_for(PtLevel::L3, vpn), 0xF_FFFF_FFFF >> 18);
+        assert_eq!(Pwc::tag_for(PtLevel::L2, vpn), 0xF_FFFF_FFFF >> 9);
+        assert_eq!(Pwc::tag_for(PtLevel::L1, vpn), 0xF_FFFF_FFFF);
+        assert_eq!(Pwc::tag_for(PtLevel::FlatL2L1, vpn), 0xF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut pwc = Pwc::new(PtLevel::L4);
+        let vpn = Vpn::new(0x123);
+        assert!(!pwc.access(vpn));
+        pwc.fill(vpn);
+        assert!(pwc.access(vpn));
+        assert_eq!(pwc.stats().hits, 1);
+        assert_eq!(pwc.stats().misses, 1);
+    }
+
+    #[test]
+    fn l4_pwc_absorbs_all_same_region_vpns() {
+        // Two VPNs gigabytes apart share the PL4 tag if within 128 GB.
+        let mut pwc = Pwc::new(PtLevel::L4);
+        let a = Vpn::new(0);
+        let b = Vpn::new((8u64 << 30) >> 12); // 8 GB away
+        pwc.fill(a);
+        assert!(pwc.access(b), "same 128 GB region → same PL4 tag");
+    }
+
+    #[test]
+    fn l1_pwc_thrashes_over_many_pages() {
+        let mut pwc = Pwc::new(PtLevel::L1);
+        // Stream over far more pages than entries: everything misses.
+        for i in 0..1000u64 {
+            pwc.access(Vpn::new(i));
+            pwc.fill(Vpn::new(i));
+        }
+        // Re-streaming misses again (LRU evicted old tags).
+        let mut hits = 0;
+        for i in 0..1000u64 {
+            if pwc.access(Vpn::new(i)) {
+                hits += 1;
+            }
+        }
+        assert!(hits < 100, "PL1 PWC cannot cover the stream, hits={hits}");
+    }
+
+    #[test]
+    fn lru_within_capacity_retains_hot_tags() {
+        let mut pwc = Pwc::with_capacity(PtLevel::L1, 2);
+        let hot = Vpn::new(1);
+        pwc.fill(hot);
+        pwc.fill(Vpn::new(2));
+        pwc.access(hot); // refresh
+        pwc.fill(Vpn::new(3)); // evicts vpn 2
+        assert!(pwc.access(hot));
+        assert!(!pwc.access(Vpn::new(2)));
+    }
+
+    #[test]
+    fn disabled_set_never_hits() {
+        let mut set = PwcSet::disabled();
+        set.fill(PtLevel::L4, Vpn::new(1));
+        assert!(!set.access(PtLevel::L4, Vpn::new(1)));
+        assert!(!set.is_enabled());
+        assert_eq!(set.stats().count(), 0);
+    }
+
+    #[test]
+    fn enabled_set_tracks_per_level() {
+        let mut set = PwcSet::enabled();
+        let vpn = Vpn::new(0x42);
+        assert!(!set.access(PtLevel::L4, vpn));
+        set.fill(PtLevel::L4, vpn);
+        assert!(set.access(PtLevel::L4, vpn));
+        assert!(!set.access(PtLevel::L2, vpn));
+        let l4 = set.level_stats(PtLevel::L4).unwrap();
+        assert_eq!(l4.hits, 1);
+        assert_eq!(l4.misses, 1);
+        assert_eq!(set.level_stats(PtLevel::L2).unwrap().misses, 1);
+        assert!(set.level_stats(PtLevel::L1).is_none());
+    }
+
+    #[test]
+    fn reset_clears_levels() {
+        let mut set = PwcSet::enabled();
+        set.fill(PtLevel::L3, Vpn::new(9));
+        set.access(PtLevel::L3, Vpn::new(9));
+        set.reset();
+        assert_eq!(set.level_stats(PtLevel::L3).unwrap().total(), 0);
+        assert!(!set.access(PtLevel::L3, Vpn::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Pwc::with_capacity(PtLevel::L4, 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Translation lookaside buffers.
+//!
+//! Set-associative, LRU, with split 4 KB / 2 MB tagging: a huge-page entry
+//! is tagged by the VPN's 2 MB-aligned prefix and covers all 512 base pages
+//! beneath it — the reach advantage that makes the Huge Page baseline
+//! strong at low core counts.
+
+use ndp_types::stats::HitMiss;
+use ndp_types::{Cycles, PageSize, Pfn, Vpn};
+
+/// Geometry and latency of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Total entries.
+    pub entries: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Lookup latency.
+    pub latency: Cycles,
+}
+
+impl TlbConfig {
+    /// Table I L1 DTLB: 64-entry, 4-way, 1-cycle.
+    #[must_use]
+    pub const fn l1_dtlb() -> Self {
+        TlbConfig {
+            name: "L1 DTLB",
+            entries: 64,
+            ways: 4,
+            latency: Cycles::new(1),
+        }
+    }
+
+    /// Table I L1 ITLB: 128-entry, 4-way, 1-cycle.
+    #[must_use]
+    pub const fn l1_itlb() -> Self {
+        TlbConfig {
+            name: "L1 ITLB",
+            entries: 128,
+            ways: 4,
+            latency: Cycles::new(1),
+        }
+    }
+
+    /// Table I L2 TLB: 1536-entry, 12-cycle (12-way here; Table I gives no
+    /// associativity).
+    #[must_use]
+    pub const fn l2_stlb() -> Self {
+        TlbConfig {
+            name: "L2 TLB",
+            entries: 1536,
+            ways: 12,
+            latency: Cycles::new(12),
+        }
+    }
+
+    /// Sets implied by geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries don't divide by ways into a power of two.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        let sets = (self.entries / self.ways) as usize;
+        assert!(sets > 0, "TLB too small for its associativity");
+        assert!(sets.is_power_of_two(), "TLB sets must be a power of two");
+        sets
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    key: u64,
+    pfn: Pfn,
+    size: PageSize,
+    valid: bool,
+    stamp: u64,
+}
+
+impl Default for TlbEntry {
+    fn default() -> Self {
+        TlbEntry {
+            key: 0,
+            pfn: Pfn::new(0),
+            size: PageSize::Size4K,
+            valid: false,
+            stamp: 0,
+        }
+    }
+}
+
+/// A translation returned by a TLB probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbHit {
+    /// Frame of the 4 KB page containing the address.
+    pub pfn: Pfn,
+    /// Size of the underlying mapping.
+    pub size: PageSize,
+}
+
+/// One set-associative TLB level.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: usize,
+    entries: Vec<TlbEntry>,
+    tick: u64,
+    stats: HitMiss,
+}
+
+impl Tlb {
+    /// Builds a TLB from its configuration.
+    #[must_use]
+    pub fn new(config: TlbConfig) -> Self {
+        let sets = config.sets();
+        Tlb {
+            config,
+            sets,
+            entries: vec![TlbEntry::default(); sets * config.ways as usize],
+            tick: 0,
+            stats: HitMiss::default(),
+        }
+    }
+
+    /// The level configuration.
+    #[must_use]
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> &HitMiss {
+        &self.stats
+    }
+
+    fn key_for(vpn: Vpn, size: PageSize) -> u64 {
+        match size {
+            PageSize::Size4K => vpn.as_u64() << 1,
+            // Huge entries tag the 2 MB-aligned prefix; low bit
+            // distinguishes the namespaces.
+            PageSize::Size2M => ((vpn.as_u64() >> 9) << 1) | 1,
+        }
+    }
+
+    fn probe_key(&mut self, key: u64) -> Option<(Pfn, PageSize)> {
+        let set = (key as usize >> 1) & (self.sets - 1);
+        let ways = self.config.ways as usize;
+        let tick = self.tick;
+        for e in &mut self.entries[set * ways..(set + 1) * ways] {
+            if e.valid && e.key == key {
+                e.stamp = tick;
+                return Some((e.pfn, e.size));
+            }
+        }
+        None
+    }
+
+    /// Looks up `vpn`, probing both the 4 KB and 2 MB namespaces, and
+    /// records a hit or miss.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<TlbHit> {
+        self.tick += 1;
+        let hit = self
+            .probe_key(Self::key_for(vpn, PageSize::Size4K))
+            .map(|(pfn, size)| TlbHit { pfn, size })
+            .or_else(|| {
+                self.probe_key(Self::key_for(vpn, PageSize::Size2M))
+                    .map(|(base, size)| TlbHit {
+                        // Reconstruct the 4 KB frame within the huge page.
+                        pfn: base.add(vpn.l1_index() as u64),
+                        size,
+                    })
+            });
+        self.stats.record(hit.is_some());
+        hit
+    }
+
+    /// Installs a translation. For 2 MB mappings pass the *huge page base*
+    /// PFN (512-frame aligned).
+    pub fn fill(&mut self, vpn: Vpn, pfn: Pfn, size: PageSize) {
+        self.tick += 1;
+        let key = Self::key_for(vpn, size);
+        let set = (key as usize >> 1) & (self.sets - 1);
+        let ways = self.config.ways as usize;
+        let tick = self.tick;
+        let slice = &mut self.entries[set * ways..(set + 1) * ways];
+        // Refresh if present.
+        if let Some(e) = slice.iter_mut().find(|e| e.valid && e.key == key) {
+            e.stamp = tick;
+            e.pfn = pfn;
+            return;
+        }
+        let victim = slice
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+            .expect("ways > 0");
+        *victim = TlbEntry {
+            key,
+            pfn,
+            size,
+            valid: true,
+            stamp: tick,
+        };
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.entries.fill(TlbEntry::default());
+        self.tick = 0;
+        self.stats = HitMiss::default();
+    }
+
+    /// Clears statistics only, preserving contents.
+    pub fn clear_stats(&mut self) {
+        self.stats = HitMiss::default();
+    }
+}
+
+/// Where a hierarchy lookup was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// Hit in the L1 TLB.
+    L1Hit,
+    /// Missed L1, hit the L2 TLB.
+    L2Hit,
+    /// Missed both levels; a page-table walk is required.
+    Miss,
+}
+
+impl TlbOutcome {
+    /// Whether a walk is required.
+    #[must_use]
+    pub fn is_miss(self) -> bool {
+        matches!(self, TlbOutcome::Miss)
+    }
+}
+
+/// Result of a hierarchy lookup: outcome, translation (if hit), and the
+/// lookup latency spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbLookup {
+    /// Where the lookup resolved.
+    pub outcome: TlbOutcome,
+    /// The translation, when either level hit.
+    pub hit: Option<TlbHit>,
+    /// Probe latency accumulated across levels.
+    pub latency: Cycles,
+}
+
+/// The two-level data-TLB hierarchy of Table I.
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    l1: Tlb,
+    l2: Tlb,
+    fracture_huge: bool,
+}
+
+impl TlbHierarchy {
+    /// Builds the Table I configuration (L1 DTLB + L2 STLB), with 2 MB
+    /// fills *fractured* into 4 KB entries — the paper evaluates Huge Page
+    /// purely as a shorter (3-level) walk (§VII-A), which corresponds to a
+    /// TLB that does not hold native 2 MB entries.
+    #[must_use]
+    pub fn table1() -> Self {
+        TlbHierarchy {
+            l1: Tlb::new(TlbConfig::l1_dtlb()),
+            l2: Tlb::new(TlbConfig::l2_stlb()),
+            fracture_huge: true,
+        }
+    }
+
+    /// Builds from explicit configurations (fracturing enabled).
+    #[must_use]
+    pub fn new(l1: TlbConfig, l2: TlbConfig) -> Self {
+        TlbHierarchy {
+            l1: Tlb::new(l1),
+            l2: Tlb::new(l2),
+            fracture_huge: true,
+        }
+    }
+
+    /// Enables or disables 2 MB fracturing (for reach ablations).
+    #[must_use]
+    pub fn with_fracturing(mut self, fracture: bool) -> Self {
+        self.fracture_huge = fracture;
+        self
+    }
+
+    /// L1 statistics.
+    #[must_use]
+    pub fn l1_stats(&self) -> &HitMiss {
+        self.l1.stats()
+    }
+
+    /// L2 statistics.
+    #[must_use]
+    pub fn l2_stats(&self) -> &HitMiss {
+        self.l2.stats()
+    }
+
+    /// Fraction of L1 lookups that missed both levels and required a walk
+    /// (the paper's end-to-end "TLB miss rate", 91.27% in §IV-A).
+    #[must_use]
+    pub fn walk_rate(&self) -> f64 {
+        let l1_total = self.l1.stats().total();
+        if l1_total == 0 {
+            0.0
+        } else {
+            self.l2.stats().misses as f64 / l1_total as f64
+        }
+    }
+
+    /// Looks up `vpn` through L1 then L2, promoting L2 hits into L1.
+    pub fn lookup(&mut self, vpn: Vpn) -> TlbLookup {
+        let mut latency = self.l1.config().latency;
+        if let Some(hit) = self.l1.lookup(vpn) {
+            return TlbLookup {
+                outcome: TlbOutcome::L1Hit,
+                hit: Some(hit),
+                latency,
+            };
+        }
+        latency += self.l2.config().latency;
+        if let Some(hit) = self.l2.lookup(vpn) {
+            // Promote into L1 (store the mapping-granularity base).
+            let base = match hit.size {
+                PageSize::Size4K => hit.pfn,
+                PageSize::Size2M => Pfn::new((hit.pfn.as_u64() >> 9) << 9),
+            };
+            self.l1.fill(vpn, base, hit.size);
+            return TlbLookup {
+                outcome: TlbOutcome::L2Hit,
+                hit: Some(hit),
+                latency,
+            };
+        }
+        TlbLookup {
+            outcome: TlbOutcome::Miss,
+            hit: None,
+            latency,
+        }
+    }
+
+    /// Installs a walked translation into the hierarchy. For 2 MB mappings
+    /// pass the huge page base PFN.
+    ///
+    /// With fracturing enabled (the default, matching the paper's Huge
+    /// Page treatment), a 2 MB translation installs only the 4 KB entry
+    /// for `vpn`; the mapping's reach advantage is forfeited and Huge Page
+    /// benefits purely from its shorter walk.
+    pub fn fill(&mut self, vpn: Vpn, pfn_base: Pfn, size: PageSize) {
+        if self.fracture_huge && size == PageSize::Size2M {
+            let exact = pfn_base.add(vpn.l1_index() as u64);
+            self.l1.fill(vpn, exact, PageSize::Size4K);
+            self.l2.fill(vpn, exact, PageSize::Size4K);
+            return;
+        }
+        self.l1.fill(vpn, pfn_base, size);
+        self.l2.fill(vpn, pfn_base, size);
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+
+    /// Clears statistics of both levels, preserving contents.
+    pub fn clear_stats(&mut self) {
+        self.l1.clear_stats();
+        self.l2.clear_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut t = Tlb::new(TlbConfig::l1_dtlb());
+        let vpn = Vpn::new(0xabc);
+        assert!(t.lookup(vpn).is_none());
+        t.fill(vpn, Pfn::new(0x123), PageSize::Size4K);
+        let hit = t.lookup(vpn).unwrap();
+        assert_eq!(hit.pfn, Pfn::new(0x123));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn huge_entry_covers_whole_region() {
+        let mut t = Tlb::new(TlbConfig::l1_dtlb());
+        let base_vpn = Vpn::new(512 * 7);
+        t.fill(base_vpn, Pfn::new(1024), PageSize::Size2M);
+        // Any page in the same 2 MB region hits and maps to consecutive frames.
+        for off in [0u64, 1, 255, 511] {
+            let hit = t.lookup(base_vpn.add(off)).unwrap();
+            assert_eq!(hit.pfn, Pfn::new(1024 + off), "offset {off}");
+            assert_eq!(hit.size, PageSize::Size2M);
+        }
+        // Outside the region: miss.
+        assert!(t.lookup(Vpn::new(512 * 8)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 1-way "TLB" with 16 sets: two VPNs in the same set conflict.
+        let cfg = TlbConfig {
+            name: "tiny",
+            entries: 16,
+            ways: 1,
+            latency: Cycles::new(1),
+        };
+        let mut t = Tlb::new(cfg);
+        let a = Vpn::new(0);
+        let b = Vpn::new(16); // same set (16 sets)
+        t.fill(a, Pfn::new(1), PageSize::Size4K);
+        t.fill(b, Pfn::new(2), PageSize::Size4K);
+        assert!(t.lookup(a).is_none(), "evicted by b");
+        assert!(t.lookup(b).is_some());
+    }
+
+    #[test]
+    fn hierarchy_promotes_l2_hits() {
+        let mut h = TlbHierarchy::table1();
+        let vpn = Vpn::new(0x777);
+        assert_eq!(h.lookup(vpn).outcome, TlbOutcome::Miss);
+        h.fill(vpn, Pfn::new(9), PageSize::Size4K);
+        // Evict from L1 by filling conflicting entries.
+        for i in 0..64u64 {
+            h.l1.fill(Vpn::new(vpn.as_u64() + (i + 1) * 16), Pfn::new(i), PageSize::Size4K);
+        }
+        let l2_hit = h.lookup(vpn);
+        assert!(matches!(l2_hit.outcome, TlbOutcome::L2Hit | TlbOutcome::L1Hit));
+        // Immediately after, it should be back in L1.
+        let l1_hit = h.lookup(vpn);
+        assert_eq!(l1_hit.outcome, TlbOutcome::L1Hit);
+        assert_eq!(l1_hit.latency, Cycles::new(1));
+    }
+
+    #[test]
+    fn hierarchy_latencies_match_table1() {
+        let mut h = TlbHierarchy::table1();
+        let miss = h.lookup(Vpn::new(1));
+        assert_eq!(miss.latency, Cycles::new(13)); // 1 + 12
+        h.fill(Vpn::new(1), Pfn::new(1), PageSize::Size4K);
+        let hit = h.lookup(Vpn::new(1));
+        assert_eq!(hit.latency, Cycles::new(1));
+    }
+
+    #[test]
+    fn huge_promotion_reconstructs_base() {
+        let mut h = TlbHierarchy::table1();
+        let region = Vpn::new(512 * 3);
+        h.l2.fill(region, Pfn::new(2048), PageSize::Size2M);
+        let probe_vpn = region.add(17);
+        let hit = h.lookup(probe_vpn).hit.unwrap();
+        assert_eq!(hit.pfn, Pfn::new(2048 + 17));
+        // And the L1 promotion preserves correctness for other offsets.
+        let hit2 = h.lookup(region.add(33)).hit.unwrap();
+        assert_eq!(hit2.pfn, Pfn::new(2048 + 33));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = TlbHierarchy::table1();
+        h.fill(Vpn::new(5), Pfn::new(5), PageSize::Size4K);
+        h.lookup(Vpn::new(5));
+        h.reset();
+        assert_eq!(h.l1_stats().total(), 0);
+        assert!(h.lookup(Vpn::new(5)).outcome.is_miss());
+    }
+
+    #[test]
+    fn table1_geometries() {
+        assert_eq!(TlbConfig::l1_dtlb().sets(), 16);
+        assert_eq!(TlbConfig::l1_itlb().sets(), 32);
+        assert_eq!(TlbConfig::l2_stlb().sets(), 128);
+    }
+}

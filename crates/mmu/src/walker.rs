@@ -1,0 +1,253 @@
+//! The hardware page-table walker.
+//!
+//! Given a [`WalkPath`] from a page-table design, the walker consults the
+//! per-level PWCs and produces a [`WalkPlan`]: the rounds of PTE fetches
+//! that must actually reach the memory system (steps whose PWC hit are
+//! skipped). The simulator executes the plan against the cache/DRAM timing
+//! model; keeping the walker free of timing concerns lets the same logic
+//! serve every mechanism and every system configuration.
+
+use crate::pwc::PwcSet;
+use ndpage::walk::WalkPath;
+use ndp_types::{PhysAddr, PtLevel, Vpn};
+
+/// One PTE fetch of a walk plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteFetch {
+    /// Physical address of the PTE.
+    pub addr: PhysAddr,
+    /// Page-table level being read.
+    pub level: PtLevel,
+}
+
+/// The memory work of one page-table walk, as parallel rounds to issue in
+/// order. Rounds whose every step PWC-hit are absent entirely.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalkPlan {
+    /// Sequential rounds; fetches within a round overlap.
+    pub rounds: Vec<Vec<PteFetch>>,
+    /// Steps skipped thanks to PWC hits.
+    pub pwc_skips: u32,
+}
+
+impl WalkPlan {
+    /// Total PTE fetches that reach the memory system.
+    #[must_use]
+    pub fn memory_fetches(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// Number of dependent (serialised) memory rounds.
+    #[must_use]
+    pub fn sequential_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// Statistics of the walker itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalkerStats {
+    /// Walks planned.
+    pub walks: u64,
+    /// PTE fetches sent to memory.
+    pub fetches: u64,
+    /// PTE fetches avoided by PWC hits.
+    pub pwc_skips: u64,
+}
+
+/// Plans page-table walks through the PWC bank.
+#[derive(Debug, Clone)]
+pub struct PageTableWalker {
+    pwcs: PwcSet,
+    stats: WalkerStats,
+}
+
+impl PageTableWalker {
+    /// A walker with PWCs enabled (Radix, Huge Page, NDPage).
+    #[must_use]
+    pub fn with_pwcs() -> Self {
+        PageTableWalker {
+            pwcs: PwcSet::enabled(),
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// A walker whose PWCs hold `capacity` entries per level (PWC-size
+    /// sweep experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_pwc_capacity(capacity: usize) -> Self {
+        PageTableWalker {
+            pwcs: PwcSet::enabled_with_capacity(capacity),
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// A walker without PWCs (ECH; PWC-off ablation).
+    #[must_use]
+    pub fn without_pwcs() -> Self {
+        PageTableWalker {
+            pwcs: PwcSet::disabled(),
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// The PWC bank (for statistics reporting).
+    #[must_use]
+    pub fn pwcs(&self) -> &PwcSet {
+        &self.pwcs
+    }
+
+    /// Walker statistics.
+    #[must_use]
+    pub fn stats(&self) -> &WalkerStats {
+        &self.stats
+    }
+
+    /// Probes PWCs for every step of `path` and returns the fetches that
+    /// must go to memory. Fetched levels are filled into their PWCs
+    /// (hardware installs translations on the way back up).
+    pub fn plan(&mut self, vpn: Vpn, path: &WalkPath) -> WalkPlan {
+        self.stats.walks += 1;
+        let mut plan = WalkPlan::default();
+        for group in path.groups() {
+            let mut round = Vec::new();
+            for step in group {
+                if self.pwcs.access(step.level, vpn) {
+                    plan.pwc_skips += 1;
+                    self.stats.pwc_skips += 1;
+                } else {
+                    round.push(PteFetch {
+                        addr: step.addr,
+                        level: step.level,
+                    });
+                    self.pwcs.fill(step.level, vpn);
+                    self.stats.fetches += 1;
+                }
+            }
+            if !round.is_empty() {
+                plan.rounds.push(round);
+            }
+        }
+        plan
+    }
+
+    /// Clears PWC contents and statistics.
+    pub fn reset(&mut self) {
+        self.pwcs.reset();
+        self.stats = WalkerStats::default();
+    }
+
+    /// Clears statistics (walker + PWC) while keeping PWC contents warm.
+    pub fn clear_stats(&mut self) {
+        self.pwcs.clear_stats();
+        self.stats = WalkerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpage::alloc::FrameAllocator;
+    use ndpage::flat::FlattenedL2L1;
+    use ndpage::radix::Radix4;
+    use ndpage::table::PageTable;
+
+    fn radix_fixture() -> (FrameAllocator, Radix4, Vpn) {
+        let mut alloc = FrameAllocator::new(1 << 30);
+        let mut t = Radix4::new(&mut alloc);
+        let vpn = Vpn::new(0x1_2345);
+        t.map(vpn, &mut alloc);
+        (alloc, t, vpn)
+    }
+
+    #[test]
+    fn cold_walk_fetches_everything() {
+        let (_, t, vpn) = radix_fixture();
+        let mut w = PageTableWalker::with_pwcs();
+        let plan = w.plan(vpn, &t.walk_path(vpn).unwrap());
+        assert_eq!(plan.memory_fetches(), 4);
+        assert_eq!(plan.sequential_rounds(), 4);
+        assert_eq!(plan.pwc_skips, 0);
+    }
+
+    #[test]
+    fn warm_walk_skips_everything() {
+        let (_, t, vpn) = radix_fixture();
+        let mut w = PageTableWalker::with_pwcs();
+        let path = t.walk_path(vpn).unwrap();
+        w.plan(vpn, &path);
+        let plan = w.plan(vpn, &path);
+        assert_eq!(plan.memory_fetches(), 0);
+        assert_eq!(plan.pwc_skips, 4);
+        assert_eq!(plan.sequential_rounds(), 0);
+    }
+
+    #[test]
+    fn upper_levels_stay_warm_across_pages() {
+        let mut alloc = FrameAllocator::new(1 << 30);
+        let mut t = Radix4::new(&mut alloc);
+        let mut w = PageTableWalker::with_pwcs();
+        // Touch many pages within the same 1 GB region: PL4/PL3 warm,
+        // PL2/PL1 churn.
+        let mut vpns = Vec::new();
+        for i in 0..500u64 {
+            let vpn = Vpn::new(i * 613); // spread over many 2 MB regions
+            t.map(vpn, &mut alloc);
+            vpns.push(vpn);
+        }
+        for &vpn in &vpns {
+            w.plan(vpn, &t.walk_path(vpn).unwrap());
+        }
+        let l4 = w.pwcs().level_stats(PtLevel::L4).unwrap();
+        let l1 = w.pwcs().level_stats(PtLevel::L1).unwrap();
+        assert!(l4.hit_rate() > 0.95, "PL4 ≈ 100%: {}", l4.hit_rate());
+        assert!(l1.hit_rate() < 0.3, "PL1 low: {}", l1.hit_rate());
+    }
+
+    #[test]
+    fn disabled_pwcs_never_skip() {
+        let (_, t, vpn) = radix_fixture();
+        let mut w = PageTableWalker::without_pwcs();
+        let path = t.walk_path(vpn).unwrap();
+        w.plan(vpn, &path);
+        let plan = w.plan(vpn, &path);
+        assert_eq!(plan.memory_fetches(), 4);
+        assert_eq!(w.stats().fetches, 8);
+        assert_eq!(w.stats().pwc_skips, 0);
+    }
+
+    #[test]
+    fn flattened_walk_costs_one_fetch_when_upper_levels_hit() {
+        let mut alloc = FrameAllocator::new(1 << 30);
+        let mut t = FlattenedL2L1::new(&mut alloc);
+        let mut w = PageTableWalker::with_pwcs();
+        let a = Vpn::new(100);
+        let b = Vpn::new(200_000); // same 1 GB region → same L4/L3 tags
+        t.map(a, &mut alloc);
+        t.map(b, &mut alloc);
+        w.plan(a, &t.walk_path(a).unwrap());
+        let plan = w.plan(b, &t.walk_path(b).unwrap());
+        assert_eq!(
+            plan.memory_fetches(),
+            1,
+            "PL4+PL3 PWC hits leave only the flat fetch"
+        );
+        assert_eq!(plan.rounds[0][0].level, PtLevel::FlatL2L1);
+    }
+
+    #[test]
+    fn reset_clears_pwc_state() {
+        let (_, t, vpn) = radix_fixture();
+        let mut w = PageTableWalker::with_pwcs();
+        let path = t.walk_path(vpn).unwrap();
+        w.plan(vpn, &path);
+        w.reset();
+        let plan = w.plan(vpn, &path);
+        assert_eq!(plan.memory_fetches(), 4, "PWCs cold again");
+        assert_eq!(w.stats().walks, 1);
+    }
+}

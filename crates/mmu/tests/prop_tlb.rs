@@ -1,0 +1,90 @@
+//! Property tests for the TLB hierarchy against a reference mapping:
+//! whatever the TLB returns must be what was last installed for that page.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ndp_mmu::tlb::{Tlb, TlbConfig, TlbHierarchy};
+use ndp_types::{Cycles, PageSize, Pfn, Vpn};
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A TLB is allowed to forget, never to lie: every hit must return the
+    /// frame most recently filled for that VPN.
+    #[test]
+    fn hits_are_always_truthful(ops in vec((0u64..4096, 0u64..100_000), 1..500)) {
+        let mut tlb = Tlb::new(TlbConfig::l1_dtlb());
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(vpn_raw, pfn_raw) in &ops {
+            let vpn = Vpn::new(vpn_raw);
+            if let Some(hit) = tlb.lookup(vpn) {
+                let expected = truth.get(&vpn_raw);
+                prop_assert_eq!(
+                    Some(&hit.pfn.as_u64()),
+                    expected,
+                    "hit for {:#x} contradicts the last fill",
+                    vpn_raw
+                );
+            }
+            tlb.fill(vpn, Pfn::new(pfn_raw), PageSize::Size4K);
+            truth.insert(vpn_raw, pfn_raw);
+        }
+    }
+
+    /// Fractured 2 MB fills behave exactly like the equivalent 4 KB fill:
+    /// the returned frame is base + page offset within the region.
+    #[test]
+    fn fracturing_preserves_translations(
+        regions in vec((0u64..512, 0u64..1_000), 1..100),
+        probe_offsets in vec(0u64..512, 1..50),
+    ) {
+        let mut tlb = TlbHierarchy::table1();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(region, base_frame) in &regions {
+            let base_vpn = Vpn::new(region * 512);
+            let base_pfn = Pfn::new(base_frame * 512);
+            for &off in &probe_offsets {
+                let vpn = base_vpn.add(off);
+                tlb.fill(vpn, base_pfn, PageSize::Size2M);
+                truth.insert(vpn.as_u64(), base_pfn.as_u64() + off);
+            }
+        }
+        for (&vpn_raw, &pfn_raw) in &truth {
+            if let Some(hit) = tlb.lookup(Vpn::new(vpn_raw)).hit {
+                prop_assert_eq!(hit.pfn.as_u64(), pfn_raw, "vpn {:#x}", vpn_raw);
+            }
+        }
+    }
+
+    /// Without fracturing, one 2 MB fill covers its whole region.
+    #[test]
+    fn native_huge_entries_cover_regions(region in 0u64..1024, offs in vec(0u64..512, 1..40)) {
+        let mut tlb = TlbHierarchy::table1().with_fracturing(false);
+        let base_vpn = Vpn::new(region * 512);
+        let base_pfn = Pfn::new(0x4_0000);
+        tlb.fill(base_vpn, base_pfn, PageSize::Size2M);
+        for &off in &offs {
+            let hit = tlb.lookup(base_vpn.add(off)).hit;
+            prop_assert!(hit.is_some(), "offset {off} must hit the huge entry");
+            prop_assert_eq!(hit.unwrap().pfn.as_u64(), base_pfn.as_u64() + off);
+        }
+        // Neighbouring region untouched.
+        prop_assert!(tlb.lookup(Vpn::new((region + 1) * 512)).hit.is_none());
+    }
+
+    /// Hierarchy statistics reconcile: L2 probes equal L1 misses.
+    #[test]
+    fn hierarchy_stats_reconcile(ops in vec(0u64..4096, 1..400)) {
+        let mut tlb = TlbHierarchy::table1();
+        for &vpn_raw in &ops {
+            let vpn = Vpn::new(vpn_raw);
+            if tlb.lookup(vpn).hit.is_none() {
+                tlb.fill(vpn, Pfn::new(vpn_raw + 1), PageSize::Size4K);
+            }
+        }
+        prop_assert_eq!(tlb.l1_stats().total(), ops.len() as u64);
+        prop_assert_eq!(tlb.l2_stats().total(), tlb.l1_stats().misses);
+        let _ = Cycles::ZERO;
+    }
+}

@@ -1,0 +1,275 @@
+//! Simulation configuration (Table I systems + run parameters).
+
+use ndp_types::Cycles;
+use ndpage::bypass::BypassPolicy;
+use ndpage::Mechanism;
+use ndp_workloads::WorkloadId;
+use std::fmt;
+
+/// Which Table I system to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Near-data cores in the HBM2 logic layer: L1 only, one-hop memory.
+    Ndp,
+    /// Conventional host: L1 + L2 + L3, off-chip DDR4.
+    Cpu,
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemKind::Ndp => f.write_str("NDP"),
+            SystemKind::Cpu => f.write_str("CPU"),
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// System flavour (cache depth, DRAM, interconnect).
+    pub system: SystemKind,
+    /// Core count (the paper evaluates 1, 4 and 8).
+    pub cores: u32,
+    /// Translation mechanism under test.
+    pub mechanism: Mechanism,
+    /// Workload to trace.
+    pub workload: WorkloadId,
+    /// Untimed warmup operations per core.
+    pub warmup_ops: u64,
+    /// Measured operations per core.
+    pub measure_ops: u64,
+    /// Per-core footprint = Table II size / divisor (private address
+    /// spaces; the default of 1 runs the full dataset per core).
+    pub footprint_divisor: u64,
+    /// Absolute per-core footprint override (wins over the divisor).
+    pub footprint_override: Option<u64>,
+    /// Base RNG seed; core *i* uses `seed + i`.
+    pub seed: u64,
+    /// OS cost of a 4 KB minor fault.
+    pub fault_minor_4k: Cycles,
+    /// OS cost of a 2 MB minor fault (zeroing 512 frames).
+    pub fault_minor_2m: Cycles,
+    /// OS cost of a failed-THP fallback fault (direct compaction attempt
+    /// + 4 KB path; see Kwon et al., OSDI'16, on why this is expensive).
+    pub fault_fallback: Cycles,
+    /// OS cost per PTE moved by an elastic-cuckoo rehash.
+    pub rehash_entry_cost: Cycles,
+    /// Ablation override: force PWCs on/off (`None` = per mechanism).
+    pub pwc_override: Option<bool>,
+    /// Ablation override: force a bypass policy (`None` = per mechanism).
+    pub bypass_override: Option<BypassPolicy>,
+    /// Physical-memory capacity override in bytes (`None` = Table I 16 GB).
+    /// Small capacities force huge-page contiguity exhaustion in tests.
+    pub memory_capacity_override: Option<u64>,
+    /// Entries per page-walk cache level (`None` = 64). Sweep experiments
+    /// vary this to show where flattening stops mattering.
+    pub pwc_entries: Option<usize>,
+    /// L2 TLB entry-count override (`None` = Table I's 1536). Must be
+    /// 12-way-divisible into a power of two sets.
+    pub tlb_l2_entries: Option<u32>,
+    /// Override for 2 MB TLB-entry fracturing (`None` = fractured, the
+    /// paper's Huge Page treatment; `Some(false)` gives native 2 MB
+    /// entries — the [`crate::sweeps::fracturing_ablation`] study).
+    pub tlb_fracture_huge: Option<bool>,
+    /// Compaction/khugepaged interference: cycles charged per
+    /// [`Self::COMPACTION_PERIOD`] ops, scaled by the run's THP-fallback
+    /// pressure. Models the background defragmentation work (Kwon et al.,
+    /// OSDI'16) that sinks Huge Page once contiguity is exhausted (Fig 14).
+    pub compaction_tax: Cycles,
+}
+
+impl SimConfig {
+    /// The default warmup window per core.
+    pub const DEFAULT_WARMUP: u64 = 150_000;
+    /// The default measurement window per core.
+    pub const DEFAULT_MEASURE: u64 = 250_000;
+    /// The default footprint divisor: 1 — every core runs the full
+    /// Table II dataset, as in the paper's per-core benchmark instances.
+    pub const DEFAULT_DIVISOR: u64 = 1;
+    /// Ops between compaction-interference charges.
+    pub const COMPACTION_PERIOD: u64 = 64;
+    /// Nominal Table I DRAM capacity.
+    pub const TABLE1_CAPACITY: u64 = 16 << 30;
+
+    /// A full-size run configuration.
+    #[must_use]
+    pub fn new(
+        system: SystemKind,
+        cores: u32,
+        mechanism: Mechanism,
+        workload: WorkloadId,
+    ) -> Self {
+        SimConfig {
+            system,
+            cores,
+            mechanism,
+            workload,
+            warmup_ops: Self::DEFAULT_WARMUP,
+            measure_ops: Self::DEFAULT_MEASURE,
+            footprint_divisor: Self::DEFAULT_DIVISOR,
+            footprint_override: None,
+            seed: 0x5eed,
+            fault_minor_4k: Cycles::new(600),
+            fault_minor_2m: Cycles::new(2600),
+            fault_fallback: Cycles::new(15_000),
+            rehash_entry_cost: Cycles::new(40),
+            pwc_override: None,
+            bypass_override: None,
+            memory_capacity_override: None,
+            pwc_entries: None,
+            tlb_l2_entries: None,
+            tlb_fracture_huge: None,
+            compaction_tax: Cycles::new(2200),
+        }
+    }
+
+    /// A small, fast configuration for tests and examples (1 GB/core
+    /// footprint — large enough that PL2/PL1 translation prefixes overrun
+    /// the PWCs and PTE lines overrun the caches, as in the full-scale
+    /// runs — and short windows).
+    #[must_use]
+    pub fn quick(
+        system: SystemKind,
+        cores: u32,
+        mechanism: Mechanism,
+        workload: WorkloadId,
+    ) -> Self {
+        let mut cfg = Self::new(system, cores, mechanism, workload);
+        cfg.warmup_ops = 10_000;
+        cfg.measure_ops = 20_000;
+        cfg.footprint_override = Some(1 << 30);
+        cfg
+    }
+
+    /// Sets the warmup/measure windows.
+    #[must_use]
+    pub fn with_ops(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup_ops = warmup;
+        self.measure_ops = measure;
+        self
+    }
+
+    /// Sets an absolute per-core footprint.
+    #[must_use]
+    pub fn with_footprint(mut self, bytes: u64) -> Self {
+        self.footprint_override = Some(bytes);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The per-core footprint in bytes.
+    #[must_use]
+    pub fn footprint_per_core(&self) -> u64 {
+        self.footprint_override
+            .unwrap_or_else(|| self.workload.table2_footprint() / self.footprint_divisor.max(1))
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 || self.cores > 64 {
+            return Err(ConfigError::new("cores must be in 1..=64"));
+        }
+        if self.measure_ops == 0 {
+            return Err(ConfigError::new("measure_ops must be positive"));
+        }
+        if self.footprint_per_core() < (1 << 20) {
+            return Err(ConfigError::new("footprint must be at least 1 MB"));
+        }
+        if self.pwc_entries == Some(0) {
+            return Err(ConfigError::new("pwc_entries must be positive"));
+        }
+        if let Some(entries) = self.tlb_l2_entries {
+            let sets = entries / 12;
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(ConfigError::new(
+                    "tlb_l2_entries must be 12-way-divisible into power-of-two sets",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`SimConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    fn new(message: &'static str) -> Self {
+        ConfigError { message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid simulation config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let cfg = SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, WorkloadId::Bfs);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.footprint_per_core(), 8u64 << 30);
+    }
+
+    #[test]
+    fn quick_is_small() {
+        let cfg = SimConfig::quick(SystemKind::Ndp, 1, Mechanism::NdPage, WorkloadId::Rnd);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.footprint_per_core(), 1 << 30);
+        assert!(cfg.measure_ops <= 20_000);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = SimConfig::quick(SystemKind::Cpu, 1, Mechanism::Radix, WorkloadId::Xs);
+        cfg.cores = 0;
+        assert!(cfg.validate().is_err());
+        cfg.cores = 65;
+        assert!(cfg.validate().is_err());
+        cfg.cores = 1;
+        cfg.measure_ops = 0;
+        assert!(cfg.validate().is_err());
+        cfg.measure_ops = 10;
+        cfg.footprint_override = Some(1000);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("footprint"));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SimConfig::new(SystemKind::Cpu, 4, Mechanism::Ech, WorkloadId::Gen)
+            .with_ops(5, 10)
+            .with_footprint(2 << 20)
+            .with_seed(99);
+        assert_eq!(cfg.warmup_ops, 5);
+        assert_eq!(cfg.footprint_per_core(), 2 << 20);
+        assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
+    fn system_kind_display() {
+        assert_eq!(SystemKind::Ndp.to_string(), "NDP");
+        assert_eq!(SystemKind::Cpu.to_string(), "CPU");
+    }
+}

@@ -1,0 +1,312 @@
+//! High-level experiment drivers: one function per paper figure/table.
+//!
+//! Each driver returns plain data (rows of numbers keyed by workload /
+//! mechanism) so callers — the `figures` binary, Criterion benches, tests —
+//! can print, assert or plot without re-running logic.
+
+use crate::config::{SimConfig, SystemKind};
+use crate::machine::Machine;
+use crate::report::RunReport;
+use ndp_types::stats::geomean;
+use ndpage::Mechanism;
+use ndp_workloads::WorkloadId;
+
+/// Runs one configuration.
+#[must_use]
+pub fn run(cfg: SimConfig) -> RunReport {
+    Machine::new(cfg).run()
+}
+
+/// Scale of an experiment batch; controls windows and footprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small windows and footprints: CI-friendly (seconds).
+    Quick,
+    /// The default evaluation scale used for EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Applies this scale to a config.
+    #[must_use]
+    pub fn apply(self, mut cfg: SimConfig) -> SimConfig {
+        match self {
+            Scale::Quick => {
+                cfg.warmup_ops = 8_000;
+                cfg.measure_ops = 15_000;
+                cfg.footprint_override = Some(1 << 30);
+            }
+            Scale::Full => {
+                cfg.warmup_ops = SimConfig::DEFAULT_WARMUP;
+                cfg.measure_ops = SimConfig::DEFAULT_MEASURE;
+                cfg.footprint_override = None;
+            }
+        }
+        cfg
+    }
+}
+
+/// One speedup row of Figs 12–14: a workload's speedups over Radix.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// The workload.
+    pub workload: WorkloadId,
+    /// `(mechanism, speedup-over-Radix)` for ECH, Huge Page, NDPage, Ideal.
+    pub speedups: Vec<(Mechanism, f64)>,
+}
+
+/// Figs 12/13/14: speedup over Radix for every workload and mechanism on
+/// an NDP system with `cores` cores.
+#[must_use]
+pub fn speedup_figure(cores: u32, scale: Scale, workloads: &[WorkloadId]) -> Vec<SpeedupRow> {
+    workloads
+        .iter()
+        .map(|&w| {
+            let radix = run(scale.apply(SimConfig::new(
+                SystemKind::Ndp,
+                cores,
+                Mechanism::Radix,
+                w,
+            )));
+            let speedups = [
+                Mechanism::Ech,
+                Mechanism::HugePage,
+                Mechanism::NdPage,
+                Mechanism::Ideal,
+            ]
+            .iter()
+            .map(|&m| {
+                let r = run(scale.apply(SimConfig::new(SystemKind::Ndp, cores, m, w)));
+                (m, r.speedup_over(&radix))
+            })
+            .collect();
+            SpeedupRow {
+                workload: w,
+                speedups,
+            }
+        })
+        .collect()
+}
+
+/// Geometric-mean speedup per mechanism across rows (the paper's
+/// "on average" numbers).
+#[must_use]
+pub fn geomean_speedups(rows: &[SpeedupRow]) -> Vec<(Mechanism, f64)> {
+    let mechanisms = [
+        Mechanism::Ech,
+        Mechanism::HugePage,
+        Mechanism::NdPage,
+        Mechanism::Ideal,
+    ];
+    mechanisms
+        .iter()
+        .map(|&m| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter_map(|row| {
+                    row.speedups
+                        .iter()
+                        .find(|(mm, _)| *mm == m)
+                        .map(|(_, s)| *s)
+                })
+                .collect();
+            (m, geomean(&vals))
+        })
+        .collect()
+}
+
+/// Fig 4 / Fig 5 row: NDP-vs-CPU motivation metrics for one workload on
+/// 4-core Radix systems.
+#[derive(Debug, Clone)]
+pub struct MotivationRow {
+    /// The workload.
+    pub workload: WorkloadId,
+    /// NDP run.
+    pub ndp: RunReport,
+    /// CPU run.
+    pub cpu: RunReport,
+}
+
+/// Figs 4–5: 4-core NDP vs CPU under Radix.
+#[must_use]
+pub fn motivation_figures(scale: Scale, workloads: &[WorkloadId]) -> Vec<MotivationRow> {
+    workloads
+        .iter()
+        .map(|&w| MotivationRow {
+            workload: w,
+            ndp: run(scale.apply(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, w))),
+            cpu: run(scale.apply(SimConfig::new(SystemKind::Cpu, 4, Mechanism::Radix, w))),
+        })
+        .collect()
+}
+
+/// Fig 6: PTW latency and translation-overhead scaling over core counts.
+#[must_use]
+pub fn scaling_figure(
+    scale: Scale,
+    workloads: &[WorkloadId],
+    core_counts: &[u32],
+) -> Vec<(u32, SystemKind, f64, f64)> {
+    let mut out = Vec::new();
+    for &system in &[SystemKind::Ndp, SystemKind::Cpu] {
+        for &cores in core_counts {
+            let reports: Vec<RunReport> = workloads
+                .iter()
+                .map(|&w| run(scale.apply(SimConfig::new(system, cores, Mechanism::Radix, w))))
+                .collect();
+            let ptw: Vec<f64> = reports.iter().map(RunReport::avg_ptw_latency).collect();
+            let frac: Vec<f64> = reports
+                .iter()
+                .map(RunReport::translation_fraction)
+                .collect();
+            out.push((
+                cores,
+                system,
+                ndp_types::stats::mean(&ptw),
+                ndp_types::stats::mean(&frac),
+            ));
+        }
+    }
+    out
+}
+
+/// Fig 7: L1 miss rates on 4-core NDP — data under Ideal (no metadata),
+/// data under Radix, and metadata under Radix.
+#[derive(Debug, Clone)]
+pub struct MissRateRow {
+    /// The workload.
+    pub workload: WorkloadId,
+    /// L1 data miss rate with no translation traffic (Ideal).
+    pub data_ideal: f64,
+    /// L1 data miss rate under Radix (pollution included).
+    pub data_actual: f64,
+    /// L1 metadata miss rate under Radix.
+    pub metadata: f64,
+}
+
+/// Fig 7 rows.
+#[must_use]
+pub fn miss_rate_figure(scale: Scale, workloads: &[WorkloadId]) -> Vec<MissRateRow> {
+    workloads
+        .iter()
+        .map(|&w| {
+            let ideal = run(scale.apply(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Ideal, w)));
+            let radix = run(scale.apply(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, w)));
+            MissRateRow {
+                workload: w,
+                data_ideal: ideal.l1_data.miss_rate(),
+                data_actual: radix.l1_data.miss_rate(),
+                metadata: radix.l1_metadata.miss_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Fig 8: radix page-table occupancy rates per workload.
+/// Returns `(workload, PL1, PL2, PL3, combined PL2/PL1)` rates.
+///
+/// The paper measures occupancy on a system whose workloads have fully
+/// initialised their multi-GB arrays, so every page of every region is
+/// mapped. We reproduce that as a mapping analysis: build the radix table,
+/// map the workload's regions page by page (as the init phase's first
+/// touches would), and read the occupancy counters. No timing is involved,
+/// so this uses the real Table II footprints even at `Scale::Quick`
+/// (capped at 1 GB there to stay fast).
+#[must_use]
+pub fn occupancy_figure(
+    scale: Scale,
+    workloads: &[WorkloadId],
+) -> Vec<(WorkloadId, f64, f64, f64, f64)> {
+    use ndpage::alloc::FrameAllocator;
+    use ndpage::radix::Radix4;
+    use ndpage::table::PageTable;
+    use ndp_types::addr::PAGE_SIZE;
+    use ndp_workloads::TraceParams;
+
+    workloads
+        .iter()
+        .map(|&w| {
+            let footprint = match scale {
+                Scale::Quick => w.table2_footprint().min(1 << 30),
+                Scale::Full => w.table2_footprint(),
+            };
+            let params = TraceParams::new(0).with_footprint(footprint);
+            // Bookkeeping-only allocator: sized generously so even the
+            // 33 GB GEN footprint maps (no data is materialised).
+            let mut alloc = FrameAllocator::new((footprint * 2).max(64 << 30));
+            let mut table = Radix4::new(&mut alloc);
+            for region in w.regions(params) {
+                let first = region.base.vpn();
+                let pages = region.bytes.div_ceil(PAGE_SIZE);
+                for p in 0..pages {
+                    table.map(first.add(p), &mut alloc);
+                }
+            }
+            let s = table.occupancy().fig8_series();
+            (w, s.pl1, s.pl2, s.pl3, s.combined_pl2_pl1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: [WorkloadId; 2] = [WorkloadId::Rnd, WorkloadId::Bfs];
+
+    #[test]
+    fn speedup_rows_have_all_mechanisms() {
+        let rows = speedup_figure(1, Scale::Quick, &[WorkloadId::Rnd]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].speedups.len(), 4);
+        let gm = geomean_speedups(&rows);
+        let ideal = gm.iter().find(|(m, _)| *m == Mechanism::Ideal).unwrap().1;
+        let ndpage = gm.iter().find(|(m, _)| *m == Mechanism::NdPage).unwrap().1;
+        assert!(ideal >= ndpage, "Ideal bounds NDPage");
+        assert!(ndpage > 1.0, "NDPage beats Radix");
+    }
+
+    #[test]
+    fn motivation_shows_ndp_worse_than_cpu() {
+        // BFS has the hot/cold working-set structure that lets CPU caches
+        // absorb PTE lines; uniform-random GUPS is hostile to both systems.
+        let rows = motivation_figures(Scale::Quick, &[WorkloadId::Bfs]);
+        let row = &rows[0];
+        assert!(
+            row.ndp.avg_ptw_latency() > row.cpu.avg_ptw_latency(),
+            "NDP {} vs CPU {}",
+            row.ndp.avg_ptw_latency(),
+            row.cpu.avg_ptw_latency()
+        );
+        assert!(row.ndp.translation_fraction() > row.cpu.translation_fraction());
+    }
+
+    #[test]
+    fn miss_rates_show_pollution() {
+        let rows = miss_rate_figure(Scale::Quick, &[WorkloadId::Rnd]);
+        let r = &rows[0];
+        assert!(r.metadata > 0.8, "metadata miss {}", r.metadata);
+        assert!(
+            r.data_actual >= r.data_ideal,
+            "pollution can only hurt: {} vs {}",
+            r.data_actual,
+            r.data_ideal
+        );
+    }
+
+    #[test]
+    fn occupancy_shows_full_bottom_levels() {
+        let rows = occupancy_figure(Scale::Quick, &[WorkloadId::Rnd]);
+        let (_, pl1, pl2, pl3, combined) = rows[0];
+        assert!(pl1 > 0.9, "PL1 dense: {pl1}");
+        assert!(pl2 > 0.9, "PL2 dense: {pl2}");
+        assert!(pl3 < 0.05, "PL3 sparse: {pl3}");
+        assert!(combined > 0.9, "merged level dense: {combined}");
+    }
+
+    #[test]
+    fn scaling_covers_requested_points() {
+        let rows = scaling_figure(Scale::Quick, &W[..1], &[1, 2]);
+        assert_eq!(rows.len(), 4); // 2 systems x 2 core counts
+    }
+}

@@ -1,0 +1,698 @@
+//! The discrete-event multi-core machine.
+//!
+//! Implements the address-translation and data-access flow of the paper's
+//! Fig 11: TLB lookup → (on miss) PWC-filtered page-table walk whose PTE
+//! fetches either traverse the cache hierarchy or — under NDPage — bypass
+//! the L1 straight to memory, followed by the normal data access.
+
+use crate::config::{SimConfig, SystemKind};
+use crate::report::{FaultCounts, RunReport};
+use ndp_cache::hierarchy::{CacheHierarchy, LookupResult};
+use ndp_cache::set_assoc::CacheConfig;
+use ndp_mem::controller::MemoryController;
+use ndp_mem::dram::DramConfig;
+use ndp_mem::noc::MeshNoc;
+use ndp_mmu::tlb::TlbHierarchy;
+use ndp_mmu::walker::PageTableWalker;
+use ndp_types::stats::{HitMiss, LatencyHistogram, LatencyStat};
+use ndp_types::{AccessClass, CoreId, Cycles, Op, Pfn, PhysAddr, PtLevel, RwKind, Vpn};
+use ndpage::alloc::FrameAllocator;
+use ndpage::bypass::BypassPolicy;
+use ndpage::table::{FaultKind, PageTable};
+use ndpage::Mechanism;
+use ndp_workloads::{Trace, TraceParams};
+use std::collections::BTreeMap;
+
+struct CoreCtx {
+    trace: Trace,
+    time: Cycles,
+    start_time: Cycles,
+    ops_done: u64,
+    measuring: bool,
+    tlb: TlbHierarchy,
+    walker: PageTableWalker,
+    caches: CacheHierarchy,
+    table: Box<dyn PageTable>,
+    /// THP-fallback pressure established during init (0 when the
+    /// contiguity pool sufficed); drives compaction interference.
+    thp_pressure: f64,
+    ops_since_tax: u64,
+    // Measured-window accumulators.
+    translation_cycles: u64,
+    os_cycles: u64,
+    ptw: LatencyStat,
+    ptw_hist: LatencyHistogram,
+    faults: FaultCounts,
+    ops_measured: u64,
+    mem_ops_measured: u64,
+}
+
+/// The simulated machine: cores plus the shared memory system.
+pub struct Machine {
+    cfg: SimConfig,
+    cores: Vec<CoreCtx>,
+    controller: MemoryController,
+    noc: MeshNoc,
+    alloc: FrameAllocator,
+    bypass: BypassPolicy,
+    controller_cleared: bool,
+}
+
+impl Machine {
+    /// Builds the machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulation config");
+
+        let (mut dram, noc) = match cfg.system {
+            SystemKind::Ndp => (DramConfig::hbm2_vault(), MeshNoc::ndp(cfg.cores)),
+            SystemKind::Cpu => (DramConfig::ddr4_2400(), MeshNoc::cpu(cfg.cores)),
+        };
+        if let Some(capacity) = cfg.memory_capacity_override {
+            dram.capacity_bytes = capacity;
+        }
+        // Frame bookkeeping must cover the multiprogrammed demand even when
+        // it oversubscribes nominal DRAM (real systems would demand-page;
+        // we do not model swap latency). The huge-page *contiguity pool*
+        // stays pegged to the nominal capacity — that scarcity is the
+        // physical effect behind Fig 14.
+        let demand = cfg.footprint_per_core() * u64::from(cfg.cores);
+        let bookkeeping = dram
+            .capacity_bytes
+            .max(demand + demand / 4 + (1 << 30));
+        let pool =
+            (dram.capacity_bytes as f64 * ndpage::alloc::CONTIG_POOL_FRACTION) as u64;
+        let mut alloc = FrameAllocator::with_contig_pool(bookkeeping, pool);
+
+        let bypass = cfg
+            .bypass_override
+            .unwrap_or_else(|| cfg.mechanism.bypass_policy());
+        let use_pwc = cfg.pwc_override.unwrap_or_else(|| cfg.mechanism.uses_pwc());
+
+        let footprint = cfg.footprint_per_core();
+        let params = |core: u32| TraceParams {
+            seed: cfg.seed + u64::from(core),
+            footprint: Some(footprint),
+        };
+
+        let cores = (0..cfg.cores)
+            .map(|i| CoreCtx {
+                trace: cfg.workload.trace(params(i)),
+                // Deterministic start skew breaks the artificial phase
+                // lock of homogeneous cores (standard simulator practice;
+                // without it, identical per-op latencies make all cores
+                // collide at the memory controller in the same cycles and
+                // tiny latency deltas produce large spurious queueing
+                // differences between otherwise-equivalent mechanisms).
+                time: Cycles::new(u64::from(i) * 97),
+                start_time: Cycles::ZERO,
+                ops_done: 0,
+                measuring: cfg.warmup_ops == 0,
+                tlb: {
+                    let tlb = match cfg.tlb_l2_entries {
+                        None => TlbHierarchy::table1(),
+                        Some(entries) => TlbHierarchy::new(
+                            ndp_mmu::tlb::TlbConfig::l1_dtlb(),
+                            ndp_mmu::tlb::TlbConfig {
+                                name: "L2 TLB",
+                                entries,
+                                ways: 12,
+                                latency: Cycles::new(12),
+                            },
+                        ),
+                    };
+                    tlb.with_fracturing(cfg.tlb_fracture_huge.unwrap_or(true))
+                },
+                walker: match (use_pwc, cfg.pwc_entries) {
+                    (false, _) => PageTableWalker::without_pwcs(),
+                    (true, None) => PageTableWalker::with_pwcs(),
+                    (true, Some(entries)) => PageTableWalker::with_pwc_capacity(entries),
+                },
+                caches: match cfg.system {
+                    SystemKind::Ndp => CacheHierarchy::ndp(),
+                    // Each CPU core gets its 2 MB share of the shared L3
+                    // (the cores are multiprogrammed, so a fair-share
+                    // private slice is the standard approximation).
+                    SystemKind::Cpu => CacheHierarchy::new(vec![
+                        CacheConfig::l1d(),
+                        CacheConfig::l2(),
+                        CacheConfig::l3(1),
+                    ]),
+                },
+                table: cfg
+                    .mechanism
+                    .build_table(&mut alloc)
+                    // Ideal still needs page placement for data accesses;
+                    // use a radix table but charge no translation work.
+                    .unwrap_or_else(|| {
+                        Mechanism::Radix
+                            .build_table(&mut alloc)
+                            .expect("radix always builds")
+                    }),
+                thp_pressure: 0.0,
+                ops_since_tax: 0,
+                translation_cycles: 0,
+                os_cycles: 0,
+                ptw: LatencyStat::default(),
+                ptw_hist: LatencyHistogram::new(),
+                faults: FaultCounts::default(),
+                ops_measured: 0,
+                mem_ops_measured: 0,
+            })
+            .collect();
+
+        let mut machine = Machine {
+            cfg,
+            cores,
+            controller: MemoryController::new(dram),
+            noc,
+            alloc,
+            bypass,
+            controller_cleared: false,
+        };
+        machine.premap_footprints();
+        machine
+    }
+
+    /// The init phase: every page of every core's regions is mapped before
+    /// timing starts, exactly as the paper's workloads populate their
+    /// arrays before the measured 500 M-instruction window. Cores' regions
+    /// are mapped in interleaved 2 MB chunks so contiguity exhaustion hits
+    /// all cores evenly (as concurrent first-touch faulting would).
+    fn premap_footprints(&mut self) {
+        use ndp_types::addr::{HUGE_PAGE_SIZE, PAGE_SIZE};
+
+        let footprint = self.cfg.footprint_per_core();
+        let region_lists: Vec<Vec<ndp_workloads::region::Region>> = (0..self.cfg.cores)
+            .map(|i| {
+                self.cfg.workload.regions(TraceParams {
+                    seed: self.cfg.seed + u64::from(i),
+                    footprint: Some(footprint),
+                })
+            })
+            .collect();
+
+        // Flatten each core's regions into a list of 2 MB-or-smaller chunks.
+        let chunk_lists: Vec<Vec<(u64, u64)>> = region_lists
+            .iter()
+            .map(|regions| {
+                let mut chunks = Vec::new();
+                for region in regions {
+                    let mut offset = 0u64;
+                    while offset < region.bytes {
+                        let len = (region.bytes - offset).min(HUGE_PAGE_SIZE);
+                        chunks.push((region.base.as_u64() + offset, len));
+                        offset += len;
+                    }
+                }
+                chunks
+            })
+            .collect();
+
+        let max_chunks = chunk_lists.iter().map(Vec::len).max().unwrap_or(0);
+        for chunk_idx in 0..max_chunks {
+            for (core_idx, chunks) in chunk_lists.iter().enumerate() {
+                let Some(&(base, len)) = chunks.get(chunk_idx) else {
+                    continue;
+                };
+                let first = ndp_types::VirtAddr::new(base).vpn();
+                let pages = len.div_ceil(PAGE_SIZE);
+                for p in 0..pages {
+                    let outcome = self.cores[core_idx]
+                        .table
+                        .map(first.add(p), &mut self.alloc);
+                    match outcome.fault {
+                        Some(FaultKind::Minor4K) => self.cores[core_idx].faults.minor_4k += 1,
+                        Some(FaultKind::Minor2M) => self.cores[core_idx].faults.minor_2m += 1,
+                        Some(FaultKind::Fallback4K) => self.cores[core_idx].faults.fallback += 1,
+                        None => {}
+                    }
+                }
+            }
+        }
+        for core in &mut self.cores {
+            // Init-phase OS work (e.g. ECH rehashes) is not timed.
+            let _ = core.table.take_pending_os_work();
+            // Fallback faults are per 4 KB page while huge faults are per
+            // 2 MB region; normalise to regions before computing the
+            // fraction of the footprint that failed THP allocation.
+            let fallback_regions = core.faults.fallback as f64 / 512.0;
+            let huge_regions = core.faults.minor_2m as f64;
+            core.thp_pressure = if huge_regions + fallback_regions == 0.0 {
+                0.0
+            } else {
+                fallback_regions / (huge_regions + fallback_regions)
+            };
+        }
+    }
+
+    /// Runs warmup + measurement and produces the report.
+    #[must_use]
+    pub fn run(mut self) -> RunReport {
+        let total_ops = self.cfg.warmup_ops + self.cfg.measure_ops;
+        loop {
+            // Oldest unfinished core goes next (conservative interleaving).
+            let mut next: Option<usize> = None;
+            for (i, core) in self.cores.iter().enumerate() {
+                if core.ops_done < total_ops
+                    && next.is_none_or(|n| core.time < self.cores[n].time)
+                {
+                    next = Some(i);
+                }
+            }
+            let Some(i) = next else { break };
+
+            if !self.cores[i].measuring && self.cores[i].ops_done >= self.cfg.warmup_ops {
+                self.begin_measurement(i);
+            }
+            let op = self.cores[i].trace.next().expect("traces are infinite");
+            self.exec_op(i, op);
+            self.cores[i].ops_done += 1;
+            if self.cores[i].measuring {
+                self.cores[i].ops_measured += 1;
+                if op.is_memory() {
+                    self.cores[i].mem_ops_measured += 1;
+                }
+            }
+        }
+        self.into_report()
+    }
+
+    fn begin_measurement(&mut self, i: usize) {
+        let core = &mut self.cores[i];
+        core.measuring = true;
+        core.start_time = core.time;
+        core.tlb.clear_stats();
+        core.caches.clear_stats();
+        core.walker.clear_stats();
+        if !self.controller_cleared && self.cores.iter().all(|c| c.measuring) {
+            self.controller.clear_stats();
+            self.controller_cleared = true;
+        }
+    }
+
+    fn exec_op(&mut self, i: usize, op: Op) {
+        // Compaction/khugepaged interference while THP fallback pressure
+        // persists: the OS periodically steals cycles trying to recover
+        // contiguity (Fig 14's Huge Page collapse).
+        {
+            let core = &mut self.cores[i];
+            core.ops_since_tax += 1;
+            if core.thp_pressure > 0.0 && core.ops_since_tax >= SimConfig::COMPACTION_PERIOD {
+                core.ops_since_tax = 0;
+                let tax = Cycles::new(
+                    (self.cfg.compaction_tax.as_f64() * core.thp_pressure) as u64,
+                );
+                core.time += tax;
+                if core.measuring {
+                    core.os_cycles += tax.as_u64();
+                }
+            }
+        }
+        match op {
+            Op::Compute(n) => {
+                self.cores[i].time += Cycles::new(u64::from(n));
+            }
+            Op::Load(va) | Op::Store(va) => {
+                let rw = op.rw().expect("memory op");
+                let (pfn, translation, os) = self.translate(i, va.vpn());
+                let core = &mut self.cores[i];
+                core.time += translation + os;
+                if core.measuring {
+                    core.translation_cycles += translation.as_u64();
+                    core.os_cycles += os.as_u64();
+                }
+
+                let paddr = pfn.base().add(va.page_offset());
+                let t_issue = self.cores[i].time;
+                let data_latency = self.cached_access(i, paddr, rw, AccessClass::Data, t_issue);
+                self.cores[i].time += data_latency;
+            }
+        }
+    }
+
+    /// Translates `vpn` for core `i`, returning `(frame, translation
+    /// cycles, OS cycles)`. Implements the Fig 11 flow.
+    fn translate(&mut self, i: usize, vpn: Vpn) -> (Pfn, Cycles, Cycles) {
+        if self.cfg.mechanism.is_ideal() {
+            // Every request hits a zero-latency L1 TLB (paper §VI); pages
+            // are still placed through a real table so data-access
+            // behaviour is comparable.
+            if self.cores[i].table.translate(vpn).is_none() {
+                let core = &mut self.cores[i];
+                core.table.map(vpn, &mut self.alloc);
+            }
+            let pfn = self.cores[i]
+                .table
+                .translate(vpn)
+                .expect("just mapped")
+                .pfn;
+            return (pfn, Cycles::ZERO, Cycles::ZERO);
+        }
+
+        let lookup = self.cores[i].tlb.lookup(vpn);
+        if let Some(hit) = lookup.hit {
+            return (hit.pfn, lookup.latency, Cycles::ZERO);
+        }
+
+        // Page fault on first touch.
+        let mut os = Cycles::ZERO;
+        if self.cores[i].table.translate(vpn).is_none() {
+            let outcome = {
+                let core = &mut self.cores[i];
+                core.table.map(vpn, &mut self.alloc)
+            };
+            let core = &mut self.cores[i];
+            match outcome.fault {
+                Some(FaultKind::Minor4K) => {
+                    os += self.cfg.fault_minor_4k;
+                    core.faults.minor_4k += 1;
+                }
+                Some(FaultKind::Minor2M) => {
+                    os += self.cfg.fault_minor_2m;
+                    core.faults.minor_2m += 1;
+                }
+                Some(FaultKind::Fallback4K) => {
+                    os += self.cfg.fault_fallback;
+                    core.faults.fallback += 1;
+                }
+                None => {}
+            }
+            let moved = core.table.take_pending_os_work();
+            os += Cycles::new(moved * self.cfg.rehash_entry_cost.as_u64());
+        }
+
+        let translation = self.cores[i]
+            .table
+            .translate(vpn)
+            .expect("mapped above or earlier");
+        let path = self.cores[i]
+            .table
+            .walk_path(vpn)
+            .expect("mapped pages have walk paths");
+        let plan = self.cores[i].walker.plan(vpn, &path);
+
+        // One cycle per PWC probe, then the memory rounds.
+        let mut walk = Cycles::new(path.len() as u64);
+        for round in &plan.rounds {
+            let t_issue = self.cores[i].time + lookup.latency + os + walk;
+            let round_latency = round
+                .iter()
+                .map(|fetch| {
+                    self.cached_access(i, fetch.addr, RwKind::Read, AccessClass::Metadata, t_issue)
+                })
+                .max()
+                .unwrap_or(Cycles::ZERO);
+            walk += round_latency;
+        }
+
+        if self.cores[i].measuring {
+            self.cores[i].ptw.record(walk);
+            self.cores[i].ptw_hist.record(walk);
+        }
+
+        // Install in the TLBs (huge mappings store the region base).
+        let base = match translation.size {
+            ndp_types::PageSize::Size4K => translation.pfn,
+            ndp_types::PageSize::Size2M => {
+                Pfn::new(translation.pfn.as_u64() - vpn.l1_index() as u64)
+            }
+        };
+        self.cores[i].tlb.fill(vpn, base, translation.size);
+
+        (translation.pfn, lookup.latency + walk, os)
+    }
+
+    /// One memory access through (or around) core `i`'s cache hierarchy,
+    /// returning its latency.
+    fn cached_access(
+        &mut self,
+        i: usize,
+        addr: PhysAddr,
+        rw: RwKind,
+        class: AccessClass,
+        t_issue: Cycles,
+    ) -> Cycles {
+        if self.bypass.bypasses(class) {
+            // NDPage metadata bypass: straight to memory, no cache probe,
+            // no fill, no pollution.
+            return self.memory_access(i, addr, rw, class, t_issue);
+        }
+        let core = &mut self.cores[i];
+        match core.caches.lookup(addr, rw, class) {
+            LookupResult::Hit { latency, .. } => latency,
+            LookupResult::MissAll { lookup_latency } => {
+                let mem = self.memory_access(i, addr, rw, class, t_issue + lookup_latency);
+                let done = t_issue + lookup_latency + mem;
+                let writebacks = self.cores[i].caches.fill(addr, class, rw.is_write());
+                for wb in writebacks {
+                    // Posted writeback: consumes bandwidth, nobody waits.
+                    self.memory_access(i, wb.addr, RwKind::Write, wb.class, done);
+                }
+                lookup_latency + mem
+            }
+        }
+    }
+
+    /// NoC round trip + DRAM service, returning total latency.
+    fn memory_access(
+        &mut self,
+        i: usize,
+        addr: PhysAddr,
+        rw: RwKind,
+        class: AccessClass,
+        t_issue: Cycles,
+    ) -> Cycles {
+        let channels = u64::from(self.controller.config().channels);
+        let channel = ((addr.as_u64() >> 6) % channels) as u32;
+        let core_id = CoreId(i as u32);
+        let one_way = self.noc.core_to_channel(core_id, channel);
+        let arrival = t_issue + one_way;
+        let done = self.controller.request(addr, rw, class, arrival);
+        (done - t_issue) + one_way
+    }
+
+    fn into_report(self) -> RunReport {
+        let mut tlb_l1 = HitMiss::default();
+        let mut tlb_l2 = HitMiss::default();
+        let mut l1_data = HitMiss::default();
+        let mut l1_metadata = HitMiss::default();
+        let mut pollution = 0u64;
+        let mut ptw = LatencyStat::default();
+        let mut ptw_histogram = LatencyHistogram::new();
+        let mut faults = FaultCounts::default();
+        let mut pwc: BTreeMap<PtLevel, HitMiss> = BTreeMap::new();
+        let mut translation_cycles = 0u64;
+        let mut os_cycles = 0u64;
+        let mut ops = 0u64;
+        let mut mem_ops = 0u64;
+        let mut measured = Vec::with_capacity(self.cores.len());
+
+        for core in &self.cores {
+            measured.push((core.time - core.start_time).as_f64());
+            tlb_l1.merge(core.tlb.l1_stats());
+            tlb_l2.merge(core.tlb.l2_stats());
+            let l1 = core.caches.level_stats(0);
+            l1_data.merge(&l1.data);
+            l1_metadata.merge(&l1.metadata);
+            pollution += l1.data_evicted_by_metadata;
+            ptw.merge(&core.ptw);
+            ptw_histogram.merge(&core.ptw_hist);
+            faults.minor_4k += core.faults.minor_4k;
+            faults.minor_2m += core.faults.minor_2m;
+            faults.fallback += core.faults.fallback;
+            translation_cycles += core.translation_cycles;
+            os_cycles += core.os_cycles;
+            ops += core.ops_measured;
+            mem_ops += core.mem_ops_measured;
+            for (level, hm) in core.walker.pwcs().stats() {
+                pwc.entry(level).or_default().merge(hm);
+            }
+        }
+
+        let total = measured.iter().cloned().fold(0.0f64, f64::max);
+        let avg = ndp_types::stats::mean(&measured);
+        let dram = self.controller.dram_stats();
+
+        RunReport {
+            workload: self.cfg.workload,
+            mechanism: self.cfg.mechanism,
+            system: self.cfg.system,
+            cores: self.cfg.cores,
+            total_cycles: Cycles::new(total as u64),
+            avg_core_cycles: avg,
+            ops,
+            mem_ops,
+            translation_cycles,
+            os_cycles,
+            ptw,
+            ptw_histogram,
+            tlb_l1,
+            tlb_l2,
+            l1_data,
+            l1_metadata,
+            data_evicted_by_metadata: pollution,
+            pwc: pwc.into_iter().collect(),
+            mem_traffic: self.controller.stats().traffic,
+            dram_row_hit_rate: dram.row_hit_rate(),
+            dram_queue_delay: dram.queue_delay.mean(),
+            faults,
+            occupancy: self.cores[0].table.occupancy(),
+            table_bytes: self.cores[0].table.table_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_workloads::WorkloadId;
+
+    fn quick(mechanism: Mechanism) -> RunReport {
+        Machine::new(SimConfig::quick(
+            SystemKind::Ndp,
+            1,
+            mechanism,
+            WorkloadId::Rnd,
+        ))
+        .run()
+    }
+
+    #[test]
+    fn runs_complete_and_count_ops() {
+        let r = quick(Mechanism::Radix);
+        assert_eq!(r.ops, 20_000);
+        assert!(r.mem_ops > 0);
+        assert!(r.total_cycles > Cycles::ZERO);
+        assert!(r.ptw.count > 0, "GUPS on Radix must walk");
+    }
+
+    #[test]
+    fn ideal_has_zero_translation() {
+        let r = quick(Mechanism::Ideal);
+        assert_eq!(r.translation_cycles, 0);
+        assert_eq!(r.ptw.count, 0);
+        assert_eq!(r.mem_traffic.metadata, 0);
+        assert_eq!(r.l1_metadata.total(), 0);
+    }
+
+    #[test]
+    fn ndpage_beats_radix_on_gups() {
+        let radix = quick(Mechanism::Radix);
+        let ndpage = quick(Mechanism::NdPage);
+        assert!(
+            ndpage.speedup_over(&radix) > 1.05,
+            "NDPage {} vs Radix {}",
+            ndpage.total_cycles,
+            radix.total_cycles
+        );
+    }
+
+    #[test]
+    fn ndpage_issues_no_metadata_into_l1() {
+        let r = quick(Mechanism::NdPage);
+        assert_eq!(r.l1_metadata.total(), 0, "bypassed PTEs never probe L1");
+        assert!(r.mem_traffic.metadata > 0, "but they do reach memory");
+        assert_eq!(r.data_evicted_by_metadata, 0, "no pollution");
+    }
+
+    #[test]
+    fn radix_metadata_pollutes_l1() {
+        let r = quick(Mechanism::Radix);
+        assert!(r.l1_metadata.total() > 0);
+        assert!(
+            r.l1_metadata.miss_rate() > 0.8,
+            "irregular PTEs mostly miss: {}",
+            r.l1_metadata.miss_rate()
+        );
+        assert!(r.data_evicted_by_metadata > 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = quick(Mechanism::NdPage);
+        let b = quick(Mechanism::NdPage);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.mem_traffic.total(), b.mem_traffic.total());
+    }
+
+    #[test]
+    fn multicore_raises_ptw_latency_in_ndp() {
+        let one = Machine::new(SimConfig::quick(
+            SystemKind::Ndp,
+            1,
+            Mechanism::Radix,
+            WorkloadId::Rnd,
+        ))
+        .run();
+        let four = Machine::new(SimConfig::quick(
+            SystemKind::Ndp,
+            4,
+            Mechanism::Radix,
+            WorkloadId::Rnd,
+        ))
+        .run();
+        assert!(
+            four.avg_ptw_latency() > one.avg_ptw_latency(),
+            "contention must grow PTW latency: {} vs {}",
+            four.avg_ptw_latency(),
+            one.avg_ptw_latency()
+        );
+    }
+
+    #[test]
+    fn cpu_translation_overhead_is_lower_than_ndp() {
+        // Fig 5's metric: the share of runtime spent translating is far
+        // higher in the NDP system, whose single cache level cannot absorb
+        // PTE traffic the way the CPU's L2/L3 do.
+        let ndp = Machine::new(SimConfig::quick(
+            SystemKind::Ndp,
+            4,
+            Mechanism::Radix,
+            WorkloadId::Bfs,
+        ))
+        .run();
+        let cpu = Machine::new(SimConfig::quick(
+            SystemKind::Cpu,
+            4,
+            Mechanism::Radix,
+            WorkloadId::Bfs,
+        ))
+        .run();
+        assert!(
+            ndp.translation_fraction() > cpu.translation_fraction(),
+            "NDP {} vs CPU {}",
+            ndp.translation_fraction(),
+            cpu.translation_fraction()
+        );
+        assert!(
+            ndp.avg_ptw_latency() > cpu.avg_ptw_latency(),
+            "PTW: NDP {} vs CPU {}",
+            ndp.avg_ptw_latency(),
+            cpu.avg_ptw_latency()
+        );
+    }
+
+    #[test]
+    fn huge_page_maps_huge_and_walks_less() {
+        let r = quick(Mechanism::HugePage);
+        assert!(r.faults.minor_2m > 0, "huge faults happened");
+        assert!(
+            r.tlb_walk_rate() < 0.5,
+            "2 MB reach slashes TLB misses: {}",
+            r.tlb_walk_rate()
+        );
+    }
+
+    #[test]
+    fn ech_walks_are_parallel_single_round() {
+        let r = quick(Mechanism::Ech);
+        assert!(r.ptw.count > 0);
+        // 3 fetches per walk reach memory (no PWCs), but in one round.
+        assert!(r.mem_traffic.metadata >= r.ptw.count * 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Run reports: every statistic the paper's figures draw from.
+
+use ndp_mem::controller::ClassTraffic;
+use ndp_types::stats::{HitMiss, LatencyStat};
+use ndp_types::{Cycles, PtLevel};
+use ndpage::occupancy::OccupancyReport;
+use ndpage::Mechanism;
+use ndp_workloads::WorkloadId;
+use crate::config::SystemKind;
+use std::fmt;
+
+/// Page-fault counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// 4 KB minor faults.
+    pub minor_4k: u64,
+    /// 2 MB minor faults.
+    pub minor_2m: u64,
+    /// THP-fallback faults (contiguity exhausted).
+    pub fallback: u64,
+}
+
+impl FaultCounts {
+    /// Total faults.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.minor_4k + self.minor_2m + self.fallback
+    }
+}
+
+/// Aggregated results of one simulation run (measured window only).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload traced.
+    pub workload: WorkloadId,
+    /// Mechanism under test.
+    pub mechanism: Mechanism,
+    /// System flavour.
+    pub system: SystemKind,
+    /// Core count.
+    pub cores: u32,
+    /// Wall-clock of the run: slowest core's measured cycles.
+    pub total_cycles: Cycles,
+    /// Mean measured cycles across cores.
+    pub avg_core_cycles: f64,
+    /// Ops measured (all cores).
+    pub ops: u64,
+    /// Memory ops measured (all cores).
+    pub mem_ops: u64,
+    /// Cycles spent in address translation (TLB lookups + walks).
+    pub translation_cycles: u64,
+    /// Cycles spent in OS memory management (faults, compaction, rehash).
+    pub os_cycles: u64,
+    /// Page-table-walk latency distribution (the paper's PTW metric).
+    pub ptw: LatencyStat,
+    /// Full PTW latency histogram (power-of-two buckets) for tail
+    /// analysis — Fig 4's "up to 1066 cycles" observation.
+    pub ptw_histogram: ndp_types::stats::LatencyHistogram,
+    /// L1 TLB hits/misses.
+    pub tlb_l1: HitMiss,
+    /// L2 TLB hits/misses.
+    pub tlb_l2: HitMiss,
+    /// L1 cache hits/misses of normal data.
+    pub l1_data: HitMiss,
+    /// L1 cache hits/misses of metadata (PTEs).
+    pub l1_metadata: HitMiss,
+    /// Data lines evicted by metadata fills (L1 pollution).
+    pub data_evicted_by_metadata: u64,
+    /// Per-level PWC statistics, merged across cores.
+    pub pwc: Vec<(PtLevel, HitMiss)>,
+    /// Main-memory traffic split by class.
+    pub mem_traffic: ClassTraffic,
+    /// DRAM row-buffer hit rate.
+    pub dram_row_hit_rate: f64,
+    /// Mean DRAM queueing delay (cycles).
+    pub dram_queue_delay: f64,
+    /// Fault counters (whole run, including warmup — faults are
+    /// predominantly a warmup/first-touch phenomenon).
+    pub faults: FaultCounts,
+    /// Page-table occupancy of core 0's address space at run end.
+    pub occupancy: OccupancyReport,
+    /// Bytes of page-table storage for core 0's address space.
+    pub table_bytes: u64,
+}
+
+impl RunReport {
+    /// Cycles per measured op (lower is better).
+    #[must_use]
+    pub fn cpo(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.avg_core_cycles * f64::from(self.cores) / self.ops as f64
+        }
+    }
+
+    /// Fraction of run time spent on address translation (Fig 5 metric).
+    #[must_use]
+    pub fn translation_fraction(&self) -> f64 {
+        let total = self.avg_core_cycles * f64::from(self.cores);
+        if total == 0.0 {
+            0.0
+        } else {
+            self.translation_cycles as f64 / total
+        }
+    }
+
+    /// Average PTW latency in cycles (Figs 4 and 6a metric).
+    #[must_use]
+    pub fn avg_ptw_latency(&self) -> f64 {
+        self.ptw.mean()
+    }
+
+    /// End-to-end TLB miss (walk) rate.
+    #[must_use]
+    pub fn tlb_walk_rate(&self) -> f64 {
+        if self.tlb_l1.total() == 0 {
+            0.0
+        } else {
+            self.tlb_l2.misses as f64 / self.tlb_l1.total() as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline (Figs 12–14 metric).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        if self.total_cycles.as_u64() == 0 {
+            return 0.0;
+        }
+        baseline.total_cycles.as_f64() / self.total_cycles.as_f64()
+    }
+
+    /// PWC hit rate at a level, if that level was exercised.
+    #[must_use]
+    pub fn pwc_hit_rate(&self, level: PtLevel) -> Option<f64> {
+        self.pwc
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|(_, hm)| hm.hit_rate())
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} | {} | {} x{}: {} cycles ({:.1} cyc/op)",
+            self.workload,
+            self.mechanism,
+            self.system,
+            self.cores,
+            self.total_cycles.as_u64(),
+            self.cpo()
+        )?;
+        writeln!(
+            f,
+            "  translation: {:.1}% of time, PTW avg {:.1} cyc over {} walks",
+            self.translation_fraction() * 100.0,
+            self.avg_ptw_latency(),
+            self.ptw.count
+        )?;
+        writeln!(
+            f,
+            "  TLB walk rate {:.2}%, L1D data miss {:.2}%, metadata miss {:.2}%",
+            self.tlb_walk_rate() * 100.0,
+            self.l1_data.miss_rate() * 100.0,
+            self.l1_metadata.miss_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "  memory: {} data + {} metadata reqs, row-hit {:.1}%, faults {}",
+            self.mem_traffic.data,
+            self.mem_traffic.metadata,
+            self.dram_row_hit_rate * 100.0,
+            self.faults.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(total: u64) -> RunReport {
+        RunReport {
+            workload: WorkloadId::Rnd,
+            mechanism: Mechanism::Radix,
+            system: SystemKind::Ndp,
+            cores: 2,
+            total_cycles: Cycles::new(total),
+            avg_core_cycles: total as f64,
+            ops: 100,
+            mem_ops: 60,
+            translation_cycles: total / 2,
+            os_cycles: 0,
+            ptw: LatencyStat::default(),
+            ptw_histogram: ndp_types::stats::LatencyHistogram::new(),
+            tlb_l1: HitMiss { hits: 10, misses: 90 },
+            tlb_l2: HitMiss { hits: 10, misses: 80 },
+            l1_data: HitMiss::default(),
+            l1_metadata: HitMiss::default(),
+            data_evicted_by_metadata: 0,
+            pwc: vec![(PtLevel::L4, HitMiss { hits: 99, misses: 1 })],
+            mem_traffic: ClassTraffic::default(),
+            dram_row_hit_rate: 0.5,
+            dram_queue_delay: 1.0,
+            faults: FaultCounts::default(),
+            occupancy: OccupancyReport::new(),
+            table_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = dummy(1000);
+        assert!((r.cpo() - 20.0).abs() < 1e-9);
+        assert!((r.translation_fraction() - 0.25).abs() < 1e-9);
+        assert!((r.tlb_walk_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(r.pwc_hit_rate(PtLevel::L4), Some(0.99));
+        assert_eq!(r.pwc_hit_rate(PtLevel::L1), None);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let base = dummy(2000);
+        let fast = dummy(1000);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-9);
+        assert!((base.speedup_over(&base) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_totals() {
+        let f = FaultCounts {
+            minor_4k: 1,
+            minor_2m: 2,
+            fallback: 3,
+        };
+        assert_eq!(f.total(), 6);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = dummy(500).to_string();
+        assert!(s.contains("RND"));
+        assert!(s.contains("translation"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Extension studies beyond the paper's figures: parameter sweeps that
+//! probe *why* NDPage works and where its advantage would end.
+//!
+//! * [`pwc_size_sweep`] — grows the per-level PWCs. The paper's §V-C
+//!   argument predicts NDPage's edge shrinks as PWCs get large enough to
+//!   cover PL2/PL1 prefixes (flattening removes misses a big-enough PWC
+//!   would also remove), but bypass keeps a residual advantage.
+//! * [`tlb_reach_sweep`] — grows the L2 TLB. With enough reach the walk
+//!   rate collapses and every mechanism converges toward Ideal.
+//! * [`fracturing_ablation`] — re-runs Huge Page with native 2 MB TLB
+//!   entries (fracturing off) to expose how much of its Fig 12 deficit
+//!   comes from TLB support rather than the table structure.
+
+use crate::config::{SimConfig, SystemKind};
+use crate::machine::Machine;
+use crate::report::RunReport;
+use ndpage::Mechanism;
+use ndp_workloads::WorkloadId;
+
+/// One point of the PWC-size sweep.
+#[derive(Debug, Clone)]
+pub struct PwcSweepPoint {
+    /// Entries per PWC level.
+    pub entries: usize,
+    /// Radix run at this size.
+    pub radix: RunReport,
+    /// NDPage run at this size.
+    pub ndpage: RunReport,
+}
+
+impl PwcSweepPoint {
+    /// NDPage's speedup over Radix at this PWC size.
+    #[must_use]
+    pub fn ndpage_speedup(&self) -> f64 {
+        self.ndpage.speedup_over(&self.radix)
+    }
+}
+
+/// Sweeps per-level PWC capacity on a 4-core NDP system.
+#[must_use]
+pub fn pwc_size_sweep(
+    workload: WorkloadId,
+    sizes: &[usize],
+    base: &SimConfig,
+) -> Vec<PwcSweepPoint> {
+    sizes
+        .iter()
+        .map(|&entries| {
+            let mut radix_cfg =
+                with_base(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, workload), base);
+            radix_cfg.pwc_entries = Some(entries);
+            let mut ndpage_cfg =
+                with_base(SimConfig::new(SystemKind::Ndp, 4, Mechanism::NdPage, workload), base);
+            ndpage_cfg.pwc_entries = Some(entries);
+            PwcSweepPoint {
+                entries,
+                radix: Machine::new(radix_cfg).run(),
+                ndpage: Machine::new(ndpage_cfg).run(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the TLB-reach sweep.
+#[derive(Debug, Clone)]
+pub struct TlbSweepPoint {
+    /// L2 TLB entries.
+    pub entries: u32,
+    /// Radix run.
+    pub radix: RunReport,
+    /// NDPage run.
+    pub ndpage: RunReport,
+}
+
+/// Sweeps the L2 TLB size on a 4-core NDP system. Entries must satisfy
+/// [`SimConfig::validate`]'s 12-way power-of-two-sets constraint
+/// (e.g. 384, 768, 1536, 3072, 6144).
+#[must_use]
+pub fn tlb_reach_sweep(
+    workload: WorkloadId,
+    sizes: &[u32],
+    base: &SimConfig,
+) -> Vec<TlbSweepPoint> {
+    sizes
+        .iter()
+        .map(|&entries| {
+            let mut radix_cfg =
+                with_base(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, workload), base);
+            radix_cfg.tlb_l2_entries = Some(entries);
+            let mut ndpage_cfg =
+                with_base(SimConfig::new(SystemKind::Ndp, 4, Mechanism::NdPage, workload), base);
+            ndpage_cfg.tlb_l2_entries = Some(entries);
+            TlbSweepPoint {
+                entries,
+                radix: Machine::new(radix_cfg).run(),
+                ndpage: Machine::new(ndpage_cfg).run(),
+            }
+        })
+        .collect()
+}
+
+/// Result of the Huge Page fracturing ablation.
+#[derive(Debug, Clone)]
+pub struct FracturingAblation {
+    /// Huge Page with fractured (4 KB) TLB fills — the paper's treatment.
+    pub fractured: RunReport,
+    /// Huge Page with native 2 MB TLB entries.
+    pub native: RunReport,
+    /// Radix baseline for reference.
+    pub radix: RunReport,
+}
+
+/// Runs Huge Page with and without TLB fracturing on a 1-core NDP system.
+#[must_use]
+pub fn fracturing_ablation(workload: WorkloadId, base: &SimConfig) -> FracturingAblation {
+    let radix = Machine::new(with_base(
+        SimConfig::new(SystemKind::Ndp, 1, Mechanism::Radix, workload),
+        base,
+    ))
+    .run();
+    let fractured = Machine::new(with_base(
+        SimConfig::new(SystemKind::Ndp, 1, Mechanism::HugePage, workload),
+        base,
+    ))
+    .run();
+    let mut native_cfg = with_base(
+        SimConfig::new(SystemKind::Ndp, 1, Mechanism::HugePage, workload),
+        base,
+    );
+    native_cfg.tlb_fracture_huge = Some(false);
+    let native = Machine::new(native_cfg).run();
+    FracturingAblation {
+        fractured,
+        native,
+        radix,
+    }
+}
+
+fn with_base(mut cfg: SimConfig, base: &SimConfig) -> SimConfig {
+    cfg.warmup_ops = base.warmup_ops;
+    cfg.measure_ops = base.measure_ops;
+    cfg.footprint_override = base.footprint_override;
+    cfg.seed = base.seed;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_base() -> SimConfig {
+        SimConfig::quick(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd)
+            .with_ops(2_000, 5_000)
+            .with_footprint(512 << 20)
+    }
+
+    #[test]
+    fn pwc_sweep_monotonically_helps_radix() {
+        let points = pwc_size_sweep(WorkloadId::Rnd, &[8, 512], &quick_base());
+        assert_eq!(points.len(), 2);
+        // Bigger PWCs cannot make Radix walk *more* memory fetches.
+        let small = &points[0].radix;
+        let large = &points[1].radix;
+        assert!(
+            large.mem_traffic.metadata <= small.mem_traffic.metadata,
+            "PWC growth must absorb PTE fetches: {} vs {}",
+            large.mem_traffic.metadata,
+            small.mem_traffic.metadata
+        );
+        for p in &points {
+            assert!(p.ndpage_speedup() > 0.8, "sanity at {} entries", p.entries);
+        }
+    }
+
+    #[test]
+    fn tlb_sweep_reduces_walks() {
+        let points = tlb_reach_sweep(WorkloadId::Rnd, &[384, 6144], &quick_base());
+        let small = &points[0].radix;
+        let large = &points[1].radix;
+        assert!(
+            large.ptw.count <= small.ptw.count,
+            "more TLB reach, fewer walks: {} vs {}",
+            large.ptw.count,
+            small.ptw.count
+        );
+    }
+
+    #[test]
+    fn native_2mb_tlb_entries_help_huge_page() {
+        let ab = fracturing_ablation(WorkloadId::Rnd, &quick_base());
+        assert!(
+            ab.native.tlb_walk_rate() < ab.fractured.tlb_walk_rate(),
+            "native 2 MB entries slash the walk rate: {} vs {}",
+            ab.native.tlb_walk_rate(),
+            ab.fractured.tlb_walk_rate()
+        );
+        assert!(ab.native.total_cycles <= ab.fractured.total_cycles);
+    }
+}

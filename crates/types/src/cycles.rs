@@ -1,0 +1,160 @@
+//! The simulator's time unit.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A duration or timestamp measured in core clock cycles (2.6 GHz in the
+/// paper's Table I).
+///
+/// `Cycles` is used both as a point in simulated time and as a duration;
+/// arithmetic is plain wrapping-free integer math and panics on overflow in
+/// debug builds like any other integer.
+///
+/// # Examples
+///
+/// ```
+/// use ndp_types::Cycles;
+///
+/// let start = Cycles::new(100);
+/// let latency = Cycles::new(35);
+/// assert_eq!((start + latency).as_u64(), 135);
+/// assert_eq!((start + latency) - start, latency);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Wraps a raw cycle count.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw cycle count as `f64` (for averages and plots).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction; useful for "time until free" computations.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two timestamps.
+    #[must_use]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two timestamps.
+    #[must_use]
+    pub fn min(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(raw: u64) -> Self {
+        Cycles(raw)
+    }
+}
+
+impl From<Cycles> for u64 {
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycles({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!(a + b, Cycles::new(13));
+        assert_eq!(a - b, Cycles::new(7));
+        let mut c = a;
+        c += b;
+        c -= Cycles::new(1);
+        assert_eq!(c, Cycles::new(12));
+    }
+
+    #[test]
+    fn saturating_and_ordering() {
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(10)), Cycles::ZERO);
+        assert_eq!(Cycles::new(3).max(Cycles::new(10)), Cycles::new(10));
+        assert_eq!(Cycles::new(3).min(Cycles::new(10)), Cycles::new(3));
+        assert!(Cycles::new(3) < Cycles::new(4));
+    }
+
+    #[test]
+    fn sum_and_conversion() {
+        let total: Cycles = [1u64, 2, 3].into_iter().map(Cycles::new).sum();
+        assert_eq!(u64::from(total), 6);
+        assert_eq!(Cycles::from(6u64), total);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycles::new(42).to_string(), "42 cyc");
+        assert_eq!(format!("{:?}", Cycles::new(42)), "Cycles(42)");
+    }
+}

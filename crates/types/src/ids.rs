@@ -1,0 +1,109 @@
+//! Core identifiers and memory-request classification.
+
+use core::fmt;
+
+/// Identifier of a simulated core (NDP or CPU), dense from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// Returns the raw index.
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<u32> for CoreId {
+    fn from(raw: u32) -> Self {
+        CoreId(raw)
+    }
+}
+
+/// Classification of a memory request, the pivot of NDPage's bypass
+/// mechanism (paper §V-A).
+///
+/// * `Data` — a normal program access ("normal data" in the paper).
+/// * `Metadata` — a page-table-entry access issued by the page-table walker
+///   ("metadata"). NDPage makes these non-cacheable in the NDP L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Normal program data.
+    Data,
+    /// Page-table entries fetched during a walk.
+    Metadata,
+}
+
+impl AccessClass {
+    /// Whether this is a metadata (PTE) access.
+    #[must_use]
+    pub const fn is_metadata(self) -> bool {
+        matches!(self, AccessClass::Metadata)
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessClass::Data => f.write_str("data"),
+            AccessClass::Metadata => f.write_str("metadata"),
+        }
+    }
+}
+
+/// Read/write direction of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RwKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl RwKind {
+    /// Whether this is a store.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, RwKind::Write)
+    }
+}
+
+impl fmt::Display for RwKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RwKind::Read => f.write_str("read"),
+            RwKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_display_and_index() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(CoreId::from(7u32).as_usize(), 7);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(AccessClass::Metadata.is_metadata());
+        assert!(!AccessClass::Data.is_metadata());
+        assert_eq!(AccessClass::Metadata.to_string(), "metadata");
+    }
+
+    #[test]
+    fn rw_predicates() {
+        assert!(RwKind::Write.is_write());
+        assert!(!RwKind::Read.is_write());
+        assert_eq!(RwKind::Read.to_string(), "read");
+    }
+}

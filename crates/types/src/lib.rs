@@ -1,0 +1,36 @@
+//! Foundational types shared by every crate in the NDPage reproduction.
+//!
+//! This crate defines the vocabulary of the simulated machine:
+//!
+//! * [`addr`] — virtual/physical addresses and page-number newtypes with the
+//!   x86-64 4-level (and NDPage flattened) index arithmetic.
+//! * [`cycles`] — the [`Cycles`] time unit used by every
+//!   timing model.
+//! * [`ids`] — core identifiers and memory-request classification
+//!   (normal data vs. page-table metadata), which is the pivot of the
+//!   paper's cache-bypass mechanism.
+//! * [`op`] — the trace operation format emitted by workload generators and
+//!   consumed by the simulator.
+//! * [`stats`] — light-weight counters and latency accumulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use ndp_types::addr::{VirtAddr, PAGE_SIZE};
+//!
+//! let va = VirtAddr::new(0x7fff_dead_b000 + 0xeef);
+//! assert_eq!(va.page_offset(), 0xeef);
+//! assert_eq!(va.vpn().base().as_u64(), 0x7fff_dead_b000);
+//! assert_eq!(PAGE_SIZE, 4096);
+//! ```
+
+pub mod addr;
+pub mod cycles;
+pub mod ids;
+pub mod op;
+pub mod stats;
+
+pub use addr::{PageSize, Pfn, PhysAddr, PtLevel, VirtAddr, Vpn};
+pub use cycles::Cycles;
+pub use ids::{AccessClass, CoreId, RwKind};
+pub use op::Op;

@@ -1,0 +1,82 @@
+//! Trace operations: the interface between workload generators and cores.
+
+use crate::addr::VirtAddr;
+use crate::ids::RwKind;
+use core::fmt;
+
+/// One operation of a workload trace.
+///
+/// Workload generators ([`ndp-workloads`]) emit streams of `Op`s; the
+/// simulated core executes them in order. The paper simulates 500 M
+/// instructions per core; each memory instruction maps to one `Op::Load` /
+/// `Op::Store`, and non-memory instructions are aggregated into
+/// `Op::Compute` batches (a standard trace-driven abstraction).
+///
+/// [`ndp-workloads`]: ../../ndp_workloads/index.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A load from a virtual address.
+    Load(VirtAddr),
+    /// A store to a virtual address.
+    Store(VirtAddr),
+    /// `n` cycles of pure computation (no memory traffic).
+    Compute(u32),
+}
+
+impl Op {
+    /// The virtual address touched, if this is a memory operation.
+    #[must_use]
+    pub fn addr(self) -> Option<VirtAddr> {
+        match self {
+            Op::Load(a) | Op::Store(a) => Some(a),
+            Op::Compute(_) => None,
+        }
+    }
+
+    /// The access direction, if this is a memory operation.
+    #[must_use]
+    pub fn rw(self) -> Option<RwKind> {
+        match self {
+            Op::Load(_) => Some(RwKind::Read),
+            Op::Store(_) => Some(RwKind::Write),
+            Op::Compute(_) => None,
+        }
+    }
+
+    /// Whether this op touches memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        !matches!(self, Op::Compute(_))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Load(a) => write!(f, "ld {a}"),
+            Op::Store(a) => write!(f, "st {a}"),
+            Op::Compute(n) => write!(f, "compute {n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = VirtAddr::new(0x1000);
+        assert_eq!(Op::Load(a).addr(), Some(a));
+        assert_eq!(Op::Store(a).rw(), Some(RwKind::Write));
+        assert_eq!(Op::Compute(8).addr(), None);
+        assert!(Op::Load(a).is_memory());
+        assert!(!Op::Compute(1).is_memory());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Op::Load(VirtAddr::new(0x10)).to_string(), "ld 0x10");
+        assert_eq!(Op::Compute(3).to_string(), "compute 3");
+    }
+}

@@ -1,0 +1,320 @@
+//! Light-weight statistics primitives used by every subsystem.
+
+use crate::cycles::Cycles;
+use core::fmt;
+
+/// A hit/miss pair with derived rates.
+///
+/// # Examples
+///
+/// ```
+/// use ndp_types::stats::HitMiss;
+///
+/// let mut hm = HitMiss::default();
+/// hm.record(true);
+/// hm.record(false);
+/// hm.record(false);
+/// assert_eq!(hm.total(), 3);
+/// assert!((hm.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMiss {
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl HitMiss {
+    /// Records one access.
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses were recorded.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses were recorded.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.total() as f64
+        }
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: &HitMiss) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+impl fmt::Display for HitMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} hits ({:.2}%)",
+            self.hits,
+            self.total(),
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// An accumulator of latency samples (count, sum, max) supporting averages
+/// without storing every sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStat {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: Cycles,
+    /// Largest sample seen.
+    pub max: Cycles,
+}
+
+impl LatencyStat {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Cycles) {
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Mean latency in cycles; zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum.as_f64() / self.count as f64
+        }
+    }
+
+    /// Accumulates another stat into this one.
+    pub fn merge(&mut self, other: &LatencyStat) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for LatencyStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} max={}",
+            self.count,
+            self.mean(),
+            self.max.as_u64()
+        )
+    }
+}
+
+/// A power-of-two-bucketed latency histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` cycles (bucket 0 covers 0 and 1).
+///
+/// Cheap enough to keep per run, rich enough to see the bimodal PTW
+/// distributions behind Fig 4's "up to 1066 cycles" tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 24],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; 24] }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: Cycles) {
+        let v = latency.as_u64();
+        let idx = (64 - v.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The approximate `q`-quantile (upper bucket bound), `q` in `[0, 1]`.
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return (2u64 << i).saturating_sub(1);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+
+    /// Accumulates another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Geometric mean of a slice of positive values; `1.0` for an empty slice.
+///
+/// Used for the paper's "average speedup" aggregations (Figs 12–14).
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_rates() {
+        let mut hm = HitMiss::default();
+        assert_eq!(hm.hit_rate(), 0.0);
+        assert_eq!(hm.miss_rate(), 0.0);
+        for _ in 0..3 {
+            hm.record(true);
+        }
+        hm.record(false);
+        assert_eq!(hm.total(), 4);
+        assert!((hm.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((hm.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_miss_merge() {
+        let mut a = HitMiss { hits: 1, misses: 2 };
+        let b = HitMiss { hits: 3, misses: 4 };
+        a.merge(&b);
+        assert_eq!(a, HitMiss { hits: 4, misses: 6 });
+    }
+
+    #[test]
+    fn latency_stat() {
+        let mut s = LatencyStat::default();
+        assert_eq!(s.mean(), 0.0);
+        s.record(Cycles::new(10));
+        s.record(Cycles::new(30));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, Cycles::new(30));
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+
+        let mut t = LatencyStat::default();
+        t.record(Cycles::new(50));
+        s.merge(&t);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, Cycles::new(50));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(Cycles::new(v));
+        }
+        assert_eq!(h.count(), 6);
+        // Bucket bounds: 1→[1,2) 2,3→[2,4) 4→[4,8) 100→[64,128) 1000→[512,1024)
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(buckets[0], (1, 1));
+        assert_eq!(buckets[1], (2, 2));
+        assert!(h.quantile(1.0) >= 1000);
+        assert!(h.quantile(0.5) <= 7);
+        let mut other = LatencyHistogram::new();
+        other.record(Cycles::new(1_000_000));
+        h.merge(&other);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(Cycles::ZERO);
+        h.record(Cycles::new(u64::MAX));
+        assert_eq!(h.count(), 2);
+        assert!(h.iter().count() == 2);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays() {
+        let mut hm = HitMiss::default();
+        hm.record(true);
+        assert!(hm.to_string().contains("1/1"));
+        let mut ls = LatencyStat::default();
+        ls.record(Cycles::new(5));
+        assert!(ls.to_string().contains("mean=5.00"));
+    }
+}

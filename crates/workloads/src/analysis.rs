@@ -1,0 +1,174 @@
+//! Trace analysis: quantifies the locality structure of a generated
+//! stream, used to validate generators against the characteristics the
+//! paper's argument rests on (§III–IV).
+
+use crate::Trace;
+use ndp_types::Op;
+use std::collections::HashMap;
+
+/// Summary statistics of a trace prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Ops inspected.
+    pub ops: u64,
+    /// Memory ops (loads + stores).
+    pub mem_ops: u64,
+    /// Stores among memory ops.
+    pub stores: u64,
+    /// Compute cycles per memory op (the workload's compute density).
+    pub compute_per_mem_op: f64,
+    /// Distinct 4 KB pages touched.
+    pub distinct_pages: u64,
+    /// Distinct 2 MB regions touched.
+    pub distinct_regions: u64,
+    /// Mean accesses per touched page (page-level reuse).
+    pub accesses_per_page: f64,
+    /// Fraction of memory ops whose page differs from the previous op's
+    /// page — a cheap irregularity proxy (1.0 = every access changes
+    /// page; streaming code scores near `8 B / 4 KB`).
+    pub page_transition_rate: f64,
+    /// Fraction of memory ops landing on the 10% most-touched pages
+    /// (working-set skew; ~0.1 for uniform traffic).
+    pub hot_page_fraction: f64,
+}
+
+/// Profiles the first `ops` operations of a trace.
+///
+/// # Panics
+///
+/// Panics if `ops` is zero.
+#[must_use]
+pub fn profile(trace: Trace, ops: u64) -> TraceProfile {
+    assert!(ops > 0, "need at least one op to profile");
+    let mut page_counts: HashMap<u64, u64> = HashMap::new();
+    let mut regions: HashMap<u64, ()> = HashMap::new();
+    let mut mem_ops = 0u64;
+    let mut stores = 0u64;
+    let mut compute = 0u64;
+    let mut transitions = 0u64;
+    let mut last_page = None;
+
+    for op in trace.take(ops as usize) {
+        match op {
+            Op::Compute(n) => compute += u64::from(n),
+            Op::Load(a) | Op::Store(a) => {
+                mem_ops += 1;
+                if matches!(op, Op::Store(_)) {
+                    stores += 1;
+                }
+                let page = a.vpn().as_u64();
+                *page_counts.entry(page).or_insert(0) += 1;
+                regions.entry(page >> 9).or_insert(());
+                if last_page != Some(page) {
+                    transitions += 1;
+                }
+                last_page = Some(page);
+            }
+        }
+    }
+
+    let distinct_pages = page_counts.len() as u64;
+    let mut counts: Vec<u64> = page_counts.into_values().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let hot_n = (counts.len() / 10).max(1);
+    let hot_hits: u64 = counts.iter().take(hot_n).sum();
+
+    TraceProfile {
+        ops,
+        mem_ops,
+        stores,
+        compute_per_mem_op: if mem_ops == 0 {
+            0.0
+        } else {
+            compute as f64 / mem_ops as f64
+        },
+        distinct_pages,
+        distinct_regions: regions.len() as u64,
+        accesses_per_page: if distinct_pages == 0 {
+            0.0
+        } else {
+            mem_ops as f64 / distinct_pages as f64
+        },
+        page_transition_rate: if mem_ops == 0 {
+            0.0
+        } else {
+            transitions as f64 / mem_ops as f64
+        },
+        hot_page_fraction: if mem_ops == 0 {
+            0.0
+        } else {
+            hot_hits as f64 / mem_ops as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceParams, WorkloadId};
+
+    fn profile_of(w: WorkloadId) -> TraceProfile {
+        profile(
+            w.trace(TraceParams::new(11).with_footprint(512 << 20)),
+            40_000,
+        )
+    }
+
+    #[test]
+    fn gups_is_maximally_irregular() {
+        let p = profile_of(WorkloadId::Rnd);
+        // Each RMW pair (load+store to one slot) shares a page, so the
+        // transition rate saturates at 0.5 — every *slot* is a new page.
+        assert!(p.page_transition_rate > 0.45, "{p:?}");
+        assert!(p.accesses_per_page < 5.0, "{p:?}");
+        // RMW: exactly one store per load.
+        assert!((p.stores as f64 / p.mem_ops as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn genomics_mixes_streaming_and_random() {
+        let p = profile_of(WorkloadId::Gen);
+        // Half the refs stream over the genome: transition rate well
+        // below GUPS but far above pure streaming.
+        assert!(p.page_transition_rate > 0.3 && p.page_transition_rate < 0.95, "{p:?}");
+        assert!(p.stores > 0);
+    }
+
+    #[test]
+    fn graph_kernels_have_hot_working_sets() {
+        let p = profile_of(WorkloadId::Bfs);
+        assert!(
+            p.hot_page_fraction > 0.2,
+            "hot/cold structure expected: {p:?}"
+        );
+        assert!(p.distinct_regions > 32, "{p:?}");
+    }
+
+    #[test]
+    fn compute_density_orders_workloads() {
+        let tc = profile_of(WorkloadId::Tc);
+        let rnd = profile_of(WorkloadId::Rnd);
+        assert!(
+            tc.compute_per_mem_op > rnd.compute_per_mem_op,
+            "TC computes more per access than GUPS"
+        );
+    }
+
+    #[test]
+    fn footprint_bound_is_respected() {
+        let p = profile_of(WorkloadId::Dlrm);
+        // 512 MB = 131072 pages max.
+        assert!(p.distinct_pages <= 131_072, "{p:?}");
+        assert!(p.distinct_pages > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn zero_ops_rejected() {
+        let _ = profile(
+            WorkloadId::Rnd
+                .trace(TraceParams::new(0).with_footprint(16 << 20)),
+            0,
+        );
+    }
+}

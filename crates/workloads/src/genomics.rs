@@ -1,0 +1,126 @@
+//! GenomicsBench k-mer counting (GEN): a streaming scan of a huge genome
+//! with random hash-table updates.
+//!
+//! The reference stream is perfectly sequential (prefetch-friendly) but
+//! every position hashes its k-mer into a counting table with a uniformly
+//! random slot — so the *stores* are as irregular as GUPS while the loads
+//! are streaming, a mix that stresses translation without saturating the
+//! cache the way pure random access does.
+
+use crate::region::RegionLayout;
+use crate::sampler::{rng, uniform};
+use crate::spec::{TraceParams, WorkloadId};
+use crate::Trace;
+use ndp_types::Op;
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// Bytes consumed from the genome per hash update (k-mer stride).
+const SCAN_STRIDE: u64 = 8;
+/// Compute cycles per k-mer (encode + hash).
+const COMPUTE_PER_KMER: u32 = 3;
+
+struct GenomicsGen {
+    genome: crate::region::Region,
+    table: crate::region::Region,
+    table_slots: u64,
+    cursor: u64,
+    rng: SmallRng,
+    buf: VecDeque<Op>,
+}
+
+impl GenomicsGen {
+    fn step(&mut self) {
+        // Sequential genome read.
+        self.buf.push_back(Op::Load(self.genome.at(self.cursor)));
+        self.cursor = (self.cursor + SCAN_STRIDE) % self.genome.bytes;
+        self.buf.push_back(Op::Compute(COMPUTE_PER_KMER));
+        // Random counting-table RMW.
+        let slot = uniform(&mut self.rng, self.table_slots);
+        self.buf.push_back(Op::Load(self.table.elem(slot, 8)));
+        self.buf.push_back(Op::Store(self.table.elem(slot, 8)));
+    }
+}
+
+impl Iterator for GenomicsGen {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        while self.buf.is_empty() {
+            self.step();
+        }
+        self.buf.pop_front()
+    }
+}
+
+/// The virtual regions the GEN trace touches.
+#[must_use]
+pub fn regions(params: TraceParams) -> Vec<crate::region::Region> {
+    let footprint = params.footprint_for(WorkloadId::Gen);
+    let mut layout = RegionLayout::new();
+    let genome = layout.carve(footprint * 2 / 3);
+    let table = layout.carve(footprint - footprint * 2 / 3);
+    vec![genome, table]
+}
+
+/// Builds the GEN trace.
+#[must_use]
+pub fn trace(params: TraceParams) -> Trace {
+    let footprint = params.footprint_for(WorkloadId::Gen);
+    let mut layout = RegionLayout::new();
+    // Genome ~2/3, counting table ~1/3 of the 33 GB dataset.
+    let genome = layout.carve(footprint * 2 / 3);
+    let table = layout.carve(footprint - footprint * 2 / 3);
+    let table_slots = table.elems(8).max(1);
+    Box::new(GenomicsGen {
+        genome,
+        table,
+        table_slots,
+        cursor: 0,
+        rng: rng(params.seed ^ 0x4b4d_4552),
+        buf: VecDeque::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_is_sequential_updates_are_random() {
+        let params = TraceParams::new(0).with_footprint(96 << 20);
+        let ops: Vec<Op> = trace(params).take(4000).collect();
+        let mut layout = RegionLayout::new();
+        let genome = layout.carve((96 << 20) * 2 / 3);
+        let genome_addrs: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| o.addr())
+            .filter(|a| genome.contains(*a))
+            .map(|a| a.as_u64())
+            .collect();
+        // Sequential: strictly increasing by the stride until wrap.
+        for w in genome_addrs.windows(2) {
+            assert!(w[1] == w[0] + SCAN_STRIDE || w[1] < w[0], "scan order");
+        }
+    }
+
+    #[test]
+    fn every_kmer_does_a_table_rmw() {
+        let params = TraceParams::new(1).with_footprint(96 << 20);
+        let ops: Vec<Op> = trace(params).take(40).collect();
+        let stores = ops.iter().filter(|o| matches!(o, Op::Store(_))).count();
+        assert!(stores >= 9, "one store per k-mer step, got {stores}");
+    }
+
+    #[test]
+    fn table_updates_span_many_pages() {
+        let params = TraceParams::new(2).with_footprint(1 << 30);
+        let pages: std::collections::HashSet<u64> = trace(params)
+            .take(40_000)
+            .filter(|o| matches!(o, Op::Store(_)))
+            .filter_map(|o| o.addr())
+            .map(|a| a.vpn().as_u64())
+            .collect();
+        assert!(pages.len() > 1000, "{} pages", pages.len());
+    }
+}

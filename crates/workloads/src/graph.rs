@@ -1,0 +1,404 @@
+//! GraphBIG kernel traces: BC, BFS, CC, GC, PR, TC, SP.
+//!
+//! All seven kernels traverse the same implicit CSR representation —
+//! an `offsets` array (sequential pair-reads), an `edges` array (short
+//! sequential runs), and per-vertex property arrays (random accesses at
+//! neighbour indices, the irregular part that batters the TLB). The
+//! kernels differ in vertex-selection order, property traffic per edge,
+//! store ratio, pointer-chase depth (union-find in CC) and compute
+//! density — captured by a [`KernelSpec`] per workload.
+
+use crate::region::{Region, RegionLayout};
+use crate::sampler::{hot_cold, rng, uniform, zipf_like};
+use crate::spec::{TraceParams, WorkloadId};
+use crate::Trace;
+use ndp_types::Op;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Average CSR out-degree of the synthetic graphs.
+pub const AVG_DEGREE: u64 = 16;
+
+/// Shape parameters of one GraphBIG kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSpec {
+    /// Property arrays per vertex (8 B each).
+    pub props_per_vertex: u64,
+    /// Vertex selection: true = popularity-skewed frontier (BFS-like),
+    /// false = sequential sweep (PR-like).
+    pub frontier_driven: bool,
+    /// Random property accesses per traversed edge.
+    pub prop_accesses_per_edge: f64,
+    /// Fraction of property accesses that are stores.
+    pub store_fraction: f64,
+    /// Probability per edge of peeking at the *neighbour's* adjacency
+    /// metadata (offsets + first edges) — frontier expansion. These reads
+    /// scatter across the multi-GB edge array and are the bulk of the
+    /// translation-hostile traffic in frontier kernels.
+    pub adjacency_peek: f64,
+    /// Dependent random hops per visit (union-find chases in CC).
+    pub pointer_chase_depth: u32,
+    /// Extra sequential edge-runs per visit (adjacency intersection in TC).
+    pub extra_edge_runs: u32,
+    /// Compute cycles interleaved per edge.
+    pub compute_per_edge: u32,
+}
+
+impl KernelSpec {
+    /// The spec for a GraphBIG workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a GraphBIG workload.
+    #[must_use]
+    pub fn for_workload(id: WorkloadId) -> KernelSpec {
+        match id {
+            WorkloadId::Bfs => KernelSpec {
+                props_per_vertex: 2,
+                frontier_driven: true,
+                prop_accesses_per_edge: 1.0,
+                store_fraction: 0.3,
+                adjacency_peek: 0.5,
+                pointer_chase_depth: 0,
+                extra_edge_runs: 0,
+                compute_per_edge: 1,
+            },
+            WorkloadId::Bc => KernelSpec {
+                props_per_vertex: 4,
+                frontier_driven: true,
+                prop_accesses_per_edge: 2.0,
+                store_fraction: 0.4,
+                adjacency_peek: 0.6,
+                pointer_chase_depth: 0,
+                extra_edge_runs: 0,
+                compute_per_edge: 2,
+            },
+            WorkloadId::Cc => KernelSpec {
+                props_per_vertex: 1,
+                frontier_driven: false,
+                prop_accesses_per_edge: 1.0,
+                store_fraction: 0.4,
+                adjacency_peek: 0.4,
+                pointer_chase_depth: 3,
+                extra_edge_runs: 0,
+                compute_per_edge: 1,
+            },
+            WorkloadId::Gc => KernelSpec {
+                props_per_vertex: 2,
+                frontier_driven: false,
+                prop_accesses_per_edge: 1.0,
+                store_fraction: 0.15,
+                adjacency_peek: 0.35,
+                pointer_chase_depth: 0,
+                extra_edge_runs: 0,
+                compute_per_edge: 2,
+            },
+            WorkloadId::Pr => KernelSpec {
+                props_per_vertex: 2,
+                frontier_driven: false,
+                prop_accesses_per_edge: 1.0,
+                store_fraction: 0.1,
+                adjacency_peek: 0.3,
+                pointer_chase_depth: 0,
+                extra_edge_runs: 0,
+                compute_per_edge: 3,
+            },
+            WorkloadId::Tc => KernelSpec {
+                props_per_vertex: 1,
+                frontier_driven: false,
+                prop_accesses_per_edge: 0.5,
+                store_fraction: 0.0,
+                adjacency_peek: 0.7,
+                pointer_chase_depth: 0,
+                extra_edge_runs: 1,
+                compute_per_edge: 5,
+            },
+            WorkloadId::Sp => KernelSpec {
+                props_per_vertex: 2,
+                frontier_driven: true,
+                prop_accesses_per_edge: 1.5,
+                store_fraction: 0.4,
+                adjacency_peek: 0.5,
+                pointer_chase_depth: 0,
+                extra_edge_runs: 0,
+                compute_per_edge: 2,
+            },
+            other => panic!("{other} is not a GraphBIG kernel"),
+        }
+    }
+}
+
+/// The implicit CSR graph layout for a given footprint.
+#[derive(Debug, Clone)]
+pub struct GraphLayout {
+    /// Vertex count.
+    pub vertices: u64,
+    /// Edge count.
+    pub edges: u64,
+    /// `offsets[v]` array (8 B entries, V+1 of them).
+    pub offsets: Region,
+    /// Edge-target array (8 B entries).
+    pub edge_array: Region,
+    /// Property arrays, concatenated (8 B × props × V).
+    pub properties: Region,
+}
+
+impl GraphLayout {
+    /// Sizes a CSR graph of `footprint` bytes with `props` property arrays.
+    #[must_use]
+    pub fn new(footprint: u64, props: u64) -> Self {
+        // footprint = 8(V+1) + 8·dV + 8·props·V  ⇒  V ≈ footprint / (8(1+d+props))
+        let vertices = (footprint / (8 * (1 + AVG_DEGREE + props))).max(1024);
+        let edges = vertices * AVG_DEGREE;
+        let mut layout = RegionLayout::new();
+        let offsets = layout.carve(8 * (vertices + 1));
+        let edge_array = layout.carve(8 * edges);
+        let properties = layout.carve(8 * props * vertices);
+        GraphLayout {
+            vertices,
+            edges,
+            offsets,
+            edge_array,
+            properties,
+        }
+    }
+}
+
+struct GraphGen {
+    spec: KernelSpec,
+    layout: GraphLayout,
+    rng: SmallRng,
+    sweep_cursor: u64,
+    buf: VecDeque<Op>,
+}
+
+impl GraphGen {
+    /// Emits the ops of one vertex visit into the buffer.
+    fn visit_vertex(&mut self) {
+        let v = if self.spec.frontier_driven {
+            zipf_like(&mut self.rng, self.layout.vertices, 2.2)
+        } else {
+            let v = self.sweep_cursor;
+            self.sweep_cursor = (self.sweep_cursor + 1) % self.layout.vertices;
+            v
+        };
+
+        // offsets[v], offsets[v+1]: two sequential loads.
+        self.buf.push_back(Op::Load(self.layout.offsets.elem(v, 8)));
+        self.buf
+            .push_back(Op::Load(self.layout.offsets.elem(v + 1, 8)));
+
+        // Degree varies around the average, deterministically per vertex.
+        let degree = 1 + (v.wrapping_mul(0x9E37_79B9) >> 16) % (2 * AVG_DEGREE);
+        let edge_runs = 1 + u64::from(self.spec.extra_edge_runs);
+        for run in 0..edge_runs {
+            // A sequential run in the edge array starting at this vertex's
+            // (hashed) CSR position.
+            let start = (v.wrapping_mul(AVG_DEGREE).wrapping_add(run * 131)) % self.layout.edges;
+            for e in 0..degree {
+                self.buf
+                    .push_back(Op::Load(self.layout.edge_array.elem(start + e, 8)));
+                if self.spec.compute_per_edge > 0 {
+                    self.buf.push_back(Op::Compute(self.spec.compute_per_edge));
+                }
+
+                // Random neighbour property traffic: the TLB killer. A
+                // budget of e.g. 1.5 means one guaranteed access plus a
+                // 50% chance of a second.
+                let mut budget = self.spec.prop_accesses_per_edge;
+                loop {
+                    if budget >= 1.0 {
+                        budget -= 1.0;
+                    } else if budget > 0.0 && self.rng.gen_bool(budget) {
+                        budget = 0.0;
+                    } else {
+                        break;
+                    }
+                    // Popularity is skewed, but hot vertex IDs are
+                    // scattered across the array (real graphs don't place
+                    // their hubs on adjacent pages) — this is what makes
+                    // PTE accesses *more* irregular than data (§IV-A).
+                    let u = hot_cold(&mut self.rng, self.layout.vertices);
+                    let u = scatter(u, self.layout.vertices);
+                    let prop = uniform(&mut self.rng, self.spec.props_per_vertex.max(1));
+                    let addr = self
+                        .layout
+                        .properties
+                        .elem(prop * self.layout.vertices + u, 8);
+                    if self.rng.gen_bool(self.spec.store_fraction) {
+                        self.buf.push_back(Op::Store(addr));
+                    } else {
+                        self.buf.push_back(Op::Load(addr));
+                    }
+
+                    // Frontier expansion: peek at the neighbour's CSR
+                    // position — a random jump into the edge array.
+                    if self.rng.gen_bool(self.spec.adjacency_peek) {
+                        self.buf.push_back(Op::Load(
+                            self.layout.offsets.elem(u, 8),
+                        ));
+                        self.buf.push_back(Op::Load(
+                            self.layout
+                                .edge_array
+                                .elem(u.wrapping_mul(AVG_DEGREE), 8),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Union-find style dependent chases (CC).
+        for _ in 0..self.spec.pointer_chase_depth {
+            let u = scatter(
+                uniform(&mut self.rng, self.layout.vertices),
+                self.layout.vertices,
+            );
+            self.buf
+                .push_back(Op::Load(self.layout.properties.elem(u, 8)));
+        }
+    }
+}
+
+impl Iterator for GraphGen {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        while self.buf.is_empty() {
+            self.visit_vertex();
+        }
+        self.buf.pop_front()
+    }
+}
+
+/// Block size (in 8 B vertex slots) preserved by [`scatter`]: 4096 slots
+/// = 32 KB = one PTE line's reach. Real graphs exhibit community locality
+/// at this granularity even though hub vertices are spread globally.
+pub const SCATTER_BLOCK: u64 = 4096;
+
+/// Scatters vertex id `u` over `[0, n)` at 32 KB-block granularity:
+/// popular vertices land in blocks spread across the whole array (so hot
+/// *pages* are scattered), but each block keeps its residents together
+/// (so PTE-line spatial locality survives where a multi-MB cache can hold
+/// it — the CPU/NDP asymmetry of §III).
+#[must_use]
+pub fn scatter(u: u64, n: u64) -> u64 {
+    let n = n.max(1);
+    let blocks = (n / SCATTER_BLOCK).max(1);
+    let block = (u / SCATTER_BLOCK).wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1) % blocks;
+    (block * SCATTER_BLOCK + u % SCATTER_BLOCK).min(n - 1)
+}
+
+/// The virtual regions a GraphBIG kernel touches.
+///
+/// # Panics
+///
+/// Panics if `id` is not a GraphBIG workload.
+#[must_use]
+pub fn regions(id: WorkloadId, params: TraceParams) -> Vec<Region> {
+    let spec = KernelSpec::for_workload(id);
+    let layout = GraphLayout::new(params.footprint_for(id), spec.props_per_vertex);
+    vec![layout.offsets, layout.edge_array, layout.properties]
+}
+
+/// Builds a GraphBIG kernel trace.
+///
+/// # Panics
+///
+/// Panics if `id` is not a GraphBIG workload.
+#[must_use]
+pub fn trace(id: WorkloadId, params: TraceParams) -> Trace {
+    let spec = KernelSpec::for_workload(id);
+    let layout = GraphLayout::new(params.footprint_for(id), spec.props_per_vertex);
+    Box::new(GraphGen {
+        spec,
+        layout,
+        rng: rng(params.seed ^ (id as u64).wrapping_mul(0xABCD_EF01)),
+        sweep_cursor: 0,
+        buf: VecDeque::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRAPH_IDS: [WorkloadId; 7] = [
+        WorkloadId::Bc,
+        WorkloadId::Bfs,
+        WorkloadId::Cc,
+        WorkloadId::Gc,
+        WorkloadId::Pr,
+        WorkloadId::Tc,
+        WorkloadId::Sp,
+    ];
+
+    #[test]
+    fn addresses_stay_in_regions() {
+        for id in GRAPH_IDS {
+            let spec = KernelSpec::for_workload(id);
+            let layout = GraphLayout::new(64 << 20, spec.props_per_vertex);
+            let params = TraceParams::new(3).with_footprint(64 << 20);
+            for op in trace(id, params).take(5000) {
+                if let Some(a) = op.addr() {
+                    assert!(
+                        layout.offsets.contains(a)
+                            || layout.edge_array.contains(a)
+                            || layout.properties.contains(a),
+                        "{id}: {a} escapes the graph regions"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_have_distinct_mixes() {
+        let params = TraceParams::new(1).with_footprint(64 << 20);
+        let store_frac = |id: WorkloadId| {
+            let ops: Vec<Op> = trace(id, params).take(20_000).collect();
+            let stores = ops.iter().filter(|o| matches!(o, Op::Store(_))).count();
+            let mems = ops.iter().filter(|o| o.is_memory()).count();
+            stores as f64 / mems as f64
+        };
+        assert!(store_frac(WorkloadId::Tc) < 0.01, "TC is read-only");
+        assert!(store_frac(WorkloadId::Sp) > 0.05, "SP writes distances");
+    }
+
+    #[test]
+    fn compute_density_varies() {
+        let params = TraceParams::new(1).with_footprint(64 << 20);
+        let compute = |id: WorkloadId| {
+            trace(id, params)
+                .take(20_000)
+                .filter(|o| !o.is_memory())
+                .count()
+        };
+        assert!(compute(WorkloadId::Tc) > compute(WorkloadId::Bfs));
+    }
+
+    #[test]
+    fn frontier_kernels_touch_many_pages() {
+        let params = TraceParams::new(5).with_footprint(256 << 20);
+        let pages: std::collections::HashSet<u64> = trace(WorkloadId::Bfs, params)
+            .take(50_000)
+            .filter_map(|o| o.addr())
+            .map(|a| a.vpn().as_u64())
+            .collect();
+        assert!(pages.len() > 1000, "irregular: {} pages", pages.len());
+    }
+
+    #[test]
+    fn layout_scales_with_footprint() {
+        let small = GraphLayout::new(16 << 20, 2);
+        let big = GraphLayout::new(256 << 20, 2);
+        assert!(big.vertices > 10 * small.vertices);
+        assert_eq!(big.edges, big.vertices * AVG_DEGREE);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a GraphBIG kernel")]
+    fn non_graph_id_rejected() {
+        let _ = KernelSpec::for_workload(WorkloadId::Xs);
+    }
+}

@@ -1,0 +1,107 @@
+//! GUPS / HPCC RandomAccess (RND): uniformly random 8 B read-modify-writes
+//! over a huge table — the canonical translation-torture workload. Nearly
+//! every access touches a new page; TLB and cache hit rates collapse.
+
+use crate::region::RegionLayout;
+use crate::sampler::{rng, uniform};
+use crate::spec::{TraceParams, WorkloadId};
+use crate::Trace;
+use ndp_types::Op;
+use rand::rngs::SmallRng;
+
+struct GupsGen {
+    table: crate::region::Region,
+    slots: u64,
+    rng: SmallRng,
+    phase: u8,
+    pending: u64,
+}
+
+impl Iterator for GupsGen {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        // RMW triplet: load, xor (1 compute cycle), store — then next slot.
+        let op = match self.phase {
+            0 => {
+                self.pending = uniform(&mut self.rng, self.slots);
+                Op::Load(self.table.elem(self.pending, 8))
+            }
+            1 => Op::Compute(1),
+            _ => Op::Store(self.table.elem(self.pending, 8)),
+        };
+        self.phase = (self.phase + 1) % 3;
+        Some(op)
+    }
+}
+
+/// The virtual regions the RND trace touches.
+#[must_use]
+pub fn regions(params: TraceParams) -> Vec<crate::region::Region> {
+    let footprint = params.footprint_for(WorkloadId::Rnd);
+    let mut layout = RegionLayout::new();
+    vec![layout.carve(footprint)]
+}
+
+/// Builds the RND trace.
+#[must_use]
+pub fn trace(params: TraceParams) -> Trace {
+    let footprint = params.footprint_for(WorkloadId::Rnd);
+    let mut layout = RegionLayout::new();
+    let table = layout.carve(footprint);
+    let slots = table.elems(8).max(1);
+    Box::new(GupsGen {
+        table,
+        slots,
+        rng: rng(params.seed ^ 0x4755_5053),
+        phase: 0,
+        pending: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_triplets() {
+        let params = TraceParams::new(0).with_footprint(16 << 20);
+        let ops: Vec<Op> = trace(params).take(9).collect();
+        for chunk in ops.chunks(3) {
+            assert!(matches!(chunk[0], Op::Load(_)));
+            assert!(matches!(chunk[1], Op::Compute(1)));
+            assert!(matches!(chunk[2], Op::Store(_)));
+            assert_eq!(chunk[0].addr(), chunk[2].addr(), "store hits same slot");
+        }
+    }
+
+    #[test]
+    fn accesses_are_page_hostile() {
+        let params = TraceParams::new(1).with_footprint(1 << 30);
+        let addrs: Vec<u64> = trace(params)
+            .take(30_000)
+            .filter_map(|o| o.addr())
+            .map(|a| a.vpn().as_u64())
+            .collect();
+        let distinct: std::collections::HashSet<_> = addrs.iter().collect();
+        // 10k RMW slots over 256k pages: nearly every access is a new page.
+        assert!(
+            distinct.len() as f64 / (addrs.len() as f64 / 2.0) > 0.9,
+            "distinct pages {} of {} refs",
+            distinct.len(),
+            addrs.len()
+        );
+    }
+
+    #[test]
+    fn stays_in_table() {
+        let params = TraceParams::new(2).with_footprint(16 << 20);
+        let mut layout = RegionLayout::new();
+        let table = layout.carve(16 << 20);
+        for op in trace(params).take(1000) {
+            if let Some(a) = op.addr() {
+                assert!(table.contains(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Synthetic trace generators for the paper's 11 data-intensive workloads
+//! (Table II).
+//!
+//! The paper runs real benchmark binaries under Sniper; what the address-
+//! translation study actually consumes is each benchmark's **memory access
+//! stream** — its footprint, locality structure, and compute/memory mix.
+//! This crate generates statistically faithful synthetic streams for each
+//! workload over multi-gigabyte *virtual* footprints, without materialising
+//! any data (the simulator models addresses, not values):
+//!
+//! | Suite         | Workloads              | Pattern                                        |
+//! |---------------|------------------------|------------------------------------------------|
+//! | GraphBIG      | BC BFS CC GC PR TC SP  | CSR traversal: sequential offsets/edge runs + per-neighbour random property accesses (Zipf-popular vertices) |
+//! | XSBench       | XS                     | binary-search pointer hops + nuclide-grid row reads |
+//! | GUPS          | RND                    | uniform random 8 B read-modify-write           |
+//! | DLRM          | DLRM                   | random embedding-row gathers with short sequential bursts, heavy compute between batches |
+//! | GenomicsBench | GEN                    | sliding-window sequential genome scan + random k-mer hash updates |
+//!
+//! Every generator is deterministic given its [`TraceParams`] seed, and
+//! emits an infinite stream of [`Op`]s — the simulator takes as many as the
+//! experiment's instruction budget allows.
+//!
+//! # Examples
+//!
+//! ```
+//! use ndp_workloads::{TraceParams, WorkloadId};
+//!
+//! let params = TraceParams::new(0).with_footprint(256 << 20);
+//! let ops: Vec<_> = WorkloadId::Rnd.trace(params).take(100).collect();
+//! assert_eq!(ops.len(), 100);
+//! ```
+
+pub mod analysis;
+pub mod dlrm;
+pub mod genomics;
+pub mod graph;
+pub mod gups;
+pub mod region;
+pub mod sampler;
+pub mod spec;
+pub mod xsbench;
+
+pub use spec::{Suite, TraceParams, WorkloadId};
+
+use ndp_types::Op;
+
+/// A workload's operation stream. Infinite; take what you need.
+pub type Trace = Box<dyn Iterator<Item = Op> + Send>;

@@ -1,0 +1,134 @@
+//! Virtual-address regions: the arrays a workload's address stream walks.
+
+use ndp_types::VirtAddr;
+
+/// A contiguous virtual-address range holding one logical array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub base: VirtAddr,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+impl Region {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    #[must_use]
+    pub fn new(base: u64, bytes: u64) -> Self {
+        assert!(bytes > 0, "region must be non-empty");
+        Region {
+            base: VirtAddr::new(base),
+            bytes,
+        }
+    }
+
+    /// Number of `elem_bytes`-sized elements that fit.
+    #[must_use]
+    pub fn elems(&self, elem_bytes: u64) -> u64 {
+        self.bytes / elem_bytes
+    }
+
+    /// Address of element `idx` (wrapping modulo the region so samplers
+    /// can't escape it).
+    #[must_use]
+    pub fn elem(&self, idx: u64, elem_bytes: u64) -> VirtAddr {
+        let n = self.elems(elem_bytes).max(1);
+        self.base.add((idx % n) * elem_bytes)
+    }
+
+    /// Address at byte `offset` (wrapping).
+    #[must_use]
+    pub fn at(&self, offset: u64) -> VirtAddr {
+        self.base.add(offset % self.bytes)
+    }
+
+    /// The end address (exclusive).
+    #[must_use]
+    pub fn end(&self) -> VirtAddr {
+        self.base.add(self.bytes)
+    }
+
+    /// Whether `addr` lies inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// Lays regions out back-to-back from a base address, each aligned up to a
+/// 2 MB boundary (as an allocator backing large arrays would).
+#[derive(Debug, Clone)]
+pub struct RegionLayout {
+    cursor: u64,
+}
+
+impl RegionLayout {
+    /// The canonical heap base used by all workloads.
+    pub const HEAP_BASE: u64 = 0x2000_0000_0000;
+    const ALIGN: u64 = 2 * 1024 * 1024;
+
+    /// Starts laying out at [`Self::HEAP_BASE`].
+    #[must_use]
+    pub fn new() -> Self {
+        RegionLayout {
+            cursor: Self::HEAP_BASE,
+        }
+    }
+
+    /// Carves the next region of `bytes`.
+    pub fn carve(&mut self, bytes: u64) -> Region {
+        let base = self.cursor;
+        let len = bytes.max(1);
+        self.cursor = (base + len).div_ceil(Self::ALIGN) * Self::ALIGN;
+        Region::new(base, len)
+    }
+}
+
+impl Default for RegionLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_addresses_wrap() {
+        let r = Region::new(0x1000, 64);
+        assert_eq!(r.elems(8), 8);
+        assert_eq!(r.elem(0, 8).as_u64(), 0x1000);
+        assert_eq!(r.elem(7, 8).as_u64(), 0x1000 + 56);
+        assert_eq!(r.elem(8, 8).as_u64(), 0x1000, "wraps");
+    }
+
+    #[test]
+    fn contains_and_end() {
+        let r = Region::new(0x1000, 0x100);
+        assert!(r.contains(VirtAddr::new(0x1000)));
+        assert!(r.contains(VirtAddr::new(0x10ff)));
+        assert!(!r.contains(VirtAddr::new(0x1100)));
+        assert_eq!(r.end().as_u64(), 0x1100);
+    }
+
+    #[test]
+    fn layout_is_2mb_aligned_and_disjoint() {
+        let mut l = RegionLayout::new();
+        let a = l.carve(3 << 20);
+        let b = l.carve(10);
+        assert_eq!(a.base.as_u64() % (2 << 20), 0);
+        assert_eq!(b.base.as_u64() % (2 << 20), 0);
+        assert!(b.base >= a.end());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_region_rejected() {
+        let _ = Region::new(0, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! XSBench (XS): Monte Carlo neutron-transport macroscopic-cross-section
+//! lookups.
+//!
+//! Each "particle history" samples a random energy, binary-searches the
+//! unionized energy grid (a chain of *dependent* loads hopping across a
+//! multi-GB array — worst case for TLBs and caches), then reads a handful
+//! of nuclide cross-section rows and accumulates with floating-point work.
+
+use crate::region::RegionLayout;
+use crate::sampler::{hot_cold, rng, uniform};
+use crate::spec::{TraceParams, WorkloadId};
+use crate::Trace;
+use ndp_types::Op;
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// Nuclides read per lookup (XSBench's `lookups` inner loop).
+const NUCLIDES_PER_LOOKUP: u64 = 5;
+/// Sequential 8 B reads per nuclide row.
+const READS_PER_NUCLIDE: u64 = 2;
+/// Compute cycles per lookup (FLOP accumulation).
+const COMPUTE_PER_LOOKUP: u32 = 12;
+
+struct XsGen {
+    grid: crate::region::Region,
+    xs_data: crate::region::Region,
+    grid_points: u64,
+    rng: SmallRng,
+    buf: VecDeque<Op>,
+}
+
+impl XsGen {
+    fn lookup(&mut self) {
+        // Binary search: dependent loads at halving strides.
+        let target = uniform(&mut self.rng, self.grid_points);
+        let mut lo = 0u64;
+        let mut hi = self.grid_points;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            self.buf.push_back(Op::Load(self.grid.elem(mid, 8)));
+            if mid <= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Nuclide row reads + accumulate.
+        let rows = self.xs_data.elems(8 * READS_PER_NUCLIDE).max(1);
+        for _ in 0..NUCLIDES_PER_LOOKUP {
+            // Common isotopes dominate lookups (hot working set).
+            let row = hot_cold(&mut self.rng, rows);
+            for r in 0..READS_PER_NUCLIDE {
+                self.buf
+                    .push_back(Op::Load(self.xs_data.elem(row * READS_PER_NUCLIDE + r, 8)));
+            }
+        }
+        self.buf.push_back(Op::Compute(COMPUTE_PER_LOOKUP));
+    }
+}
+
+impl Iterator for XsGen {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        while self.buf.is_empty() {
+            self.lookup();
+        }
+        self.buf.pop_front()
+    }
+}
+
+/// The virtual regions the XS trace touches.
+#[must_use]
+pub fn regions(params: TraceParams) -> Vec<crate::region::Region> {
+    let footprint = params.footprint_for(WorkloadId::Xs);
+    let mut layout = RegionLayout::new();
+    let grid = layout.carve(footprint / 3);
+    let xs_data = layout.carve(footprint - footprint / 3);
+    vec![grid, xs_data]
+}
+
+/// Builds the XS trace.
+#[must_use]
+pub fn trace(params: TraceParams) -> Trace {
+    let footprint = params.footprint_for(WorkloadId::Xs);
+    let mut layout = RegionLayout::new();
+    // ~1/3 unionized grid, ~2/3 nuclide data (XSBench's large-problem split).
+    let grid = layout.carve(footprint / 3);
+    let xs_data = layout.carve(footprint - footprint / 3);
+    let grid_points = grid.elems(8).max(2);
+    Box::new(XsGen {
+        grid,
+        xs_data,
+        grid_points,
+        rng: rng(params.seed ^ 0x5842_656e),
+        buf: VecDeque::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_include_dependent_search_chain() {
+        let params = TraceParams::new(1).with_footprint(64 << 20);
+        let ops: Vec<Op> = trace(params).take(100).collect();
+        let loads = ops.iter().filter(|o| matches!(o, Op::Load(_))).count();
+        // A 64 MB footprint has ~2.8 M grid points → ~21 search hops.
+        assert!(loads > 20, "loads = {loads}");
+    }
+
+    #[test]
+    fn addresses_in_carved_regions() {
+        let params = TraceParams::new(2).with_footprint(64 << 20);
+        let mut layout = RegionLayout::new();
+        let grid = layout.carve((64 << 20) / 3);
+        let xs = layout.carve((64 << 20) - (64 << 20) / 3);
+        for op in trace(params).take(3000) {
+            if let Some(a) = op.addr() {
+                assert!(grid.contains(a) || xs.contains(a), "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_spans_many_pages() {
+        let params = TraceParams::new(3).with_footprint(256 << 20);
+        let pages: std::collections::HashSet<u64> = trace(params)
+            .take(30_000)
+            .filter_map(|o| o.addr())
+            .map(|a| a.vpn().as_u64())
+            .collect();
+        assert!(pages.len() > 500, "{} pages", pages.len());
+    }
+
+    #[test]
+    fn stream_has_compute_phases() {
+        let params = TraceParams::new(4).with_footprint(64 << 20);
+        assert!(trace(params).take(200).any(|o| !o.is_memory()));
+    }
+}

@@ -1,0 +1,41 @@
+//! Graph analytics on a 4-core NDP system: runs the GraphBIG kernels the
+//! paper's introduction motivates (BFS, PageRank, Connected Components)
+//! under every translation mechanism and prints a Fig 13-style table.
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use ndp_sim::experiment::{geomean_speedups, speedup_figure, Scale};
+use ndp_workloads::WorkloadId;
+
+fn main() {
+    let workloads = [WorkloadId::Bfs, WorkloadId::Pr, WorkloadId::Cc];
+    println!("Speedup over Radix on a 4-core NDP system (quick scale):\n");
+    println!(
+        "{:<6} {:>8} {:>11} {:>8} {:>8}",
+        "kernel", "ECH", "Huge Page", "NDPage", "Ideal"
+    );
+
+    let rows = speedup_figure(4, Scale::Quick, &workloads);
+    for row in &rows {
+        let s: Vec<f64> = row.speedups.iter().map(|(_, v)| *v).collect();
+        println!(
+            "{:<6} {:>7.2}x {:>10.2}x {:>7.2}x {:>7.2}x",
+            row.workload.name(),
+            s[0],
+            s[1],
+            s[2],
+            s[3]
+        );
+    }
+
+    println!();
+    for (mechanism, gm) in geomean_speedups(&rows) {
+        println!("geomean {mechanism:<10} {gm:.3}x");
+    }
+    println!(
+        "\nExpected shape (paper Fig 13): Ideal > NDPage > ECH > Radix,\n\
+         with Huge Page fading as contiguity pressure mounts."
+    );
+}

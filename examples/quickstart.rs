@@ -1,0 +1,55 @@
+//! Quickstart: run one workload under NDPage and the Radix baseline on a
+//! single-core NDP system and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+
+fn main() {
+    println!("NDPage quickstart: GUPS on a 1-core NDP system\n");
+
+    let radix = Machine::new(SimConfig::quick(
+        SystemKind::Ndp,
+        1,
+        Mechanism::Radix,
+        WorkloadId::Rnd,
+    ))
+    .run();
+    let ndpage = Machine::new(SimConfig::quick(
+        SystemKind::Ndp,
+        1,
+        Mechanism::NdPage,
+        WorkloadId::Rnd,
+    ))
+    .run();
+
+    println!("--- Radix (4-level baseline) ---\n{radix}\n");
+    println!("--- NDPage (flattened L2/L1 + metadata bypass) ---\n{ndpage}\n");
+
+    println!(
+        "NDPage speedup over Radix: {:.2}x",
+        ndpage.speedup_over(&radix)
+    );
+    println!(
+        "PTW latency: {:.0} -> {:.0} cycles ({} fewer PTE fetches to memory per walk on average)",
+        radix.avg_ptw_latency(),
+        ndpage.avg_ptw_latency(),
+        if radix.ptw.count > 0 && ndpage.ptw.count > 0 {
+            format!(
+                "{:.2}",
+                radix.mem_traffic.metadata as f64 / radix.ptw.count as f64
+                    - ndpage.mem_traffic.metadata as f64 / ndpage.ptw.count as f64
+            )
+        } else {
+            "?".into()
+        }
+    );
+    println!(
+        "L1 pollution: {} data lines evicted by PTE fills under Radix, {} under NDPage",
+        radix.data_evicted_by_metadata, ndpage.data_evicted_by_metadata
+    );
+}

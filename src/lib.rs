@@ -1,0 +1,8 @@
+//! Meta-crate re-exporting the NDPage reproduction workspace crates.
+pub use ndp_cache as cache;
+pub use ndp_mem as mem;
+pub use ndp_mmu as mmu;
+pub use ndp_sim as sim;
+pub use ndp_types as types;
+pub use ndp_workloads as workloads;
+pub use ndpage as core_;

@@ -1,0 +1,103 @@
+//! Determinism and statistics-consistency integration tests: same seed ⇒
+//! bit-identical reports; different seeds ⇒ different timings; internal
+//! counters must reconcile.
+
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::quick(SystemKind::Ndp, 2, Mechanism::Radix, WorkloadId::Bfs).with_seed(seed)
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let a = Machine::new(cfg(7)).run();
+    let b = Machine::new(cfg(7)).run();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.translation_cycles, b.translation_cycles);
+    assert_eq!(a.ptw.sum, b.ptw.sum);
+    assert_eq!(a.tlb_l1, b.tlb_l1);
+    assert_eq!(a.mem_traffic.total(), b.mem_traffic.total());
+    assert_eq!(a.faults, b.faults);
+}
+
+#[test]
+fn different_seed_changes_timing() {
+    let a = Machine::new(cfg(7)).run();
+    let b = Machine::new(cfg(8)).run();
+    assert_ne!(a.total_cycles, b.total_cycles);
+}
+
+#[test]
+fn counters_reconcile() {
+    let r = Machine::new(cfg(3)).run();
+
+    // Every op measured is either memory or compute.
+    assert!(r.mem_ops <= r.ops);
+
+    // Every L1 TLB miss probes the L2; L2 lookups can't exceed L1 misses.
+    assert_eq!(
+        r.tlb_l2.total(),
+        r.tlb_l1.misses,
+        "L2 TLB sees exactly the L1 misses"
+    );
+
+    // Every L2 TLB miss triggers exactly one walk.
+    assert_eq!(r.ptw.count, r.tlb_l2.misses);
+
+    // Cacheable-mechanism metadata L1 lookups can't exceed total PTE
+    // fetches issued by walks.
+    assert!(r.l1_metadata.total() >= r.mem_traffic.metadata);
+
+    // The wall-clock bounds the mean.
+    assert!(r.total_cycles.as_f64() + 0.5 >= r.avg_core_cycles);
+
+    // Translation cycles fit in the total.
+    assert!(
+        r.translation_cycles as f64 <= r.avg_core_cycles * f64::from(r.cores) + 1.0,
+        "translation {} vs total {}",
+        r.translation_cycles,
+        r.avg_core_cycles * f64::from(r.cores)
+    );
+}
+
+#[test]
+fn zero_warmup_measures_from_cold() {
+    let mut c = cfg(1);
+    c.warmup_ops = 0;
+    c.measure_ops = 5_000;
+    let r = Machine::new(c).run();
+    assert_eq!(r.ops, 10_000); // 2 cores x 5000
+    assert!(r.ptw.count > 0);
+}
+
+#[test]
+fn per_core_seeds_differ_within_a_run() {
+    // With 2 cores on the same workload, their streams must diverge —
+    // detectable via per-core time imbalance over a short run.
+    let r = Machine::new(cfg(5)).run();
+    // The slowest core defines total; the average must differ from it
+    // unless both cores were identical (vanishingly unlikely with
+    // distinct seeds).
+    assert!(
+        (r.total_cycles.as_f64() - r.avg_core_cycles).abs() > 1.0,
+        "cores should not be in lockstep"
+    );
+}
+
+#[test]
+fn ideal_reports_are_clean() {
+    let r = Machine::new(SimConfig::quick(
+        SystemKind::Ndp,
+        1,
+        Mechanism::Ideal,
+        WorkloadId::Xs,
+    ))
+    .run();
+    assert_eq!(r.translation_cycles, 0);
+    assert_eq!(r.ptw.count, 0);
+    assert_eq!(r.tlb_l1.total(), 0);
+    assert_eq!(r.mem_traffic.metadata, 0);
+    assert!(r.mem_traffic.data > 0);
+}

@@ -1,0 +1,77 @@
+//! Property-based integration tests over random simulator configurations:
+//! no configuration may break the report invariants or the Ideal bound.
+
+use proptest::prelude::*;
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+
+fn arb_workload() -> impl Strategy<Value = WorkloadId> {
+    prop::sample::select(WorkloadId::ALL.to_vec())
+}
+
+fn arb_mechanism() -> impl Strategy<Value = Mechanism> {
+    prop::sample::select(Mechanism::ALL.to_vec())
+}
+
+fn arb_system() -> impl Strategy<Value = SystemKind> {
+    prop_oneof![Just(SystemKind::Ndp), Just(SystemKind::Cpu)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (workload, mechanism, system, cores, seed) combination runs to
+    /// completion with internally consistent statistics.
+    #[test]
+    fn random_configs_are_consistent(
+        w in arb_workload(),
+        m in arb_mechanism(),
+        system in arb_system(),
+        cores in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let mut cfg = SimConfig::quick(system, cores, m, w).with_seed(seed);
+        cfg.warmup_ops = 500;
+        cfg.measure_ops = 1500;
+        cfg.footprint_override = Some(256 << 20);
+        let r = Machine::new(cfg).run();
+
+        prop_assert_eq!(r.ops, 1500 * u64::from(cores));
+        prop_assert!(r.total_cycles.as_u64() > 0);
+        prop_assert!(r.translation_fraction() >= 0.0 && r.translation_fraction() <= 1.0);
+        prop_assert!(r.tlb_l1.hit_rate() <= 1.0);
+        prop_assert!(r.l1_data.miss_rate() <= 1.0);
+        prop_assert_eq!(r.ptw.count, r.tlb_l2.misses);
+        if m == Mechanism::Ideal {
+            prop_assert_eq!(r.translation_cycles, 0);
+        }
+        if m == Mechanism::NdPage {
+            prop_assert_eq!(r.l1_metadata.total(), 0, "bypass leaves no L1 metadata");
+        }
+    }
+
+    /// The Ideal mechanism is a lower bound on runtime for the same
+    /// (workload, system, cores, seed).
+    #[test]
+    fn ideal_is_a_lower_bound(
+        w in arb_workload(),
+        m in prop::sample::select(Mechanism::REAL.to_vec()),
+        seed in 0u64..100,
+    ) {
+        let mk = |mech| {
+            let mut cfg = SimConfig::quick(SystemKind::Ndp, 1, mech, w).with_seed(seed);
+            cfg.warmup_ops = 500;
+            cfg.measure_ops = 1500;
+            cfg.footprint_override = Some(256 << 20);
+            Machine::new(cfg).run()
+        };
+        let real = mk(m);
+        let ideal = mk(Mechanism::Ideal);
+        prop_assert!(
+            ideal.total_cycles <= real.total_cycles,
+            "Ideal {} must not exceed {} {}",
+            ideal.total_cycles, m, real.total_cycles
+        );
+    }
+}
