@@ -23,7 +23,10 @@ fn bench_cache(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 let addr = PhysAddr::new((i.wrapping_mul(0x9E37_79B9)) & 0x3FFF_FFC0);
-                if !caches.lookup(addr, RwKind::Read, AccessClass::Data).is_hit() {
+                if !caches
+                    .lookup(addr, RwKind::Read, AccessClass::Data)
+                    .is_hit()
+                {
                     black_box(caches.fill(addr, AccessClass::Data, false));
                 }
             });

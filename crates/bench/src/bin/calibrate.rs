@@ -3,8 +3,8 @@
 
 use ndp_sim::experiment::{run, Scale};
 use ndp_sim::{SimConfig, SystemKind};
-use ndpage::Mechanism;
 use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -50,7 +50,9 @@ fn main() {
                         let pwc: Vec<String> = r
                             .pwc
                             .iter()
-                            .map(|(l, hm)| format!("{l}={:.1}%({})", hm.hit_rate() * 100.0, hm.total()))
+                            .map(|(l, hm)| {
+                                format!("{l}={:.1}%({})", hm.hit_rate() * 100.0, hm.total())
+                            })
                             .collect();
                         println!("      pwc: {}", pwc.join(" "));
                     }

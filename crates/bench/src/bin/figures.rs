@@ -11,13 +11,13 @@
 
 use ndp_bench::{pct, print_table, spd, AblationVariant};
 use ndp_sim::experiment::{
-    geomean_speedups, miss_rate_figure, motivation_figures, occupancy_figure, run,
-    scaling_figure, speedup_figure, Scale,
+    geomean_speedups, miss_rate_figure, motivation_figures, occupancy_figure, run, scaling_figure,
+    speedup_figure, Scale,
 };
 use ndp_sim::{SimConfig, SystemKind};
 use ndp_types::PtLevel;
-use ndpage::Mechanism;
 use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,7 +88,10 @@ fn sweeps(scale: Scale) {
             ]
         })
         .collect();
-    print_table(&["PWC entries", "Radix PTW", "NDPage PTW", "NDPage speedup"], &rows);
+    print_table(
+        &["PWC entries", "Radix PTW", "NDPage PTW", "NDPage speedup"],
+        &rows,
+    );
 
     println!("\n=== Extension: L2-TLB reach sweep (RND, 4-core NDP) ===\n");
     let rows: Vec<Vec<String>> = tlb_reach_sweep(WorkloadId::Rnd, &[384, 1536, 6144], &base)
@@ -101,7 +104,10 @@ fn sweeps(scale: Scale) {
             ]
         })
         .collect();
-    print_table(&["L2 TLB entries", "Radix walk rate", "NDPage speedup"], &rows);
+    print_table(
+        &["L2 TLB entries", "Radix walk rate", "NDPage speedup"],
+        &rows,
+    );
 
     println!("\n=== Extension: Huge Page TLB-fracturing ablation (RND, 1-core) ===\n");
     let ab = fracturing_ablation(WorkloadId::Rnd, &base);
@@ -123,7 +129,11 @@ fn sweeps(scale: Scale) {
 fn table1() {
     println!("\n=== Table I: simulated system configuration ===\n");
     let rows = vec![
-        vec!["Core".into(), "1/4/8 x86-64 2.6 GHz core(s)".into(), "same".into()],
+        vec![
+            "Core".into(),
+            "1/4/8 x86-64 2.6 GHz core(s)".into(),
+            "same".into(),
+        ],
         vec![
             "Cache".into(),
             "L1D 32KB/8w/4cyc only".into(),
@@ -178,7 +188,10 @@ fn fig4_fig5(scale: Scale, workloads: &[WorkloadId]) {
             row.workload.name().into(),
             format!("{:.1}", row.ndp.avg_ptw_latency()),
             format!("{:.1}", row.cpu.avg_ptw_latency()),
-            format!("{:+.0}%", (row.ndp.avg_ptw_latency() / row.cpu.avg_ptw_latency() - 1.0) * 100.0),
+            format!(
+                "{:+.0}%",
+                (row.ndp.avg_ptw_latency() / row.cpu.avg_ptw_latency() - 1.0) * 100.0
+            ),
             pct(row.ndp.translation_fraction()),
             pct(row.cpu.translation_fraction()),
         ]);
@@ -195,7 +208,14 @@ fn fig4_fig5(scale: Scale, workloads: &[WorkloadId]) {
         pct(ndp_types::stats::mean(&cpu_fr)),
     ]);
     print_table(
-        &["workload", "NDP PTW", "CPU PTW", "increment", "NDP trans%", "CPU trans%"],
+        &[
+            "workload",
+            "NDP PTW",
+            "CPU PTW",
+            "increment",
+            "NDP trans%",
+            "CPU trans%",
+        ],
         &rows,
     );
     println!("\npaper: NDP avg PTW 474.56 cyc (+229% vs CPU); NDP 67.1% vs CPU 34.51% overhead");
@@ -215,7 +235,10 @@ fn fig6(scale: Scale, workloads: &[WorkloadId]) {
             ]
         })
         .collect();
-    print_table(&["system", "cores", "avg PTW (cyc)", "translation %"], &rows);
+    print_table(
+        &["system", "cores", "avg PTW (cyc)", "translation %"],
+        &rows,
+    );
     println!("\npaper: NDP PTW 242.85 -> 474.56 -> 551.83; CPU roughly flat");
 }
 
@@ -242,7 +265,12 @@ fn fig7(scale: Scale, workloads: &[WorkloadId]) {
         pct(ndp_types::stats::mean(&m)),
     ]);
     print_table(
-        &["workload", "data miss (ideal)", "data miss (actual)", "metadata miss"],
+        &[
+            "workload",
+            "data miss (ideal)",
+            "data miss (actual)",
+            "metadata miss",
+        ],
         &rows,
     );
     println!("\npaper: ideal 26.16%, actual 35.89% (1.37x), metadata 98.28%");
@@ -279,7 +307,12 @@ fn fig8(scale: Scale, workloads: &[WorkloadId]) {
 
 fn pwc(scale: Scale) {
     println!("\n=== §V-C: page-walk-cache hit rates (4-core NDP, Radix) ===\n");
-    let workloads = [WorkloadId::Bfs, WorkloadId::Rnd, WorkloadId::Xs, WorkloadId::Gen];
+    let workloads = [
+        WorkloadId::Bfs,
+        WorkloadId::Rnd,
+        WorkloadId::Xs,
+        WorkloadId::Gen,
+    ];
     let mut rows = Vec::new();
     for w in workloads {
         let r = run(scale.apply(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, w)));
@@ -291,7 +324,10 @@ fn pwc(scale: Scale) {
             pct(r.pwc_hit_rate(PtLevel::L1).unwrap_or(0.0)),
         ]);
     }
-    print_table(&["workload", "PL4 PWC", "PL3 PWC", "PL2 PWC", "PL1 PWC"], &rows);
+    print_table(
+        &["workload", "PL4 PWC", "PL3 PWC", "PL2 PWC", "PL1 PWC"],
+        &rows,
+    );
     println!("\npaper: L4 ~100%, L3 98.6%, L2/L1 ~15.4%");
 }
 

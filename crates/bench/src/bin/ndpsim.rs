@@ -7,21 +7,169 @@
 //!     [--footprint-mb 2048] [--ops 50000] [--warmup 20000] [--seed 7] \
 //!     [--pwc-entries 64] [--tlb-l2 1536] [--no-fracture]
 //! ```
+//!
+//! The `bench` subcommand instead times a fixed end-to-end experiment
+//! sweep (the engine behind every figure) and writes the result as JSON,
+//! tracking the simulator's own throughput across PRs:
+//!
+//! ```text
+//! # Baseline (seed hot path), then current, with the speedup computed:
+//! cargo run --release --features legacy_hotpath -p ndp-bench --bin ndpsim -- \
+//!     bench --out BENCH_baseline.json
+//! cargo run --release -p ndp-bench --bin ndpsim -- \
+//!     bench --out BENCH_end_to_end.json --baseline BENCH_baseline.json
+//! ```
 
+use ndp_sim::experiment::run_batch;
+use ndp_sim::sweeps::pwc_size_sweep;
 use ndp_sim::{Machine, SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
+use std::time::Instant;
 
 fn parse_mechanism(s: &str) -> Option<Mechanism> {
-    Mechanism::ALL
-        .into_iter()
-        .find(|m| m.name().replace(' ', "").eq_ignore_ascii_case(&s.replace(['-', '_', ' '], "")))
+    Mechanism::ALL.into_iter().find(|m| {
+        m.name()
+            .replace(' ', "")
+            .eq_ignore_ascii_case(&s.replace(['-', '_', ' '], ""))
+    })
 }
 
 fn parse_workload(s: &str) -> Option<WorkloadId> {
     WorkloadId::ALL
         .into_iter()
         .find(|w| w.name().eq_ignore_ascii_case(s))
+}
+
+/// The fixed benchmark sweep: the Figs 12–14 engine (every mechanism on
+/// two contrasting workloads, 2 cores) plus a 3-point PWC-capacity sweep —
+/// 16 full machine constructions + runs per pass.
+fn bench_sweep_pass() -> (u64, u64) {
+    let figure_cfgs: Vec<SimConfig> = [WorkloadId::Rnd, WorkloadId::Bfs]
+        .iter()
+        .flat_map(|&w| {
+            Mechanism::ALL.iter().map(move |&m| {
+                SimConfig::new(SystemKind::Ndp, 2, m, w)
+                    .with_ops(4_000, 8_000)
+                    .with_footprint(512 << 20)
+            })
+        })
+        .collect();
+    let mut sim_ops: u64 = figure_cfgs
+        .iter()
+        .map(|c| u64::from(c.cores) * (c.warmup_ops + c.measure_ops))
+        .sum();
+    let mut digest = 0u64;
+    for report in run_batch(figure_cfgs) {
+        digest ^= report.fingerprint();
+    }
+
+    let base = SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, WorkloadId::Rnd)
+        .with_ops(4_000, 8_000)
+        .with_footprint(512 << 20);
+    let sizes = [16usize, 64, 256];
+    sim_ops += sizes.len() as u64 * 2 * 4 * (base.warmup_ops + base.measure_ops);
+    for point in pwc_size_sweep(WorkloadId::Rnd, &sizes, &base) {
+        digest ^= point.radix.fingerprint() ^ point.ndpage.fingerprint();
+    }
+    (sim_ops, digest)
+}
+
+fn run_bench(get: impl Fn(&str) -> Option<String>) {
+    let runs: usize = get("--runs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let out = get("--out").unwrap_or_else(|| "BENCH_end_to_end.json".to_string());
+    let mode = if cfg!(feature = "legacy_hotpath") {
+        "legacy"
+    } else {
+        "fast"
+    };
+    let threads = ndp_sim::parallel::default_threads();
+
+    let mut walls = Vec::with_capacity(runs);
+    let mut sim_ops = 0u64;
+    let mut digest = 0u64;
+    for i in 0..runs {
+        let t0 = Instant::now();
+        let (ops, d) = bench_sweep_pass();
+        let wall = t0.elapsed().as_secs_f64();
+        sim_ops = ops;
+        digest = d;
+        eprintln!("pass {}/{}: {:.3} s", i + 1, runs, wall);
+        walls.push(wall);
+    }
+    let best = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+    let ops_per_sec = sim_ops as f64 / best;
+
+    let baseline = get("--baseline").and_then(|path| {
+        let text = std::fs::read_to_string(&path).ok()?;
+        let wall = json_f64(&text, "best_wall_s")?;
+        let mode = json_str(&text, "mode").unwrap_or_else(|| "unknown".to_string());
+        Some((mode, wall))
+    });
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"end_to_end_sweep\",\n");
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"runs\": {runs},\n"));
+    json.push_str("  \"machine_runs_per_pass\": 16,\n");
+    json.push_str(&format!("  \"simulated_ops_per_pass\": {sim_ops},\n"));
+    json.push_str(&format!("  \"report_digest\": {digest},\n"));
+    json.push_str(&format!(
+        "  \"wall_s_per_pass\": [{}],\n",
+        walls
+            .iter()
+            .map(|w| format!("{w:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("  \"best_wall_s\": {best:.4},\n"));
+    if let Some((base_mode, base_wall)) = &baseline {
+        json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
+        json.push_str(&format!("  \"baseline_mode\": \"{base_mode}\",\n"));
+        json.push_str(&format!("  \"baseline_best_wall_s\": {base_wall:.4},\n"));
+        json.push_str(&format!(
+            "  \"speedup_over_baseline\": {:.3}\n",
+            base_wall / best
+        ));
+    } else {
+        json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1}\n"));
+    }
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write bench JSON");
+    println!("{json}");
+    println!("wrote {out}");
+    if let Some((base_mode, base_wall)) = baseline {
+        println!(
+            "speedup vs {base_mode} baseline: {:.2}x ({:.3} s -> {:.3} s)",
+            base_wall / best,
+            base_wall,
+            best
+        );
+    }
+}
+
+/// Extracts `"key": <number>` from a flat JSON object (no serde in-tree).
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": "<string>"` from a flat JSON object.
+fn json_str(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 fn main() {
@@ -33,13 +181,23 @@ fn main() {
     };
     let has = |flag: &str| args.iter().any(|a| a == flag);
 
+    if args.first().map(String::as_str) == Some("bench") {
+        if has("--help") {
+            eprintln!("usage: ndpsim bench [--runs N] [--out FILE] [--baseline FILE]");
+            return;
+        }
+        run_bench(get);
+        return;
+    }
+
     if has("--help") || args.is_empty() {
         eprintln!(
             "usage: ndpsim --workload <BC|BFS|CC|GC|PR|TC|SP|XS|RND|DLRM|GEN> \\\n\
              \x20             --mechanism <radix|ech|hugepage|ndpage|ideal> \\\n\
              \x20             [--system ndp|cpu] [--cores N] [--footprint-mb MB] \\\n\
              \x20             [--ops N] [--warmup N] [--seed S] [--pwc-entries N] \\\n\
-             \x20             [--tlb-l2 N] [--no-fracture] [--histogram]"
+             \x20             [--tlb-l2 N] [--no-fracture] [--histogram]\n\
+             \x20      ndpsim bench [--runs N] [--out FILE] [--baseline FILE]"
         );
         return;
     }
@@ -93,7 +251,11 @@ fn main() {
 
     println!("PWC hit rates:");
     for (level, hm) in &report.pwc {
-        println!("  {level:<8} {:.2}%  ({} probes)", hm.hit_rate() * 100.0, hm.total());
+        println!(
+            "  {level:<8} {:.2}%  ({} probes)",
+            hm.hit_rate() * 100.0,
+            hm.total()
+        );
     }
 
     if has("--histogram") && report.ptw_histogram.count() > 0 {

@@ -13,9 +13,9 @@
 
 use ndp_sim::report::RunReport;
 use ndp_sim::{SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
 use ndpage::bypass::BypassPolicy;
 use ndpage::Mechanism;
-use ndp_workloads::WorkloadId;
 
 /// Formats a fraction as a percentage with two decimals.
 #[must_use]
@@ -49,7 +49,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -146,7 +149,10 @@ mod tests {
     fn diag_bypass_vs_flatten() {
         use ndp_sim::experiment::run;
         for v in [AblationVariant::FlattenOnly, AblationVariant::NdPage] {
-            let cores: u32 = std::env::var("DIAG_CORES").ok().and_then(|s| s.parse().ok()).unwrap_or(4);
+            let cores: u32 = std::env::var("DIAG_CORES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4);
             let mut cfg = v.config(cores, WorkloadId::Rnd);
             cfg.warmup_ops = 20_000;
             cfg.measure_ops = 40_000;

@@ -5,6 +5,12 @@
 //! goes to the memory controller and calls [`CacheHierarchy::fill`]).
 
 use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache, Writeback};
+use ndp_types::InlineVec;
+
+/// Dirty victims produced by one fill — at most one per cache level, so
+/// the list lives inline (a fill happens on every miss; the seed's `Vec`
+/// return put an allocation there).
+pub type WritebackList = InlineVec<Writeback, 4>;
 use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
 
 /// Outcome of a hierarchy lookup.
@@ -59,6 +65,12 @@ impl CacheHierarchy {
     #[must_use]
     pub fn new(configs: Vec<CacheConfig>) -> Self {
         assert!(!configs.is_empty(), "hierarchy needs at least one level");
+        // fill() collects at most one dirty victim per level into a
+        // WritebackList; bound the depth at construction.
+        assert!(
+            configs.len() <= 4,
+            "hierarchy supports at most 4 levels (WritebackList capacity)"
+        );
         CacheHierarchy {
             levels: configs.into_iter().map(SetAssocCache::new).collect(),
         }
@@ -115,7 +127,10 @@ impl CacheHierarchy {
         for (idx, level) in self.levels.iter_mut().enumerate() {
             latency += level.config().latency;
             if level.access(addr, rw, class) {
-                return LookupResult::Hit { level: idx, latency };
+                return LookupResult::Hit {
+                    level: idx,
+                    latency,
+                };
             }
         }
         LookupResult::MissAll {
@@ -125,7 +140,7 @@ impl CacheHierarchy {
 
     /// Installs a line in every level after a memory fill, collecting any
     /// dirty victims that must be written back to memory.
-    pub fn fill(&mut self, addr: PhysAddr, class: AccessClass, dirty: bool) -> Vec<Writeback> {
+    pub fn fill(&mut self, addr: PhysAddr, class: AccessClass, dirty: bool) -> WritebackList {
         self.levels
             .iter_mut()
             .filter_map(|level| level.fill(addr, class, dirty))
@@ -140,7 +155,7 @@ impl CacheHierarchy {
         addr: PhysAddr,
         class: AccessClass,
         dirty: bool,
-    ) -> Vec<Writeback> {
+    ) -> WritebackList {
         self.levels
             .iter_mut()
             .skip(from_level)
@@ -250,7 +265,9 @@ mod tests {
         h.lookup(PhysAddr::new(0), RwKind::Read, AccessClass::Data);
         h.reset();
         assert_eq!(h.level_stats(0).total().total(), 0);
-        assert!(!h.lookup(PhysAddr::new(0), RwKind::Read, AccessClass::Data).is_hit());
+        assert!(!h
+            .lookup(PhysAddr::new(0), RwKind::Read, AccessClass::Data)
+            .is_hit());
     }
 
     #[test]

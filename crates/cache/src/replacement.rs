@@ -57,6 +57,7 @@ impl ReplacementPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndp_types::FastSet;
 
     #[test]
     fn invalid_way_wins() {
@@ -90,8 +91,9 @@ mod tests {
             assert!(a < 8);
         }
         // Not constant across ticks.
-        let picks: std::collections::HashSet<_> =
-            (0..64).map(|t| p.choose_victim(&valid, &stamp, t)).collect();
+        let picks: FastSet<_> = (0..64)
+            .map(|t| p.choose_victim(&valid, &stamp, t))
+            .collect();
         assert!(picks.len() > 1);
     }
 }

@@ -3,6 +3,10 @@
 
 use crate::replacement::ReplacementPolicy;
 use ndp_types::addr::CACHE_LINE_SIZE;
+use ndp_types::InlineVec;
+
+/// Highest associativity any configuration uses (L2/L3: 16 ways).
+pub const MAX_WAYS: usize = 16;
 use ndp_types::stats::HitMiss;
 use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
 
@@ -135,6 +139,15 @@ pub struct Writeback {
     pub class: AccessClass,
 }
 
+impl Default for Writeback {
+    fn default() -> Self {
+        Writeback {
+            addr: PhysAddr::new(0),
+            class: AccessClass::Data,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
@@ -176,6 +189,13 @@ impl SetAssocCache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         let ways = config.ways as usize;
+        // fill() gathers way metadata into MAX_WAYS-capacity inline
+        // buffers; reject wider configurations here rather than panicking
+        // mid-simulation.
+        assert!(
+            ways <= MAX_WAYS,
+            "associativity {ways} exceeds MAX_WAYS ({MAX_WAYS})"
+        );
         SetAssocCache {
             config,
             sets,
@@ -199,7 +219,10 @@ impl SetAssocCache {
 
     fn set_and_tag(&self, addr: PhysAddr) -> (usize, u64) {
         let line_addr = addr.as_u64() / self.config.line_bytes;
-        ((line_addr as usize) & (self.sets - 1), line_addr / self.sets as u64)
+        (
+            (line_addr as usize) & (self.sets - 1),
+            line_addr / self.sets as u64,
+        )
     }
 
     fn set_slice_mut(&mut self, set: usize) -> &mut [Line] {
@@ -275,7 +298,9 @@ impl SetAssocCache {
             }
         }
 
-        let (valid, stamps): (Vec<bool>, Vec<u64>) = {
+        // Way metadata for the victim choice, gathered inline — a fill
+        // runs on every miss, so a heap `Vec` here is hot-path traffic.
+        let (valid, stamps): (InlineVec<bool, MAX_WAYS>, InlineVec<u64, MAX_WAYS>) = {
             let lines = self.set_slice_mut(set);
             (
                 lines.iter().map(|l| l.valid).collect(),

@@ -1,11 +1,11 @@
 //! Property tests checking the set-associative cache against a reference
 //! model (a per-set LRU list) under random access/fill sequences.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use ndp_cache::replacement::ReplacementPolicy;
 use ndp_cache::set_assoc::{CacheConfig, SetAssocCache};
 use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
 use std::collections::VecDeque;
 
 /// Reference model: per-set MRU-ordered deque of line addresses.

@@ -91,7 +91,11 @@ impl ElasticCuckooTable {
     /// [`Self::INITIAL_SLOTS`] slots each.
     #[must_use]
     pub fn new(alloc: &mut FrameAllocator) -> Self {
-        let seeds = [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F, 0x1656_67B1_9E37_79F9];
+        let seeds = [
+            0x9E37_79B9_7F4A_7C15,
+            0xC2B2_AE3D_27D4_EB4F,
+            0x1656_67B1_9E37_79F9,
+        ];
         let ways = (0..WAYS)
             .map(|w| {
                 let base = Self::alloc_way(alloc, Self::INITIAL_SLOTS);
@@ -237,20 +241,27 @@ impl PageTable for ElasticCuckooTable {
     }
 
     fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
-        self.find(vpn)?;
-        // Hardware probes every way in parallel regardless of where the
-        // entry lives — all steps share group 0.
-        let steps = self
-            .ways
-            .iter()
-            .enumerate()
-            .map(|(w, way)| WalkStep {
+        self.translate_and_walk(vpn).map(|(_, path)| path)
+    }
+
+    fn translate_and_walk(&self, vpn: Vpn) -> Option<(Translation, WalkPath)> {
+        // One find() instead of two; the path probes every way anyway.
+        let (w, idx) = self.find(vpn)?;
+        let mut path = WalkPath::empty();
+        for (way_idx, way) in self.ways.iter().enumerate() {
+            path.push(WalkStep {
                 addr: way.entry_addr(way.index(vpn)),
-                level: PtLevel::HashWay(w as u8),
+                level: PtLevel::HashWay(way_idx as u8),
                 group: 0,
-            })
-            .collect();
-        Some(WalkPath::new(steps))
+            });
+        }
+        Some((
+            Translation {
+                pfn: self.ways[w].ptes[idx].pfn(),
+                size: PageSize::Size4K,
+            },
+            path,
+        ))
     }
 
     fn occupancy(&self) -> OccupancyReport {

@@ -14,11 +14,10 @@ use crate::alloc::{FrameAllocator, FramePurpose};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
 use crate::radix::Node;
-use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, Translation};
+use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_FLAT_NODE, ENTRIES_PER_NODE, PAGE_SIZE};
-use ndp_types::{PageSize, PtLevel, Vpn};
-use std::collections::HashMap;
+use ndp_types::{FastMap, PageSize, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 const FLAT_ENTRIES: usize = ENTRIES_PER_FLAT_NODE as usize;
@@ -33,8 +32,9 @@ pub struct FlattenedL2L1 {
     nodes: Vec<Node>,
     /// Flattened leaf nodes (2^18 entries each).
     flat_nodes: Vec<Node>,
-    by_frame: HashMap<u64, usize>,
-    flat_by_frame: HashMap<u64, usize>,
+    /// Node indices by owning frame; probed per walk step (fast hash).
+    by_frame: FastMap<u64, usize>,
+    flat_by_frame: FastMap<u64, usize>,
     l3_nodes: Vec<usize>,
     root: usize,
     mapped: u64,
@@ -47,8 +47,8 @@ impl FlattenedL2L1 {
         let mut t = FlattenedL2L1 {
             nodes: Vec::new(),
             flat_nodes: Vec::new(),
-            by_frame: HashMap::new(),
-            flat_by_frame: HashMap::new(),
+            by_frame: FastMap::default(),
+            flat_by_frame: FastMap::default(),
             l3_nodes: Vec::new(),
             root: 0,
             mapped: 0,
@@ -76,6 +76,37 @@ impl FlattenedL2L1 {
         self.flat_nodes.push(Node::new(frame, FLAT_ENTRIES));
         self.flat_by_frame.insert(frame.as_u64(), idx);
         idx
+    }
+
+    /// Descends to (creating as needed) the flattened node for `vpn`,
+    /// returning its arena index and how many nodes were allocated.
+    fn flat_node_for(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> (usize, u32) {
+        let mut tables_allocated = 0;
+
+        let l4_idx = vpn.l4_index();
+        let l4e = self.nodes[self.root].get(l4_idx);
+        let l3 = if l4e.is_present() {
+            self.by_frame[&l4e.pfn().as_u64()]
+        } else {
+            let n = self.new_interior(alloc, true);
+            tables_allocated += 1;
+            let f = self.nodes[n].frame;
+            self.nodes[self.root].set(l4_idx, Pte::next(f));
+            n
+        };
+
+        let l3_idx = vpn.l3_index();
+        let l3e = self.nodes[l3].get(l3_idx);
+        let flat = if l3e.is_present() {
+            self.flat_by_frame[&l3e.pfn().as_u64()]
+        } else {
+            let n = self.new_flat(alloc);
+            tables_allocated += 1;
+            let f = self.flat_nodes[n].frame;
+            self.nodes[l3].set(l3_idx, Pte::next_flattened(f));
+            n
+        };
+        (flat, tables_allocated)
     }
 
     /// Resolves `(l3_node, flat_node)` indices for `vpn`, if mapped that far.
@@ -110,32 +141,7 @@ impl PageTable for FlattenedL2L1 {
     }
 
     fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome {
-        let mut tables_allocated = 0;
-
-        let l4_idx = vpn.l4_index();
-        let l4e = self.nodes[self.root].get(l4_idx);
-        let l3 = if l4e.is_present() {
-            self.by_frame[&l4e.pfn().as_u64()]
-        } else {
-            let n = self.new_interior(alloc, true);
-            tables_allocated += 1;
-            let f = self.nodes[n].frame;
-            self.nodes[self.root].set(l4_idx, Pte::next(f));
-            n
-        };
-
-        let l3_idx = vpn.l3_index();
-        let l3e = self.nodes[l3].get(l3_idx);
-        let flat = if l3e.is_present() {
-            self.flat_by_frame[&l3e.pfn().as_u64()]
-        } else {
-            let n = self.new_flat(alloc);
-            tables_allocated += 1;
-            let f = self.flat_nodes[n].frame;
-            self.nodes[l3].set(l3_idx, Pte::next_flattened(f));
-            n
-        };
-
+        let (flat, tables_allocated) = self.flat_node_for(vpn, alloc);
         let fi = vpn.flat_l2l1_index();
         if self.flat_nodes[flat].get(fi).is_present() {
             return MapOutcome::already_mapped();
@@ -150,13 +156,46 @@ impl PageTable for FlattenedL2L1 {
         }
     }
 
+    fn map_range(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangeMapOutcome {
+        // One descent per touched 1 GB flat-node region instead of one
+        // per page; allocation order matches the per-page loop exactly.
+        let mut totals = RangeMapOutcome::default();
+        let mut cached: Option<(u64, usize)> = None;
+        for p in 0..pages {
+            let vpn = first.add(p);
+            let region = vpn.as_u64() & !(ENTRIES_PER_FLAT_NODE - 1);
+            let flat = match cached {
+                Some((base, node)) if base == region => node,
+                _ => {
+                    let (node, _) = self.flat_node_for(vpn, alloc);
+                    cached = Some((region, node));
+                    node
+                }
+            };
+            let fi = vpn.flat_l2l1_index();
+            if self.flat_nodes[flat].get(fi).is_present() {
+                continue;
+            }
+            let frame = alloc.alloc_frame(FramePurpose::Data);
+            self.flat_nodes[flat].set(fi, Pte::leaf(frame));
+            self.mapped += 1;
+            totals.minor_4k += 1;
+        }
+        totals
+    }
+
     fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
+        self.translate_and_walk(vpn).map(|(_, path)| path)
+    }
+
+    fn translate_and_walk(&self, vpn: Vpn) -> Option<(Translation, WalkPath)> {
+        // Single descent serving both results; per-op hot path.
         let (l3, flat) = self.descend(vpn)?;
         let pte = self.flat_nodes[flat].get(vpn.flat_l2l1_index());
         if !pte.is_present() {
             return None;
         }
-        Some(WalkPath::new(vec![
+        let path = WalkPath::of([
             WalkStep {
                 addr: self.nodes[self.root].frame.entry_addr(vpn.l4_index()),
                 level: PtLevel::L4,
@@ -174,7 +213,14 @@ impl PageTable for FlattenedL2L1 {
                 level: PtLevel::FlatL2L1,
                 group: 2,
             },
-        ]))
+        ]);
+        Some((
+            Translation {
+                pfn: pte.pfn(),
+                size: PageSize::Size4K,
+            },
+            path,
+        ))
     }
 
     fn occupancy(&self) -> OccupancyReport {

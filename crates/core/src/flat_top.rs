@@ -24,8 +24,7 @@ use crate::radix::Node;
 use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, Translation};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_FLAT_NODE, ENTRIES_PER_NODE, LEVEL_BITS, PAGE_SIZE};
-use ndp_types::{PageSize, PtLevel, Vpn};
-use std::collections::HashMap;
+use ndp_types::{FastMap, PageSize, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 const FLAT_ENTRIES: usize = ENTRIES_PER_FLAT_NODE as usize;
@@ -43,7 +42,7 @@ pub struct FlattenedL4L3 {
     root: Node,
     /// PL2 and PL1 nodes.
     nodes: Vec<Node>,
-    by_frame: HashMap<u64, usize>,
+    by_frame: FastMap<u64, usize>,
     l2_nodes: Vec<usize>,
     l1_nodes: Vec<usize>,
     mapped: u64,
@@ -59,7 +58,7 @@ impl FlattenedL4L3 {
         FlattenedL4L3 {
             root: Node::new(frame, FLAT_ENTRIES),
             nodes: Vec::new(),
-            by_frame: HashMap::new(),
+            by_frame: FastMap::default(),
             l2_nodes: Vec::new(),
             l1_nodes: Vec::new(),
             mapped: 0,
@@ -156,7 +155,7 @@ impl PageTable for FlattenedL4L3 {
         if !self.nodes[l1].get(vpn.l1_index()).is_present() {
             return None;
         }
-        Some(WalkPath::new(vec![
+        Some(WalkPath::of([
             // The merged root consumes the L4+L3 bits; its PWC tag must
             // cover the 18-bit prefix, which PtLevel::L3 provides.
             WalkStep {
@@ -187,9 +186,8 @@ impl PageTable for FlattenedL4L3 {
                 capacity: ENTRIES_PER_FLAT_NODE,
             },
         );
-        let sum = |idxs: &[usize]| -> u64 {
-            idxs.iter().map(|&i| u64::from(self.nodes[i].valid)).sum()
-        };
+        let sum =
+            |idxs: &[usize]| -> u64 { idxs.iter().map(|&i| u64::from(self.nodes[i].valid)).sum() };
         report.set(
             PtLevel::L2,
             LevelOccupancy {

@@ -16,11 +16,10 @@ use crate::alloc::{FrameAllocator, FramePurpose};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
 use crate::radix::Node;
-use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, Translation};
+use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_NODE, PAGE_SIZE};
-use ndp_types::{PageSize, PtLevel, Vpn};
-use std::collections::HashMap;
+use ndp_types::{FastMap, PageSize, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 
@@ -37,7 +36,7 @@ pub struct HugeStats {
 #[derive(Debug, Clone)]
 pub struct HugePageTable {
     nodes: Vec<Node>,
-    by_frame: HashMap<u64, usize>,
+    by_frame: FastMap<u64, usize>,
     /// per-level node lists: [L4, L3, L2, L1-fallback].
     per_level: [Vec<usize>; 4],
     root: usize,
@@ -50,7 +49,7 @@ impl HugePageTable {
     pub fn new(alloc: &mut FrameAllocator) -> Self {
         let mut t = HugePageTable {
             nodes: Vec::new(),
-            by_frame: HashMap::new(),
+            by_frame: FastMap::default(),
             per_level: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             root: 0,
             stats: HugeStats::default(),
@@ -193,13 +192,44 @@ impl PageTable for HugePageTable {
         }
     }
 
+    fn map_range(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangeMapOutcome {
+        // After the first fault in a 2 MB region decides huge vs fallback,
+        // the remaining pages of a huge region are no-ops the per-page
+        // loop would still pay three lookups each for; skip them.
+        let mut totals = RangeMapOutcome::default();
+        let mut p = 0u64;
+        while p < pages {
+            let vpn = first.add(p);
+            totals.absorb(self.map(vpn, alloc));
+            let to_region_end = ENTRIES_PER_NODE - (vpn.as_u64() - vpn.huge_aligned().as_u64());
+            let in_region = to_region_end.min(pages - p);
+            let huge_mapped = self
+                .translate(vpn)
+                .is_some_and(|t| t.size == PageSize::Size2M);
+            if huge_mapped {
+                p += in_region;
+            } else {
+                for q in 1..in_region {
+                    totals.absorb(self.map(vpn.add(q), alloc));
+                }
+                p += in_region;
+            }
+        }
+        totals
+    }
+
     fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
+        self.translate_and_walk(vpn).map(|(_, path)| path)
+    }
+
+    fn translate_and_walk(&self, vpn: Vpn) -> Option<(Translation, WalkPath)> {
+        // Single descent serving both results; per-op hot path.
         let (l3, l2) = self.descend_l2(vpn)?;
         let l2e = self.nodes[l2].get(vpn.l2_index());
         if !l2e.is_present() {
             return None;
         }
-        let mut steps = vec![
+        let mut path = WalkPath::of([
             WalkStep {
                 addr: self.nodes[self.root].frame.entry_addr(vpn.l4_index()),
                 level: PtLevel::L4,
@@ -215,19 +245,29 @@ impl PageTable for HugePageTable {
                 level: PtLevel::L2,
                 group: 2,
             },
-        ];
-        if !l2e.is_huge() {
+        ]);
+        let translation = if l2e.is_huge() {
+            Translation {
+                pfn: l2e.pfn().add(vpn.l1_index() as u64),
+                size: PageSize::Size2M,
+            }
+        } else {
             let l1 = *self.by_frame.get(&l2e.pfn().as_u64())?;
-            if !self.nodes[l1].get(vpn.l1_index()).is_present() {
+            let l1e = self.nodes[l1].get(vpn.l1_index());
+            if !l1e.is_present() {
                 return None;
             }
-            steps.push(WalkStep {
+            path.push(WalkStep {
                 addr: self.nodes[l1].frame.entry_addr(vpn.l1_index()),
                 level: PtLevel::L1,
                 group: 3,
             });
-        }
-        Some(WalkPath::new(steps))
+            Translation {
+                pfn: l1e.pfn(),
+                size: PageSize::Size4K,
+            }
+        };
+        Some((translation, path))
     }
 
     fn occupancy(&self) -> OccupancyReport {
@@ -325,7 +365,7 @@ mod tests {
     #[test]
     fn fallback_region_maps_individual_pages() {
         let (mut alloc, mut t) = setup(16 << 20); // tiny: fallback almost immediately
-        // Exhaust contiguity.
+                                                  // Exhaust contiguity.
         let mut i = 0u64;
         loop {
             let o = t.map(Vpn::new(i * 512), &mut alloc);

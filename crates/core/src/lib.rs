@@ -61,6 +61,6 @@ pub mod walk;
 
 pub use alloc::FrameAllocator;
 pub use bypass::BypassPolicy;
-pub use mechanism::Mechanism;
+pub use mechanism::{Mechanism, PageTableImpl};
 pub use table::{PageTable, PageTableKind, Translation};
 pub use walk::{WalkPath, WalkStep};

@@ -6,8 +6,11 @@ use crate::bypass::BypassPolicy;
 use crate::cuckoo::ElasticCuckooTable;
 use crate::flat::FlattenedL2L1;
 use crate::huge::HugePageTable;
+use crate::occupancy::OccupancyReport;
 use crate::radix::Radix4;
-use crate::table::PageTable;
+use crate::table::{MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
+use crate::walk::WalkPath;
+use ndp_types::Vpn;
 use std::fmt;
 
 /// An evaluated address-translation mechanism.
@@ -86,6 +89,10 @@ impl Mechanism {
     }
 
     /// Builds the mechanism's page table, or `None` for `Ideal`.
+    ///
+    /// Returns a trait object; extension code that mixes in custom
+    /// [`PageTable`] implementations wants this form. The simulator's
+    /// per-op hot path uses [`Mechanism::build_impl`] instead.
     #[must_use]
     pub fn build_table(self, alloc: &mut FrameAllocator) -> Option<Box<dyn PageTable>> {
         match self {
@@ -95,6 +102,96 @@ impl Mechanism {
             Mechanism::NdPage => Some(Box::new(FlattenedL2L1::new(alloc))),
             Mechanism::Ideal => None,
         }
+    }
+
+    /// Builds the mechanism's page table as a statically dispatched
+    /// [`PageTableImpl`], or `None` for `Ideal`.
+    #[must_use]
+    pub fn build_impl(self, alloc: &mut FrameAllocator) -> Option<PageTableImpl> {
+        match self {
+            Mechanism::Radix => Some(PageTableImpl::Radix(Radix4::new(alloc))),
+            Mechanism::Ech => Some(PageTableImpl::Ech(ElasticCuckooTable::new(alloc))),
+            Mechanism::HugePage => Some(PageTableImpl::Huge(HugePageTable::new(alloc))),
+            Mechanism::NdPage => Some(PageTableImpl::Flat(FlattenedL2L1::new(alloc))),
+            Mechanism::Ideal => None,
+        }
+    }
+}
+
+/// The closed set of built-in page-table designs, as an enum so the
+/// simulator's per-op translate/walk calls dispatch statically (and
+/// inline) instead of through a `Box<dyn PageTable>` vtable.
+///
+/// Implements [`PageTable`] itself, so everything written against the
+/// trait — the walker, occupancy tooling, reports — works unchanged.
+#[derive(Debug, Clone)]
+pub enum PageTableImpl {
+    /// Conventional x86-64 4-level radix table.
+    Radix(Radix4),
+    /// Elastic cuckoo hash table.
+    Ech(ElasticCuckooTable),
+    /// 2 MB transparent-huge-page table.
+    Huge(HugePageTable),
+    /// NDPage's flattened L2/L1 table.
+    Flat(FlattenedL2L1),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $table:ident => $body:expr) => {
+        match $self {
+            PageTableImpl::Radix($table) => $body,
+            PageTableImpl::Ech($table) => $body,
+            PageTableImpl::Huge($table) => $body,
+            PageTableImpl::Flat($table) => $body,
+        }
+    };
+}
+
+impl PageTable for PageTableImpl {
+    #[inline]
+    fn kind(&self) -> PageTableKind {
+        dispatch!(self, t => t.kind())
+    }
+
+    #[inline]
+    fn translate(&self, vpn: Vpn) -> Option<Translation> {
+        dispatch!(self, t => t.translate(vpn))
+    }
+
+    #[inline]
+    fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome {
+        dispatch!(self, t => t.map(vpn, alloc))
+    }
+
+    fn map_range(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangeMapOutcome {
+        dispatch!(self, t => t.map_range(first, pages, alloc))
+    }
+
+    #[inline]
+    fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
+        dispatch!(self, t => t.walk_path(vpn))
+    }
+
+    #[inline]
+    fn translate_and_walk(&self, vpn: Vpn) -> Option<(Translation, WalkPath)> {
+        dispatch!(self, t => t.translate_and_walk(vpn))
+    }
+
+    fn occupancy(&self) -> OccupancyReport {
+        dispatch!(self, t => t.occupancy())
+    }
+
+    fn mapped_pages(&self) -> u64 {
+        dispatch!(self, t => t.mapped_pages())
+    }
+
+    fn table_bytes(&self) -> u64 {
+        dispatch!(self, t => t.table_bytes())
+    }
+
+    #[inline]
+    fn take_pending_os_work(&mut self) -> u64 {
+        dispatch!(self, t => t.take_pending_os_work())
     }
 }
 
@@ -147,6 +244,28 @@ mod tests {
         }
         assert!(Mechanism::Ideal.build_table(&mut alloc).is_none());
         assert!(Mechanism::Ideal.is_ideal());
+    }
+
+    #[test]
+    fn build_impl_matches_build_table() {
+        let mut alloc = FrameAllocator::new(1 << 30);
+        for m in Mechanism::REAL {
+            let mut boxed = m.build_table(&mut alloc).expect("real mechanism");
+            let mut statics = m.build_impl(&mut alloc).expect("real mechanism");
+            assert_eq!(boxed.kind(), statics.kind(), "{m}");
+            let vpn = Vpn::new(0xAB_CDEF);
+            let ob = boxed.map(vpn, &mut alloc);
+            let os = statics.map(vpn, &mut alloc);
+            assert_eq!(ob.newly_mapped, os.newly_mapped, "{m}");
+            assert_eq!(ob.fault, os.fault, "{m}");
+            assert_eq!(
+                boxed.walk_path(vpn).unwrap().sequential_depth(),
+                statics.walk_path(vpn).unwrap().sequential_depth(),
+                "{m}"
+            );
+            assert_eq!(boxed.mapped_pages(), statics.mapped_pages(), "{m}");
+        }
+        assert!(Mechanism::Ideal.build_impl(&mut alloc).is_none());
     }
 
     #[test]

@@ -3,11 +3,10 @@
 use crate::alloc::{FrameAllocator, FramePurpose};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
-use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, Translation};
+use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_NODE, PAGE_SIZE};
-use ndp_types::{PageSize, Pfn, PtLevel, Vpn};
-use std::collections::HashMap;
+use ndp_types::{FastMap, PageSize, Pfn, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 
@@ -48,7 +47,8 @@ impl Node {
 pub struct Radix4 {
     nodes: Vec<Node>,
     /// node index by owning frame, for descent from a PTE's PFN.
-    by_frame: HashMap<u64, usize>,
+    /// Probed on every walk step, so it lives on the shared fast hasher.
+    by_frame: FastMap<u64, usize>,
     /// per-level node lists: [L4, L3, L2, L1] indices.
     per_level: [Vec<usize>; 4],
     root: usize,
@@ -61,7 +61,7 @@ impl Radix4 {
     pub fn new(alloc: &mut FrameAllocator) -> Self {
         let mut t = Radix4 {
             nodes: Vec::new(),
-            by_frame: HashMap::new(),
+            by_frame: FastMap::default(),
             per_level: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             root: 0,
             mapped: 0,
@@ -77,6 +77,27 @@ impl Radix4 {
         self.by_frame.insert(frame.as_u64(), idx);
         self.per_level[level_idx].push(idx);
         idx
+    }
+
+    /// Descends to (creating as needed) the L1 node for `vpn`, returning
+    /// its arena index and how many interior nodes were allocated.
+    fn leaf_node_for(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> (usize, u32) {
+        let mut node = self.root;
+        let mut tables_allocated = 0;
+        for (depth, level) in PtLevel::RADIX_WALK.iter().enumerate().take(3) {
+            let idx = vpn.index_for(*level);
+            let pte = self.nodes[node].get(idx);
+            node = if pte.is_present() {
+                self.by_frame[&pte.pfn().as_u64()]
+            } else {
+                let child = self.new_node(alloc, depth + 1);
+                tables_allocated += 1;
+                let child_frame = self.nodes[child].frame;
+                self.nodes[node].set(idx, Pte::next(child_frame));
+                child
+            };
+        }
+        (node, tables_allocated)
     }
 
     /// Walks down to the node at `level_idx` (0=L4 .. 3=L1) for `vpn`,
@@ -110,21 +131,7 @@ impl PageTable for Radix4 {
     }
 
     fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome {
-        let mut node = self.root;
-        let mut tables_allocated = 0;
-        for (depth, level) in PtLevel::RADIX_WALK.iter().enumerate().take(3) {
-            let idx = vpn.index_for(*level);
-            let pte = self.nodes[node].get(idx);
-            node = if pte.is_present() {
-                self.by_frame[&pte.pfn().as_u64()]
-            } else {
-                let child = self.new_node(alloc, depth + 1);
-                tables_allocated += 1;
-                let child_frame = self.nodes[child].frame;
-                self.nodes[node].set(idx, Pte::next(child_frame));
-                child
-            };
-        }
+        let (node, tables_allocated) = self.leaf_node_for(vpn, alloc);
         let l1 = vpn.l1_index();
         if self.nodes[node].get(l1).is_present() {
             return MapOutcome::already_mapped();
@@ -139,23 +146,70 @@ impl PageTable for Radix4 {
         }
     }
 
+    fn map_range(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangeMapOutcome {
+        // One descent per touched 2 MB region instead of one per page;
+        // allocation order matches the per-page loop exactly (pages are
+        // ascending, so a region's interior nodes are created at its
+        // first page either way).
+        let mut totals = RangeMapOutcome::default();
+        let mut cached: Option<(Vpn, usize)> = None;
+        for p in 0..pages {
+            let vpn = first.add(p);
+            let region = vpn.huge_aligned();
+            let leaf = match cached {
+                Some((base, node)) if base == region => node,
+                _ => {
+                    let (node, _) = self.leaf_node_for(vpn, alloc);
+                    cached = Some((region, node));
+                    node
+                }
+            };
+            let idx = vpn.l1_index();
+            if self.nodes[leaf].get(idx).is_present() {
+                continue;
+            }
+            let frame = alloc.alloc_frame(FramePurpose::Data);
+            self.nodes[leaf].set(idx, Pte::leaf(frame));
+            self.mapped += 1;
+            totals.minor_4k += 1;
+        }
+        totals
+    }
+
     fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
-        self.translate(vpn)?;
-        let mut steps = Vec::with_capacity(4);
+        self.translate_and_walk(vpn).map(|(_, path)| path)
+    }
+
+    fn translate_and_walk(&self, vpn: Vpn) -> Option<(Translation, WalkPath)> {
+        // Single descent serving both results (the default would descend
+        // three times); per-op hot path.
+        let mut path = WalkPath::empty();
         let mut node = self.root;
+        let mut leaf = Pte::NULL;
         for (group, level) in PtLevel::RADIX_WALK.iter().enumerate() {
             let idx = vpn.index_for(*level);
-            steps.push(WalkStep {
+            path.push(WalkStep {
                 addr: self.nodes[node].frame.entry_addr(idx),
                 level: *level,
                 group: group as u8,
             });
+            let pte = self.nodes[node].get(idx);
+            if !pte.is_present() {
+                return None;
+            }
             if group < 3 {
-                let pte = self.nodes[node].get(idx);
-                node = self.by_frame[&pte.pfn().as_u64()];
+                node = *self.by_frame.get(&pte.pfn().as_u64())?;
+            } else {
+                leaf = pte;
             }
         }
-        Some(WalkPath::new(steps))
+        Some((
+            Translation {
+                pfn: leaf.pfn(),
+                size: PageSize::Size4K,
+            },
+            path,
+        ))
     }
 
     fn occupancy(&self) -> OccupancyReport {

@@ -85,6 +85,29 @@ impl MapOutcome {
     }
 }
 
+/// Aggregated result of a [`PageTable::map_range`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeMapOutcome {
+    /// 4 KB minor faults incurred.
+    pub minor_4k: u64,
+    /// 2 MB minor faults incurred.
+    pub minor_2m: u64,
+    /// THP-fallback faults incurred.
+    pub fallback: u64,
+}
+
+impl RangeMapOutcome {
+    /// Folds one [`MapOutcome`] into the totals.
+    pub fn absorb(&mut self, outcome: MapOutcome) {
+        match outcome.fault {
+            Some(FaultKind::Minor4K) => self.minor_4k += 1,
+            Some(FaultKind::Minor2M) => self.minor_2m += 1,
+            Some(FaultKind::Fallback4K) => self.fallback += 1,
+            None => {}
+        }
+    }
+}
+
 /// A translation structure mapping virtual to physical pages.
 ///
 /// Implementations must uphold two invariants relied on by the simulator
@@ -106,9 +129,39 @@ pub trait PageTable {
     /// Ensures `vpn` is mapped, allocating frames/nodes as needed.
     fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome;
 
+    /// Maps `pages` consecutive pages starting at `first`, returning the
+    /// aggregated fault counts. Must behave exactly like calling
+    /// [`Self::map`] per page in ascending order (same allocator call
+    /// sequence, same resulting structure); the built-in designs override
+    /// it to descend once per region instead of once per page, which is
+    /// what makes the simulator's init phase (millions of `map`s) cheap.
+    fn map_range(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangeMapOutcome {
+        let mut totals = RangeMapOutcome::default();
+        for p in 0..pages {
+            totals.absorb(self.map(first.add(p), alloc));
+        }
+        totals
+    }
+
     /// The physical PTE accesses a hardware walk for `vpn` performs, or
     /// `None` if unmapped.
+    ///
+    /// Paths are bounded by [`crate::walk::MAX_WALK_STEPS`] steps
+    /// (4-level radix, or one probe per hash way up to
+    /// `PtLevel::MAX_HASH_WAYS`); [`WalkPath::push`] panics beyond that,
+    /// so custom designs needing deeper walks must raise the bound.
     fn walk_path(&self, vpn: Vpn) -> Option<WalkPath>;
+
+    /// [`Self::translate`] and [`Self::walk_path`] in one call — the
+    /// simulator needs both on every TLB miss, and a combined lookup lets
+    /// implementations descend the table once instead of three times
+    /// (`walk_path` typically re-translates internally). The default is
+    /// the two separate calls; the built-in designs override it with a
+    /// single-descent version. Must equal
+    /// `(self.translate(vpn)?, self.walk_path(vpn)?)` exactly.
+    fn translate_and_walk(&self, vpn: Vpn) -> Option<(Translation, WalkPath)> {
+        Some((self.translate(vpn)?, self.walk_path(vpn)?))
+    }
 
     /// Current occupancy of every level.
     fn occupancy(&self) -> OccupancyReport;

@@ -7,7 +7,11 @@
 //! cuckoo ways at once), while distinct groups serialise in order (radix
 //! levels depend on each other's results).
 
-use ndp_types::{PhysAddr, PtLevel};
+use ndp_types::{InlineVec, PhysAddr, PtLevel};
+
+/// Upper bound on steps in one walk: 4 radix levels or up to
+/// [`PtLevel::MAX_HASH_WAYS`] parallel hash probes.
+pub const MAX_WALK_STEPS: usize = PtLevel::MAX_HASH_WAYS;
 
 /// One PTE access of a walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,30 +26,79 @@ pub struct WalkStep {
 }
 
 /// An ordered collection of [`WalkStep`]s describing one full walk.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Walks are bounded by [`MAX_WALK_STEPS`], so the steps live inline
+/// (paths are built and discarded once per TLB miss — the seed's per-walk
+/// `Vec` put two heap round-trips on that path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalkPath {
-    steps: Vec<WalkStep>,
+    steps: InlineVec<WalkStep, MAX_WALK_STEPS>,
+}
+
+impl Default for WalkStep {
+    fn default() -> Self {
+        WalkStep {
+            addr: PhysAddr::new(0),
+            level: PtLevel::L4,
+            group: 0,
+        }
+    }
 }
 
 impl WalkPath {
     /// An empty path (e.g. the Ideal mechanism performs no walk).
     #[must_use]
     pub fn empty() -> Self {
-        WalkPath { steps: Vec::new() }
+        WalkPath {
+            steps: InlineVec::new(),
+        }
     }
 
     /// Builds a path from steps.
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if groups are not ascending.
+    /// Panics in debug builds if groups are not ascending, and always if
+    /// there are more than [`MAX_WALK_STEPS`] steps.
     #[must_use]
     pub fn new(steps: Vec<WalkStep>) -> Self {
+        let mut path = WalkPath::empty();
+        for step in steps {
+            path.push(step);
+        }
+        path
+    }
+
+    /// Builds a path from a fixed array of steps without heap traffic —
+    /// what the built-in designs use on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// As for [`WalkPath::new`].
+    #[must_use]
+    pub fn of<const K: usize>(steps: [WalkStep; K]) -> Self {
+        let mut path = WalkPath::empty();
+        for step in steps {
+            path.push(step);
+        }
+        path
+    }
+
+    /// Appends a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `step.group` precedes the last step's
+    /// group, and always past [`MAX_WALK_STEPS`] steps.
+    #[inline]
+    pub fn push(&mut self, step: WalkStep) {
         debug_assert!(
-            steps.windows(2).all(|w| w[0].group <= w[1].group),
+            self.steps
+                .last()
+                .is_none_or(|prev| prev.group <= step.group),
             "walk groups must be non-decreasing"
         );
-        WalkPath { steps }
+        self.steps.push(step);
     }
 
     /// The steps in issue order.
@@ -70,16 +123,14 @@ impl WalkPath {
     /// the paper optimises from 4 to 3 (§V-B).
     #[must_use]
     pub fn sequential_depth(&self) -> usize {
-        let mut groups: Vec<u8> = self.steps.iter().map(|s| s.group).collect();
-        groups.dedup();
-        groups.len()
+        self.groups().count()
     }
 
     /// Iterates over the groups in order, yielding the slice of steps in
     /// each parallel group.
     pub fn groups(&self) -> impl Iterator<Item = &[WalkStep]> {
         GroupIter {
-            steps: &self.steps,
+            steps: self.steps.as_slice(),
             pos: 0,
         }
     }
@@ -169,9 +220,6 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     #[cfg(debug_assertions)]
     fn descending_groups_rejected() {
-        let _ = WalkPath::new(vec![
-            step(0x1, PtLevel::L4, 1),
-            step(0x2, PtLevel::L3, 0),
-        ]);
+        let _ = WalkPath::new(vec![step(0x1, PtLevel::L4, 1), step(0x2, PtLevel::L3, 0)]);
     }
 }

@@ -1,12 +1,12 @@
 //! Property-based tests of the page-table designs' core invariants
 //! (the contract documented on [`ndpage::table::PageTable`]).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use ndp_types::{PtLevel, Vpn};
 use ndpage::alloc::FrameAllocator;
 use ndpage::table::PageTable;
 use ndpage::Mechanism;
+use proptest::collection::vec;
+use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 /// Arbitrary VPNs within a 16 GB virtual window (plenty of level variety).
@@ -15,11 +15,7 @@ fn arb_vpn() -> impl Strategy<Value = u64> {
 }
 
 fn for_each_design(
-    mut f: impl FnMut(
-        Mechanism,
-        &mut FrameAllocator,
-        Box<dyn PageTable>,
-    ) -> Result<(), TestCaseError>,
+    mut f: impl FnMut(Mechanism, &mut FrameAllocator, Box<dyn PageTable>) -> Result<(), TestCaseError>,
 ) -> Result<(), TestCaseError> {
     for mechanism in Mechanism::REAL {
         let mut alloc = FrameAllocator::new(8 << 30);
@@ -111,6 +107,72 @@ proptest! {
                     "{}: unmapped vpn must not translate", mechanism
                 );
                 prop_assert!(table.walk_path(Vpn::new(probe)).is_none());
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Range mapping must build exactly the structure per-page mapping
+    /// builds — same translations, same fault totals, same occupancy —
+    /// since the simulator's init phase relies on the fast path.
+    #[test]
+    fn map_range_matches_per_page_maps(
+        starts in vec(arb_vpn(), 1..12),
+        lens in vec(1u64..1200, 1..12),
+    ) {
+        for mechanism in Mechanism::REAL {
+            let mut alloc_a = FrameAllocator::new(8 << 30);
+            let mut alloc_b = FrameAllocator::new(8 << 30);
+            let mut by_range = mechanism.build_table(&mut alloc_a).expect("real mechanism");
+            let mut by_page = mechanism.build_table(&mut alloc_b).expect("real mechanism");
+            let mut range_faults = (0u64, 0u64, 0u64);
+            let mut page_faults = (0u64, 0u64, 0u64);
+            for (&start, &len) in starts.iter().zip(&lens) {
+                let first = Vpn::new(start);
+                let o = by_range.map_range(first, len, &mut alloc_a);
+                range_faults.0 += o.minor_4k;
+                range_faults.1 += o.minor_2m;
+                range_faults.2 += o.fallback;
+                for p in 0..len {
+                    match by_page.map(first.add(p), &mut alloc_b).fault {
+                        Some(ndpage::table::FaultKind::Minor4K) => page_faults.0 += 1,
+                        Some(ndpage::table::FaultKind::Minor2M) => page_faults.1 += 1,
+                        Some(ndpage::table::FaultKind::Fallback4K) => page_faults.2 += 1,
+                        None => {}
+                    }
+                }
+            }
+            prop_assert_eq!(range_faults, page_faults, "{}", mechanism);
+            prop_assert_eq!(by_range.mapped_pages(), by_page.mapped_pages(), "{}", mechanism);
+            prop_assert_eq!(by_range.table_bytes(), by_page.table_bytes(), "{}", mechanism);
+            for (&start, &len) in starts.iter().zip(&lens) {
+                for p in 0..len {
+                    let vpn = Vpn::new(start).add(p);
+                    prop_assert_eq!(
+                        by_range.translate(vpn),
+                        by_page.translate(vpn),
+                        "{} vpn {:?}",
+                        mechanism,
+                        vpn
+                    );
+                }
+            }
+        }
+    }
+
+    /// The single-descent combined lookup must equal the two separate
+    /// calls exactly — the simulator's hot path relies on it.
+    #[test]
+    fn combined_lookup_matches_separate_calls(vpns in vec(arb_vpn(), 1..150), probe in arb_vpn()) {
+        for_each_design(|mechanism, alloc, mut table| {
+            for &raw in &vpns {
+                table.map(Vpn::new(raw), alloc);
+            }
+            for &raw in vpns.iter().chain([&probe]) {
+                let vpn = Vpn::new(raw);
+                let combined = table.translate_and_walk(vpn);
+                let separate = table.translate(vpn).zip(table.walk_path(vpn));
+                prop_assert_eq!(combined, separate, "{}", mechanism);
             }
             Ok(())
         })?;

@@ -234,7 +234,11 @@ impl Dram {
         let per_channel_addr = line / u64::from(self.config.channels) * 64;
         let row = per_channel_addr / self.config.row_bytes;
         let bank = (row % u64::from(self.config.banks_per_channel)) as u32;
-        (channel, bank, row / u64::from(self.config.banks_per_channel))
+        (
+            channel,
+            bank,
+            row / u64::from(self.config.banks_per_channel),
+        )
     }
 
     /// Performs one 64 B access arriving at `now`, returning its completion
@@ -385,7 +389,10 @@ mod tests {
         let ddr = DramConfig::ddr4_2400();
         let hbm = DramConfig::hbm2();
         assert!(hbm.channels > ddr.channels, "HBM has more channels");
-        assert!(hbm.timing.burst < ddr.timing.burst, "HBM has more bandwidth");
+        assert!(
+            hbm.timing.burst < ddr.timing.burst,
+            "HBM has more bandwidth"
+        );
         assert_eq!(ddr.capacity_bytes, 16 << 30);
         assert_eq!(hbm.capacity_bytes, 16 << 30);
     }

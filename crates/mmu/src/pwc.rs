@@ -19,17 +19,22 @@
 
 use ndp_types::stats::HitMiss;
 use ndp_types::{PtLevel, Vpn};
-use std::collections::BTreeMap;
 
 /// Entries per per-level PWC (Victima-style: 64 entries).
 pub const PWC_ENTRIES: usize = 64;
 
 /// A single level's page-walk cache.
+///
+/// Tags and LRU stamps live in parallel arrays (not `(tag, stamp)`
+/// tuples): the per-walk-step tag scan then reads a dense `u64` array the
+/// compiler can vectorise, and the eviction scan reads only stamps.
 #[derive(Debug, Clone)]
 pub struct Pwc {
     level: PtLevel,
-    /// (tag, stamp) pairs, fully associative.
-    entries: Vec<(u64, u64)>,
+    /// Fully associative tags, parallel to `stamps`.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    stamps: Vec<u64>,
     capacity: usize,
     tick: u64,
     stats: HitMiss,
@@ -52,11 +57,47 @@ impl Pwc {
         assert!(capacity > 0, "PWC needs at least one entry");
         Pwc {
             level,
-            entries: Vec::with_capacity(capacity),
+            tags: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
             capacity,
             tick: 0,
             stats: HitMiss::default(),
         }
+    }
+
+    /// Index of `tag`, if cached. Written without an early exit so the
+    /// scan vectorises; tags are unique, so the last match is the match.
+    #[inline]
+    fn find(&self, tag: u64) -> Option<usize> {
+        let mut found = usize::MAX;
+        for (i, &t) in self.tags.iter().enumerate() {
+            if t == tag {
+                found = i;
+            }
+        }
+        (found != usize::MAX).then_some(found)
+    }
+
+    /// Installs `tag` with the current tick, evicting the LRU entry when
+    /// full. Caller guarantees `tag` is absent.
+    #[inline]
+    fn insert(&mut self, tag: u64) {
+        if self.tags.len() < self.capacity {
+            self.tags.push(tag);
+            self.stamps.push(self.tick);
+            return;
+        }
+        // First-minimum scan, matching the seed's `min_by_key` choice.
+        let mut victim = 0usize;
+        let mut oldest = u64::MAX;
+        for (i, &s) in self.stamps.iter().enumerate() {
+            if s < oldest {
+                oldest = s;
+                victim = i;
+            }
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
     }
 
     /// The level this PWC serves.
@@ -85,11 +126,12 @@ impl Pwc {
     }
 
     /// Probes (and on hit refreshes) the PWC; records statistics.
+    #[inline]
     pub fn access(&mut self, vpn: Vpn) -> bool {
         self.tick += 1;
         let tag = Self::tag_for(self.level, vpn);
-        if let Some(e) = self.entries.iter_mut().find(|(t, _)| *t == tag) {
-            e.1 = self.tick;
+        if let Some(i) = self.find(tag) {
+            self.stamps[i] = self.tick;
             self.stats.record(true);
             return true;
         }
@@ -98,28 +140,42 @@ impl Pwc {
     }
 
     /// Installs the tag after a successful memory fetch of this level.
+    #[inline]
     pub fn fill(&mut self, vpn: Vpn) {
         self.tick += 1;
         let tag = Self::tag_for(self.level, vpn);
-        if let Some(e) = self.entries.iter_mut().find(|(t, _)| *t == tag) {
-            e.1 = self.tick;
+        if let Some(i) = self.find(tag) {
+            self.stamps[i] = self.tick;
             return;
         }
-        if self.entries.len() < self.capacity {
-            self.entries.push((tag, self.tick));
-            return;
+        self.insert(tag);
+    }
+
+    /// [`Self::access`] and, on a miss, [`Self::fill`] in one call with a
+    /// single tag scan — the walker probes and then installs every missed
+    /// level, so the separate calls scanned twice. Tick arithmetic and
+    /// statistics match the two-call sequence exactly.
+    #[inline]
+    pub fn probe_fill(&mut self, vpn: Vpn) -> bool {
+        self.tick += 1;
+        let tag = Self::tag_for(self.level, vpn);
+        if let Some(i) = self.find(tag) {
+            self.stamps[i] = self.tick;
+            self.stats.record(true);
+            return true;
         }
-        let victim = self
-            .entries
-            .iter_mut()
-            .min_by_key(|(_, s)| *s)
-            .expect("capacity > 0");
-        *victim = (tag, self.tick);
+        self.stats.record(false);
+        // The fill half of the pair advances the clock again, exactly as
+        // a separate fill() call would; the tag is known absent.
+        self.tick += 1;
+        self.insert(tag);
+        false
     }
 
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
-        self.entries.clear();
+        self.tags.clear();
+        self.stamps.clear();
         self.tick = 0;
         self.stats = HitMiss::default();
     }
@@ -135,11 +191,34 @@ impl Pwc {
 /// PWCs are created lazily per level on first use, so the same type serves
 /// the 4-level radix walker (PL4..PL1), NDPage's 3-level walker
 /// (PL4, PL3, PL2/PL1) and the Huge Page walker.
+///
+/// The bank is a fixed-size array indexed by [`PtLevel::pwc_slot`] — the
+/// level set is a tiny closed enum, and the per-walk-step probe is one of
+/// the simulator's hottest operations, so an O(1) array index replaces the
+/// seed's `BTreeMap` descent (kept under `legacy_hotpath` for baseline
+/// benchmarking). Slot order equals level order, so statistics iterate
+/// identically to the map-backed layout.
 #[derive(Debug, Clone)]
 pub struct PwcSet {
-    pwcs: BTreeMap<PtLevel, Pwc>,
+    pwcs: PwcStore,
     enabled: bool,
     capacity: usize,
+}
+
+#[cfg(not(feature = "legacy_hotpath"))]
+type PwcStore = [Option<Pwc>; PtLevel::PWC_SLOTS];
+
+#[cfg(feature = "legacy_hotpath")]
+type PwcStore = std::collections::BTreeMap<PtLevel, Pwc>;
+
+#[cfg(not(feature = "legacy_hotpath"))]
+fn empty_store() -> PwcStore {
+    core::array::from_fn(|_| None)
+}
+
+#[cfg(feature = "legacy_hotpath")]
+fn empty_store() -> PwcStore {
+    std::collections::BTreeMap::new()
 }
 
 impl Default for PwcSet {
@@ -166,7 +245,7 @@ impl PwcSet {
     pub fn enabled_with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "PWC needs at least one entry");
         PwcSet {
-            pwcs: BTreeMap::new(),
+            pwcs: empty_store(),
             enabled: true,
             capacity,
         }
@@ -177,7 +256,7 @@ impl PwcSet {
     #[must_use]
     pub fn disabled() -> Self {
         PwcSet {
-            pwcs: BTreeMap::new(),
+            pwcs: empty_store(),
             enabled: false,
             capacity: PWC_ENTRIES,
         }
@@ -189,51 +268,112 @@ impl PwcSet {
         self.enabled
     }
 
+    /// The live (touched) PWC for `level`, creating it on first use.
+    #[cfg(not(feature = "legacy_hotpath"))]
+    #[inline]
+    fn level_pwc(&mut self, level: PtLevel) -> &mut Pwc {
+        let capacity = self.capacity;
+        self.pwcs[level.pwc_slot()].get_or_insert_with(|| Pwc::with_capacity(level, capacity))
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    fn level_pwc(&mut self, level: PtLevel) -> &mut Pwc {
+        let capacity = self.capacity;
+        self.pwcs
+            .entry(level)
+            .or_insert_with(|| Pwc::with_capacity(level, capacity))
+    }
+
     /// Probes the PWC for `level`; always misses when disabled.
+    #[inline]
     pub fn access(&mut self, level: PtLevel, vpn: Vpn) -> bool {
         if !self.enabled {
             return false;
         }
-        let capacity = self.capacity;
-        self.pwcs
-            .entry(level)
-            .or_insert_with(|| Pwc::with_capacity(level, capacity))
-            .access(vpn)
+        self.level_pwc(level).access(vpn)
     }
 
     /// Fills the PWC for `level` (no-op when disabled).
+    #[inline]
     pub fn fill(&mut self, level: PtLevel, vpn: Vpn) {
         if !self.enabled {
             return;
         }
-        let capacity = self.capacity;
-        self.pwcs
-            .entry(level)
-            .or_insert_with(|| Pwc::with_capacity(level, capacity))
-            .fill(vpn);
+        self.level_pwc(level).fill(vpn);
+    }
+
+    /// Probes `level` and installs the tag on a miss with a single scan
+    /// (see [`Pwc::probe_fill`]); equivalent to `access` + `fill`-on-miss.
+    /// Always misses (and fills nothing) when disabled. Under
+    /// `legacy_hotpath` this runs the seed's two-call sequence.
+    #[inline]
+    pub fn probe_fill(&mut self, level: PtLevel, vpn: Vpn) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        #[cfg(not(feature = "legacy_hotpath"))]
+        {
+            self.level_pwc(level).probe_fill(vpn)
+        }
+        #[cfg(feature = "legacy_hotpath")]
+        {
+            let hit = self.level_pwc(level).access(vpn);
+            if !hit {
+                self.level_pwc(level).fill(vpn);
+            }
+            hit
+        }
     }
 
     /// Per-level hit/miss statistics, in level order.
     pub fn stats(&self) -> impl Iterator<Item = (PtLevel, &HitMiss)> {
-        self.pwcs.iter().map(|(l, p)| (*l, p.stats()))
+        self.touched().map(|p| (p.level(), p.stats()))
     }
 
     /// Statistics for one level, if it has been touched.
+    #[cfg(not(feature = "legacy_hotpath"))]
+    #[must_use]
+    pub fn level_stats(&self, level: PtLevel) -> Option<&HitMiss> {
+        self.pwcs[level.pwc_slot()].as_ref().map(Pwc::stats)
+    }
+
+    /// Statistics for one level, if it has been touched.
+    #[cfg(feature = "legacy_hotpath")]
     #[must_use]
     pub fn level_stats(&self, level: PtLevel) -> Option<&HitMiss> {
         self.pwcs.get(&level).map(Pwc::stats)
     }
 
+    #[cfg(not(feature = "legacy_hotpath"))]
+    fn touched(&self) -> impl Iterator<Item = &Pwc> {
+        self.pwcs.iter().filter_map(Option::as_ref)
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    fn touched(&self) -> impl Iterator<Item = &Pwc> {
+        self.pwcs.values()
+    }
+
+    #[cfg(not(feature = "legacy_hotpath"))]
+    fn touched_mut(&mut self) -> impl Iterator<Item = &mut Pwc> {
+        self.pwcs.iter_mut().filter_map(Option::as_mut)
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    fn touched_mut(&mut self) -> impl Iterator<Item = &mut Pwc> {
+        self.pwcs.values_mut()
+    }
+
     /// Clears contents and statistics of all levels.
     pub fn reset(&mut self) {
-        for pwc in self.pwcs.values_mut() {
+        for pwc in self.touched_mut() {
             pwc.reset();
         }
     }
 
     /// Clears statistics of all levels, preserving contents.
     pub fn clear_stats(&mut self) {
-        for pwc in self.pwcs.values_mut() {
+        for pwc in self.touched_mut() {
             pwc.clear_stats();
         }
     }
@@ -342,5 +482,28 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = Pwc::with_capacity(PtLevel::L4, 0);
+    }
+
+    #[test]
+    fn hash_ways_are_independent_levels() {
+        let mut set = PwcSet::enabled();
+        let vpn = Vpn::new(0x99);
+        set.fill(PtLevel::HashWay(0), vpn);
+        assert!(set.access(PtLevel::HashWay(0), vpn));
+        assert!(!set.access(PtLevel::HashWay(1), vpn), "ways do not alias");
+        let levels: Vec<PtLevel> = set.stats().map(|(l, _)| l).collect();
+        assert_eq!(levels, vec![PtLevel::HashWay(0), PtLevel::HashWay(1)]);
+    }
+
+    #[test]
+    fn stats_iterate_in_level_order() {
+        let mut set = PwcSet::enabled();
+        let vpn = Vpn::new(0x5);
+        // Touch out of order; iteration must still be level-ordered.
+        set.fill(PtLevel::FlatL2L1, vpn);
+        set.fill(PtLevel::L2, vpn);
+        set.fill(PtLevel::L4, vpn);
+        let levels: Vec<PtLevel> = set.stats().map(|(l, _)| l).collect();
+        assert_eq!(levels, vec![PtLevel::L4, PtLevel::L2, PtLevel::FlatL2L1]);
     }
 }

@@ -431,10 +431,17 @@ mod tests {
         h.fill(vpn, Pfn::new(9), PageSize::Size4K);
         // Evict from L1 by filling conflicting entries.
         for i in 0..64u64 {
-            h.l1.fill(Vpn::new(vpn.as_u64() + (i + 1) * 16), Pfn::new(i), PageSize::Size4K);
+            h.l1.fill(
+                Vpn::new(vpn.as_u64() + (i + 1) * 16),
+                Pfn::new(i),
+                PageSize::Size4K,
+            );
         }
         let l2_hit = h.lookup(vpn);
-        assert!(matches!(l2_hit.outcome, TlbOutcome::L2Hit | TlbOutcome::L1Hit));
+        assert!(matches!(
+            l2_hit.outcome,
+            TlbOutcome::L2Hit | TlbOutcome::L1Hit
+        ));
         // Immediately after, it should be back in L1.
         let l1_hit = h.lookup(vpn);
         assert_eq!(l1_hit.outcome, TlbOutcome::L1Hit);

@@ -8,8 +8,8 @@
 //! serve every mechanism and every system configuration.
 
 use crate::pwc::PwcSet;
+use ndp_types::{InlineVec, PhysAddr, PtLevel, Vpn};
 use ndpage::walk::WalkPath;
-use ndp_types::{PhysAddr, PtLevel, Vpn};
 
 /// One PTE fetch of a walk plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,12 +20,31 @@ pub struct PteFetch {
     pub level: PtLevel,
 }
 
+impl Default for PteFetch {
+    fn default() -> Self {
+        PteFetch {
+            addr: PhysAddr::new(0),
+            level: PtLevel::L4,
+        }
+    }
+}
+
+/// One parallel round of PTE fetches (at most the hash-way bound wide).
+pub type WalkRound = InlineVec<PteFetch, { PtLevel::MAX_HASH_WAYS }>;
+
+/// Most sequential rounds any walk needs (a full 4-level radix walk).
+pub const MAX_WALK_ROUNDS: usize = 4;
+
 /// The memory work of one page-table walk, as parallel rounds to issue in
 /// order. Rounds whose every step PWC-hit are absent entirely.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Plans are built and discarded once per TLB miss, so rounds are stored
+/// inline ([`InlineVec`]) — the seed's nested `Vec`s cost several heap
+/// round-trips on that path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalkPlan {
     /// Sequential rounds; fetches within a round overlap.
-    pub rounds: Vec<Vec<PteFetch>>,
+    pub rounds: InlineVec<WalkRound, MAX_WALK_ROUNDS>,
     /// Steps skipped thanks to PWC hits.
     pub pwc_skips: u32,
 }
@@ -34,7 +53,7 @@ impl WalkPlan {
     /// Total PTE fetches that reach the memory system.
     #[must_use]
     pub fn memory_fetches(&self) -> usize {
-        self.rounds.iter().map(Vec::len).sum()
+        self.rounds.iter().map(|round| round.len()).sum()
     }
 
     /// Number of dependent (serialised) memory rounds.
@@ -114,9 +133,9 @@ impl PageTableWalker {
         self.stats.walks += 1;
         let mut plan = WalkPlan::default();
         for group in path.groups() {
-            let mut round = Vec::new();
+            let mut round = WalkRound::new();
             for step in group {
-                if self.pwcs.access(step.level, vpn) {
+                if self.pwcs.probe_fill(step.level, vpn) {
                     plan.pwc_skips += 1;
                     self.stats.pwc_skips += 1;
                 } else {
@@ -124,7 +143,6 @@ impl PageTableWalker {
                         addr: step.addr,
                         level: step.level,
                     });
-                    self.pwcs.fill(step.level, vpn);
                     self.stats.fetches += 1;
                 }
             }

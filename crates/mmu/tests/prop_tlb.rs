@@ -1,10 +1,10 @@
 //! Property tests for the TLB hierarchy against a reference mapping:
 //! whatever the TLB returns must be what was last installed for that page.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use ndp_mmu::tlb::{Tlb, TlbConfig, TlbHierarchy};
 use ndp_types::{Cycles, PageSize, Pfn, Vpn};
+use proptest::collection::vec;
+use proptest::prelude::*;
 use std::collections::HashMap;
 
 proptest! {

@@ -1,9 +1,9 @@
 //! Simulation configuration (Table I systems + run parameters).
 
 use ndp_types::Cycles;
+use ndp_workloads::WorkloadId;
 use ndpage::bypass::BypassPolicy;
 use ndpage::Mechanism;
-use ndp_workloads::WorkloadId;
 use std::fmt;
 
 /// Which Table I system to simulate.
@@ -94,12 +94,7 @@ impl SimConfig {
 
     /// A full-size run configuration.
     #[must_use]
-    pub fn new(
-        system: SystemKind,
-        cores: u32,
-        mechanism: Mechanism,
-        workload: WorkloadId,
-    ) -> Self {
+    pub fn new(system: SystemKind, cores: u32, mechanism: Mechanism, workload: WorkloadId) -> Self {
         SimConfig {
             system,
             cores,

@@ -6,15 +6,25 @@
 
 use crate::config::{SimConfig, SystemKind};
 use crate::machine::Machine;
+use crate::parallel::par_map;
 use crate::report::RunReport;
 use ndp_types::stats::geomean;
-use ndpage::Mechanism;
 use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
 
 /// Runs one configuration.
 #[must_use]
 pub fn run(cfg: SimConfig) -> RunReport {
     Machine::new(cfg).run()
+}
+
+/// Runs a batch of configurations across worker threads, returning
+/// reports in input order. Each [`Machine`] is self-contained and seeded,
+/// so the reports are bit-identical to running the batch serially
+/// (asserted by `tests/determinism_and_stats.rs`).
+#[must_use]
+pub fn run_batch(cfgs: Vec<SimConfig>) -> Vec<RunReport> {
+    par_map(cfgs, run)
 }
 
 /// Scale of an experiment batch; controls windows and footprints.
@@ -59,30 +69,28 @@ pub struct SpeedupRow {
 /// an NDP system with `cores` cores.
 #[must_use]
 pub fn speedup_figure(cores: u32, scale: Scale, workloads: &[WorkloadId]) -> Vec<SpeedupRow> {
+    // One task per (workload, mechanism) pair, fanned out together.
+    let cfgs: Vec<SimConfig> = workloads
+        .iter()
+        .flat_map(|&w| {
+            Mechanism::ALL
+                .iter()
+                .map(move |&m| scale.apply(SimConfig::new(SystemKind::Ndp, cores, m, w)))
+        })
+        .collect();
+    let mut reports = run_batch(cfgs).into_iter();
     workloads
         .iter()
         .map(|&w| {
-            let radix = run(scale.apply(SimConfig::new(
-                SystemKind::Ndp,
-                cores,
-                Mechanism::Radix,
-                w,
-            )));
-            let speedups = [
-                Mechanism::Ech,
-                Mechanism::HugePage,
-                Mechanism::NdPage,
-                Mechanism::Ideal,
-            ]
-            .iter()
-            .map(|&m| {
-                let r = run(scale.apply(SimConfig::new(SystemKind::Ndp, cores, m, w)));
-                (m, r.speedup_over(&radix))
-            })
-            .collect();
+            let per_mechanism: Vec<RunReport> = (&mut reports).take(Mechanism::ALL.len()).collect();
+            let radix = &per_mechanism[0];
+            debug_assert_eq!(radix.mechanism, Mechanism::Radix);
             SpeedupRow {
                 workload: w,
-                speedups,
+                speedups: per_mechanism[1..]
+                    .iter()
+                    .map(|r| (r.mechanism, r.speedup_over(radix)))
+                    .collect(),
             }
         })
         .collect()
@@ -130,12 +138,20 @@ pub struct MotivationRow {
 /// Figs 4–5: 4-core NDP vs CPU under Radix.
 #[must_use]
 pub fn motivation_figures(scale: Scale, workloads: &[WorkloadId]) -> Vec<MotivationRow> {
+    let cfgs: Vec<SimConfig> = workloads
+        .iter()
+        .flat_map(|&w| {
+            [SystemKind::Ndp, SystemKind::Cpu]
+                .map(|s| scale.apply(SimConfig::new(s, 4, Mechanism::Radix, w)))
+        })
+        .collect();
+    let mut reports = run_batch(cfgs).into_iter();
     workloads
         .iter()
         .map(|&w| MotivationRow {
             workload: w,
-            ndp: run(scale.apply(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, w))),
-            cpu: run(scale.apply(SimConfig::new(SystemKind::Cpu, 4, Mechanism::Radix, w))),
+            ndp: reports.next().expect("one NDP report per workload"),
+            cpu: reports.next().expect("one CPU report per workload"),
         })
         .collect()
 }
@@ -147,27 +163,33 @@ pub fn scaling_figure(
     workloads: &[WorkloadId],
     core_counts: &[u32],
 ) -> Vec<(u32, SystemKind, f64, f64)> {
-    let mut out = Vec::new();
-    for &system in &[SystemKind::Ndp, SystemKind::Cpu] {
-        for &cores in core_counts {
-            let reports: Vec<RunReport> = workloads
+    let points: Vec<(SystemKind, u32)> = [SystemKind::Ndp, SystemKind::Cpu]
+        .iter()
+        .flat_map(|&system| core_counts.iter().map(move |&cores| (system, cores)))
+        .collect();
+    let cfgs: Vec<SimConfig> = points
+        .iter()
+        .flat_map(|&(system, cores)| {
+            workloads
                 .iter()
-                .map(|&w| run(scale.apply(SimConfig::new(system, cores, Mechanism::Radix, w))))
-                .collect();
-            let ptw: Vec<f64> = reports.iter().map(RunReport::avg_ptw_latency).collect();
-            let frac: Vec<f64> = reports
-                .iter()
-                .map(RunReport::translation_fraction)
-                .collect();
-            out.push((
+                .map(move |&w| scale.apply(SimConfig::new(system, cores, Mechanism::Radix, w)))
+        })
+        .collect();
+    let mut reports = run_batch(cfgs).into_iter();
+    points
+        .into_iter()
+        .map(|(system, cores)| {
+            let batch: Vec<RunReport> = (&mut reports).take(workloads.len()).collect();
+            let ptw: Vec<f64> = batch.iter().map(RunReport::avg_ptw_latency).collect();
+            let frac: Vec<f64> = batch.iter().map(RunReport::translation_fraction).collect();
+            (
                 cores,
                 system,
                 ndp_types::stats::mean(&ptw),
                 ndp_types::stats::mean(&frac),
-            ));
-        }
-    }
-    out
+            )
+        })
+        .collect()
 }
 
 /// Fig 7: L1 miss rates on 4-core NDP — data under Ideal (no metadata),
@@ -187,11 +209,19 @@ pub struct MissRateRow {
 /// Fig 7 rows.
 #[must_use]
 pub fn miss_rate_figure(scale: Scale, workloads: &[WorkloadId]) -> Vec<MissRateRow> {
+    let cfgs: Vec<SimConfig> = workloads
+        .iter()
+        .flat_map(|&w| {
+            [Mechanism::Ideal, Mechanism::Radix]
+                .map(|m| scale.apply(SimConfig::new(SystemKind::Ndp, 4, m, w)))
+        })
+        .collect();
+    let mut reports = run_batch(cfgs).into_iter();
     workloads
         .iter()
         .map(|&w| {
-            let ideal = run(scale.apply(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Ideal, w)));
-            let radix = run(scale.apply(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, w)));
+            let ideal = reports.next().expect("one Ideal report per workload");
+            let radix = reports.next().expect("one Radix report per workload");
             MissRateRow {
                 workload: w,
                 data_ideal: ideal.l1_data.miss_rate(),
@@ -217,35 +247,30 @@ pub fn occupancy_figure(
     scale: Scale,
     workloads: &[WorkloadId],
 ) -> Vec<(WorkloadId, f64, f64, f64, f64)> {
+    use ndp_types::addr::PAGE_SIZE;
+    use ndp_workloads::TraceParams;
     use ndpage::alloc::FrameAllocator;
     use ndpage::radix::Radix4;
     use ndpage::table::PageTable;
-    use ndp_types::addr::PAGE_SIZE;
-    use ndp_workloads::TraceParams;
 
-    workloads
-        .iter()
-        .map(|&w| {
-            let footprint = match scale {
-                Scale::Quick => w.table2_footprint().min(1 << 30),
-                Scale::Full => w.table2_footprint(),
-            };
-            let params = TraceParams::new(0).with_footprint(footprint);
-            // Bookkeeping-only allocator: sized generously so even the
-            // 33 GB GEN footprint maps (no data is materialised).
-            let mut alloc = FrameAllocator::new((footprint * 2).max(64 << 30));
-            let mut table = Radix4::new(&mut alloc);
-            for region in w.regions(params) {
-                let first = region.base.vpn();
-                let pages = region.bytes.div_ceil(PAGE_SIZE);
-                for p in 0..pages {
-                    table.map(first.add(p), &mut alloc);
-                }
-            }
-            let s = table.occupancy().fig8_series();
-            (w, s.pl1, s.pl2, s.pl3, s.combined_pl2_pl1)
-        })
-        .collect()
+    par_map(workloads.to_vec(), |w| {
+        let footprint = match scale {
+            Scale::Quick => w.table2_footprint().min(1 << 30),
+            Scale::Full => w.table2_footprint(),
+        };
+        let params = TraceParams::new(0).with_footprint(footprint);
+        // Bookkeeping-only allocator: sized generously so even the
+        // 33 GB GEN footprint maps (no data is materialised).
+        let mut alloc = FrameAllocator::new((footprint * 2).max(64 << 30));
+        let mut table = Radix4::new(&mut alloc);
+        for region in w.regions(params) {
+            let first = region.base.vpn();
+            let pages = region.bytes.div_ceil(PAGE_SIZE);
+            table.map_range(first, pages, &mut alloc);
+        }
+        let s = table.occupancy().fig8_series();
+        (w, s.pl1, s.pl2, s.pl3, s.combined_pl2_pl1)
+    })
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@
 pub mod config;
 pub mod experiment;
 pub mod machine;
+pub mod parallel;
 pub mod report;
 pub mod sweeps;
 

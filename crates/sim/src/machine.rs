@@ -16,12 +16,43 @@ use ndp_mmu::tlb::TlbHierarchy;
 use ndp_mmu::walker::PageTableWalker;
 use ndp_types::stats::{HitMiss, LatencyHistogram, LatencyStat};
 use ndp_types::{AccessClass, CoreId, Cycles, Op, Pfn, PhysAddr, PtLevel, RwKind, Vpn};
+use ndp_workloads::{Trace, TraceParams};
 use ndpage::alloc::FrameAllocator;
 use ndpage::bypass::BypassPolicy;
 use ndpage::table::{FaultKind, PageTable};
 use ndpage::Mechanism;
-use ndp_workloads::{Trace, TraceParams};
 use std::collections::BTreeMap;
+
+/// The per-core page table. The mechanism set is closed, so the hot path
+/// dispatches statically through [`ndpage::PageTableImpl`]; the seed's
+/// `Box<dyn PageTable>` vtable dispatch is kept under `legacy_hotpath`
+/// for baseline benchmarking.
+#[cfg(not(feature = "legacy_hotpath"))]
+type TableImpl = ndpage::PageTableImpl;
+
+#[cfg(feature = "legacy_hotpath")]
+type TableImpl = Box<dyn PageTable>;
+
+/// Builds `mechanism`'s table; `Ideal` still places pages through a radix
+/// table (but is charged no translation work).
+fn build_table(mechanism: Mechanism, alloc: &mut FrameAllocator) -> TableImpl {
+    #[cfg(not(feature = "legacy_hotpath"))]
+    {
+        mechanism.build_impl(alloc).unwrap_or_else(|| {
+            Mechanism::Radix
+                .build_impl(alloc)
+                .expect("radix always builds")
+        })
+    }
+    #[cfg(feature = "legacy_hotpath")]
+    {
+        mechanism.build_table(alloc).unwrap_or_else(|| {
+            Mechanism::Radix
+                .build_table(alloc)
+                .expect("radix always builds")
+        })
+    }
+}
 
 struct CoreCtx {
     trace: Trace,
@@ -32,7 +63,7 @@ struct CoreCtx {
     tlb: TlbHierarchy,
     walker: PageTableWalker,
     caches: CacheHierarchy,
-    table: Box<dyn PageTable>,
+    table: TableImpl,
     /// THP-fallback pressure established during init (0 when the
     /// contiguity pool sufficed); drives compaction interference.
     thp_pressure: f64,
@@ -81,11 +112,8 @@ impl Machine {
         // stays pegged to the nominal capacity — that scarcity is the
         // physical effect behind Fig 14.
         let demand = cfg.footprint_per_core() * u64::from(cfg.cores);
-        let bookkeeping = dram
-            .capacity_bytes
-            .max(demand + demand / 4 + (1 << 30));
-        let pool =
-            (dram.capacity_bytes as f64 * ndpage::alloc::CONTIG_POOL_FRACTION) as u64;
+        let bookkeeping = dram.capacity_bytes.max(demand + demand / 4 + (1 << 30));
+        let pool = (dram.capacity_bytes as f64 * ndpage::alloc::CONTIG_POOL_FRACTION) as u64;
         let mut alloc = FrameAllocator::with_contig_pool(bookkeeping, pool);
 
         let bypass = cfg
@@ -143,16 +171,7 @@ impl Machine {
                         CacheConfig::l3(1),
                     ]),
                 },
-                table: cfg
-                    .mechanism
-                    .build_table(&mut alloc)
-                    // Ideal still needs page placement for data accesses;
-                    // use a radix table but charge no translation work.
-                    .unwrap_or_else(|| {
-                        Mechanism::Radix
-                            .build_table(&mut alloc)
-                            .expect("radix always builds")
-                    }),
+                table: build_table(cfg.mechanism, &mut alloc),
                 thp_pressure: 0.0,
                 ops_since_tax: 0,
                 translation_cycles: 0,
@@ -221,6 +240,22 @@ impl Machine {
                 };
                 let first = ndp_types::VirtAddr::new(base).vpn();
                 let pages = len.div_ceil(PAGE_SIZE);
+                // Range mapping descends each table once per region
+                // instead of once per page — the init phase maps millions
+                // of pages. The seed's per-page loop (identical faults,
+                // frames and counts) is kept under `legacy_hotpath`.
+                #[cfg(not(feature = "legacy_hotpath"))]
+                {
+                    let outcome =
+                        self.cores[core_idx]
+                            .table
+                            .map_range(first, pages, &mut self.alloc);
+                    let faults = &mut self.cores[core_idx].faults;
+                    faults.minor_4k += outcome.minor_4k;
+                    faults.minor_2m += outcome.minor_2m;
+                    faults.fallback += outcome.fallback;
+                }
+                #[cfg(feature = "legacy_hotpath")]
                 for p in 0..pages {
                     let outcome = self.cores[core_idx]
                         .table
@@ -258,8 +293,7 @@ impl Machine {
             // Oldest unfinished core goes next (conservative interleaving).
             let mut next: Option<usize> = None;
             for (i, core) in self.cores.iter().enumerate() {
-                if core.ops_done < total_ops
-                    && next.is_none_or(|n| core.time < self.cores[n].time)
+                if core.ops_done < total_ops && next.is_none_or(|n| core.time < self.cores[n].time)
                 {
                     next = Some(i);
                 }
@@ -304,9 +338,8 @@ impl Machine {
             core.ops_since_tax += 1;
             if core.thp_pressure > 0.0 && core.ops_since_tax >= SimConfig::COMPACTION_PERIOD {
                 core.ops_since_tax = 0;
-                let tax = Cycles::new(
-                    (self.cfg.compaction_tax.as_f64() * core.thp_pressure) as u64,
-                );
+                let tax =
+                    Cycles::new((self.cfg.compaction_tax.as_f64() * core.thp_pressure) as u64);
                 core.time += tax;
                 if core.measuring {
                     core.os_cycles += tax.as_u64();
@@ -346,11 +379,7 @@ impl Machine {
                 let core = &mut self.cores[i];
                 core.table.map(vpn, &mut self.alloc);
             }
-            let pfn = self.cores[i]
-                .table
-                .translate(vpn)
-                .expect("just mapped")
-                .pfn;
+            let pfn = self.cores[i].table.translate(vpn).expect("just mapped").pfn;
             return (pfn, Cycles::ZERO, Cycles::ZERO);
         }
 
@@ -386,14 +415,26 @@ impl Machine {
             os += Cycles::new(moved * self.cfg.rehash_entry_cost.as_u64());
         }
 
-        let translation = self.cores[i]
+        // One descent serves translation and walk path; the seed's
+        // separate translate + walk_path calls (three descents) are kept
+        // under `legacy_hotpath` for baseline benchmarking.
+        #[cfg(not(feature = "legacy_hotpath"))]
+        let (translation, path) = self.cores[i]
             .table
-            .translate(vpn)
+            .translate_and_walk(vpn)
             .expect("mapped above or earlier");
-        let path = self.cores[i]
-            .table
-            .walk_path(vpn)
-            .expect("mapped pages have walk paths");
+        #[cfg(feature = "legacy_hotpath")]
+        let (translation, path) = {
+            let translation = self.cores[i]
+                .table
+                .translate(vpn)
+                .expect("mapped above or earlier");
+            let path = self.cores[i]
+                .table
+                .walk_path(vpn)
+                .expect("mapped pages have walk paths");
+            (translation, path)
+        };
         let plan = self.cores[i].walker.plan(vpn, &path);
 
         // One cycle per PWC probe, then the memory rounds.

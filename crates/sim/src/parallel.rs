@@ -1,0 +1,138 @@
+//! Order-preserving parallel fan-out for experiment drivers.
+//!
+//! Every simulation run is a self-contained, seeded [`crate::Machine`]:
+//! runs share no mutable state, so sweeps and figure drivers can execute
+//! their points on worker threads and still produce **bit-identical
+//! results in the same order** as a serial loop — each output slot is
+//! written by exactly the task that owns its index, regardless of how the
+//! OS schedules the workers (`tests/determinism_and_stats.rs` asserts
+//! this).
+//!
+//! Implemented on `std::thread::scope` (the container bakes in no rayon);
+//! the queue is a single atomic cursor over the input vector, which is
+//! ample for experiment-level granularity (each task is a whole
+//! simulation run, milliseconds to minutes).
+//!
+//! Under `legacy_hotpath` the drivers run serially, reproducing the
+//! seed's one-core experiment loop for baseline benchmarking.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads used by [`par_map`]: `NDP_THREADS` if set, otherwise
+/// the machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("NDP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Maps `f` over `items` on [`default_threads`] workers, returning the
+/// results in input order. Serial under `legacy_hotpath`.
+pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    #[cfg(feature = "legacy_hotpath")]
+    {
+        items.into_iter().map(f).collect()
+    }
+    #[cfg(not(feature = "legacy_hotpath"))]
+    {
+        par_map_threads(default_threads(), items, f)
+    }
+}
+
+/// [`par_map`] with an explicit worker count (`1` runs inline). The
+/// result is identical for every `threads` value — the determinism tests
+/// compare multi-threaded output against `threads = 1`.
+pub fn par_map_threads<I, T, F>(threads: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let tasks: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let tasks = &tasks;
+    let slots = &slots;
+    let cursor = &cursor;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = tasks[idx]
+                    .lock()
+                    .expect("task mutex poisoned")
+                    .take()
+                    .expect("each task index is claimed once");
+                let result = f(item);
+                *slots[idx].lock().expect("slot mutex poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .expect("slot mutex poisoned")
+                .take()
+                .expect("every slot filled by its owning task")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(par_map_threads(8, items.clone(), |x| x * x), expect);
+        assert_eq!(par_map_threads(1, items.clone(), |x| x * x), expect);
+        assert_eq!(par_map(items, |x| x * x), expect);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(
+            par_map_threads(4, Vec::<u64>::new(), |x| x),
+            Vec::<u64>::new()
+        );
+        assert_eq!(par_map_threads(4, vec![9u64], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn threads_spawn_for_real_work() {
+        // More tasks than threads; each records which thread ran it.
+        let ids = par_map_threads(4, (0..64).collect::<Vec<u64>>(), |_| {
+            format!("{:?}", std::thread::current().id())
+        });
+        assert_eq!(ids.len(), 64);
+    }
+
+    #[test]
+    fn default_thread_count_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,12 +1,12 @@
 //! Run reports: every statistic the paper's figures draw from.
 
+use crate::config::SystemKind;
 use ndp_mem::controller::ClassTraffic;
 use ndp_types::stats::{HitMiss, LatencyStat};
 use ndp_types::{Cycles, PtLevel};
+use ndp_workloads::WorkloadId;
 use ndpage::occupancy::OccupancyReport;
 use ndpage::Mechanism;
-use ndp_workloads::WorkloadId;
-use crate::config::SystemKind;
 use std::fmt;
 
 /// Page-fault counters for one run.
@@ -138,6 +138,50 @@ impl RunReport {
             .find(|(l, _)| *l == level)
             .map(|(_, hm)| hm.hit_rate())
     }
+
+    /// A deterministic digest of every counter in the report, for
+    /// bit-identity assertions (e.g. parallel vs serial experiment
+    /// drivers). Two reports of the same run always digest equally; any
+    /// counter divergence changes the digest.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use core::hash::{Hash, Hasher};
+        let mut h = ndp_types::FastHasher::default();
+        let hm = |h: &mut ndp_types::FastHasher, m: &HitMiss| {
+            m.hits.hash(h);
+            m.misses.hash(h);
+        };
+        self.workload.name().hash(&mut h);
+        self.mechanism.name().hash(&mut h);
+        self.cores.hash(&mut h);
+        self.total_cycles.as_u64().hash(&mut h);
+        self.avg_core_cycles.to_bits().hash(&mut h);
+        self.ops.hash(&mut h);
+        self.mem_ops.hash(&mut h);
+        self.translation_cycles.hash(&mut h);
+        self.os_cycles.hash(&mut h);
+        self.ptw.count.hash(&mut h);
+        self.ptw.sum.as_u64().hash(&mut h);
+        self.ptw.max.as_u64().hash(&mut h);
+        hm(&mut h, &self.tlb_l1);
+        hm(&mut h, &self.tlb_l2);
+        hm(&mut h, &self.l1_data);
+        hm(&mut h, &self.l1_metadata);
+        self.data_evicted_by_metadata.hash(&mut h);
+        for (level, stats) in &self.pwc {
+            level.pwc_slot().hash(&mut h);
+            hm(&mut h, stats);
+        }
+        self.mem_traffic.data.hash(&mut h);
+        self.mem_traffic.metadata.hash(&mut h);
+        self.dram_row_hit_rate.to_bits().hash(&mut h);
+        self.dram_queue_delay.to_bits().hash(&mut h);
+        self.faults.minor_4k.hash(&mut h);
+        self.faults.minor_2m.hash(&mut h);
+        self.faults.fallback.hash(&mut h);
+        self.table_bytes.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -195,12 +239,24 @@ mod tests {
             os_cycles: 0,
             ptw: LatencyStat::default(),
             ptw_histogram: ndp_types::stats::LatencyHistogram::new(),
-            tlb_l1: HitMiss { hits: 10, misses: 90 },
-            tlb_l2: HitMiss { hits: 10, misses: 80 },
+            tlb_l1: HitMiss {
+                hits: 10,
+                misses: 90,
+            },
+            tlb_l2: HitMiss {
+                hits: 10,
+                misses: 80,
+            },
             l1_data: HitMiss::default(),
             l1_metadata: HitMiss::default(),
             data_evicted_by_metadata: 0,
-            pwc: vec![(PtLevel::L4, HitMiss { hits: 99, misses: 1 })],
+            pwc: vec![(
+                PtLevel::L4,
+                HitMiss {
+                    hits: 99,
+                    misses: 1,
+                },
+            )],
             mem_traffic: ClassTraffic::default(),
             dram_row_hit_rate: 0.5,
             dram_queue_delay: 1.0,
@@ -226,6 +282,15 @@ mod tests {
         let fast = dummy(1000);
         assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-9);
         assert!((base.speedup_over(&base) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_separates_runs() {
+        assert_eq!(dummy(1000).fingerprint(), dummy(1000).fingerprint());
+        assert_ne!(dummy(1000).fingerprint(), dummy(999).fingerprint());
+        let mut tweaked = dummy(1000);
+        tweaked.faults.fallback += 1;
+        assert_ne!(dummy(1000).fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

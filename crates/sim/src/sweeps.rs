@@ -13,9 +13,10 @@
 
 use crate::config::{SimConfig, SystemKind};
 use crate::machine::Machine;
+use crate::parallel::par_map;
 use crate::report::RunReport;
-use ndpage::Mechanism;
 use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
 
 /// One point of the PWC-size sweep.
 #[derive(Debug, Clone)]
@@ -37,26 +38,33 @@ impl PwcSweepPoint {
 }
 
 /// Sweeps per-level PWC capacity on a 4-core NDP system.
+///
+/// Sweep points fan out across worker threads ([`par_map`]); every
+/// [`Machine`] is self-contained and seeded, so results and order are
+/// identical to a serial loop.
 #[must_use]
 pub fn pwc_size_sweep(
     workload: WorkloadId,
     sizes: &[usize],
     base: &SimConfig,
 ) -> Vec<PwcSweepPoint> {
+    let runs: Vec<SimConfig> = sizes
+        .iter()
+        .flat_map(|&entries| {
+            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
+                let mut cfg = with_base(SimConfig::new(SystemKind::Ndp, 4, m, workload), base);
+                cfg.pwc_entries = Some(entries);
+                cfg
+            })
+        })
+        .collect();
+    let mut reports = par_map(runs, |cfg| Machine::new(cfg).run()).into_iter();
     sizes
         .iter()
-        .map(|&entries| {
-            let mut radix_cfg =
-                with_base(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, workload), base);
-            radix_cfg.pwc_entries = Some(entries);
-            let mut ndpage_cfg =
-                with_base(SimConfig::new(SystemKind::Ndp, 4, Mechanism::NdPage, workload), base);
-            ndpage_cfg.pwc_entries = Some(entries);
-            PwcSweepPoint {
-                entries,
-                radix: Machine::new(radix_cfg).run(),
-                ndpage: Machine::new(ndpage_cfg).run(),
-            }
+        .map(|&entries| PwcSweepPoint {
+            entries,
+            radix: reports.next().expect("one radix report per size"),
+            ndpage: reports.next().expect("one ndpage report per size"),
         })
         .collect()
 }
@@ -81,20 +89,23 @@ pub fn tlb_reach_sweep(
     sizes: &[u32],
     base: &SimConfig,
 ) -> Vec<TlbSweepPoint> {
+    let runs: Vec<SimConfig> = sizes
+        .iter()
+        .flat_map(|&entries| {
+            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
+                let mut cfg = with_base(SimConfig::new(SystemKind::Ndp, 4, m, workload), base);
+                cfg.tlb_l2_entries = Some(entries);
+                cfg
+            })
+        })
+        .collect();
+    let mut reports = par_map(runs, |cfg| Machine::new(cfg).run()).into_iter();
     sizes
         .iter()
-        .map(|&entries| {
-            let mut radix_cfg =
-                with_base(SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, workload), base);
-            radix_cfg.tlb_l2_entries = Some(entries);
-            let mut ndpage_cfg =
-                with_base(SimConfig::new(SystemKind::Ndp, 4, Mechanism::NdPage, workload), base);
-            ndpage_cfg.tlb_l2_entries = Some(entries);
-            TlbSweepPoint {
-                entries,
-                radix: Machine::new(radix_cfg).run(),
-                ndpage: Machine::new(ndpage_cfg).run(),
-            }
+        .map(|&entries| TlbSweepPoint {
+            entries,
+            radix: reports.next().expect("one radix report per size"),
+            ndpage: reports.next().expect("one ndpage report per size"),
         })
         .collect()
 }
@@ -113,26 +124,24 @@ pub struct FracturingAblation {
 /// Runs Huge Page with and without TLB fracturing on a 1-core NDP system.
 #[must_use]
 pub fn fracturing_ablation(workload: WorkloadId, base: &SimConfig) -> FracturingAblation {
-    let radix = Machine::new(with_base(
+    let radix_cfg = with_base(
         SimConfig::new(SystemKind::Ndp, 1, Mechanism::Radix, workload),
         base,
-    ))
-    .run();
-    let fractured = Machine::new(with_base(
-        SimConfig::new(SystemKind::Ndp, 1, Mechanism::HugePage, workload),
-        base,
-    ))
-    .run();
-    let mut native_cfg = with_base(
+    );
+    let fractured_cfg = with_base(
         SimConfig::new(SystemKind::Ndp, 1, Mechanism::HugePage, workload),
         base,
     );
+    let mut native_cfg = fractured_cfg.clone();
     native_cfg.tlb_fracture_huge = Some(false);
-    let native = Machine::new(native_cfg).run();
+    let mut reports = par_map(vec![radix_cfg, fractured_cfg, native_cfg], |cfg| {
+        Machine::new(cfg).run()
+    })
+    .into_iter();
     FracturingAblation {
-        fractured,
-        native,
-        radix,
+        radix: reports.next().expect("radix report"),
+        fractured: reports.next().expect("fractured report"),
+        native: reports.next().expect("native report"),
     }
 }
 

@@ -63,6 +63,57 @@ impl PtLevel {
         }
     }
 
+    /// Number of distinct PWC slots (see [`PtLevel::pwc_slot`]).
+    pub const PWC_SLOTS: usize = 5 + Self::MAX_HASH_WAYS;
+
+    /// Hash ways representable as PWC slots (ECH uses 3).
+    pub const MAX_HASH_WAYS: usize = 8;
+
+    /// Dense index of this level into a fixed-size per-level array — the
+    /// level set is a tiny closed enum, so per-level state (PWC banks,
+    /// stat tables) lives in arrays indexed by this slot instead of tree
+    /// or hash maps. Slot order matches the enum's `Ord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash way ≥ [`Self::MAX_HASH_WAYS`] (slots would
+    /// silently alias otherwise).
+    #[inline]
+    #[must_use]
+    pub const fn pwc_slot(self) -> usize {
+        match self {
+            PtLevel::L4 => 0,
+            PtLevel::L3 => 1,
+            PtLevel::L2 => 2,
+            PtLevel::L1 => 3,
+            PtLevel::FlatL2L1 => 4,
+            PtLevel::HashWay(w) => {
+                assert!((w as usize) < Self::MAX_HASH_WAYS);
+                5 + w as usize
+            }
+        }
+    }
+
+    /// Inverse of [`Self::pwc_slot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= PtLevel::PWC_SLOTS`.
+    #[must_use]
+    pub const fn from_pwc_slot(slot: usize) -> PtLevel {
+        match slot {
+            0 => PtLevel::L4,
+            1 => PtLevel::L3,
+            2 => PtLevel::L2,
+            3 => PtLevel::L1,
+            4 => PtLevel::FlatL2L1,
+            _ => {
+                assert!(slot < Self::PWC_SLOTS);
+                PtLevel::HashWay((slot - 5) as u8)
+            }
+        }
+    }
+
     /// Short display name matching the paper ("PL4".."PL1", "PL2/PL1").
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -92,30 +143,35 @@ macro_rules! addr_newtype {
         impl $name {
             /// Wraps a raw 64-bit address.
             #[must_use]
+            #[inline]
             pub const fn new(raw: u64) -> Self {
                 Self(raw)
             }
 
             /// Returns the raw address value.
             #[must_use]
+            #[inline]
             pub const fn as_u64(self) -> u64 {
                 self.0
             }
 
             /// Byte offset within the containing 4 KB page.
             #[must_use]
+            #[inline]
             pub const fn page_offset(self) -> u64 {
                 self.0 & (PAGE_SIZE - 1)
             }
 
             /// The address rounded down to its 4 KB page base.
             #[must_use]
+            #[inline]
             pub const fn page_base(self) -> Self {
                 Self(self.0 & !(PAGE_SIZE - 1))
             }
 
             /// The address rounded down to its 64 B cache-line base.
             #[must_use]
+            #[inline]
             pub const fn line_base(self) -> Self {
                 Self(self.0 & !(CACHE_LINE_SIZE - 1))
             }
@@ -126,6 +182,7 @@ macro_rules! addr_newtype {
             ///
             /// Panics in debug builds on overflow.
             #[must_use]
+            #[inline]
             pub const fn add(self, bytes: u64) -> Self {
                 Self(self.0 + bytes)
             }
@@ -133,6 +190,7 @@ macro_rules! addr_newtype {
             /// Whether the address is aligned to `align` bytes
             /// (`align` must be a power of two).
             #[must_use]
+            #[inline]
             pub const fn is_aligned(self, align: u64) -> bool {
                 debug_assert!(align.is_power_of_two());
                 self.0 & (align - 1) == 0
@@ -190,12 +248,14 @@ addr_newtype! {
 impl VirtAddr {
     /// Virtual page number of the containing 4 KB page.
     #[must_use]
+    #[inline]
     pub const fn vpn(self) -> Vpn {
         Vpn(self.0 >> PAGE_SHIFT)
     }
 
     /// Virtual "huge page number" of the containing 2 MB region.
     #[must_use]
+    #[inline]
     pub const fn huge_vpn(self) -> Vpn {
         Vpn((self.0 >> HUGE_PAGE_SHIFT) << LEVEL_BITS)
     }
@@ -204,6 +264,7 @@ impl VirtAddr {
 impl PhysAddr {
     /// Physical frame number of the containing 4 KB frame.
     #[must_use]
+    #[inline]
     pub const fn pfn(self) -> Pfn {
         Pfn(self.0 >> PAGE_SHIFT)
     }
@@ -216,48 +277,56 @@ pub struct Vpn(u64);
 impl Vpn {
     /// Wraps a raw virtual page number.
     #[must_use]
+    #[inline]
     pub const fn new(raw: u64) -> Self {
         Self(raw)
     }
 
     /// Returns the raw page-number value.
     #[must_use]
+    #[inline]
     pub const fn as_u64(self) -> u64 {
         self.0
     }
 
     /// Base virtual address of this page.
     #[must_use]
+    #[inline]
     pub const fn base(self) -> VirtAddr {
         VirtAddr(self.0 << PAGE_SHIFT)
     }
 
     /// Index into the PL4 node (bits 47..=39 of the virtual address).
     #[must_use]
+    #[inline]
     pub const fn l4_index(self) -> usize {
         ((self.0 >> (3 * LEVEL_BITS)) & (ENTRIES_PER_NODE - 1)) as usize
     }
 
     /// Index into a PL3 node (bits 38..=30).
     #[must_use]
+    #[inline]
     pub const fn l3_index(self) -> usize {
         ((self.0 >> (2 * LEVEL_BITS)) & (ENTRIES_PER_NODE - 1)) as usize
     }
 
     /// Index into a PL2 node (bits 29..=21).
     #[must_use]
+    #[inline]
     pub const fn l2_index(self) -> usize {
         ((self.0 >> LEVEL_BITS) & (ENTRIES_PER_NODE - 1)) as usize
     }
 
     /// Index into a PL1 node (bits 20..=12).
     #[must_use]
+    #[inline]
     pub const fn l1_index(self) -> usize {
         (self.0 & (ENTRIES_PER_NODE - 1)) as usize
     }
 
     /// 18-bit index into an NDPage flattened L2/L1 node (bits 29..=12).
     #[must_use]
+    #[inline]
     pub const fn flat_l2l1_index(self) -> usize {
         (self.0 & (ENTRIES_PER_FLAT_NODE - 1)) as usize
     }
@@ -267,6 +336,7 @@ impl Vpn {
     /// # Panics
     ///
     /// Panics if `level` is [`PtLevel::HashWay`], which has no radix index.
+    #[inline]
     #[must_use]
     pub fn index_for(self, level: PtLevel) -> usize {
         match level {
@@ -282,12 +352,14 @@ impl Vpn {
     /// The VPN truncated to a 2 MB boundary (its PL1 index cleared); this is
     /// the tag used for huge-page TLB entries and flattened-node selection.
     #[must_use]
+    #[inline]
     pub const fn huge_aligned(self) -> Vpn {
         Vpn(self.0 & !(ENTRIES_PER_NODE - 1))
     }
 
     /// Returns the VPN advanced by `pages`.
     #[must_use]
+    #[inline]
     pub const fn add(self, pages: u64) -> Self {
         Self(self.0 + pages)
     }
@@ -312,18 +384,21 @@ pub struct Pfn(u64);
 impl Pfn {
     /// Wraps a raw physical frame number.
     #[must_use]
+    #[inline]
     pub const fn new(raw: u64) -> Self {
         Self(raw)
     }
 
     /// Returns the raw frame-number value.
     #[must_use]
+    #[inline]
     pub const fn as_u64(self) -> u64 {
         self.0
     }
 
     /// Base physical address of this frame.
     #[must_use]
+    #[inline]
     pub const fn base(self) -> PhysAddr {
         PhysAddr(self.0 << PAGE_SHIFT)
     }
@@ -331,12 +406,14 @@ impl Pfn {
     /// Physical address of entry `index` within a page-table node stored in
     /// this frame (8-byte entries).
     #[must_use]
+    #[inline]
     pub const fn entry_addr(self, index: usize) -> PhysAddr {
         PhysAddr((self.0 << PAGE_SHIFT) + (index as u64) * PTE_SIZE)
     }
 
     /// Returns the frame number advanced by `frames`.
     #[must_use]
+    #[inline]
     pub const fn add(self, frames: u64) -> Self {
         Self(self.0 + frames)
     }
@@ -367,6 +444,7 @@ pub enum PageSize {
 impl PageSize {
     /// Size in bytes.
     #[must_use]
+    #[inline]
     pub const fn bytes(self) -> u64 {
         match self {
             PageSize::Size4K => PAGE_SIZE,
@@ -376,6 +454,7 @@ impl PageSize {
 
     /// Number of 4 KB frames spanned.
     #[must_use]
+    #[inline]
     pub const fn frames(self) -> u64 {
         self.bytes() / PAGE_SIZE
     }
@@ -412,9 +491,8 @@ mod tests {
     #[test]
     fn radix_indices_cover_disjoint_bits() {
         // VA with a distinct 9-bit pattern in each level field.
-        let vpn = Vpn::new(
-            (1 << (3 * LEVEL_BITS)) | (2 << (2 * LEVEL_BITS)) | (3 << LEVEL_BITS) | 4,
-        );
+        let vpn =
+            Vpn::new((1 << (3 * LEVEL_BITS)) | (2 << (2 * LEVEL_BITS)) | (3 << LEVEL_BITS) | 4);
         assert_eq!(vpn.l4_index(), 1);
         assert_eq!(vpn.l3_index(), 2);
         assert_eq!(vpn.l2_index(), 3);
@@ -471,6 +549,31 @@ mod tests {
         assert_eq!(PtLevel::FlatL2L1.name(), "PL2/PL1");
         assert_eq!(PtLevel::FlatL2L1.index_bits(), 18);
         assert_eq!(PtLevel::L2.index_bits(), 9);
+    }
+
+    #[test]
+    fn pwc_slots_round_trip_in_level_order() {
+        let levels = [
+            PtLevel::L4,
+            PtLevel::L3,
+            PtLevel::L2,
+            PtLevel::L1,
+            PtLevel::FlatL2L1,
+            PtLevel::HashWay(0),
+            PtLevel::HashWay(2),
+        ];
+        let mut last = None;
+        for level in levels {
+            let slot = level.pwc_slot();
+            assert!(slot < PtLevel::PWC_SLOTS);
+            assert_eq!(PtLevel::from_pwc_slot(slot), level);
+            // Slot order must match the enum's Ord so per-level stats
+            // iterate in the same order the BTreeMap-backed bank used.
+            if let Some((prev_level, prev_slot)) = last {
+                assert!(level > prev_level && slot > prev_slot);
+            }
+            last = Some((level, slot));
+        }
     }
 
     #[test]

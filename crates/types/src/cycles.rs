@@ -30,12 +30,14 @@ impl Cycles {
 
     /// Wraps a raw cycle count.
     #[must_use]
+    #[inline]
     pub const fn new(raw: u64) -> Self {
         Self(raw)
     }
 
     /// Returns the raw cycle count.
     #[must_use]
+    #[inline]
     pub const fn as_u64(self) -> u64 {
         self.0
     }
@@ -48,6 +50,7 @@ impl Cycles {
 
     /// Saturating subtraction; useful for "time until free" computations.
     #[must_use]
+    #[inline]
     pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
         Cycles(self.0.saturating_sub(rhs.0))
     }
@@ -67,12 +70,14 @@ impl Cycles {
 
 impl Add for Cycles {
     type Output = Cycles;
+    #[inline]
     fn add(self, rhs: Cycles) -> Cycles {
         Cycles(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for Cycles {
+    #[inline]
     fn add_assign(&mut self, rhs: Cycles) {
         self.0 += rhs.0;
     }
@@ -80,12 +85,14 @@ impl AddAssign for Cycles {
 
 impl Sub for Cycles {
     type Output = Cycles;
+    #[inline]
     fn sub(self, rhs: Cycles) -> Cycles {
         Cycles(self.0 - rhs.0)
     }
 }
 
 impl SubAssign for Cycles {
+    #[inline]
     fn sub_assign(&mut self, rhs: Cycles) {
         self.0 -= rhs.0;
     }

@@ -1,0 +1,206 @@
+//! A fixed-capacity, stack-allocated vector for the simulator's hot path.
+//!
+//! Walk paths (≤ 4 radix levels or ≤ [`crate::PtLevel::MAX_HASH_WAYS`]
+//! hash probes), walk-plan rounds and cache writeback lists are all tiny,
+//! statically bounded collections that the seed allocated on the heap —
+//! several `malloc`/`free` pairs per simulated TLB miss. [`InlineVec`]
+//! keeps them in-line in their owner, which both removes the allocator
+//! from the per-op loop and keeps the data on the same cache lines as the
+//! surrounding struct.
+//!
+//! Only the Vec surface the simulator uses is provided: `push`, slice
+//! deref, owned/borrowed iteration, `FromIterator`. Capacity overflow is
+//! a bug in the caller and panics.
+
+use core::fmt;
+use core::ops::Deref;
+
+/// A vector of at most `N` `Copy` elements stored inline.
+#[derive(Clone, Copy)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    buf: [T; N],
+    len: usize,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector.
+    #[inline]
+    #[must_use]
+    pub fn new() -> Self {
+        InlineVec {
+            buf: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Appends `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector already holds `N` elements.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        assert!(self.len < N, "InlineVec capacity ({N}) exceeded");
+        self.buf[self.len] = value;
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf[..self.len]
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = core::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Owned iterator over an [`InlineVec`] (elements are `Copy`).
+pub struct InlineVecIter<T: Copy + Default, const N: usize> {
+    vec: InlineVec<T, N>,
+    pos: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for InlineVecIter<T, N> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        if self.pos < self.vec.len {
+            let item = self.vec.buf[self.pos];
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.vec.len - self.pos;
+        (rest, Some(rest))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = InlineVecIter<T, N>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        InlineVecIter { vec: self, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_len_slice_round_trip() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        assert_eq!(&v[1..], &[2, 3]); // Deref to slice
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn iteration_owned_and_borrowed() {
+        let v: InlineVec<u32, 8> = (0..5).collect();
+        let doubled: Vec<u32> = (&v).into_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+        let owned: Vec<u32> = v.into_iter().collect();
+        assert_eq!(owned, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let a: InlineVec<u8, 4> = [1, 2].into_iter().collect();
+        let mut b: InlineVec<u8, 4> = [1, 2, 9].into_iter().collect();
+        assert_ne!(a, b);
+        b.clear();
+        b.push(1);
+        b.push(2);
+        assert_eq!(a, b, "stale spare slots must not affect equality");
+        assert_eq!(format!("{a:?}"), "[1, 2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overflow_panics() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        v.push(0);
+        v.push(1);
+        v.push(2);
+    }
+}

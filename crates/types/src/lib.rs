@@ -6,6 +6,10 @@
 //!   x86-64 4-level (and NDPage flattened) index arithmetic.
 //! * [`cycles`] — the [`Cycles`] time unit used by every
 //!   timing model.
+//! * [`fastmap`] — the shared fast-hash [`FastMap`]/[`FastSet`] aliases
+//!   used by every hot integer-keyed map in the simulator.
+//! * [`inline`] — the fixed-capacity [`InlineVec`] backing walk paths,
+//!   walk plans and writeback lists without heap traffic.
 //! * [`ids`] — core identifiers and memory-request classification
 //!   (normal data vs. page-table metadata), which is the pivot of the
 //!   paper's cache-bypass mechanism.
@@ -26,11 +30,15 @@
 
 pub mod addr;
 pub mod cycles;
+pub mod fastmap;
 pub mod ids;
+pub mod inline;
 pub mod op;
 pub mod stats;
 
 pub use addr::{PageSize, Pfn, PhysAddr, PtLevel, VirtAddr, Vpn};
 pub use cycles::Cycles;
+pub use fastmap::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use ids::{AccessClass, CoreId, RwKind};
+pub use inline::InlineVec;
 pub use op::Op;

@@ -3,8 +3,7 @@
 //! paper's argument rests on (§III–IV).
 
 use crate::Trace;
-use ndp_types::Op;
-use std::collections::HashMap;
+use ndp_types::{FastMap, FastSet, Op};
 
 /// Summary statistics of a trace prefix.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,8 +39,9 @@ pub struct TraceProfile {
 #[must_use]
 pub fn profile(trace: Trace, ops: u64) -> TraceProfile {
     assert!(ops > 0, "need at least one op to profile");
-    let mut page_counts: HashMap<u64, u64> = HashMap::new();
-    let mut regions: HashMap<u64, ()> = HashMap::new();
+    // One map update per memory op: the profiler's hot path.
+    let mut page_counts: FastMap<u64, u64> = FastMap::default();
+    let mut regions: FastSet<u64> = FastSet::default();
     let mut mem_ops = 0u64;
     let mut stores = 0u64;
     let mut compute = 0u64;
@@ -58,7 +58,7 @@ pub fn profile(trace: Trace, ops: u64) -> TraceProfile {
                 }
                 let page = a.vpn().as_u64();
                 *page_counts.entry(page).or_insert(0) += 1;
-                regions.entry(page >> 9).or_insert(());
+                regions.insert(page >> 9);
                 if last_page != Some(page) {
                     transitions += 1;
                 }
@@ -130,7 +130,10 @@ mod tests {
         let p = profile_of(WorkloadId::Gen);
         // Half the refs stream over the genome: transition rate well
         // below GUPS but far above pure streaming.
-        assert!(p.page_transition_rate > 0.3 && p.page_transition_rate < 0.95, "{p:?}");
+        assert!(
+            p.page_transition_rate > 0.3 && p.page_transition_rate < 0.95,
+            "{p:?}"
+        );
         assert!(p.stores > 0);
     }
 
@@ -166,8 +169,7 @@ mod tests {
     #[should_panic(expected = "at least one op")]
     fn zero_ops_rejected() {
         let _ = profile(
-            WorkloadId::Rnd
-                .trace(TraceParams::new(0).with_footprint(16 << 20)),
+            WorkloadId::Rnd.trace(TraceParams::new(0).with_footprint(16 << 20)),
             0,
         );
     }

@@ -40,8 +40,9 @@ impl DlrmGen {
             let row = hot_cold(&mut self.rng, self.rows);
             let base = row * ROW_BYTES;
             for r in 0..READS_PER_ROW {
-                self.buf
-                    .push_back(Op::Load(self.emb.at(base + r * (ROW_BYTES / READS_PER_ROW))));
+                self.buf.push_back(Op::Load(
+                    self.emb.at(base + r * (ROW_BYTES / READS_PER_ROW)),
+                ));
             }
         }
         self.buf.push_back(Op::Compute(COMPUTE_PER_BATCH));
@@ -96,6 +97,7 @@ pub fn trace(params: TraceParams) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndp_types::FastSet;
 
     #[test]
     fn batches_gather_then_compute_then_store() {
@@ -123,7 +125,7 @@ mod tests {
     #[test]
     fn gathers_are_skewed_but_wide() {
         let params = TraceParams::new(2).with_footprint(512 << 20);
-        let pages: std::collections::HashSet<u64> = trace(params)
+        let pages: FastSet<u64> = trace(params)
             .take(60_000)
             .filter_map(|o| o.addr())
             .map(|a| a.vpn().as_u64())

@@ -85,6 +85,7 @@ pub fn trace(params: TraceParams) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndp_types::FastSet;
 
     #[test]
     fn scan_is_sequential_updates_are_random() {
@@ -115,7 +116,7 @@ mod tests {
     #[test]
     fn table_updates_span_many_pages() {
         let params = TraceParams::new(2).with_footprint(1 << 30);
-        let pages: std::collections::HashSet<u64> = trace(params)
+        let pages: FastSet<u64> = trace(params)
             .take(40_000)
             .filter(|o| matches!(o, Op::Store(_)))
             .filter_map(|o| o.addr())

@@ -235,13 +235,9 @@ impl GraphGen {
                     // Frontier expansion: peek at the neighbour's CSR
                     // position — a random jump into the edge array.
                     if self.rng.gen_bool(self.spec.adjacency_peek) {
+                        self.buf.push_back(Op::Load(self.layout.offsets.elem(u, 8)));
                         self.buf.push_back(Op::Load(
-                            self.layout.offsets.elem(u, 8),
-                        ));
-                        self.buf.push_back(Op::Load(
-                            self.layout
-                                .edge_array
-                                .elem(u.wrapping_mul(AVG_DEGREE), 8),
+                            self.layout.edge_array.elem(u.wrapping_mul(AVG_DEGREE), 8),
                         ));
                     }
                 }
@@ -322,6 +318,7 @@ pub fn trace(id: WorkloadId, params: TraceParams) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndp_types::FastSet;
 
     const GRAPH_IDS: [WorkloadId; 7] = [
         WorkloadId::Bc,
@@ -380,7 +377,7 @@ mod tests {
     #[test]
     fn frontier_kernels_touch_many_pages() {
         let params = TraceParams::new(5).with_footprint(256 << 20);
-        let pages: std::collections::HashSet<u64> = trace(WorkloadId::Bfs, params)
+        let pages: FastSet<u64> = trace(WorkloadId::Bfs, params)
             .take(50_000)
             .filter_map(|o| o.addr())
             .map(|a| a.vpn().as_u64())

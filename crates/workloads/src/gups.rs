@@ -62,6 +62,7 @@ pub fn trace(params: TraceParams) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndp_types::FastSet;
 
     #[test]
     fn rmw_triplets() {
@@ -83,7 +84,7 @@ mod tests {
             .filter_map(|o| o.addr())
             .map(|a| a.vpn().as_u64())
             .collect();
-        let distinct: std::collections::HashSet<_> = addrs.iter().collect();
+        let distinct: FastSet<_> = addrs.iter().collect();
         // 10k RMW slots over 256k pages: nearly every access is a new page.
         assert!(
             distinct.len() as f64 / (addrs.len() as f64 / 2.0) > 0.9,

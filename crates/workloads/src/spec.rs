@@ -196,7 +196,8 @@ impl TraceParams {
     /// The effective footprint for `workload`.
     #[must_use]
     pub fn footprint_for(&self, workload: WorkloadId) -> u64 {
-        self.footprint.unwrap_or_else(|| workload.table2_footprint())
+        self.footprint
+            .unwrap_or_else(|| workload.table2_footprint())
     }
 }
 
@@ -227,10 +228,7 @@ mod tests {
     fn footprint_override() {
         let p = TraceParams::new(0).with_footprint(1 << 20);
         assert_eq!(p.footprint_for(WorkloadId::Gen), 1 << 20);
-        assert_eq!(
-            TraceParams::new(0).footprint_for(WorkloadId::Gen),
-            33 << 30
-        );
+        assert_eq!(TraceParams::new(0).footprint_for(WorkloadId::Gen), 33 << 30);
     }
 
     #[test]
@@ -239,10 +237,7 @@ mod tests {
         for w in WorkloadId::ALL {
             let ops: Vec<_> = w.trace(params).take(50).collect();
             assert_eq!(ops.len(), 50, "{w}");
-            assert!(
-                ops.iter().any(|o| o.is_memory()),
-                "{w} must touch memory"
-            );
+            assert!(ops.iter().any(|o| o.is_memory()), "{w} must touch memory");
         }
     }
 

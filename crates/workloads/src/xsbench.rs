@@ -100,6 +100,7 @@ pub fn trace(params: TraceParams) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndp_types::FastSet;
 
     #[test]
     fn lookups_include_dependent_search_chain() {
@@ -126,7 +127,7 @@ mod tests {
     #[test]
     fn search_spans_many_pages() {
         let params = TraceParams::new(3).with_footprint(256 << 20);
-        let pages: std::collections::HashSet<u64> = trace(params)
+        let pages: FastSet<u64> = trace(params)
             .take(30_000)
             .filter_map(|o| o.addr())
             .map(|a| a.vpn().as_u64())

@@ -2,6 +2,9 @@
 //! bit-identical reports; different seeds ⇒ different timings; internal
 //! counters must reconcile.
 
+use ndp_sim::experiment::{run, run_batch};
+use ndp_sim::parallel::par_map_threads;
+use ndp_sim::sweeps::pwc_size_sweep;
 use ndp_sim::{Machine, SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
@@ -84,6 +87,86 @@ fn per_core_seeds_differ_within_a_run() {
         (r.total_cycles.as_f64() - r.avg_core_cycles).abs() > 1.0,
         "cores should not be in lockstep"
     );
+}
+
+/// A small but heterogeneous batch: three mechanisms, two workloads, two
+/// core counts — the shape `experiment.rs` fans out.
+fn batch_cfgs() -> Vec<SimConfig> {
+    let mut cfgs = Vec::new();
+    for (mechanism, workload, cores, seed) in [
+        (Mechanism::Radix, WorkloadId::Rnd, 1, 7),
+        (Mechanism::NdPage, WorkloadId::Rnd, 2, 8),
+        (Mechanism::HugePage, WorkloadId::Bfs, 1, 9),
+        (Mechanism::Ech, WorkloadId::Bfs, 2, 10),
+        (Mechanism::NdPage, WorkloadId::Bfs, 1, 11),
+        (Mechanism::Ideal, WorkloadId::Rnd, 2, 12),
+    ] {
+        let mut c = SimConfig::quick(SystemKind::Ndp, cores, mechanism, workload).with_seed(seed);
+        c.warmup_ops = 1_000;
+        c.measure_ops = 3_000;
+        c.footprint_override = Some(256 << 20);
+        cfgs.push(c);
+    }
+    cfgs
+}
+
+#[test]
+fn parallel_batch_is_bit_identical_to_serial() {
+    // Serial reference: plain in-order loop, no parallel machinery.
+    let serial: Vec<u64> = batch_cfgs()
+        .into_iter()
+        .map(|c| Machine::new(c).run().fingerprint())
+        .collect();
+
+    // The fan-out path the experiment drivers use (however many threads
+    // this host offers)...
+    let driver: Vec<u64> = run_batch(batch_cfgs())
+        .into_iter()
+        .map(|r| r.fingerprint())
+        .collect();
+    assert_eq!(serial, driver, "run_batch must preserve results and order");
+
+    // ...and an explicitly multi-threaded run, so the threaded path is
+    // exercised even on single-core CI hosts.
+    let threaded: Vec<u64> = par_map_threads(4, batch_cfgs(), |c| Machine::new(c).run())
+        .into_iter()
+        .map(|r| r.fingerprint())
+        .collect();
+    assert_eq!(serial, threaded, "4 worker threads, same bits, same order");
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let base = SimConfig::quick(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd)
+        .with_ops(1_000, 2_000)
+        .with_footprint(256 << 20);
+    let sizes = [8usize, 64];
+
+    // Serial reference for every sweep point, built by hand.
+    let mut serial = Vec::new();
+    for &entries in &sizes {
+        for mechanism in [Mechanism::Radix, Mechanism::NdPage] {
+            let mut c = SimConfig::new(SystemKind::Ndp, 4, mechanism, WorkloadId::Rnd);
+            c.warmup_ops = base.warmup_ops;
+            c.measure_ops = base.measure_ops;
+            c.footprint_override = base.footprint_override;
+            c.seed = base.seed;
+            c.pwc_entries = Some(entries);
+            serial.push(run(c).fingerprint());
+        }
+    }
+
+    let sweep = pwc_size_sweep(WorkloadId::Rnd, &sizes, &base);
+    let parallel: Vec<u64> = sweep
+        .iter()
+        .flat_map(|p| [p.radix.fingerprint(), p.ndpage.fingerprint()])
+        .collect();
+    assert_eq!(
+        serial, parallel,
+        "sweep points must match serial runs bit for bit"
+    );
+    assert_eq!(sweep[0].entries, 8);
+    assert_eq!(sweep[1].entries, 64);
 }
 
 #[test]

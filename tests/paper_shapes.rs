@@ -101,14 +101,24 @@ fn ndp_ptw_scales_with_cores_cpu_does_not() {
     let mut cpu = Vec::new();
     for cores in [1u32, 4] {
         ndp.push(
-            Machine::new(quick(SystemKind::Ndp, cores, Mechanism::Radix, WorkloadId::Bfs))
-                .run()
-                .avg_ptw_latency(),
+            Machine::new(quick(
+                SystemKind::Ndp,
+                cores,
+                Mechanism::Radix,
+                WorkloadId::Bfs,
+            ))
+            .run()
+            .avg_ptw_latency(),
         );
         cpu.push(
-            Machine::new(quick(SystemKind::Cpu, cores, Mechanism::Radix, WorkloadId::Bfs))
-                .run()
-                .avg_ptw_latency(),
+            Machine::new(quick(
+                SystemKind::Cpu,
+                cores,
+                Mechanism::Radix,
+                WorkloadId::Bfs,
+            ))
+            .run()
+            .avg_ptw_latency(),
         );
     }
     let ndp_growth = ndp[1] / ndp[0];
@@ -146,7 +156,13 @@ fn huge_page_degrades_when_contiguity_runs_out() {
 /// while still reaching memory (Fig 11's red path).
 #[test]
 fn bypass_reroutes_metadata_around_l1() {
-    let ndpage = Machine::new(quick(SystemKind::Ndp, 1, Mechanism::NdPage, WorkloadId::Gen)).run();
+    let ndpage = Machine::new(quick(
+        SystemKind::Ndp,
+        1,
+        Mechanism::NdPage,
+        WorkloadId::Gen,
+    ))
+    .run();
     assert_eq!(ndpage.l1_metadata.total(), 0);
     assert_eq!(ndpage.data_evicted_by_metadata, 0);
     assert!(ndpage.mem_traffic.metadata > 0);
@@ -158,7 +174,13 @@ fn bypass_reroutes_metadata_around_l1() {
 #[test]
 fn ech_uses_more_metadata_bandwidth_than_ndpage() {
     let ech = Machine::new(quick(SystemKind::Ndp, 1, Mechanism::Ech, WorkloadId::Rnd)).run();
-    let ndpage = Machine::new(quick(SystemKind::Ndp, 1, Mechanism::NdPage, WorkloadId::Rnd)).run();
+    let ndpage = Machine::new(quick(
+        SystemKind::Ndp,
+        1,
+        Mechanism::NdPage,
+        WorkloadId::Rnd,
+    ))
+    .run();
     let ech_per_walk = ech.mem_traffic.metadata as f64 / ech.ptw.count as f64;
     let ndpage_per_walk = ndpage.mem_traffic.metadata as f64 / ndpage.ptw.count as f64;
     assert!(

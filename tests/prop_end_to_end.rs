@@ -1,10 +1,10 @@
 //! Property-based integration tests over random simulator configurations:
 //! no configuration may break the report invariants or the Ideal bound.
 
-use proptest::prelude::*;
 use ndp_sim::{Machine, SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
+use proptest::prelude::*;
 
 fn arb_workload() -> impl Strategy<Value = WorkloadId> {
     prop::sample::select(WorkloadId::ALL.to_vec())

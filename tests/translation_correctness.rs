@@ -54,9 +54,8 @@ fn walker_plans_are_subsets_of_walk_paths() {
             table.map(vpn, &mut alloc);
             let path = table.walk_path(vpn).expect("mapped");
             let plan = walker.plan(vpn, &path);
-            let path_addrs: Vec<u64> =
-                path.steps().iter().map(|s| s.addr.as_u64()).collect();
-            let fetched: usize = plan.rounds.iter().map(Vec::len).sum();
+            let path_addrs: Vec<u64> = path.steps().iter().map(|s| s.addr.as_u64()).collect();
+            let fetched: usize = plan.memory_fetches();
             assert!(
                 fetched + plan.pwc_skips as usize == path.len(),
                 "{mechanism}: every step is either fetched or PWC-skipped"
