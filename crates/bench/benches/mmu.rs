@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ndp_mmu::pwc::PwcSet;
 use ndp_mmu::tlb::TlbHierarchy;
 use ndp_mmu::walker::PageTableWalker;
-use ndp_types::{PageSize, Pfn, PtLevel, Vpn};
+use ndp_types::{Asid, PageSize, Pfn, PtLevel, Vpn};
 use ndpage::alloc::FrameAllocator;
 use ndpage::radix::Radix4;
 use ndpage::table::PageTable;
@@ -17,7 +17,7 @@ fn bench_tlb(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            black_box(tlb.lookup(Vpn::new(i.wrapping_mul(0x9E37_79B9))))
+            black_box(tlb.lookup(Asid::ZERO, Vpn::new(i.wrapping_mul(0x9E37_79B9))))
         });
     });
     group.bench_function("fill_then_hit", |b| {
@@ -26,8 +26,8 @@ fn bench_tlb(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let vpn = Vpn::new(i % 32);
-            tlb.fill(vpn, Pfn::new(i), PageSize::Size4K);
-            black_box(tlb.lookup(vpn))
+            tlb.fill(Asid::ZERO, vpn, Pfn::new(i), PageSize::Size4K);
+            black_box(tlb.lookup(Asid::ZERO, vpn))
         });
     });
     group.finish();
@@ -42,8 +42,8 @@ fn bench_pwc(c: &mut Criterion) {
             i += 1;
             let vpn = Vpn::new(i.wrapping_mul(613));
             for level in [PtLevel::L4, PtLevel::L3, PtLevel::L2, PtLevel::L1] {
-                if !set.access(level, vpn) {
-                    set.fill(level, vpn);
+                if !set.access(level, Asid::ZERO, vpn) {
+                    set.fill(level, Asid::ZERO, vpn);
                 }
             }
             black_box(&set);
@@ -70,7 +70,7 @@ fn bench_walker(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 1) % vpns.len();
-            black_box(walker.plan(vpns[i], &paths[i]))
+            black_box(walker.plan(Asid::ZERO, vpns[i], &paths[i]))
         });
     });
     group.finish();

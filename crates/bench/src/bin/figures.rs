@@ -20,6 +20,12 @@ use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
 
 fn main() {
+    // Fail fast (and cleanly) on a malformed NDP_THREADS rather than
+    // panicking once the first sweep fans out.
+    if let Err(e) = ndp_sim::parallel::env_thread_count() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
@@ -68,7 +74,9 @@ fn main() {
 }
 
 fn sweeps(scale: Scale) {
-    use ndp_sim::sweeps::{fracturing_ablation, pwc_size_sweep, tlb_reach_sweep};
+    use ndp_sim::sweeps::{
+        context_switch_sweep, fracturing_ablation, pwc_size_sweep, tlb_reach_sweep,
+    };
     let base = scale.apply(SimConfig::new(
         SystemKind::Ndp,
         4,
@@ -124,6 +132,32 @@ fn sweeps(scale: Scale) {
         ],
     ];
     print_table(&["Huge Page TLB", "walk rate", "speedup vs Radix"], &rows);
+
+    println!("\n=== Extension: context-switch sweep (BFS, 2-core NDP, 2 procs/core) ===\n");
+    let rows: Vec<Vec<String>> = context_switch_sweep(WorkloadId::Bfs, &[2_000, 10_000], &base)
+        .iter()
+        .map(|p| {
+            vec![
+                p.quantum.to_string(),
+                format!("{:.3}x", p.flush_penalty(Mechanism::Radix)),
+                format!("{:.3}x", p.flush_penalty(Mechanism::NdPage)),
+                format!("{:.0} cyc", p.post_flush_walk_cost(Mechanism::Radix)),
+                format!("{:.0} cyc", p.post_flush_walk_cost(Mechanism::NdPage)),
+                format!("{:.2}x", p.ndpage_recovery_advantage()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "quantum (ops)",
+            "Radix flush penalty",
+            "NDPage flush penalty",
+            "Radix re-warm walk",
+            "NDPage re-warm walk",
+            "NDPage recovery adv.",
+        ],
+        &rows,
+    );
 }
 
 fn table1() {

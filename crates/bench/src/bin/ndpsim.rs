@@ -41,6 +41,30 @@ fn parse_workload(s: &str) -> Option<WorkloadId> {
         .find(|w| w.name().eq_ignore_ascii_case(s))
 }
 
+/// Exits with a message listing the valid spellings — an unrecognised
+/// value must never silently run some default configuration instead.
+fn die_unknown(flag: &str, got: &str, valid: &[String]) -> ! {
+    eprintln!(
+        "error: unrecognized {flag} {got:?}; valid values: {}",
+        valid.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn workload_names() -> Vec<String> {
+    WorkloadId::ALL
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect()
+}
+
+fn mechanism_names() -> Vec<String> {
+    Mechanism::ALL
+        .iter()
+        .map(|m| m.name().replace(' ', "").to_lowercase())
+        .collect()
+}
+
 /// The fixed benchmark sweep: the Figs 12–14 engine (every mechanism on
 /// two contrasting workloads, 2 cores) plus a 3-point PWC-capacity sweep —
 /// 16 full machine constructions + runs per pass.
@@ -173,6 +197,13 @@ fn json_str(text: &str, key: &str) -> Option<String> {
 }
 
 fn main() {
+    // Reject a malformed NDP_THREADS up front with a clean exit; the
+    // parallel driver would otherwise panic mid-run with the same message.
+    if let Err(e) = ndp_sim::parallel::env_thread_count() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
         args.iter()
@@ -196,45 +227,78 @@ fn main() {
              \x20             --mechanism <radix|ech|hugepage|ndpage|ideal> \\\n\
              \x20             [--system ndp|cpu] [--cores N] [--footprint-mb MB] \\\n\
              \x20             [--ops N] [--warmup N] [--seed S] [--pwc-entries N] \\\n\
-             \x20             [--tlb-l2 N] [--no-fracture] [--histogram]\n\
+             \x20             [--tlb-l2 N] [--no-fracture] [--histogram] \\\n\
+             \x20             [--procs N] [--quantum OPS] [--switch-cost CYC] [--no-asid]\n\
              \x20      ndpsim bench [--runs N] [--out FILE] [--baseline FILE]"
         );
         return;
     }
 
-    let workload = get("--workload")
-        .and_then(|s| parse_workload(&s))
-        .unwrap_or(WorkloadId::Bfs);
-    let mechanism = get("--mechanism")
-        .and_then(|s| parse_mechanism(&s))
-        .unwrap_or(Mechanism::NdPage);
+    // Flags may be omitted (defaults apply), but a *present* flag with an
+    // unrecognised value is an error, never a silent substitution.
+    let workload = get("--workload").map_or(WorkloadId::Bfs, |s| {
+        parse_workload(&s).unwrap_or_else(|| die_unknown("--workload", &s, &workload_names()))
+    });
+    let mechanism = get("--mechanism").map_or(Mechanism::NdPage, |s| {
+        parse_mechanism(&s).unwrap_or_else(|| die_unknown("--mechanism", &s, &mechanism_names()))
+    });
     let system = match get("--system").as_deref() {
+        None | Some("ndp") => SystemKind::Ndp,
         Some("cpu") => SystemKind::Cpu,
-        _ => SystemKind::Ndp,
+        Some(other) => die_unknown("--system", other, &["ndp".into(), "cpu".into()]),
     };
-    let cores: u32 = get("--cores").and_then(|s| s.parse().ok()).unwrap_or(1);
+    // Numeric flags follow the same contract: absent applies the default,
+    // present-but-unparseable is an error.
+    let num = |flag: &str| -> Option<u64> {
+        get(flag).map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} expects a non-negative integer, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    // ... and out-of-range is an error too, never a silent wrap.
+    let num_u32 = |flag: &str| -> Option<u32> {
+        num(flag).map(|n| {
+            u32::try_from(n).unwrap_or_else(|_| {
+                eprintln!("error: {flag} value {n} exceeds {}", u32::MAX);
+                std::process::exit(2);
+            })
+        })
+    };
+    let cores: u32 = num_u32("--cores").unwrap_or(1);
 
     let mut cfg = SimConfig::new(system, cores, mechanism, workload);
-    if let Some(mb) = get("--footprint-mb").and_then(|s| s.parse::<u64>().ok()) {
+    if let Some(procs) = num_u32("--procs") {
+        cfg.procs_per_core = procs;
+    }
+    if let Some(quantum) = num("--quantum") {
+        cfg.context_switch_quantum_ops = quantum;
+    }
+    if let Some(cost) = num("--switch-cost") {
+        cfg.context_switch_cost = ndp_types::Cycles::new(cost);
+    }
+    if has("--no-asid") {
+        cfg.tlb_tagging = false;
+    }
+    if let Some(mb) = num("--footprint-mb") {
         cfg.footprint_override = Some(mb << 20);
     } else {
         cfg.footprint_override = Some(1 << 30); // CLI default: fast
     }
-    if let Some(ops) = get("--ops").and_then(|s| s.parse().ok()) {
+    if let Some(ops) = num("--ops") {
         cfg.measure_ops = ops;
     } else {
         cfg.measure_ops = 30_000;
     }
-    cfg.warmup_ops = get("--warmup")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(cfg.measure_ops / 3);
-    if let Some(seed) = get("--seed").and_then(|s| s.parse().ok()) {
+    cfg.warmup_ops = num("--warmup").unwrap_or(cfg.measure_ops / 3);
+    if let Some(seed) = num("--seed") {
         cfg.seed = seed;
     }
-    if let Some(entries) = get("--pwc-entries").and_then(|s| s.parse().ok()) {
-        cfg.pwc_entries = Some(entries);
+    if let Some(entries) = num("--pwc-entries") {
+        cfg.pwc_entries = Some(entries as usize);
     }
-    if let Some(entries) = get("--tlb-l2").and_then(|s| s.parse().ok()) {
+    if let Some(entries) = num_u32("--tlb-l2") {
         cfg.tlb_l2_entries = Some(entries);
     }
     if has("--no-fracture") {

@@ -1,0 +1,123 @@
+//! CLI regression tests: `ndpsim` must reject unrecognised values with an
+//! error listing the valid names instead of silently substituting
+//! defaults, and must honour the multiprogramming flags.
+
+use std::process::Command;
+
+fn ndpsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ndpsim"))
+}
+
+/// A fast but real simulation: 1 GB footprint would premap a while, so
+/// shrink everything.
+const FAST: &[&str] = &["--footprint-mb", "256", "--ops", "2000", "--warmup", "500"];
+
+#[test]
+fn rejects_unknown_workload_listing_valid_names() {
+    let out = ndpsim().args(["--workload", "bsf"]).output().unwrap();
+    assert!(!out.status.success(), "bad workload must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bsf"), "echoes the bad value: {stderr}");
+    assert!(stderr.contains("BFS") && stderr.contains("RND") && stderr.contains("DLRM"));
+}
+
+#[test]
+fn rejects_unknown_mechanism_listing_valid_names() {
+    let out = ndpsim().args(["--mechanism", "foo"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ndpage") && stderr.contains("radix") && stderr.contains("hugepage"));
+}
+
+#[test]
+fn rejects_unknown_system() {
+    let out = ndpsim().args(["--system", "foo"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ndp") && stderr.contains("cpu"));
+}
+
+#[test]
+fn rejects_malformed_numeric_flags() {
+    for (flag, value) in [("--procs", "two"), ("--quantum", "5k"), ("--cores", "x")] {
+        let out = ndpsim()
+            .args(["--workload", "RND", flag, value])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} {value} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag) && stderr.contains(value),
+            "names flag and value: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn rejects_out_of_range_numeric_flags() {
+    // 2^32 + 1 would silently wrap to 1 core under an `as u32` cast.
+    let out = ndpsim()
+        .args(["--workload", "RND", "--cores", "4294967297"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--cores") && stderr.contains("exceeds"),
+        "overflow is an error, not a wrap: {stderr}"
+    );
+}
+
+#[test]
+fn rejects_malformed_ndp_threads() {
+    let out = ndpsim()
+        .env("NDP_THREADS", "abc")
+        .args(["--workload", "RND"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("NDP_THREADS") && stderr.contains("abc"),
+        "names the variable and the bad value: {stderr}"
+    );
+}
+
+#[test]
+fn accepts_valid_run() {
+    let out = ndpsim()
+        .args(["--workload", "RND", "--mechanism", "radix"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RND") && stdout.contains("translation"));
+    assert!(!stdout.contains("sched:"), "no sched line at 1 proc/core");
+}
+
+#[test]
+fn multiprogramming_flags_reach_the_report() {
+    let out = ndpsim()
+        .args(["--workload", "RND", "--mechanism", "ndpage"])
+        .args(["--procs", "2", "--quantum", "500", "--no-asid"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("sched: 2 procs/core"),
+        "sched line present: {stdout}"
+    );
+    assert!(stdout.contains("switches"));
+}

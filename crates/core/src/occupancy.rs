@@ -56,6 +56,20 @@ impl OccupancyReport {
         self.levels.get(&level).copied()
     }
 
+    /// Pools another report into this one by summing each level's raw
+    /// counters (nodes, valid entries, capacity) — the aggregate `rate()`
+    /// then weights every table by its capacity, which is how one reports
+    /// the occupancy of *all* address spaces of a multi-core /
+    /// multiprogrammed run rather than just core 0's.
+    pub fn merge(&mut self, other: &OccupancyReport) {
+        for (level, occ) in other.iter() {
+            let entry = self.levels.entry(level).or_default();
+            entry.nodes += occ.nodes;
+            entry.valid_entries += occ.valid_entries;
+            entry.capacity += occ.capacity;
+        }
+    }
+
     /// Iterates `(level, occupancy)` in level order.
     pub fn iter(&self) -> impl Iterator<Item = (PtLevel, LevelOccupancy)> + '_ {
         self.levels.iter().map(|(l, o)| (*l, *o))
@@ -170,6 +184,43 @@ mod tests {
         assert!((s.pl2 - 1.0).abs() < 1e-12);
         assert!((s.combined_pl2_pl1 - (512.0 * 500.0) / f64::from(1 << 18)).abs() < 1e-12);
         assert!(s.pl3 < 0.01);
+    }
+
+    #[test]
+    fn merge_pools_raw_counters() {
+        let mut a = OccupancyReport::new();
+        a.set(
+            PtLevel::L1,
+            LevelOccupancy {
+                nodes: 1,
+                valid_entries: 256,
+                capacity: 512,
+            },
+        );
+        let mut b = OccupancyReport::new();
+        b.set(
+            PtLevel::L1,
+            LevelOccupancy {
+                nodes: 3,
+                valid_entries: 512,
+                capacity: 512,
+            },
+        );
+        b.set(
+            PtLevel::L2,
+            LevelOccupancy {
+                nodes: 1,
+                valid_entries: 4,
+                capacity: 512,
+            },
+        );
+        a.merge(&b);
+        let l1 = a.level(PtLevel::L1).unwrap();
+        assert_eq!(l1.nodes, 4);
+        assert_eq!(l1.valid_entries, 768);
+        assert_eq!(l1.capacity, 1024);
+        assert!((l1.rate() - 0.75).abs() < 1e-12);
+        assert_eq!(a.level(PtLevel::L2).unwrap().valid_entries, 4);
     }
 
     #[test]

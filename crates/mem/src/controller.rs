@@ -9,28 +9,42 @@ use ndp_types::stats::LatencyStat;
 use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
 
 /// Per-class request counters.
+///
+/// `data` and `metadata` count **demand reads** (a core or walker waits on
+/// them); `write` counts posted writes — cache writebacks issued
+/// fire-and-forget — regardless of the line's class. Keeping them apart
+/// stops bandwidth-only write traffic from inflating demand statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClassTraffic {
-    /// Requests for normal program data.
+    /// Demand-read requests for normal program data.
     pub data: u64,
-    /// Requests for page-table metadata.
+    /// Demand-read requests for page-table metadata.
     pub metadata: u64,
+    /// Posted writes (writebacks); nobody waits on these.
+    pub write: u64,
 }
 
 impl ClassTraffic {
-    /// Total requests.
+    /// Total requests, demand and posted.
     #[must_use]
     pub fn total(&self) -> u64 {
+        self.data + self.metadata + self.write
+    }
+
+    /// Demand-read requests (data + metadata).
+    #[must_use]
+    pub fn demand(&self) -> u64 {
         self.data + self.metadata
     }
 
-    /// Fraction of requests that were metadata, in `[0, 1]`.
+    /// Fraction of *demand* requests that were metadata, in `[0, 1]` (the
+    /// paper's "main-memory accesses caused by PTEs" share).
     #[must_use]
     pub fn metadata_fraction(&self) -> f64 {
-        if self.total() == 0 {
+        if self.demand() == 0 {
             0.0
         } else {
-            self.metadata as f64 / self.total() as f64
+            self.metadata as f64 / self.demand() as f64
         }
     }
 }
@@ -38,12 +52,14 @@ impl ClassTraffic {
 /// Controller-level statistics (device stats live in [`DramStats`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ControllerStats {
-    /// Read/write traffic split by access class.
+    /// Traffic split by demand class and write.
     pub traffic: ClassTraffic,
-    /// Latency of metadata requests.
+    /// Latency of demand metadata reads.
     pub metadata_latency: LatencyStat,
-    /// Latency of data requests.
+    /// Latency of demand data reads.
     pub data_latency: LatencyStat,
+    /// Latency of posted writes (informational; nobody waits on these).
+    pub write_latency: LatencyStat,
 }
 
 /// The shared memory controller.
@@ -81,18 +97,25 @@ impl MemoryController {
     }
 
     /// Issues one 64 B request arriving at `now`; returns its completion
-    /// timestamp. Writes are modelled with read timing (posted writes would
-    /// only shorten them; the paper's traffic is read-dominated).
+    /// timestamp. Writes are timed like reads (they occupy the bank and
+    /// channel identically, which is their whole contention effect) but
+    /// are accounted separately: posted writebacks must not inflate the
+    /// demand-read traffic or latency statistics a core actually waits on.
     pub fn request(
         &mut self,
         addr: PhysAddr,
-        _rw: RwKind,
+        rw: RwKind,
         class: AccessClass,
         now: Cycles,
     ) -> Cycles {
-        let result = self.dram.access(addr, now);
+        let result = self.dram.access(addr, rw, now);
         let done = result.done + self.overhead;
         let latency = done - now;
+        if rw.is_write() {
+            self.stats.traffic.write += 1;
+            self.stats.write_latency.record(latency);
+            return done;
+        }
         match class {
             AccessClass::Data => {
                 self.stats.traffic.data += 1;
@@ -169,7 +192,7 @@ mod tests {
         }
         mc.request(
             PhysAddr::new(1 << 20),
-            RwKind::Write,
+            RwKind::Read,
             AccessClass::Data,
             Cycles::ZERO,
         );
@@ -177,6 +200,64 @@ mod tests {
         assert_eq!(mc.stats().traffic.data, 1);
         assert!((mc.stats().traffic.metadata_fraction() - 0.8).abs() < 1e-12);
         assert_eq!(mc.stats().metadata_latency.count, 4);
+    }
+
+    /// Regression for the write-accounting bug: posted writes must land in
+    /// their own traffic/latency counters and leave every demand-read
+    /// statistic — controller and DRAM queue-delay alike — untouched.
+    #[test]
+    fn writes_do_not_pollute_demand_stats() {
+        let mut mc = MemoryController::new(DramConfig::hbm2());
+        mc.request(
+            PhysAddr::new(0),
+            RwKind::Read,
+            AccessClass::Data,
+            Cycles::ZERO,
+        );
+        let demand_latency = mc.stats().data_latency;
+        let demand_queue = mc.dram_stats().queue_delay;
+        // A burst of posted writebacks to the same bank (worst case for
+        // queue-delay pollution: they all stack up behind each other).
+        for _ in 0..8 {
+            mc.request(
+                PhysAddr::new(0),
+                RwKind::Write,
+                AccessClass::Data,
+                Cycles::ZERO,
+            );
+        }
+        assert_eq!(mc.stats().traffic.data, 1);
+        assert_eq!(mc.stats().traffic.write, 8);
+        assert_eq!(mc.stats().traffic.total(), 9);
+        assert_eq!(mc.stats().traffic.demand(), 1);
+        assert_eq!(mc.stats().write_latency.count, 8);
+        assert_eq!(
+            mc.stats().data_latency,
+            demand_latency,
+            "demand latency unmoved by writes"
+        );
+        assert_eq!(
+            mc.dram_stats().queue_delay,
+            demand_queue,
+            "DRAM demand queue-delay unmoved by writes"
+        );
+        assert_eq!(mc.dram_stats().write_queue_delay.count, 8);
+        assert!(
+            mc.dram_stats().write_queue_delay.max > Cycles::ZERO,
+            "stacked writes do queue — just in their own bucket"
+        );
+        // And the bank contention is real: a demand read behind the write
+        // burst still waits.
+        let done = mc.request(
+            PhysAddr::new(0),
+            RwKind::Read,
+            AccessClass::Data,
+            Cycles::ZERO,
+        );
+        assert!(
+            done > DramConfig::hbm2().timing.row_conflict + MemoryController::DEFAULT_OVERHEAD,
+            "writes keep occupying banks"
+        );
     }
 
     #[test]

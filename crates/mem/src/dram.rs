@@ -8,7 +8,7 @@
 //! DRAM state machines.
 
 use ndp_types::stats::LatencyStat;
-use ndp_types::{Cycles, PhysAddr};
+use ndp_types::{Cycles, PhysAddr, RwKind};
 
 /// Row-buffer outcome of a single DRAM access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,9 +145,16 @@ struct Bank {
 }
 
 /// Statistics accumulated by the DRAM device.
+///
+/// `requests` and the row-buffer counters cover *all* traffic (reads and
+/// posted writes contend for the same banks), while the `queue_delay` and
+/// `latency` distributions cover **demand reads only**: nobody waits on a
+/// posted write, so folding its (large, deliberately deferred) delay into
+/// the demand statistics would overstate what cores experience. Writes get
+/// their own `write_queue_delay` distribution.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DramStats {
-    /// Total requests served.
+    /// Total requests served (reads + writes).
     pub requests: u64,
     /// Row-buffer hits.
     pub row_hits: u64,
@@ -155,10 +162,13 @@ pub struct DramStats {
     pub row_misses: u64,
     /// Row-buffer conflicts.
     pub row_conflicts: u64,
-    /// Queueing delay distribution (start − arrival).
+    /// Queueing delay distribution of demand reads (start − arrival).
     pub queue_delay: LatencyStat,
-    /// End-to-end device latency distribution (done − arrival).
+    /// End-to-end device latency distribution of demand reads
+    /// (done − arrival).
     pub latency: LatencyStat,
+    /// Queueing delay distribution of (posted) writes.
+    pub write_queue_delay: LatencyStat,
 }
 
 impl DramStats {
@@ -242,8 +252,11 @@ impl Dram {
     }
 
     /// Performs one 64 B access arriving at `now`, returning its completion
-    /// time and row outcome. Mutates bank open-row and busy state.
-    pub fn access(&mut self, addr: PhysAddr, now: Cycles) -> DramResult {
+    /// time and row outcome. Mutates bank open-row and busy state. Reads
+    /// and writes are timed identically (the bank is occupied either way);
+    /// `rw` only selects which latency distribution records the access —
+    /// see [`DramStats`].
+    pub fn access(&mut self, addr: PhysAddr, rw: RwKind, now: Cycles) -> DramResult {
         let (channel, bank_in_ch, row) = self.decode(addr);
         let bank_idx = (channel * self.config.banks_per_channel + bank_in_ch) as usize;
         let bank = &mut self.banks[bank_idx];
@@ -273,8 +286,12 @@ impl Dram {
             RowOutcome::Miss => self.stats.row_misses += 1,
             RowOutcome::Conflict => self.stats.row_conflicts += 1,
         }
-        self.stats.queue_delay.record(queue_delay);
-        self.stats.latency.record(done - now);
+        if rw.is_write() {
+            self.stats.write_queue_delay.record(queue_delay);
+        } else {
+            self.stats.queue_delay.record(queue_delay);
+            self.stats.latency.record(done - now);
+        }
 
         DramResult {
             done,
@@ -313,7 +330,7 @@ mod tests {
     #[test]
     fn first_access_is_row_miss() {
         let mut d = small();
-        let r = d.access(PhysAddr::new(0), Cycles::ZERO);
+        let r = d.access(PhysAddr::new(0), RwKind::Read, Cycles::ZERO);
         assert_eq!(r.outcome, RowOutcome::Miss);
         assert_eq!(r.queue_delay, Cycles::ZERO);
         assert_eq!(r.done, DramTiming::hbm2().row_miss);
@@ -323,9 +340,9 @@ mod tests {
     fn same_row_hits_after_open() {
         let mut d = small();
         let t = DramTiming::hbm2();
-        let first = d.access(PhysAddr::new(0), Cycles::ZERO);
+        let first = d.access(PhysAddr::new(0), RwKind::Read, Cycles::ZERO);
         // Address 128 is on the same channel (even line) and same row.
-        let second = d.access(PhysAddr::new(128), first.done + t.burst);
+        let second = d.access(PhysAddr::new(128), RwKind::Read, first.done + t.burst);
         assert_eq!(second.outcome, RowOutcome::Hit);
     }
 
@@ -340,17 +357,17 @@ mod tests {
         let (ch_b, bk_b, row_b) = d.decode(b);
         assert_eq!((ch_a, bk_a), (ch_b, bk_b));
         assert_ne!(row_a, row_b);
-        let first = d.access(a, Cycles::ZERO);
-        let r = d.access(b, first.done + Cycles::new(100));
+        let first = d.access(a, RwKind::Read, Cycles::ZERO);
+        let r = d.access(b, RwKind::Read, first.done + Cycles::new(100));
         assert_eq!(r.outcome, RowOutcome::Conflict);
     }
 
     #[test]
     fn back_to_back_requests_queue() {
         let mut d = small();
-        let r1 = d.access(PhysAddr::new(0), Cycles::ZERO);
+        let r1 = d.access(PhysAddr::new(0), RwKind::Read, Cycles::ZERO);
         // Immediately issue to the same bank: must wait for busy_until.
-        let r2 = d.access(PhysAddr::new(0), Cycles::ZERO);
+        let r2 = d.access(PhysAddr::new(0), RwKind::Read, Cycles::ZERO);
         assert!(r2.queue_delay > Cycles::ZERO);
         assert!(r2.done > r1.done);
     }
@@ -358,8 +375,8 @@ mod tests {
     #[test]
     fn channels_are_independent() {
         let mut d = small();
-        let r1 = d.access(PhysAddr::new(0), Cycles::ZERO); // channel 0
-        let r2 = d.access(PhysAddr::new(64), Cycles::ZERO); // channel 1
+        let r1 = d.access(PhysAddr::new(0), RwKind::Read, Cycles::ZERO); // channel 0
+        let r2 = d.access(PhysAddr::new(64), RwKind::Read, Cycles::ZERO); // channel 1
         assert_eq!(r1.queue_delay, Cycles::ZERO);
         assert_eq!(r2.queue_delay, Cycles::ZERO);
     }
@@ -375,8 +392,8 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut d = small();
-        d.access(PhysAddr::new(0), Cycles::ZERO);
-        d.access(PhysAddr::new(64), Cycles::ZERO);
+        d.access(PhysAddr::new(0), RwKind::Read, Cycles::ZERO);
+        d.access(PhysAddr::new(64), RwKind::Read, Cycles::ZERO);
         assert_eq!(d.stats().requests, 2);
         assert_eq!(d.stats().row_misses, 2);
         assert_eq!(d.stats().row_hit_rate(), 0.0);

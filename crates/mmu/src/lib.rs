@@ -13,15 +13,26 @@
 //!
 //! # Examples
 //!
+//! TLB entries, PWC tags and walker state are tagged by [`Asid`], so
+//! multiprogrammed cores keep several address spaces resident and flush
+//! selectively ([`Tlb::flush_asid`]) or entirely ([`Tlb::flush_all`], the
+//! untagged-TLB context-switch penalty).
+//!
+//! [`Asid`]: ndp_types::Asid
+//! [`Tlb::flush_asid`]: tlb::Tlb::flush_asid
+//! [`Tlb::flush_all`]: tlb::Tlb::flush_all
+//!
 //! ```
 //! use ndp_mmu::tlb::{TlbConfig, TlbHierarchy};
-//! use ndp_types::{PageSize, Pfn, Vpn};
+//! use ndp_types::{Asid, PageSize, Pfn, Vpn};
 //!
 //! let mut tlb = TlbHierarchy::table1();
 //! let vpn = Vpn::new(0x1234);
-//! assert!(tlb.lookup(vpn).outcome.is_miss());
-//! tlb.fill(vpn, Pfn::new(0x99), PageSize::Size4K);
-//! assert!(!tlb.lookup(vpn).outcome.is_miss());
+//! assert!(tlb.lookup(Asid::ZERO, vpn).outcome.is_miss());
+//! tlb.fill(Asid::ZERO, vpn, Pfn::new(0x99), PageSize::Size4K);
+//! assert!(!tlb.lookup(Asid::ZERO, vpn).outcome.is_miss());
+//! // A second address space never sees the first one's entries.
+//! assert!(tlb.lookup(Asid(1), vpn).outcome.is_miss());
 //! # let _ = TlbConfig::l1_dtlb();
 //! ```
 

@@ -18,10 +18,19 @@
 //! single miss per walk.
 
 use ndp_types::stats::HitMiss;
-use ndp_types::{PtLevel, Vpn};
+use ndp_types::{Asid, PtLevel, Vpn};
 
 /// Entries per per-level PWC (Victima-style: 64 entries).
 pub const PWC_ENTRIES: usize = 64;
+
+/// Packs an ASID above a VPN-prefix tag: level prefixes occupy at most
+/// 36 bits, so the ASID lives at [`Asid::TAG_SHIFT`] and `Asid::ZERO`
+/// leaves the tag bit-identical to the untagged layout. Keeping the
+/// combined tag a single `u64` preserves the dense vectorisable scan.
+#[inline]
+fn tagged(asid: Asid, tag: u64) -> u64 {
+    tag | asid.tag_bits()
+}
 
 /// A single level's page-walk cache.
 ///
@@ -125,11 +134,12 @@ impl Pwc {
         }
     }
 
-    /// Probes (and on hit refreshes) the PWC; records statistics.
+    /// Probes (and on hit refreshes) the PWC for address space `asid`;
+    /// records statistics. Tags of other ASIDs never hit.
     #[inline]
-    pub fn access(&mut self, vpn: Vpn) -> bool {
+    pub fn access(&mut self, asid: Asid, vpn: Vpn) -> bool {
         self.tick += 1;
-        let tag = Self::tag_for(self.level, vpn);
+        let tag = tagged(asid, Self::tag_for(self.level, vpn));
         if let Some(i) = self.find(tag) {
             self.stamps[i] = self.tick;
             self.stats.record(true);
@@ -141,9 +151,9 @@ impl Pwc {
 
     /// Installs the tag after a successful memory fetch of this level.
     #[inline]
-    pub fn fill(&mut self, vpn: Vpn) {
+    pub fn fill(&mut self, asid: Asid, vpn: Vpn) {
         self.tick += 1;
-        let tag = Self::tag_for(self.level, vpn);
+        let tag = tagged(asid, Self::tag_for(self.level, vpn));
         if let Some(i) = self.find(tag) {
             self.stamps[i] = self.tick;
             return;
@@ -156,9 +166,9 @@ impl Pwc {
     /// level, so the separate calls scanned twice. Tick arithmetic and
     /// statistics match the two-call sequence exactly.
     #[inline]
-    pub fn probe_fill(&mut self, vpn: Vpn) -> bool {
+    pub fn probe_fill(&mut self, asid: Asid, vpn: Vpn) -> bool {
         self.tick += 1;
-        let tag = Self::tag_for(self.level, vpn);
+        let tag = tagged(asid, Self::tag_for(self.level, vpn));
         if let Some(i) = self.find(tag) {
             self.stamps[i] = self.tick;
             self.stats.record(true);
@@ -170,6 +180,35 @@ impl Pwc {
         self.tick += 1;
         self.insert(tag);
         false
+    }
+
+    /// Drops every tag of `asid` (a targeted shootdown), returning how
+    /// many were dropped. Statistics and other ASIDs survive.
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        let mut dropped = 0;
+        let mut keep = 0;
+        for i in 0..self.tags.len() {
+            if self.tags[i] >> Asid::TAG_SHIFT == u64::from(asid.as_u16()) {
+                dropped += 1;
+            } else {
+                self.tags[keep] = self.tags[i];
+                self.stamps[keep] = self.stamps[i];
+                keep += 1;
+            }
+        }
+        self.tags.truncate(keep);
+        self.stamps.truncate(keep);
+        dropped
+    }
+
+    /// Drops every tag (the untagged-walker context-switch flush),
+    /// returning how many were dropped. Statistics and the LRU clock
+    /// survive — a flush loses state, not history.
+    pub fn flush_all(&mut self) -> u64 {
+        let dropped = self.tags.len() as u64;
+        self.tags.clear();
+        self.stamps.clear();
+        dropped
     }
 
     /// Clears contents and statistics.
@@ -284,22 +323,24 @@ impl PwcSet {
             .or_insert_with(|| Pwc::with_capacity(level, capacity))
     }
 
-    /// Probes the PWC for `level`; always misses when disabled.
+    /// Probes the PWC for `level` in address space `asid`; always misses
+    /// when disabled.
     #[inline]
-    pub fn access(&mut self, level: PtLevel, vpn: Vpn) -> bool {
+    pub fn access(&mut self, level: PtLevel, asid: Asid, vpn: Vpn) -> bool {
         if !self.enabled {
             return false;
         }
-        self.level_pwc(level).access(vpn)
+        self.level_pwc(level).access(asid, vpn)
     }
 
-    /// Fills the PWC for `level` (no-op when disabled).
+    /// Fills the PWC for `level` in address space `asid` (no-op when
+    /// disabled).
     #[inline]
-    pub fn fill(&mut self, level: PtLevel, vpn: Vpn) {
+    pub fn fill(&mut self, level: PtLevel, asid: Asid, vpn: Vpn) {
         if !self.enabled {
             return;
         }
-        self.level_pwc(level).fill(vpn);
+        self.level_pwc(level).fill(asid, vpn);
     }
 
     /// Probes `level` and installs the tag on a miss with a single scan
@@ -307,22 +348,35 @@ impl PwcSet {
     /// Always misses (and fills nothing) when disabled. Under
     /// `legacy_hotpath` this runs the seed's two-call sequence.
     #[inline]
-    pub fn probe_fill(&mut self, level: PtLevel, vpn: Vpn) -> bool {
+    pub fn probe_fill(&mut self, level: PtLevel, asid: Asid, vpn: Vpn) -> bool {
         if !self.enabled {
             return false;
         }
         #[cfg(not(feature = "legacy_hotpath"))]
         {
-            self.level_pwc(level).probe_fill(vpn)
+            self.level_pwc(level).probe_fill(asid, vpn)
         }
         #[cfg(feature = "legacy_hotpath")]
         {
-            let hit = self.level_pwc(level).access(vpn);
+            let hit = self.level_pwc(level).access(asid, vpn);
             if !hit {
-                self.level_pwc(level).fill(vpn);
+                self.level_pwc(level).fill(asid, vpn);
             }
             hit
         }
+    }
+
+    /// Drops every level's tags of `asid` (a targeted shootdown),
+    /// returning how many were dropped. Statistics survive.
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        self.touched_mut().map(|p| p.flush_asid(asid)).sum()
+    }
+
+    /// Drops every level's tags entirely (the untagged-walker
+    /// context-switch flush), returning how many were dropped.
+    /// Statistics survive.
+    pub fn flush_all(&mut self) -> u64 {
+        self.touched_mut().map(Pwc::flush_all).sum()
     }
 
     /// Per-level hit/miss statistics, in level order.
@@ -397,9 +451,9 @@ mod tests {
     fn miss_fill_hit() {
         let mut pwc = Pwc::new(PtLevel::L4);
         let vpn = Vpn::new(0x123);
-        assert!(!pwc.access(vpn));
-        pwc.fill(vpn);
-        assert!(pwc.access(vpn));
+        assert!(!pwc.access(Asid::ZERO, vpn));
+        pwc.fill(Asid::ZERO, vpn);
+        assert!(pwc.access(Asid::ZERO, vpn));
         assert_eq!(pwc.stats().hits, 1);
         assert_eq!(pwc.stats().misses, 1);
     }
@@ -410,8 +464,11 @@ mod tests {
         let mut pwc = Pwc::new(PtLevel::L4);
         let a = Vpn::new(0);
         let b = Vpn::new((8u64 << 30) >> 12); // 8 GB away
-        pwc.fill(a);
-        assert!(pwc.access(b), "same 128 GB region → same PL4 tag");
+        pwc.fill(Asid::ZERO, a);
+        assert!(
+            pwc.access(Asid::ZERO, b),
+            "same 128 GB region → same PL4 tag"
+        );
     }
 
     #[test]
@@ -419,13 +476,13 @@ mod tests {
         let mut pwc = Pwc::new(PtLevel::L1);
         // Stream over far more pages than entries: everything misses.
         for i in 0..1000u64 {
-            pwc.access(Vpn::new(i));
-            pwc.fill(Vpn::new(i));
+            pwc.access(Asid::ZERO, Vpn::new(i));
+            pwc.fill(Asid::ZERO, Vpn::new(i));
         }
         // Re-streaming misses again (LRU evicted old tags).
         let mut hits = 0;
         for i in 0..1000u64 {
-            if pwc.access(Vpn::new(i)) {
+            if pwc.access(Asid::ZERO, Vpn::new(i)) {
                 hits += 1;
             }
         }
@@ -436,19 +493,19 @@ mod tests {
     fn lru_within_capacity_retains_hot_tags() {
         let mut pwc = Pwc::with_capacity(PtLevel::L1, 2);
         let hot = Vpn::new(1);
-        pwc.fill(hot);
-        pwc.fill(Vpn::new(2));
-        pwc.access(hot); // refresh
-        pwc.fill(Vpn::new(3)); // evicts vpn 2
-        assert!(pwc.access(hot));
-        assert!(!pwc.access(Vpn::new(2)));
+        pwc.fill(Asid::ZERO, hot);
+        pwc.fill(Asid::ZERO, Vpn::new(2));
+        pwc.access(Asid::ZERO, hot); // refresh
+        pwc.fill(Asid::ZERO, Vpn::new(3)); // evicts vpn 2
+        assert!(pwc.access(Asid::ZERO, hot));
+        assert!(!pwc.access(Asid::ZERO, Vpn::new(2)));
     }
 
     #[test]
     fn disabled_set_never_hits() {
         let mut set = PwcSet::disabled();
-        set.fill(PtLevel::L4, Vpn::new(1));
-        assert!(!set.access(PtLevel::L4, Vpn::new(1)));
+        set.fill(PtLevel::L4, Asid::ZERO, Vpn::new(1));
+        assert!(!set.access(PtLevel::L4, Asid::ZERO, Vpn::new(1)));
         assert!(!set.is_enabled());
         assert_eq!(set.stats().count(), 0);
     }
@@ -457,10 +514,10 @@ mod tests {
     fn enabled_set_tracks_per_level() {
         let mut set = PwcSet::enabled();
         let vpn = Vpn::new(0x42);
-        assert!(!set.access(PtLevel::L4, vpn));
-        set.fill(PtLevel::L4, vpn);
-        assert!(set.access(PtLevel::L4, vpn));
-        assert!(!set.access(PtLevel::L2, vpn));
+        assert!(!set.access(PtLevel::L4, Asid::ZERO, vpn));
+        set.fill(PtLevel::L4, Asid::ZERO, vpn);
+        assert!(set.access(PtLevel::L4, Asid::ZERO, vpn));
+        assert!(!set.access(PtLevel::L2, Asid::ZERO, vpn));
         let l4 = set.level_stats(PtLevel::L4).unwrap();
         assert_eq!(l4.hits, 1);
         assert_eq!(l4.misses, 1);
@@ -471,11 +528,11 @@ mod tests {
     #[test]
     fn reset_clears_levels() {
         let mut set = PwcSet::enabled();
-        set.fill(PtLevel::L3, Vpn::new(9));
-        set.access(PtLevel::L3, Vpn::new(9));
+        set.fill(PtLevel::L3, Asid::ZERO, Vpn::new(9));
+        set.access(PtLevel::L3, Asid::ZERO, Vpn::new(9));
         set.reset();
         assert_eq!(set.level_stats(PtLevel::L3).unwrap().total(), 0);
-        assert!(!set.access(PtLevel::L3, Vpn::new(9)));
+        assert!(!set.access(PtLevel::L3, Asid::ZERO, Vpn::new(9)));
     }
 
     #[test]
@@ -488,11 +545,53 @@ mod tests {
     fn hash_ways_are_independent_levels() {
         let mut set = PwcSet::enabled();
         let vpn = Vpn::new(0x99);
-        set.fill(PtLevel::HashWay(0), vpn);
-        assert!(set.access(PtLevel::HashWay(0), vpn));
-        assert!(!set.access(PtLevel::HashWay(1), vpn), "ways do not alias");
+        set.fill(PtLevel::HashWay(0), Asid::ZERO, vpn);
+        assert!(set.access(PtLevel::HashWay(0), Asid::ZERO, vpn));
+        assert!(
+            !set.access(PtLevel::HashWay(1), Asid::ZERO, vpn),
+            "ways do not alias"
+        );
         let levels: Vec<PtLevel> = set.stats().map(|(l, _)| l).collect();
         assert_eq!(levels, vec![PtLevel::HashWay(0), PtLevel::HashWay(1)]);
+    }
+
+    #[test]
+    fn asids_partition_pwc_tags() {
+        let mut pwc = Pwc::new(PtLevel::L2);
+        let vpn = Vpn::new(0x42);
+        pwc.fill(Asid(1), vpn);
+        assert!(pwc.access(Asid(1), vpn));
+        assert!(!pwc.access(Asid(2), vpn), "same prefix, foreign ASID");
+    }
+
+    #[test]
+    fn flush_asid_keeps_other_spaces_and_stats() {
+        let mut set = PwcSet::enabled();
+        let vpn = Vpn::new(0x9);
+        set.fill(PtLevel::L4, Asid(1), vpn);
+        set.fill(PtLevel::L4, Asid(2), vpn);
+        set.fill(PtLevel::L3, Asid(1), vpn);
+        assert!(set.access(PtLevel::L4, Asid(1), vpn));
+        let hits_before = set.level_stats(PtLevel::L4).unwrap().hits;
+        assert_eq!(set.flush_asid(Asid(1)), 2);
+        assert_eq!(
+            set.level_stats(PtLevel::L4).unwrap().hits,
+            hits_before,
+            "shootdowns keep statistics"
+        );
+        assert!(!set.access(PtLevel::L4, Asid(1), vpn));
+        assert!(set.access(PtLevel::L4, Asid(2), vpn));
+    }
+
+    #[test]
+    fn flush_all_drops_every_tag() {
+        let mut set = PwcSet::enabled();
+        set.fill(PtLevel::L4, Asid(0), Vpn::new(1));
+        set.fill(PtLevel::L3, Asid(5), Vpn::new(2));
+        assert_eq!(set.flush_all(), 2);
+        assert!(!set.access(PtLevel::L4, Asid(0), Vpn::new(1)));
+        assert!(!set.access(PtLevel::L3, Asid(5), Vpn::new(2)));
+        assert_eq!(set.flush_all(), 0);
     }
 
     #[test]
@@ -500,9 +599,9 @@ mod tests {
         let mut set = PwcSet::enabled();
         let vpn = Vpn::new(0x5);
         // Touch out of order; iteration must still be level-ordered.
-        set.fill(PtLevel::FlatL2L1, vpn);
-        set.fill(PtLevel::L2, vpn);
-        set.fill(PtLevel::L4, vpn);
+        set.fill(PtLevel::FlatL2L1, Asid::ZERO, vpn);
+        set.fill(PtLevel::L2, Asid::ZERO, vpn);
+        set.fill(PtLevel::L4, Asid::ZERO, vpn);
         let levels: Vec<PtLevel> = set.stats().map(|(l, _)| l).collect();
         assert_eq!(levels, vec![PtLevel::L4, PtLevel::L2, PtLevel::FlatL2L1]);
     }

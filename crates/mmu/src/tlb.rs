@@ -4,9 +4,16 @@
 //! is tagged by the VPN's 2 MB-aligned prefix and covers all 512 base pages
 //! beneath it — the reach advantage that makes the Huge Page baseline
 //! strong at low core counts.
+//!
+//! Entries additionally carry an [`Asid`] tag so multiprogrammed cores can
+//! keep several address spaces resident at once: lookups and fills are
+//! keyed by `(asid, vpn)`, [`Tlb::flush_asid`] models a targeted shootdown
+//! and [`Tlb::flush_all`] the untagged-TLB full flush a context switch
+//! forces. Single-address-space runs pass [`Asid::ZERO`] everywhere and
+//! behave bit-identically to an untagged TLB.
 
 use ndp_types::stats::HitMiss;
-use ndp_types::{Cycles, PageSize, Pfn, Vpn};
+use ndp_types::{Asid, Cycles, PageSize, Pfn, Vpn};
 
 /// Geometry and latency of one TLB level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +80,7 @@ impl TlbConfig {
 #[derive(Debug, Clone, Copy)]
 struct TlbEntry {
     key: u64,
+    asid: Asid,
     pfn: Pfn,
     size: PageSize,
     valid: bool,
@@ -83,6 +91,7 @@ impl Default for TlbEntry {
     fn default() -> Self {
         TlbEntry {
             key: 0,
+            asid: Asid::ZERO,
             pfn: Pfn::new(0),
             size: PageSize::Size4K,
             valid: false,
@@ -145,12 +154,12 @@ impl Tlb {
         }
     }
 
-    fn probe_key(&mut self, key: u64) -> Option<(Pfn, PageSize)> {
+    fn probe_key(&mut self, asid: Asid, key: u64) -> Option<(Pfn, PageSize)> {
         let set = (key as usize >> 1) & (self.sets - 1);
         let ways = self.config.ways as usize;
         let tick = self.tick;
         for e in &mut self.entries[set * ways..(set + 1) * ways] {
-            if e.valid && e.key == key {
+            if e.valid && e.key == key && e.asid == asid {
                 e.stamp = tick;
                 return Some((e.pfn, e.size));
             }
@@ -158,15 +167,16 @@ impl Tlb {
         None
     }
 
-    /// Looks up `vpn`, probing both the 4 KB and 2 MB namespaces, and
-    /// records a hit or miss.
-    pub fn lookup(&mut self, vpn: Vpn) -> Option<TlbHit> {
+    /// Looks up `vpn` in address space `asid`, probing both the 4 KB and
+    /// 2 MB namespaces, and records a hit or miss. Entries of other ASIDs
+    /// never hit.
+    pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<TlbHit> {
         self.tick += 1;
         let hit = self
-            .probe_key(Self::key_for(vpn, PageSize::Size4K))
+            .probe_key(asid, Self::key_for(vpn, PageSize::Size4K))
             .map(|(pfn, size)| TlbHit { pfn, size })
             .or_else(|| {
-                self.probe_key(Self::key_for(vpn, PageSize::Size2M))
+                self.probe_key(asid, Self::key_for(vpn, PageSize::Size2M))
                     .map(|(base, size)| TlbHit {
                         // Reconstruct the 4 KB frame within the huge page.
                         pfn: base.add(vpn.l1_index() as u64),
@@ -177,9 +187,9 @@ impl Tlb {
         hit
     }
 
-    /// Installs a translation. For 2 MB mappings pass the *huge page base*
-    /// PFN (512-frame aligned).
-    pub fn fill(&mut self, vpn: Vpn, pfn: Pfn, size: PageSize) {
+    /// Installs a translation for address space `asid`. For 2 MB mappings
+    /// pass the *huge page base* PFN (512-frame aligned).
+    pub fn fill(&mut self, asid: Asid, vpn: Vpn, pfn: Pfn, size: PageSize) {
         self.tick += 1;
         let key = Self::key_for(vpn, size);
         let set = (key as usize >> 1) & (self.sets - 1);
@@ -187,7 +197,10 @@ impl Tlb {
         let tick = self.tick;
         let slice = &mut self.entries[set * ways..(set + 1) * ways];
         // Refresh if present.
-        if let Some(e) = slice.iter_mut().find(|e| e.valid && e.key == key) {
+        if let Some(e) = slice
+            .iter_mut()
+            .find(|e| e.valid && e.key == key && e.asid == asid)
+        {
             e.stamp = tick;
             e.pfn = pfn;
             return;
@@ -198,11 +211,40 @@ impl Tlb {
             .expect("ways > 0");
         *victim = TlbEntry {
             key,
+            asid,
             pfn,
             size,
             valid: true,
             stamp: tick,
         };
+    }
+
+    /// Invalidates every entry of `asid` (a targeted shootdown), returning
+    /// how many entries were dropped. Statistics and other address spaces
+    /// are untouched.
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        let mut dropped = 0;
+        for e in &mut self.entries {
+            if e.valid && e.asid == asid {
+                e.valid = false;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Invalidates every entry (the untagged-TLB context-switch flush),
+    /// returning how many entries were dropped. Statistics survive — a
+    /// flush loses state, not history.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut dropped = 0;
+        for e in &mut self.entries {
+            if e.valid {
+                e.valid = false;
+                dropped += 1;
+            }
+        }
+        dropped
     }
 
     /// Clears contents and statistics.
@@ -312,10 +354,10 @@ impl TlbHierarchy {
         }
     }
 
-    /// Looks up `vpn` through L1 then L2, promoting L2 hits into L1.
-    pub fn lookup(&mut self, vpn: Vpn) -> TlbLookup {
+    /// Looks up `(asid, vpn)` through L1 then L2, promoting L2 hits into L1.
+    pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> TlbLookup {
         let mut latency = self.l1.config().latency;
-        if let Some(hit) = self.l1.lookup(vpn) {
+        if let Some(hit) = self.l1.lookup(asid, vpn) {
             return TlbLookup {
                 outcome: TlbOutcome::L1Hit,
                 hit: Some(hit),
@@ -323,13 +365,13 @@ impl TlbHierarchy {
             };
         }
         latency += self.l2.config().latency;
-        if let Some(hit) = self.l2.lookup(vpn) {
+        if let Some(hit) = self.l2.lookup(asid, vpn) {
             // Promote into L1 (store the mapping-granularity base).
             let base = match hit.size {
                 PageSize::Size4K => hit.pfn,
                 PageSize::Size2M => Pfn::new((hit.pfn.as_u64() >> 9) << 9),
             };
-            self.l1.fill(vpn, base, hit.size);
+            self.l1.fill(asid, vpn, base, hit.size);
             return TlbLookup {
                 outcome: TlbOutcome::L2Hit,
                 hit: Some(hit),
@@ -343,22 +385,34 @@ impl TlbHierarchy {
         }
     }
 
-    /// Installs a walked translation into the hierarchy. For 2 MB mappings
-    /// pass the huge page base PFN.
+    /// Installs a walked translation into the hierarchy for address space
+    /// `asid`. For 2 MB mappings pass the huge page base PFN.
     ///
     /// With fracturing enabled (the default, matching the paper's Huge
     /// Page treatment), a 2 MB translation installs only the 4 KB entry
     /// for `vpn`; the mapping's reach advantage is forfeited and Huge Page
     /// benefits purely from its shorter walk.
-    pub fn fill(&mut self, vpn: Vpn, pfn_base: Pfn, size: PageSize) {
+    pub fn fill(&mut self, asid: Asid, vpn: Vpn, pfn_base: Pfn, size: PageSize) {
         if self.fracture_huge && size == PageSize::Size2M {
             let exact = pfn_base.add(vpn.l1_index() as u64);
-            self.l1.fill(vpn, exact, PageSize::Size4K);
-            self.l2.fill(vpn, exact, PageSize::Size4K);
+            self.l1.fill(asid, vpn, exact, PageSize::Size4K);
+            self.l2.fill(asid, vpn, exact, PageSize::Size4K);
             return;
         }
-        self.l1.fill(vpn, pfn_base, size);
-        self.l2.fill(vpn, pfn_base, size);
+        self.l1.fill(asid, vpn, pfn_base, size);
+        self.l2.fill(asid, vpn, pfn_base, size);
+    }
+
+    /// Invalidates both levels' entries of `asid` (a targeted shootdown),
+    /// returning how many entries were dropped. Statistics survive.
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        self.l1.flush_asid(asid) + self.l2.flush_asid(asid)
+    }
+
+    /// Invalidates both levels entirely (the untagged-TLB context-switch
+    /// flush), returning how many entries were dropped. Statistics survive.
+    pub fn flush_all(&mut self) -> u64 {
+        self.l1.flush_all() + self.l2.flush_all()
     }
 
     /// Clears contents and statistics.
@@ -382,9 +436,9 @@ mod tests {
     fn miss_fill_hit() {
         let mut t = Tlb::new(TlbConfig::l1_dtlb());
         let vpn = Vpn::new(0xabc);
-        assert!(t.lookup(vpn).is_none());
-        t.fill(vpn, Pfn::new(0x123), PageSize::Size4K);
-        let hit = t.lookup(vpn).unwrap();
+        assert!(t.lookup(Asid::ZERO, vpn).is_none());
+        t.fill(Asid::ZERO, vpn, Pfn::new(0x123), PageSize::Size4K);
+        let hit = t.lookup(Asid::ZERO, vpn).unwrap();
         assert_eq!(hit.pfn, Pfn::new(0x123));
         assert_eq!(t.stats().hits, 1);
         assert_eq!(t.stats().misses, 1);
@@ -394,15 +448,15 @@ mod tests {
     fn huge_entry_covers_whole_region() {
         let mut t = Tlb::new(TlbConfig::l1_dtlb());
         let base_vpn = Vpn::new(512 * 7);
-        t.fill(base_vpn, Pfn::new(1024), PageSize::Size2M);
+        t.fill(Asid::ZERO, base_vpn, Pfn::new(1024), PageSize::Size2M);
         // Any page in the same 2 MB region hits and maps to consecutive frames.
         for off in [0u64, 1, 255, 511] {
-            let hit = t.lookup(base_vpn.add(off)).unwrap();
+            let hit = t.lookup(Asid::ZERO, base_vpn.add(off)).unwrap();
             assert_eq!(hit.pfn, Pfn::new(1024 + off), "offset {off}");
             assert_eq!(hit.size, PageSize::Size2M);
         }
         // Outside the region: miss.
-        assert!(t.lookup(Vpn::new(512 * 8)).is_none());
+        assert!(t.lookup(Asid::ZERO, Vpn::new(512 * 8)).is_none());
     }
 
     #[test]
@@ -417,33 +471,34 @@ mod tests {
         let mut t = Tlb::new(cfg);
         let a = Vpn::new(0);
         let b = Vpn::new(16); // same set (16 sets)
-        t.fill(a, Pfn::new(1), PageSize::Size4K);
-        t.fill(b, Pfn::new(2), PageSize::Size4K);
-        assert!(t.lookup(a).is_none(), "evicted by b");
-        assert!(t.lookup(b).is_some());
+        t.fill(Asid::ZERO, a, Pfn::new(1), PageSize::Size4K);
+        t.fill(Asid::ZERO, b, Pfn::new(2), PageSize::Size4K);
+        assert!(t.lookup(Asid::ZERO, a).is_none(), "evicted by b");
+        assert!(t.lookup(Asid::ZERO, b).is_some());
     }
 
     #[test]
     fn hierarchy_promotes_l2_hits() {
         let mut h = TlbHierarchy::table1();
         let vpn = Vpn::new(0x777);
-        assert_eq!(h.lookup(vpn).outcome, TlbOutcome::Miss);
-        h.fill(vpn, Pfn::new(9), PageSize::Size4K);
+        assert_eq!(h.lookup(Asid::ZERO, vpn).outcome, TlbOutcome::Miss);
+        h.fill(Asid::ZERO, vpn, Pfn::new(9), PageSize::Size4K);
         // Evict from L1 by filling conflicting entries.
         for i in 0..64u64 {
             h.l1.fill(
+                Asid::ZERO,
                 Vpn::new(vpn.as_u64() + (i + 1) * 16),
                 Pfn::new(i),
                 PageSize::Size4K,
             );
         }
-        let l2_hit = h.lookup(vpn);
+        let l2_hit = h.lookup(Asid::ZERO, vpn);
         assert!(matches!(
             l2_hit.outcome,
             TlbOutcome::L2Hit | TlbOutcome::L1Hit
         ));
         // Immediately after, it should be back in L1.
-        let l1_hit = h.lookup(vpn);
+        let l1_hit = h.lookup(Asid::ZERO, vpn);
         assert_eq!(l1_hit.outcome, TlbOutcome::L1Hit);
         assert_eq!(l1_hit.latency, Cycles::new(1));
     }
@@ -451,10 +506,10 @@ mod tests {
     #[test]
     fn hierarchy_latencies_match_table1() {
         let mut h = TlbHierarchy::table1();
-        let miss = h.lookup(Vpn::new(1));
+        let miss = h.lookup(Asid::ZERO, Vpn::new(1));
         assert_eq!(miss.latency, Cycles::new(13)); // 1 + 12
-        h.fill(Vpn::new(1), Pfn::new(1), PageSize::Size4K);
-        let hit = h.lookup(Vpn::new(1));
+        h.fill(Asid::ZERO, Vpn::new(1), Pfn::new(1), PageSize::Size4K);
+        let hit = h.lookup(Asid::ZERO, Vpn::new(1));
         assert_eq!(hit.latency, Cycles::new(1));
     }
 
@@ -462,23 +517,70 @@ mod tests {
     fn huge_promotion_reconstructs_base() {
         let mut h = TlbHierarchy::table1();
         let region = Vpn::new(512 * 3);
-        h.l2.fill(region, Pfn::new(2048), PageSize::Size2M);
+        h.l2.fill(Asid::ZERO, region, Pfn::new(2048), PageSize::Size2M);
         let probe_vpn = region.add(17);
-        let hit = h.lookup(probe_vpn).hit.unwrap();
+        let hit = h.lookup(Asid::ZERO, probe_vpn).hit.unwrap();
         assert_eq!(hit.pfn, Pfn::new(2048 + 17));
         // And the L1 promotion preserves correctness for other offsets.
-        let hit2 = h.lookup(region.add(33)).hit.unwrap();
+        let hit2 = h.lookup(Asid::ZERO, region.add(33)).hit.unwrap();
         assert_eq!(hit2.pfn, Pfn::new(2048 + 33));
     }
 
     #[test]
     fn reset_clears() {
         let mut h = TlbHierarchy::table1();
-        h.fill(Vpn::new(5), Pfn::new(5), PageSize::Size4K);
-        h.lookup(Vpn::new(5));
+        h.fill(Asid::ZERO, Vpn::new(5), Pfn::new(5), PageSize::Size4K);
+        h.lookup(Asid::ZERO, Vpn::new(5));
         h.reset();
         assert_eq!(h.l1_stats().total(), 0);
-        assert!(h.lookup(Vpn::new(5)).outcome.is_miss());
+        assert!(h.lookup(Asid::ZERO, Vpn::new(5)).outcome.is_miss());
+    }
+
+    #[test]
+    fn asids_partition_the_tlb() {
+        let mut t = Tlb::new(TlbConfig::l1_dtlb());
+        let vpn = Vpn::new(0xabc);
+        t.fill(Asid(1), vpn, Pfn::new(0x100), PageSize::Size4K);
+        t.fill(Asid(2), vpn, Pfn::new(0x200), PageSize::Size4K);
+        assert_eq!(t.lookup(Asid(1), vpn).unwrap().pfn, Pfn::new(0x100));
+        assert_eq!(t.lookup(Asid(2), vpn).unwrap().pfn, Pfn::new(0x200));
+        assert!(t.lookup(Asid(3), vpn).is_none(), "foreign ASID misses");
+    }
+
+    #[test]
+    fn flush_asid_drops_one_space_and_keeps_stats() {
+        let mut t = Tlb::new(TlbConfig::l1_dtlb());
+        let vpn = Vpn::new(0x7);
+        t.fill(Asid(1), vpn, Pfn::new(1), PageSize::Size4K);
+        t.fill(Asid(2), vpn, Pfn::new(2), PageSize::Size4K);
+        assert!(t.lookup(Asid(1), vpn).is_some());
+        let stats_before = *t.stats();
+        assert_eq!(t.flush_asid(Asid(1)), 1);
+        assert_eq!(*t.stats(), stats_before, "shootdowns keep statistics");
+        assert!(t.lookup(Asid(1), vpn).is_none());
+        assert!(t.lookup(Asid(2), vpn).is_some());
+    }
+
+    #[test]
+    fn flush_all_empties_every_space() {
+        let mut h = TlbHierarchy::table1();
+        h.fill(Asid(0), Vpn::new(1), Pfn::new(1), PageSize::Size4K);
+        h.fill(Asid(1), Vpn::new(2), Pfn::new(2), PageSize::Size4K);
+        // Each hierarchy fill installs into both levels.
+        assert_eq!(h.flush_all(), 4);
+        assert!(h.lookup(Asid(0), Vpn::new(1)).outcome.is_miss());
+        assert!(h.lookup(Asid(1), Vpn::new(2)).outcome.is_miss());
+        assert_eq!(h.flush_all(), 0, "second flush finds nothing");
+    }
+
+    #[test]
+    fn hierarchy_flush_asid_counts_both_levels() {
+        let mut h = TlbHierarchy::table1();
+        h.fill(Asid(3), Vpn::new(9), Pfn::new(9), PageSize::Size4K);
+        h.fill(Asid(4), Vpn::new(9), Pfn::new(10), PageSize::Size4K);
+        assert_eq!(h.flush_asid(Asid(3)), 2);
+        assert!(h.lookup(Asid(3), Vpn::new(9)).outcome.is_miss());
+        assert!(!h.lookup(Asid(4), Vpn::new(9)).outcome.is_miss());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! serve every mechanism and every system configuration.
 
 use crate::pwc::PwcSet;
-use ndp_types::{InlineVec, PhysAddr, PtLevel, Vpn};
+use ndp_types::{Asid, InlineVec, PhysAddr, PtLevel, Vpn};
 use ndpage::walk::WalkPath;
 
 /// One PTE fetch of a walk plan.
@@ -126,16 +126,17 @@ impl PageTableWalker {
         &self.stats
     }
 
-    /// Probes PWCs for every step of `path` and returns the fetches that
-    /// must go to memory. Fetched levels are filled into their PWCs
-    /// (hardware installs translations on the way back up).
-    pub fn plan(&mut self, vpn: Vpn, path: &WalkPath) -> WalkPlan {
+    /// Probes PWCs for every step of `path` in address space `asid` and
+    /// returns the fetches that must go to memory. Fetched levels are
+    /// filled into their PWCs (hardware installs translations on the way
+    /// back up).
+    pub fn plan(&mut self, asid: Asid, vpn: Vpn, path: &WalkPath) -> WalkPlan {
         self.stats.walks += 1;
         let mut plan = WalkPlan::default();
         for group in path.groups() {
             let mut round = WalkRound::new();
             for step in group {
-                if self.pwcs.probe_fill(step.level, vpn) {
+                if self.pwcs.probe_fill(step.level, asid, vpn) {
                     plan.pwc_skips += 1;
                     self.stats.pwc_skips += 1;
                 } else {
@@ -151,6 +152,18 @@ impl PageTableWalker {
             }
         }
         plan
+    }
+
+    /// Drops PWC state of `asid` (a targeted shootdown), returning how
+    /// many tags were dropped. Statistics survive.
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        self.pwcs.flush_asid(asid)
+    }
+
+    /// Drops all PWC state (the untagged-walker context-switch flush),
+    /// returning how many tags were dropped. Statistics survive.
+    pub fn flush_all(&mut self) -> u64 {
+        self.pwcs.flush_all()
     }
 
     /// Clears PWC contents and statistics.
@@ -169,6 +182,7 @@ impl PageTableWalker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndp_types::Asid;
     use ndpage::alloc::FrameAllocator;
     use ndpage::flat::FlattenedL2L1;
     use ndpage::radix::Radix4;
@@ -186,7 +200,7 @@ mod tests {
     fn cold_walk_fetches_everything() {
         let (_, t, vpn) = radix_fixture();
         let mut w = PageTableWalker::with_pwcs();
-        let plan = w.plan(vpn, &t.walk_path(vpn).unwrap());
+        let plan = w.plan(Asid::ZERO, vpn, &t.walk_path(vpn).unwrap());
         assert_eq!(plan.memory_fetches(), 4);
         assert_eq!(plan.sequential_rounds(), 4);
         assert_eq!(plan.pwc_skips, 0);
@@ -197,8 +211,8 @@ mod tests {
         let (_, t, vpn) = radix_fixture();
         let mut w = PageTableWalker::with_pwcs();
         let path = t.walk_path(vpn).unwrap();
-        w.plan(vpn, &path);
-        let plan = w.plan(vpn, &path);
+        w.plan(Asid::ZERO, vpn, &path);
+        let plan = w.plan(Asid::ZERO, vpn, &path);
         assert_eq!(plan.memory_fetches(), 0);
         assert_eq!(plan.pwc_skips, 4);
         assert_eq!(plan.sequential_rounds(), 0);
@@ -218,7 +232,7 @@ mod tests {
             vpns.push(vpn);
         }
         for &vpn in &vpns {
-            w.plan(vpn, &t.walk_path(vpn).unwrap());
+            w.plan(Asid::ZERO, vpn, &t.walk_path(vpn).unwrap());
         }
         let l4 = w.pwcs().level_stats(PtLevel::L4).unwrap();
         let l1 = w.pwcs().level_stats(PtLevel::L1).unwrap();
@@ -231,8 +245,8 @@ mod tests {
         let (_, t, vpn) = radix_fixture();
         let mut w = PageTableWalker::without_pwcs();
         let path = t.walk_path(vpn).unwrap();
-        w.plan(vpn, &path);
-        let plan = w.plan(vpn, &path);
+        w.plan(Asid::ZERO, vpn, &path);
+        let plan = w.plan(Asid::ZERO, vpn, &path);
         assert_eq!(plan.memory_fetches(), 4);
         assert_eq!(w.stats().fetches, 8);
         assert_eq!(w.stats().pwc_skips, 0);
@@ -247,8 +261,8 @@ mod tests {
         let b = Vpn::new(200_000); // same 1 GB region → same L4/L3 tags
         t.map(a, &mut alloc);
         t.map(b, &mut alloc);
-        w.plan(a, &t.walk_path(a).unwrap());
-        let plan = w.plan(b, &t.walk_path(b).unwrap());
+        w.plan(Asid::ZERO, a, &t.walk_path(a).unwrap());
+        let plan = w.plan(Asid::ZERO, b, &t.walk_path(b).unwrap());
         assert_eq!(
             plan.memory_fetches(),
             1,
@@ -262,9 +276,9 @@ mod tests {
         let (_, t, vpn) = radix_fixture();
         let mut w = PageTableWalker::with_pwcs();
         let path = t.walk_path(vpn).unwrap();
-        w.plan(vpn, &path);
+        w.plan(Asid::ZERO, vpn, &path);
         w.reset();
-        let plan = w.plan(vpn, &path);
+        let plan = w.plan(Asid::ZERO, vpn, &path);
         assert_eq!(plan.memory_fetches(), 4, "PWCs cold again");
         assert_eq!(w.stats().walks, 1);
     }

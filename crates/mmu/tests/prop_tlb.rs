@@ -2,7 +2,7 @@
 //! whatever the TLB returns must be what was last installed for that page.
 
 use ndp_mmu::tlb::{Tlb, TlbConfig, TlbHierarchy};
-use ndp_types::{Cycles, PageSize, Pfn, Vpn};
+use ndp_types::{Asid, Cycles, PageSize, Pfn, Vpn};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -18,7 +18,7 @@ proptest! {
         let mut truth: HashMap<u64, u64> = HashMap::new();
         for &(vpn_raw, pfn_raw) in &ops {
             let vpn = Vpn::new(vpn_raw);
-            if let Some(hit) = tlb.lookup(vpn) {
+            if let Some(hit) = tlb.lookup(Asid::ZERO, vpn) {
                 let expected = truth.get(&vpn_raw);
                 prop_assert_eq!(
                     Some(&hit.pfn.as_u64()),
@@ -27,8 +27,57 @@ proptest! {
                     vpn_raw
                 );
             }
-            tlb.fill(vpn, Pfn::new(pfn_raw), PageSize::Size4K);
+            tlb.fill(Asid::ZERO, vpn, Pfn::new(pfn_raw), PageSize::Size4K);
             truth.insert(vpn_raw, pfn_raw);
+        }
+    }
+
+    /// ASID isolation: with per-address-space fills interleaved at random,
+    /// a tagged lookup must never return a frame installed by a different
+    /// ASID — the invariant that makes warm-entry retention across context
+    /// switches safe.
+    #[test]
+    fn tagged_lookups_never_cross_asids(
+        ops in vec((0u16..4, 0u64..512, 0u64..100_000), 1..500),
+    ) {
+        let mut tlb = Tlb::new(TlbConfig::l1_dtlb());
+        let mut truth: HashMap<(u16, u64), u64> = HashMap::new();
+        for &(asid_raw, vpn_raw, pfn_seed) in &ops {
+            let asid = Asid(asid_raw);
+            let vpn = Vpn::new(vpn_raw);
+            if let Some(hit) = tlb.lookup(asid, vpn) {
+                prop_assert_eq!(
+                    Some(&hit.pfn.as_u64()),
+                    truth.get(&(asid_raw, vpn_raw)),
+                    "asid {} vpn {:#x} returned a foreign or stale frame",
+                    asid_raw,
+                    vpn_raw
+                );
+            }
+            // Give every (asid, vpn) pair a distinct frame so cross-ASID
+            // leakage cannot hide behind equal PFNs.
+            let pfn = pfn_seed * 4 + u64::from(asid_raw);
+            tlb.fill(asid, vpn, Pfn::new(pfn), PageSize::Size4K);
+            truth.insert((asid_raw, vpn_raw), pfn);
+        }
+    }
+
+    /// A targeted shootdown empties exactly one address space: the flushed
+    /// ASID loses every entry while other ASIDs keep theirs (modulo normal
+    /// capacity eviction, which `ways * sets` fills below cannot trigger
+    /// at <= 16 distinct VPNs per ASID).
+    #[test]
+    fn flush_asid_is_surgical(vpns in vec(0u64..16, 1..16)) {
+        let mut tlb = Tlb::new(TlbConfig::l2_stlb());
+        for &v in &vpns {
+            tlb.fill(Asid(1), Vpn::new(v), Pfn::new(v + 1), PageSize::Size4K);
+            tlb.fill(Asid(2), Vpn::new(v), Pfn::new(v + 2), PageSize::Size4K);
+        }
+        tlb.flush_asid(Asid(1));
+        for &v in &vpns {
+            prop_assert!(tlb.lookup(Asid(1), Vpn::new(v)).is_none());
+            let hit = tlb.lookup(Asid(2), Vpn::new(v));
+            prop_assert_eq!(hit.map(|h| h.pfn.as_u64()), Some(v + 2));
         }
     }
 
@@ -46,12 +95,12 @@ proptest! {
             let base_pfn = Pfn::new(base_frame * 512);
             for &off in &probe_offsets {
                 let vpn = base_vpn.add(off);
-                tlb.fill(vpn, base_pfn, PageSize::Size2M);
+                tlb.fill(Asid::ZERO, vpn, base_pfn, PageSize::Size2M);
                 truth.insert(vpn.as_u64(), base_pfn.as_u64() + off);
             }
         }
         for (&vpn_raw, &pfn_raw) in &truth {
-            if let Some(hit) = tlb.lookup(Vpn::new(vpn_raw)).hit {
+            if let Some(hit) = tlb.lookup(Asid::ZERO, Vpn::new(vpn_raw)).hit {
                 prop_assert_eq!(hit.pfn.as_u64(), pfn_raw, "vpn {:#x}", vpn_raw);
             }
         }
@@ -63,14 +112,14 @@ proptest! {
         let mut tlb = TlbHierarchy::table1().with_fracturing(false);
         let base_vpn = Vpn::new(region * 512);
         let base_pfn = Pfn::new(0x4_0000);
-        tlb.fill(base_vpn, base_pfn, PageSize::Size2M);
+        tlb.fill(Asid::ZERO, base_vpn, base_pfn, PageSize::Size2M);
         for &off in &offs {
-            let hit = tlb.lookup(base_vpn.add(off)).hit;
+            let hit = tlb.lookup(Asid::ZERO, base_vpn.add(off)).hit;
             prop_assert!(hit.is_some(), "offset {off} must hit the huge entry");
             prop_assert_eq!(hit.unwrap().pfn.as_u64(), base_pfn.as_u64() + off);
         }
         // Neighbouring region untouched.
-        prop_assert!(tlb.lookup(Vpn::new((region + 1) * 512)).hit.is_none());
+        prop_assert!(tlb.lookup(Asid::ZERO, Vpn::new((region + 1) * 512)).hit.is_none());
     }
 
     /// Hierarchy statistics reconcile: L2 probes equal L1 misses.
@@ -79,8 +128,8 @@ proptest! {
         let mut tlb = TlbHierarchy::table1();
         for &vpn_raw in &ops {
             let vpn = Vpn::new(vpn_raw);
-            if tlb.lookup(vpn).hit.is_none() {
-                tlb.fill(vpn, Pfn::new(vpn_raw + 1), PageSize::Size4K);
+            if tlb.lookup(Asid::ZERO, vpn).hit.is_none() {
+                tlb.fill(Asid::ZERO, vpn, Pfn::new(vpn_raw + 1), PageSize::Size4K);
             }
         }
         prop_assert_eq!(tlb.l1_stats().total(), ops.len() as u64);

@@ -77,6 +77,24 @@ pub struct SimConfig {
     /// pressure. Models the background defragmentation work (Kwon et al.,
     /// OSDI'16) that sinks Huge Page once contiguity is exhausted (Fig 14).
     pub compaction_tax: Cycles,
+    /// Processes multiprogrammed onto each core, each with a private
+    /// address space (its own page table, trace stream and ASID). The
+    /// default of 1 reproduces the paper's one-instance-per-core setup
+    /// bit-identically; higher values round-robin the processes on a
+    /// [`Self::context_switch_quantum_ops`] quantum.
+    pub procs_per_core: u32,
+    /// Ops a process runs before its core switches to the next process
+    /// (ignored when `procs_per_core` is 1).
+    pub context_switch_quantum_ops: u64,
+    /// OS cost charged at every context switch (register save/restore,
+    /// scheduler, kernel entry/exit).
+    pub context_switch_cost: Cycles,
+    /// Whether TLB entries, PWC tags and walker state carry ASID tags.
+    /// Tagged translation hardware keeps every resident process's entries
+    /// warm across switches; untagged hardware (`false`, the ablation)
+    /// must full-flush TLBs and PWCs on every switch and re-walk its
+    /// working set cold.
+    pub tlb_tagging: bool,
 }
 
 impl SimConfig {
@@ -91,6 +109,12 @@ impl SimConfig {
     pub const COMPACTION_PERIOD: u64 = 64;
     /// Nominal Table I DRAM capacity.
     pub const TABLE1_CAPACITY: u64 = 16 << 30;
+    /// Default scheduling quantum in ops (a compressed timeslice: long
+    /// enough to re-warm translation state, short enough that several
+    /// switches land inside the default measurement window).
+    pub const DEFAULT_QUANTUM: u64 = 10_000;
+    /// Default per-switch OS cost (~1.5 µs at 2.6 GHz).
+    pub const DEFAULT_SWITCH_COST: Cycles = Cycles::new(4_000);
 
     /// A full-size run configuration.
     #[must_use]
@@ -116,6 +140,10 @@ impl SimConfig {
             tlb_l2_entries: None,
             tlb_fracture_huge: None,
             compaction_tax: Cycles::new(2200),
+            procs_per_core: 1,
+            context_switch_quantum_ops: Self::DEFAULT_QUANTUM,
+            context_switch_cost: Self::DEFAULT_SWITCH_COST,
+            tlb_tagging: true,
         }
     }
 
@@ -159,6 +187,28 @@ impl SimConfig {
         self
     }
 
+    /// Sets the number of multiprogrammed processes per core.
+    #[must_use]
+    pub fn with_procs(mut self, procs: u32) -> Self {
+        self.procs_per_core = procs;
+        self
+    }
+
+    /// Sets the context-switch quantum (in ops).
+    #[must_use]
+    pub fn with_quantum(mut self, ops: u64) -> Self {
+        self.context_switch_quantum_ops = ops;
+        self
+    }
+
+    /// Enables or disables ASID tagging of TLBs/PWCs (`false` = full
+    /// flush on every context switch).
+    #[must_use]
+    pub fn with_tlb_tagging(mut self, tagging: bool) -> Self {
+        self.tlb_tagging = tagging;
+        self
+    }
+
     /// The per-core footprint in bytes.
     #[must_use]
     pub fn footprint_per_core(&self) -> u64 {
@@ -191,6 +241,14 @@ impl SimConfig {
                     "tlb_l2_entries must be 12-way-divisible into power-of-two sets",
                 ));
             }
+        }
+        if self.procs_per_core == 0 || self.procs_per_core > 64 {
+            return Err(ConfigError::new("procs_per_core must be in 1..=64"));
+        }
+        if self.procs_per_core > 1 && self.context_switch_quantum_ops == 0 {
+            return Err(ConfigError::new(
+                "context_switch_quantum_ops must be positive when multiprogrammed",
+            ));
         }
         Ok(())
     }
@@ -256,10 +314,43 @@ mod tests {
         let cfg = SimConfig::new(SystemKind::Cpu, 4, Mechanism::Ech, WorkloadId::Gen)
             .with_ops(5, 10)
             .with_footprint(2 << 20)
-            .with_seed(99);
+            .with_seed(99)
+            .with_procs(2)
+            .with_quantum(500)
+            .with_tlb_tagging(false);
         assert_eq!(cfg.warmup_ops, 5);
         assert_eq!(cfg.footprint_per_core(), 2 << 20);
         assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.procs_per_core, 2);
+        assert_eq!(cfg.context_switch_quantum_ops, 500);
+        assert!(!cfg.tlb_tagging);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn multiprogramming_defaults_are_off() {
+        let cfg = SimConfig::new(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd);
+        assert_eq!(cfg.procs_per_core, 1);
+        assert!(cfg.tlb_tagging);
+    }
+
+    #[test]
+    fn multiprogramming_configs_validated() {
+        let mut cfg = SimConfig::quick(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd);
+        cfg.procs_per_core = 0;
+        assert!(cfg.validate().is_err());
+        cfg.procs_per_core = 65;
+        assert!(cfg.validate().is_err());
+        cfg.procs_per_core = 2;
+        cfg.context_switch_quantum_ops = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("quantum"));
+        cfg.context_switch_quantum_ops = 100;
+        assert!(cfg.validate().is_ok());
+        // A single process never switches, so a zero quantum is harmless.
+        cfg.procs_per_core = 1;
+        cfg.context_switch_quantum_ops = 0;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub mod sweeps;
 
 pub use config::{SimConfig, SystemKind};
 pub use machine::Machine;
-pub use report::{FaultCounts, RunReport};
+pub use report::{FaultCounts, RunReport, SchedStats};

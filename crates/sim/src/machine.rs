@@ -6,7 +6,7 @@
 //! the L1 straight to memory, followed by the normal data access.
 
 use crate::config::{SimConfig, SystemKind};
-use crate::report::{FaultCounts, RunReport};
+use crate::report::{FaultCounts, RunReport, SchedStats};
 use ndp_cache::hierarchy::{CacheHierarchy, LookupResult};
 use ndp_cache::set_assoc::CacheConfig;
 use ndp_mem::controller::MemoryController;
@@ -15,13 +15,21 @@ use ndp_mem::noc::MeshNoc;
 use ndp_mmu::tlb::TlbHierarchy;
 use ndp_mmu::walker::PageTableWalker;
 use ndp_types::stats::{HitMiss, LatencyHistogram, LatencyStat};
-use ndp_types::{AccessClass, CoreId, Cycles, Op, Pfn, PhysAddr, PtLevel, RwKind, Vpn};
+use ndp_types::{
+    AccessClass, Asid, CoreId, Cycles, Op, Pfn, PhysAddr, ProcessId, PtLevel, RwKind, Vpn,
+};
 use ndp_workloads::{Trace, TraceParams};
 use ndpage::alloc::FrameAllocator;
 use ndpage::bypass::BypassPolicy;
+use ndpage::occupancy::OccupancyReport;
 use ndpage::table::{FaultKind, PageTable};
 use ndpage::Mechanism;
 use std::collections::BTreeMap;
+
+/// Memory ops after a context switch that count toward the post-switch
+/// cold-miss penalty statistics (see [`SchedStats`]). Sized to cover the
+/// TLB/PWC re-warm transient without bleeding into steady state.
+const POST_SWITCH_WINDOW: u64 = 256;
 
 /// The per-core page table. The mechanism set is closed, so the hot path
 /// dispatches statically through [`ndpage::PageTableImpl`]; the seed's
@@ -54,8 +62,40 @@ fn build_table(mechanism: Mechanism, alloc: &mut FrameAllocator) -> TableImpl {
     }
 }
 
-struct CoreCtx {
+/// One multiprogrammed process: a private address space (its own page
+/// table and ASID) and its own trace stream. The translation hardware
+/// (TLBs, PWCs, caches) belongs to the core the process runs on.
+struct ProcCtx {
+    #[allow(dead_code)] // identification / future per-proc reporting
+    pid: ProcessId,
+    /// The ASID this process's translations are tagged with. With
+    /// `tlb_tagging` off every process shares [`Asid::ZERO`] and the core
+    /// full-flushes on each switch instead.
+    asid: Asid,
     trace: Trace,
+    table: TableImpl,
+    /// THP-fallback pressure established during init (0 when the
+    /// contiguity pool sufficed); drives compaction interference.
+    thp_pressure: f64,
+    ops_since_tax: u64,
+}
+
+struct CoreCtx {
+    /// Processes round-robin-scheduled on this core (length is
+    /// `procs_per_core`; 1 reproduces the paper's setup exactly).
+    procs: Vec<ProcCtx>,
+    /// Index of the currently running process.
+    active: usize,
+    /// Ops executed in the current scheduling quantum.
+    quantum_ops: u64,
+    /// Memory ops remaining in the post-switch cold window.
+    post_switch_ops: u64,
+    /// Whether the switch that opened the current cold window happened
+    /// inside the measured window — keeps the penalty counters aligned
+    /// with `measured_context_switches` (a warmup switch whose window
+    /// bleeds into measurement must not contribute walks it has no
+    /// denominator for).
+    post_switch_measured: bool,
     time: Cycles,
     start_time: Cycles,
     ops_done: u64,
@@ -63,11 +103,6 @@ struct CoreCtx {
     tlb: TlbHierarchy,
     walker: PageTableWalker,
     caches: CacheHierarchy,
-    table: TableImpl,
-    /// THP-fallback pressure established during init (0 when the
-    /// contiguity pool sufficed); drives compaction interference.
-    thp_pressure: f64,
-    ops_since_tax: u64,
     // Measured-window accumulators.
     translation_cycles: u64,
     os_cycles: u64,
@@ -76,6 +111,16 @@ struct CoreCtx {
     faults: FaultCounts,
     ops_measured: u64,
     mem_ops_measured: u64,
+    /// Whole-run scheduling counters (like `faults`, switches are not a
+    /// measured-window phenomenon — flush effects from warmup linger).
+    sched: SchedStats,
+}
+
+impl CoreCtx {
+    /// The running process's ASID.
+    fn asid(&self) -> Asid {
+        self.procs[self.active].asid
+    }
 }
 
 /// The simulated machine: cores plus the shared memory system.
@@ -111,7 +156,8 @@ impl Machine {
         // we do not model swap latency). The huge-page *contiguity pool*
         // stays pegged to the nominal capacity — that scarcity is the
         // physical effect behind Fig 14.
-        let demand = cfg.footprint_per_core() * u64::from(cfg.cores);
+        let procs = u64::from(cfg.procs_per_core);
+        let demand = cfg.footprint_per_core() * u64::from(cfg.cores) * procs;
         let bookkeeping = dram.capacity_bytes.max(demand + demand / 4 + (1 << 30));
         let pool = (dram.capacity_bytes as f64 * ndpage::alloc::CONTIG_POOL_FRACTION) as u64;
         let mut alloc = FrameAllocator::with_contig_pool(bookkeeping, pool);
@@ -122,14 +168,42 @@ impl Machine {
         let use_pwc = cfg.pwc_override.unwrap_or_else(|| cfg.mechanism.uses_pwc());
 
         let footprint = cfg.footprint_per_core();
-        let params = |core: u32| TraceParams {
-            seed: cfg.seed + u64::from(core),
+        // Process `p` of core `i` gets the globally unique pid
+        // `i * procs_per_core + p`, whose value also offsets the RNG seed;
+        // with one process per core this degenerates to the historical
+        // `seed + core` scheme bit for bit.
+        let params = |pid: ProcessId| TraceParams {
+            seed: cfg.seed + pid.as_u64(),
             footprint: Some(footprint),
         };
 
         let cores = (0..cfg.cores)
             .map(|i| CoreCtx {
-                trace: cfg.workload.trace(params(i)),
+                procs: (0..cfg.procs_per_core)
+                    .map(|p| {
+                        let pid = ProcessId(i * cfg.procs_per_core + p);
+                        ProcCtx {
+                            pid,
+                            // Tagged hardware gives each co-resident
+                            // process its own (core-local) ASID; untagged
+                            // hardware has a single namespace and pays
+                            // with full flushes at every switch.
+                            asid: if cfg.tlb_tagging {
+                                Asid(p as u16)
+                            } else {
+                                Asid::ZERO
+                            },
+                            trace: cfg.workload.trace(params(pid)),
+                            table: build_table(cfg.mechanism, &mut alloc),
+                            thp_pressure: 0.0,
+                            ops_since_tax: 0,
+                        }
+                    })
+                    .collect(),
+                active: 0,
+                quantum_ops: 0,
+                post_switch_ops: 0,
+                post_switch_measured: false,
                 // Deterministic start skew breaks the artificial phase
                 // lock of homogeneous cores (standard simulator practice;
                 // without it, identical per-op latencies make all cores
@@ -171,9 +245,6 @@ impl Machine {
                         CacheConfig::l3(1),
                     ]),
                 },
-                table: build_table(cfg.mechanism, &mut alloc),
-                thp_pressure: 0.0,
-                ops_since_tax: 0,
                 translation_cycles: 0,
                 os_cycles: 0,
                 ptw: LatencyStat::default(),
@@ -181,6 +252,7 @@ impl Machine {
                 faults: FaultCounts::default(),
                 ops_measured: 0,
                 mem_ops_measured: 0,
+                sched: SchedStats::default(),
             })
             .collect();
 
@@ -197,25 +269,32 @@ impl Machine {
         machine
     }
 
-    /// The init phase: every page of every core's regions is mapped before
-    /// timing starts, exactly as the paper's workloads populate their
-    /// arrays before the measured 500 M-instruction window. Cores' regions
-    /// are mapped in interleaved 2 MB chunks so contiguity exhaustion hits
-    /// all cores evenly (as concurrent first-touch faulting would).
+    /// The init phase: every page of every process's regions is mapped
+    /// before timing starts, exactly as the paper's workloads populate
+    /// their arrays before the measured 500 M-instruction window.
+    /// Processes' regions are mapped in interleaved 2 MB chunks so
+    /// contiguity exhaustion hits all address spaces evenly (as concurrent
+    /// first-touch faulting would).
     fn premap_footprints(&mut self) {
         use ndp_types::addr::{HUGE_PAGE_SIZE, PAGE_SIZE};
 
         let footprint = self.cfg.footprint_per_core();
-        let region_lists: Vec<Vec<ndp_workloads::region::Region>> = (0..self.cfg.cores)
-            .map(|i| {
+        // One entry per (core, proc), core-major — the same order the
+        // processes were constructed in.
+        let targets: Vec<(usize, usize)> = (0..self.cores.len())
+            .flat_map(|c| (0..self.cores[c].procs.len()).map(move |p| (c, p)))
+            .collect();
+        let region_lists: Vec<Vec<ndp_workloads::region::Region>> = targets
+            .iter()
+            .map(|&(c, p)| {
                 self.cfg.workload.regions(TraceParams {
-                    seed: self.cfg.seed + u64::from(i),
+                    seed: self.cfg.seed + self.cores[c].procs[p].pid.as_u64(),
                     footprint: Some(footprint),
                 })
             })
             .collect();
 
-        // Flatten each core's regions into a list of 2 MB-or-smaller chunks.
+        // Flatten each process's regions into 2 MB-or-smaller chunks.
         let chunk_lists: Vec<Vec<(u64, u64)>> = region_lists
             .iter()
             .map(|regions| {
@@ -232,12 +311,14 @@ impl Machine {
             })
             .collect();
 
+        let mut proc_faults = vec![FaultCounts::default(); targets.len()];
         let max_chunks = chunk_lists.iter().map(Vec::len).max().unwrap_or(0);
         for chunk_idx in 0..max_chunks {
-            for (core_idx, chunks) in chunk_lists.iter().enumerate() {
+            for (target_idx, chunks) in chunk_lists.iter().enumerate() {
                 let Some(&(base, len)) = chunks.get(chunk_idx) else {
                     continue;
                 };
+                let (core_idx, proc_idx) = targets[target_idx];
                 let first = ndp_types::VirtAddr::new(base).vpn();
                 let pages = len.div_ceil(PAGE_SIZE);
                 // Range mapping descends each table once per region
@@ -246,38 +327,46 @@ impl Machine {
                 // frames and counts) is kept under `legacy_hotpath`.
                 #[cfg(not(feature = "legacy_hotpath"))]
                 {
-                    let outcome =
-                        self.cores[core_idx]
-                            .table
-                            .map_range(first, pages, &mut self.alloc);
-                    let faults = &mut self.cores[core_idx].faults;
+                    let outcome = self.cores[core_idx].procs[proc_idx].table.map_range(
+                        first,
+                        pages,
+                        &mut self.alloc,
+                    );
+                    let faults = &mut proc_faults[target_idx];
                     faults.minor_4k += outcome.minor_4k;
                     faults.minor_2m += outcome.minor_2m;
                     faults.fallback += outcome.fallback;
                 }
                 #[cfg(feature = "legacy_hotpath")]
                 for p in 0..pages {
-                    let outcome = self.cores[core_idx]
+                    let outcome = self.cores[core_idx].procs[proc_idx]
                         .table
                         .map(first.add(p), &mut self.alloc);
+                    let faults = &mut proc_faults[target_idx];
                     match outcome.fault {
-                        Some(FaultKind::Minor4K) => self.cores[core_idx].faults.minor_4k += 1,
-                        Some(FaultKind::Minor2M) => self.cores[core_idx].faults.minor_2m += 1,
-                        Some(FaultKind::Fallback4K) => self.cores[core_idx].faults.fallback += 1,
+                        Some(FaultKind::Minor4K) => faults.minor_4k += 1,
+                        Some(FaultKind::Minor2M) => faults.minor_2m += 1,
+                        Some(FaultKind::Fallback4K) => faults.fallback += 1,
                         None => {}
                     }
                 }
             }
         }
-        for core in &mut self.cores {
+        for (target_idx, &(core_idx, proc_idx)) in targets.iter().enumerate() {
+            let faults = proc_faults[target_idx];
+            let core = &mut self.cores[core_idx];
+            core.faults.minor_4k += faults.minor_4k;
+            core.faults.minor_2m += faults.minor_2m;
+            core.faults.fallback += faults.fallback;
+            let proc = &mut core.procs[proc_idx];
             // Init-phase OS work (e.g. ECH rehashes) is not timed.
-            let _ = core.table.take_pending_os_work();
+            let _ = proc.table.take_pending_os_work();
             // Fallback faults are per 4 KB page while huge faults are per
             // 2 MB region; normalise to regions before computing the
             // fraction of the footprint that failed THP allocation.
-            let fallback_regions = core.faults.fallback as f64 / 512.0;
-            let huge_regions = core.faults.minor_2m as f64;
-            core.thp_pressure = if huge_regions + fallback_regions == 0.0 {
+            let fallback_regions = faults.fallback as f64 / 512.0;
+            let huge_regions = faults.minor_2m as f64;
+            proc.thp_pressure = if huge_regions + fallback_regions == 0.0 {
                 0.0
             } else {
                 fallback_regions / (huge_regions + fallback_regions)
@@ -303,17 +392,53 @@ impl Machine {
             if !self.cores[i].measuring && self.cores[i].ops_done >= self.cfg.warmup_ops {
                 self.begin_measurement(i);
             }
-            let op = self.cores[i].trace.next().expect("traces are infinite");
+            let active = self.cores[i].active;
+            let op = self.cores[i].procs[active]
+                .trace
+                .next()
+                .expect("traces are infinite");
             self.exec_op(i, op);
-            self.cores[i].ops_done += 1;
-            if self.cores[i].measuring {
-                self.cores[i].ops_measured += 1;
+            let core = &mut self.cores[i];
+            core.ops_done += 1;
+            if core.measuring {
+                core.ops_measured += 1;
                 if op.is_memory() {
-                    self.cores[i].mem_ops_measured += 1;
+                    core.mem_ops_measured += 1;
+                }
+            }
+            if core.procs.len() > 1 {
+                core.quantum_ops += 1;
+                if core.quantum_ops >= self.cfg.context_switch_quantum_ops {
+                    self.context_switch(i);
                 }
             }
         }
         self.into_report()
+    }
+
+    /// Round-robin switch to core `i`'s next process: charge the OS cost,
+    /// and — on untagged translation hardware — full-flush the TLBs and
+    /// PWCs (ASID-tagged hardware keeps every resident process's entries
+    /// warm; correctness across address spaces comes from the tags).
+    fn context_switch(&mut self, i: usize) {
+        let core = &mut self.cores[i];
+        core.quantum_ops = 0;
+        core.active = (core.active + 1) % core.procs.len();
+        core.time += self.cfg.context_switch_cost;
+        if core.measuring {
+            core.os_cycles += self.cfg.context_switch_cost.as_u64();
+        }
+        core.sched.context_switches += 1;
+        if core.measuring {
+            core.sched.measured_context_switches += 1;
+        }
+        if !self.cfg.tlb_tagging {
+            let dropped = core.tlb.flush_all() + core.walker.flush_all();
+            core.sched.tlb_flushes += 1;
+            core.sched.entries_flushed += dropped;
+        }
+        core.post_switch_ops = POST_SWITCH_WINDOW;
+        core.post_switch_measured = core.measuring;
     }
 
     fn begin_measurement(&mut self, i: usize) {
@@ -323,7 +448,15 @@ impl Machine {
         core.tlb.clear_stats();
         core.caches.clear_stats();
         core.walker.clear_stats();
-        if !self.controller_cleared && self.cores.iter().all(|c| c.measuring) {
+        // The shared controller's window opens with the *first* core to
+        // measure, matching the per-core windows: every measured-window
+        // request of every core is counted. Residual warmup overlap — a
+        // core still warming after this point contributes its (small,
+        // skew-bounded) tail of warmup traffic — is the price of a shared
+        // resource with per-core windows, and is the consistent direction:
+        // traffic generated by measuring cores is never silently dropped,
+        // as it was when the window only opened with the *last* core.
+        if !self.controller_cleared {
             self.controller.clear_stats();
             self.controller_cleared = true;
         }
@@ -332,16 +465,19 @@ impl Machine {
     fn exec_op(&mut self, i: usize, op: Op) {
         // Compaction/khugepaged interference while THP fallback pressure
         // persists: the OS periodically steals cycles trying to recover
-        // contiguity (Fig 14's Huge Page collapse).
+        // contiguity (Fig 14's Huge Page collapse). The pressure is a
+        // property of the *running process's* address space.
         {
             let core = &mut self.cores[i];
-            core.ops_since_tax += 1;
-            if core.thp_pressure > 0.0 && core.ops_since_tax >= SimConfig::COMPACTION_PERIOD {
-                core.ops_since_tax = 0;
-                let tax =
-                    Cycles::new((self.cfg.compaction_tax.as_f64() * core.thp_pressure) as u64);
+            let measuring = core.measuring;
+            let tax_base = self.cfg.compaction_tax.as_f64();
+            let proc = &mut core.procs[core.active];
+            proc.ops_since_tax += 1;
+            if proc.thp_pressure > 0.0 && proc.ops_since_tax >= SimConfig::COMPACTION_PERIOD {
+                proc.ops_since_tax = 0;
+                let tax = Cycles::new((tax_base * proc.thp_pressure) as u64);
                 core.time += tax;
-                if core.measuring {
+                if measuring {
                     core.os_cycles += tax.as_u64();
                 }
             }
@@ -359,6 +495,9 @@ impl Machine {
                     core.translation_cycles += translation.as_u64();
                     core.os_cycles += os.as_u64();
                 }
+                if core.post_switch_ops > 0 {
+                    core.post_switch_ops -= 1;
+                }
 
                 let paddr = pfn.base().add(va.page_offset());
                 let t_issue = self.cores[i].time;
@@ -368,32 +507,39 @@ impl Machine {
         }
     }
 
-    /// Translates `vpn` for core `i`, returning `(frame, translation
-    /// cycles, OS cycles)`. Implements the Fig 11 flow.
+    /// Translates `vpn` for the process running on core `i`, returning
+    /// `(frame, translation cycles, OS cycles)`. Implements the Fig 11
+    /// flow; TLB and PWC state is tagged with the process's ASID.
     fn translate(&mut self, i: usize, vpn: Vpn) -> (Pfn, Cycles, Cycles) {
+        let active = self.cores[i].active;
         if self.cfg.mechanism.is_ideal() {
             // Every request hits a zero-latency L1 TLB (paper §VI); pages
             // are still placed through a real table so data-access
             // behaviour is comparable.
-            if self.cores[i].table.translate(vpn).is_none() {
+            if self.cores[i].procs[active].table.translate(vpn).is_none() {
                 let core = &mut self.cores[i];
-                core.table.map(vpn, &mut self.alloc);
+                core.procs[active].table.map(vpn, &mut self.alloc);
             }
-            let pfn = self.cores[i].table.translate(vpn).expect("just mapped").pfn;
+            let pfn = self.cores[i].procs[active]
+                .table
+                .translate(vpn)
+                .expect("just mapped")
+                .pfn;
             return (pfn, Cycles::ZERO, Cycles::ZERO);
         }
 
-        let lookup = self.cores[i].tlb.lookup(vpn);
+        let asid = self.cores[i].asid();
+        let lookup = self.cores[i].tlb.lookup(asid, vpn);
         if let Some(hit) = lookup.hit {
             return (hit.pfn, lookup.latency, Cycles::ZERO);
         }
 
         // Page fault on first touch.
         let mut os = Cycles::ZERO;
-        if self.cores[i].table.translate(vpn).is_none() {
+        if self.cores[i].procs[active].table.translate(vpn).is_none() {
             let outcome = {
                 let core = &mut self.cores[i];
-                core.table.map(vpn, &mut self.alloc)
+                core.procs[active].table.map(vpn, &mut self.alloc)
             };
             let core = &mut self.cores[i];
             match outcome.fault {
@@ -411,7 +557,7 @@ impl Machine {
                 }
                 None => {}
             }
-            let moved = core.table.take_pending_os_work();
+            let moved = core.procs[active].table.take_pending_os_work();
             os += Cycles::new(moved * self.cfg.rehash_entry_cost.as_u64());
         }
 
@@ -419,23 +565,23 @@ impl Machine {
         // separate translate + walk_path calls (three descents) are kept
         // under `legacy_hotpath` for baseline benchmarking.
         #[cfg(not(feature = "legacy_hotpath"))]
-        let (translation, path) = self.cores[i]
+        let (translation, path) = self.cores[i].procs[active]
             .table
             .translate_and_walk(vpn)
             .expect("mapped above or earlier");
         #[cfg(feature = "legacy_hotpath")]
         let (translation, path) = {
-            let translation = self.cores[i]
+            let translation = self.cores[i].procs[active]
                 .table
                 .translate(vpn)
                 .expect("mapped above or earlier");
-            let path = self.cores[i]
+            let path = self.cores[i].procs[active]
                 .table
                 .walk_path(vpn)
                 .expect("mapped pages have walk paths");
             (translation, path)
         };
-        let plan = self.cores[i].walker.plan(vpn, &path);
+        let plan = self.cores[i].walker.plan(asid, vpn, &path);
 
         // One cycle per PWC probe, then the memory rounds.
         let mut walk = Cycles::new(path.len() as u64);
@@ -452,8 +598,18 @@ impl Machine {
         }
 
         if self.cores[i].measuring {
-            self.cores[i].ptw.record(walk);
-            self.cores[i].ptw_hist.record(walk);
+            let core = &mut self.cores[i];
+            core.ptw.record(walk);
+            core.ptw_hist.record(walk);
+            // Walks landing shortly after a *measured* context switch are
+            // the cold-miss penalty of the switch (flush-induced on
+            // untagged hardware, capacity/competition-induced on tagged);
+            // windows opened by warmup switches are excluded so the
+            // penalty counters divide cleanly by measured switches.
+            if core.post_switch_ops > 0 && core.post_switch_measured {
+                core.sched.post_switch_walks += 1;
+                core.sched.post_switch_walk_cycles += walk.as_u64();
+            }
         }
 
         // Install in the TLBs (huge mappings store the region base).
@@ -463,7 +619,7 @@ impl Machine {
                 Pfn::new(translation.pfn.as_u64() - vpn.l1_index() as u64)
             }
         };
-        self.cores[i].tlb.fill(vpn, base, translation.size);
+        self.cores[i].tlb.fill(asid, vpn, base, translation.size);
 
         (translation.pfn, lookup.latency + walk, os)
     }
@@ -487,11 +643,17 @@ impl Machine {
         match core.caches.lookup(addr, rw, class) {
             LookupResult::Hit { latency, .. } => latency,
             LookupResult::MissAll { lookup_latency } => {
-                let mem = self.memory_access(i, addr, rw, class, t_issue + lookup_latency);
+                // The demand fill fetches the line regardless of load or
+                // store (store dirtiness is captured at eviction as a
+                // writeback), so it reaches memory as a *read* — which is
+                // also what keeps it in the demand-latency statistics.
+                let mem =
+                    self.memory_access(i, addr, RwKind::Read, class, t_issue + lookup_latency);
                 let done = t_issue + lookup_latency + mem;
                 let writebacks = self.cores[i].caches.fill(addr, class, rw.is_write());
                 for wb in writebacks {
-                    // Posted writeback: consumes bandwidth, nobody waits.
+                    // Posted writeback: consumes bandwidth, nobody waits;
+                    // accounted under write traffic, not demand latency.
                     self.memory_access(i, wb.addr, RwKind::Write, wb.class, done);
                 }
                 lookup_latency + mem
@@ -531,6 +693,9 @@ impl Machine {
         let mut os_cycles = 0u64;
         let mut ops = 0u64;
         let mut mem_ops = 0u64;
+        let mut sched = SchedStats::default();
+        let mut occupancy = OccupancyReport::new();
+        let mut table_bytes = 0u64;
         let mut measured = Vec::with_capacity(self.cores.len());
 
         for core in &self.cores {
@@ -550,8 +715,18 @@ impl Machine {
             os_cycles += core.os_cycles;
             ops += core.ops_measured;
             mem_ops += core.mem_ops_measured;
+            sched.merge(&core.sched);
             for (level, hm) in core.walker.pwcs().stats() {
                 pwc.entry(level).or_default().merge(hm);
+            }
+            // Storage is the sum over every address space; occupancy
+            // merges raw per-level counters, giving the capacity-weighted
+            // pooled rate (with the homogeneous footprints and op counts
+            // every table runs, this matches the per-table mean up to
+            // allocation noise).
+            for proc in &core.procs {
+                occupancy.merge(&proc.table.occupancy());
+                table_bytes += proc.table.table_bytes();
             }
         }
 
@@ -564,6 +739,7 @@ impl Machine {
             mechanism: self.cfg.mechanism,
             system: self.cfg.system,
             cores: self.cfg.cores,
+            procs_per_core: self.cfg.procs_per_core,
             total_cycles: Cycles::new(total as u64),
             avg_core_cycles: avg,
             ops,
@@ -582,8 +758,9 @@ impl Machine {
             dram_row_hit_rate: dram.row_hit_rate(),
             dram_queue_delay: dram.queue_delay.mean(),
             faults,
-            occupancy: self.cores[0].table.occupancy(),
-            table_bytes: self.cores[0].table.table_bytes(),
+            sched,
+            occupancy,
+            table_bytes,
         }
     }
 }

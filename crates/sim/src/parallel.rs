@@ -19,16 +19,55 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Worker threads used by [`par_map`]: `NDP_THREADS` if set, otherwise
-/// the machine's available parallelism.
+/// Parses an `NDP_THREADS` value: a positive integer (whitespace
+/// tolerated).
+///
+/// # Errors
+///
+/// Returns a descriptive message for anything else — silently substituting
+/// a default for a typo (`NDP_THREADS=abc`) used to hide misconfigured
+/// benchmarking runs.
+pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("NDP_THREADS must be a positive integer, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "NDP_THREADS must be a positive integer, got {raw:?}"
+        )),
+    }
+}
+
+/// Reads and validates the `NDP_THREADS` environment variable:
+/// `Ok(None)` when unset or empty (use the machine default), `Ok(Some)`
+/// for a valid count.
+///
+/// # Errors
+///
+/// Returns the [`parse_thread_count`] message for a malformed value.
+/// Binaries call this up front to exit cleanly instead of panicking
+/// mid-run.
+pub fn env_thread_count() -> Result<Option<usize>, String> {
+    match std::env::var("NDP_THREADS") {
+        Ok(v) if !v.trim().is_empty() => parse_thread_count(&v).map(Some),
+        _ => Ok(None),
+    }
+}
+
+/// Worker threads used by [`par_map`]: `NDP_THREADS` if set (and
+/// non-empty), otherwise the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics with the [`parse_thread_count`] message when `NDP_THREADS` is
+/// set to something that isn't a positive integer. Binaries validate via
+/// [`env_thread_count`] up front for a clean exit instead.
 #[must_use]
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("NDP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    match env_thread_count() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, usize::from),
+        Err(e) => panic!("{e}"),
     }
-    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 /// Maps `f` over `items` on [`default_threads`] workers, returning the
@@ -134,5 +173,15 @@ mod tests {
     #[test]
     fn default_thread_count_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_count_parsing_is_strict() {
+        assert_eq!(parse_thread_count("4"), Ok(4));
+        assert_eq!(parse_thread_count(" 8 "), Ok(8));
+        assert!(parse_thread_count("abc").unwrap_err().contains("abc"));
+        assert!(parse_thread_count("0").unwrap_err().contains('0'));
+        assert!(parse_thread_count("-2").is_err());
+        assert!(parse_thread_count("4.5").is_err());
     }
 }

@@ -28,6 +28,56 @@ impl FaultCounts {
     }
 }
 
+/// Scheduling and translation-shootdown counters of one run (whole run,
+/// like [`FaultCounts`] — flush effects from warmup linger into the
+/// measured window, so a window-only count would under-report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Context switches performed across all cores.
+    pub context_switches: u64,
+    /// The subset of `context_switches` performed inside the measured
+    /// window. The post-switch penalty counters below only accumulate in
+    /// cold windows opened by these switches, so this is their exact
+    /// denominator.
+    pub measured_context_switches: u64,
+    /// Full TLB+PWC flushes (one per switch on untagged hardware; zero on
+    /// ASID-tagged hardware).
+    pub tlb_flushes: u64,
+    /// TLB entries + PWC tags dropped by those flushes.
+    pub entries_flushed: u64,
+    /// Page-table walks in cold windows opened by measured switches —
+    /// the switch's cold-miss penalty in walk count.
+    pub post_switch_walks: u64,
+    /// Cycles those post-switch walks cost.
+    pub post_switch_walk_cycles: u64,
+}
+
+impl SchedStats {
+    /// Accumulates another core's counters into this one.
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.context_switches += other.context_switches;
+        self.measured_context_switches += other.measured_context_switches;
+        self.tlb_flushes += other.tlb_flushes;
+        self.entries_flushed += other.entries_flushed;
+        self.post_switch_walks += other.post_switch_walks;
+        self.post_switch_walk_cycles += other.post_switch_walk_cycles;
+    }
+
+    /// Mean walk cycles paid per context switch inside the post-switch
+    /// cold window; zero when no switches happened. Numerator and
+    /// denominator are both measured-window quantities (dividing by
+    /// whole-run switches would understate the penalty by the
+    /// warmup:measure ratio).
+    #[must_use]
+    pub fn cold_penalty_per_switch(&self) -> f64 {
+        if self.measured_context_switches == 0 {
+            0.0
+        } else {
+            self.post_switch_walk_cycles as f64 / self.measured_context_switches as f64
+        }
+    }
+}
+
 /// Aggregated results of one simulation run (measured window only).
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -39,6 +89,8 @@ pub struct RunReport {
     pub system: SystemKind,
     /// Core count.
     pub cores: u32,
+    /// Multiprogrammed processes per core (1 = the paper's setup).
+    pub procs_per_core: u32,
     /// Wall-clock of the run: slowest core's measured cycles.
     pub total_cycles: Cycles,
     /// Mean measured cycles across cores.
@@ -77,9 +129,16 @@ pub struct RunReport {
     /// Fault counters (whole run, including warmup — faults are
     /// predominantly a warmup/first-touch phenomenon).
     pub faults: FaultCounts,
-    /// Page-table occupancy of core 0's address space at run end.
+    /// Context-switch / TLB-shootdown counters (whole run; the post-switch
+    /// penalty fields are measured-window).
+    pub sched: SchedStats,
+    /// Page-table occupancy pooled over *every* address space (all cores,
+    /// all processes): per-level counters are summed, so the aggregate
+    /// rate weights each table by its capacity. With the homogeneous
+    /// per-core footprints and op counts the simulator runs, this
+    /// coincides (to allocation noise) with the mean per-table rate.
     pub occupancy: OccupancyReport,
-    /// Bytes of page-table storage for core 0's address space.
+    /// Bytes of page-table storage summed over every address space.
     pub table_bytes: u64,
 }
 
@@ -174,11 +233,25 @@ impl RunReport {
         }
         self.mem_traffic.data.hash(&mut h);
         self.mem_traffic.metadata.hash(&mut h);
+        self.mem_traffic.write.hash(&mut h);
         self.dram_row_hit_rate.to_bits().hash(&mut h);
         self.dram_queue_delay.to_bits().hash(&mut h);
         self.faults.minor_4k.hash(&mut h);
         self.faults.minor_2m.hash(&mut h);
         self.faults.fallback.hash(&mut h);
+        // The scheduling block is hashed only for multiprogrammed runs:
+        // single-program reports predate the scheduler, and their digests
+        // must not move when the (inert at procs_per_core = 1) scheduling
+        // knobs change.
+        if self.procs_per_core > 1 {
+            self.procs_per_core.hash(&mut h);
+            self.sched.context_switches.hash(&mut h);
+            self.sched.measured_context_switches.hash(&mut h);
+            self.sched.tlb_flushes.hash(&mut h);
+            self.sched.entries_flushed.hash(&mut h);
+            self.sched.post_switch_walks.hash(&mut h);
+            self.sched.post_switch_walk_cycles.hash(&mut h);
+        }
         self.table_bytes.hash(&mut h);
         h.finish()
     }
@@ -212,12 +285,27 @@ impl fmt::Display for RunReport {
         )?;
         write!(
             f,
-            "  memory: {} data + {} metadata reqs, row-hit {:.1}%, faults {}",
+            "  memory: {} data + {} metadata + {} write reqs, row-hit {:.1}%, faults {}",
             self.mem_traffic.data,
             self.mem_traffic.metadata,
+            self.mem_traffic.write,
             self.dram_row_hit_rate * 100.0,
             self.faults.total()
-        )
+        )?;
+        if self.procs_per_core > 1 {
+            write!(
+                f,
+                "\n  sched: {} procs/core, {} switches, {} flushes ({} entries), \
+                 post-switch {} walks / {} cycles",
+                self.procs_per_core,
+                self.sched.context_switches,
+                self.sched.tlb_flushes,
+                self.sched.entries_flushed,
+                self.sched.post_switch_walks,
+                self.sched.post_switch_walk_cycles
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -231,6 +319,7 @@ mod tests {
             mechanism: Mechanism::Radix,
             system: SystemKind::Ndp,
             cores: 2,
+            procs_per_core: 1,
             total_cycles: Cycles::new(total),
             avg_core_cycles: total as f64,
             ops: 100,
@@ -261,6 +350,7 @@ mod tests {
             dram_row_hit_rate: 0.5,
             dram_queue_delay: 1.0,
             faults: FaultCounts::default(),
+            sched: SchedStats::default(),
             occupancy: OccupancyReport::new(),
             table_bytes: 4096,
         }
@@ -290,6 +380,55 @@ mod tests {
         assert_ne!(dummy(1000).fingerprint(), dummy(999).fingerprint());
         let mut tweaked = dummy(1000);
         tweaked.faults.fallback += 1;
+        assert_ne!(dummy(1000).fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn sched_stats_merge_and_penalty() {
+        let mut a = SchedStats {
+            context_switches: 8,
+            measured_context_switches: 4,
+            tlb_flushes: 4,
+            entries_flushed: 40,
+            post_switch_walks: 8,
+            post_switch_walk_cycles: 800,
+        };
+        let b = SchedStats {
+            context_switches: 4,
+            measured_context_switches: 2,
+            tlb_flushes: 0,
+            entries_flushed: 0,
+            post_switch_walks: 1,
+            post_switch_walk_cycles: 100,
+        };
+        a.merge(&b);
+        assert_eq!(a.context_switches, 12);
+        assert_eq!(a.entries_flushed, 40);
+        // Penalty divides by *measured* switches (6), not whole-run (12).
+        assert!((a.cold_penalty_per_switch() - 150.0).abs() < 1e-12);
+        assert_eq!(SchedStats::default().cold_penalty_per_switch(), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_sched_at_one_proc_but_not_at_two() {
+        // Single-program digests must not move when sched counters change
+        // (they cannot change in a real run; this guards the hash shape).
+        let mut single = dummy(1000);
+        single.sched.context_switches = 99;
+        assert_eq!(single.fingerprint(), dummy(1000).fingerprint());
+
+        let mut multi = dummy(1000);
+        multi.procs_per_core = 2;
+        let base = multi.fingerprint();
+        assert_ne!(base, dummy(1000).fingerprint(), "procs count is hashed");
+        multi.sched.context_switches = 99;
+        assert_ne!(base, multi.fingerprint(), "sched counters are hashed");
+    }
+
+    #[test]
+    fn fingerprint_covers_write_traffic() {
+        let mut tweaked = dummy(1000);
+        tweaked.mem_traffic.write += 1;
         assert_ne!(dummy(1000).fingerprint(), tweaked.fingerprint());
     }
 

@@ -10,6 +10,12 @@
 //! * [`fracturing_ablation`] — re-runs Huge Page with native 2 MB TLB
 //!   entries (fracturing off) to expose how much of its Fig 12 deficit
 //!   comes from TLB support rather than the table structure.
+//! * [`context_switch_sweep`] — multiprograms two processes per core and
+//!   sweeps the scheduling quantum, with ASID tagging on and off. The
+//!   untagged runs full-flush TLBs and PWCs at every switch; the sweep
+//!   measures how quickly each mechanism re-warms — NDPage's flattened
+//!   single-fetch walks refill the TLB far cheaper than Radix's four-level
+//!   descents, so its flush penalty is structurally smaller.
 
 use crate::config::{SimConfig, SystemKind};
 use crate::machine::Machine;
@@ -145,6 +151,122 @@ pub fn fracturing_ablation(workload: WorkloadId, base: &SimConfig) -> Fracturing
     }
 }
 
+/// One point of the context-switch sweep: both mechanisms, tagged and
+/// untagged, at one scheduling quantum.
+#[derive(Debug, Clone)]
+pub struct CtxSwitchPoint {
+    /// Ops per scheduling quantum.
+    pub quantum: u64,
+    /// Radix with ASID-tagged TLBs/PWCs (warm entries survive switches).
+    pub radix_tagged: RunReport,
+    /// Radix with untagged TLBs/PWCs (full flush per switch).
+    pub radix_untagged: RunReport,
+    /// NDPage, tagged.
+    pub ndpage_tagged: RunReport,
+    /// NDPage, untagged.
+    pub ndpage_untagged: RunReport,
+}
+
+impl CtxSwitchPoint {
+    /// The sweep runs exactly Radix and NDPage; anything else has no data
+    /// here and must not silently read out as Radix's numbers.
+    fn runs_for(&self, mechanism: Mechanism) -> (&RunReport, &RunReport) {
+        match mechanism {
+            Mechanism::Radix => (&self.radix_tagged, &self.radix_untagged),
+            Mechanism::NdPage => (&self.ndpage_tagged, &self.ndpage_untagged),
+            other => panic!("context_switch_sweep holds no {other} runs"),
+        }
+    }
+
+    /// Slowdown a mechanism suffers from losing ASID tags (untagged /
+    /// tagged cycles; ≥ 1 when flushing hurts).
+    ///
+    /// # Panics
+    ///
+    /// Panics for mechanisms other than Radix and NDPage — the sweep only
+    /// runs those two.
+    #[must_use]
+    pub fn flush_penalty(&self, mechanism: Mechanism) -> f64 {
+        let (tagged, untagged) = self.runs_for(mechanism);
+        if tagged.total_cycles.as_u64() == 0 {
+            return 0.0;
+        }
+        untagged.total_cycles.as_f64() / tagged.total_cycles.as_f64()
+    }
+
+    /// Mean latency of a post-switch (cold-window) walk on the untagged
+    /// run — the per-walk price of re-warming translation state after a
+    /// flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mechanisms other than Radix and NDPage — the sweep only
+    /// runs those two.
+    #[must_use]
+    pub fn post_flush_walk_cost(&self, mechanism: Mechanism) -> f64 {
+        let (_, untagged) = self.runs_for(mechanism);
+        if untagged.sched.post_switch_walks == 0 {
+            return 0.0;
+        }
+        untagged.sched.post_switch_walk_cycles as f64 / untagged.sched.post_switch_walks as f64
+    }
+
+    /// How much faster NDPage recovers from flushes than Radix: the ratio
+    /// of their post-flush walk costs. Re-warming a flushed working set is
+    /// one walk per hot page either way; each of Radix's costs a
+    /// four-level descent on cold PWCs while NDPage's costs roughly one
+    /// flat fetch, so this ratio is the structural recovery advantage
+    /// (the wall-clock flush *penalty* additionally depends on how much of
+    /// a workload's time walks dominate).
+    #[must_use]
+    pub fn ndpage_recovery_advantage(&self) -> f64 {
+        let ndpage = self.post_flush_walk_cost(Mechanism::NdPage);
+        if ndpage == 0.0 {
+            return 0.0;
+        }
+        self.post_flush_walk_cost(Mechanism::Radix) / ndpage
+    }
+}
+
+/// Sweeps the context-switch quantum with two processes per core on a
+/// 2-core NDP system, running Radix and NDPage each with ASID tagging on
+/// and off (4 runs per quantum, fanned out via [`par_map`]).
+#[must_use]
+pub fn context_switch_sweep(
+    workload: WorkloadId,
+    quanta: &[u64],
+    base: &SimConfig,
+) -> Vec<CtxSwitchPoint> {
+    let runs: Vec<SimConfig> = quanta
+        .iter()
+        .flat_map(|&quantum| {
+            [
+                (Mechanism::Radix, true),
+                (Mechanism::Radix, false),
+                (Mechanism::NdPage, true),
+                (Mechanism::NdPage, false),
+            ]
+            .map(|(m, tagging)| {
+                with_base(SimConfig::new(SystemKind::Ndp, 2, m, workload), base)
+                    .with_procs(2)
+                    .with_quantum(quantum)
+                    .with_tlb_tagging(tagging)
+            })
+        })
+        .collect();
+    let mut reports = par_map(runs, |cfg| Machine::new(cfg).run()).into_iter();
+    quanta
+        .iter()
+        .map(|&quantum| CtxSwitchPoint {
+            quantum,
+            radix_tagged: reports.next().expect("radix tagged report"),
+            radix_untagged: reports.next().expect("radix untagged report"),
+            ndpage_tagged: reports.next().expect("ndpage tagged report"),
+            ndpage_untagged: reports.next().expect("ndpage untagged report"),
+        })
+        .collect()
+}
+
 fn with_base(mut cfg: SimConfig, base: &SimConfig) -> SimConfig {
     cfg.warmup_ops = base.warmup_ops;
     cfg.measure_ops = base.measure_ops;
@@ -191,6 +313,42 @@ mod tests {
             "more TLB reach, fewer walks: {} vs {}",
             large.ptw.count,
             small.ptw.count
+        );
+    }
+
+    #[test]
+    fn context_switch_sweep_shows_flush_costs_and_ndpage_recovery() {
+        // BFS has the hot/cold locality that makes a TLB flush expensive;
+        // uniform-random GUPS barely notices one (its TLB is always cold).
+        let base = quick_base().with_ops(4_000, 10_000);
+        let points = context_switch_sweep(WorkloadId::Bfs, &[1_000], &base);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        // Switches happened and untagged hardware flushed on every one.
+        assert!(p.radix_untagged.sched.context_switches > 0);
+        assert_eq!(
+            p.radix_untagged.sched.tlb_flushes,
+            p.radix_untagged.sched.context_switches
+        );
+        assert_eq!(p.radix_tagged.sched.tlb_flushes, 0, "tags avoid flushes");
+        // Flushing costs walks: the untagged run walks strictly more.
+        assert!(
+            p.radix_untagged.tlb_walk_rate() > p.radix_tagged.tlb_walk_rate(),
+            "untagged {} vs tagged {}",
+            p.radix_untagged.tlb_walk_rate(),
+            p.radix_tagged.tlb_walk_rate()
+        );
+        assert!(p.flush_penalty(Mechanism::Radix) > 1.0);
+        // NDPage's flat walks re-warm the flushed state cheaper than
+        // Radix's descents (~2 cold fetches vs 1 once the near-perfect
+        // upper-level PWCs refill, modulo cache absorption).
+        assert!(
+            p.ndpage_recovery_advantage() > 1.15,
+            "advantage {}",
+            p.ndpage_recovery_advantage()
+        );
+        assert!(
+            p.post_flush_walk_cost(Mechanism::Radix) > p.post_flush_walk_cost(Mechanism::NdPage)
         );
     }
 

@@ -2,6 +2,82 @@
 
 use core::fmt;
 
+/// Identifier of a simulated process (one private address space), dense
+/// from zero across the whole machine. Processes are scheduled round-robin
+/// onto cores; each owns its own page table and trace stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Returns the raw index.
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as a `u64` (seed arithmetic).
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(raw: u32) -> Self {
+        ProcessId(raw)
+    }
+}
+
+/// Address-space identifier tagging TLB entries, PWC tags and walker state
+/// so translations of co-scheduled processes never alias. `Asid(0)` is the
+/// untagged/default namespace: single-process runs and untagged-TLB
+/// ablations (which must full-flush on every context switch) both live
+/// there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u16);
+
+impl Asid {
+    /// The untagged/default address-space tag.
+    pub const ZERO: Asid = Asid(0);
+
+    /// Bit width reserved for ASID tag bits above a VPN-derived tag
+    /// (VPNs and level prefixes occupy at most 37 bits).
+    pub const TAG_SHIFT: u32 = 40;
+
+    /// Returns the raw identifier.
+    #[must_use]
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// The ASID as high tag bits, for packing into a `u64` alongside a
+    /// VPN-derived tag: `vpn_tag | asid.tag_bits()`. `Asid::ZERO`
+    /// contributes no bits, so untagged state is bit-identical to the
+    /// pre-ASID layout.
+    #[must_use]
+    pub const fn tag_bits(self) -> u64 {
+        (self.0 as u64) << Self::TAG_SHIFT
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+impl From<u16> for Asid {
+    fn from(raw: u16) -> Self {
+        Asid(raw)
+    }
+}
+
 /// Identifier of a simulated core (NDP or CPU), dense from zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub u32);
@@ -91,6 +167,23 @@ mod tests {
     fn core_id_display_and_index() {
         assert_eq!(CoreId(3).to_string(), "core3");
         assert_eq!(CoreId::from(7u32).as_usize(), 7);
+    }
+
+    #[test]
+    fn process_id_display_and_index() {
+        assert_eq!(ProcessId(2).to_string(), "proc2");
+        assert_eq!(ProcessId::from(5u32).as_usize(), 5);
+        assert_eq!(ProcessId(9).as_u64(), 9);
+    }
+
+    #[test]
+    fn asid_tag_bits_pack_above_vpn_tags() {
+        assert_eq!(Asid::ZERO.tag_bits(), 0, "ASID 0 must be bit-neutral");
+        let max_vpn_tag = (1u64 << 37) - 1; // key_for packs 36-bit VPN + 1 bit
+        assert_eq!(Asid(1).tag_bits() & max_vpn_tag, 0, "no overlap");
+        assert_eq!(Asid(3).tag_bits() >> Asid::TAG_SHIFT, 3);
+        assert_eq!(Asid::from(4u16).as_u16(), 4);
+        assert_eq!(Asid(7).to_string(), "asid7");
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod stats;
 pub use addr::{PageSize, Pfn, PhysAddr, PtLevel, VirtAddr, Vpn};
 pub use cycles::Cycles;
 pub use fastmap::{FastBuildHasher, FastHasher, FastMap, FastSet};
-pub use ids::{AccessClass, CoreId, RwKind};
+pub use ids::{AccessClass, Asid, CoreId, ProcessId, RwKind};
 pub use inline::InlineVec;
 pub use op::Op;

@@ -1,0 +1,203 @@
+//! Multiprogramming integration tests: the process/scheduling layer must
+//! be provably inert at `procs_per_core = 1` (bit-identical reports,
+//! knobs ignored), and at `procs_per_core > 1` must show the physics it
+//! exists to model — context-switch costs, untagged-TLB flush penalties,
+//! ASID-tagged warm-entry retention — plus regressions for the
+//! measurement-accounting fixes that rode along.
+
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+
+fn quick(cores: u32, mechanism: Mechanism) -> SimConfig {
+    SimConfig::quick(SystemKind::Ndp, cores, mechanism, WorkloadId::Rnd)
+}
+
+fn digest(cfg: SimConfig) -> u64 {
+    Machine::new(cfg).run().fingerprint()
+}
+
+/// The tentpole's neutrality contract: with one process per core the
+/// scheduling knobs are inert — every digest is bit-identical to the
+/// default configuration, across mechanisms and core counts.
+#[test]
+fn procs1_reports_are_invariant_under_scheduling_knobs() {
+    for (cores, mechanism) in [
+        (1, Mechanism::Radix),
+        (2, Mechanism::NdPage),
+        (2, Mechanism::HugePage),
+    ] {
+        let baseline = digest(quick(cores, mechanism));
+        let knobbed = digest(
+            quick(cores, mechanism)
+                .with_procs(1)
+                .with_quantum(123)
+                .with_tlb_tagging(false),
+        );
+        assert_eq!(
+            baseline, knobbed,
+            "{mechanism} x{cores}: procs_per_core = 1 must ignore scheduling knobs"
+        );
+        let mut costed = quick(cores, mechanism);
+        costed.context_switch_cost = ndp_types::Cycles::new(1_000_000);
+        assert_eq!(
+            baseline,
+            digest(costed),
+            "{mechanism} x{cores}: switch cost must never be charged at procs = 1"
+        );
+    }
+}
+
+#[test]
+fn procs1_runs_never_switch_or_flush() {
+    let r = Machine::new(quick(2, Mechanism::Radix).with_tlb_tagging(false)).run();
+    assert_eq!(r.sched.context_switches, 0);
+    assert_eq!(r.sched.tlb_flushes, 0);
+    assert_eq!(r.sched.entries_flushed, 0);
+    assert_eq!(r.sched.post_switch_walks, 0);
+}
+
+/// The acceptance criterion: two processes per core on untagged TLBs
+/// (full flush per switch) walk strictly more than the same config with
+/// ASID tags keeping both working sets warm.
+#[test]
+fn untagged_two_proc_run_walks_strictly_more_than_tagged() {
+    let base = |tagging: bool| {
+        quick(1, Mechanism::Radix)
+            .with_procs(2)
+            .with_quantum(1_000)
+            .with_tlb_tagging(tagging)
+    };
+    let tagged = Machine::new(base(true)).run();
+    let untagged = Machine::new(base(false)).run();
+    assert!(
+        untagged.tlb_walk_rate() > tagged.tlb_walk_rate(),
+        "untagged {} must exceed tagged {}",
+        untagged.tlb_walk_rate(),
+        tagged.tlb_walk_rate()
+    );
+    assert!(
+        untagged.total_cycles > tagged.total_cycles,
+        "flushing costs wall-clock time"
+    );
+    // The cold-miss penalty is visible right after switches.
+    assert!(untagged.sched.post_switch_walks > tagged.sched.post_switch_walks);
+    assert!(untagged.sched.cold_penalty_per_switch() > tagged.sched.cold_penalty_per_switch());
+}
+
+#[test]
+fn switch_and_flush_accounting_is_exact() {
+    let mut cfg = quick(2, Mechanism::Radix)
+        .with_procs(2)
+        .with_quantum(1_000)
+        .with_tlb_tagging(false);
+    cfg.warmup_ops = 4_000;
+    cfg.measure_ops = 8_000;
+    let r = Machine::new(cfg).run();
+    // Each core runs 12 000 ops at a 1 000-op quantum: 12 switches/core.
+    assert_eq!(r.sched.context_switches, 24);
+    // Measurement starts after 4 000 warmup ops, so the switches at ops
+    // 5 000..=12 000 are measured: 8 per core.
+    assert_eq!(r.sched.measured_context_switches, 16);
+    assert_eq!(
+        r.sched.tlb_flushes, 24,
+        "untagged hardware flushes on every switch"
+    );
+    assert!(r.sched.entries_flushed > 0, "flushes drop real entries");
+
+    let tagged = {
+        let mut cfg = quick(2, Mechanism::Radix)
+            .with_procs(2)
+            .with_quantum(1_000)
+            .with_tlb_tagging(true);
+        cfg.warmup_ops = 4_000;
+        cfg.measure_ops = 8_000;
+        Machine::new(cfg).run()
+    };
+    assert_eq!(tagged.sched.context_switches, 24);
+    assert_eq!(tagged.sched.tlb_flushes, 0, "ASID tags never force flushes");
+    assert_eq!(tagged.sched.entries_flushed, 0);
+}
+
+#[test]
+fn multiprogrammed_runs_are_deterministic_and_distinct() {
+    let cfg = || {
+        quick(2, Mechanism::NdPage)
+            .with_procs(2)
+            .with_quantum(2_000)
+    };
+    let a = Machine::new(cfg()).run();
+    let b = Machine::new(cfg()).run();
+    assert_eq!(a.fingerprint(), b.fingerprint(), "same config, same bits");
+    let single = Machine::new(quick(2, Mechanism::NdPage)).run();
+    assert_ne!(
+        a.fingerprint(),
+        single.fingerprint(),
+        "multiprogramming must actually change the run"
+    );
+    assert_eq!(a.ops, single.ops, "per-core op budget is unchanged");
+}
+
+/// Regression (into_report aggregated core 0 only): page-table storage
+/// and occupancy must cover every address space — all cores, all procs.
+#[test]
+fn report_aggregates_tables_across_cores_and_procs() {
+    let one = Machine::new(quick(1, Mechanism::Radix)).run();
+    let two = Machine::new(quick(2, Mechanism::Radix)).run();
+    assert!(
+        two.table_bytes > one.table_bytes * 3 / 2,
+        "2 cores ~ 2x the table storage: {} vs {}",
+        two.table_bytes,
+        one.table_bytes
+    );
+    let two_procs = Machine::new(quick(1, Mechanism::Radix).with_procs(2)).run();
+    assert!(
+        two_procs.table_bytes > one.table_bytes * 3 / 2,
+        "2 procs ~ 2x the table storage: {} vs {}",
+        two_procs.table_bytes,
+        one.table_bytes
+    );
+    // Pooled occupancy stays a rate; homogeneous cores keep it close to
+    // the single-core value.
+    let occ_one = one.occupancy.fig8_series().pl1;
+    let occ_two = two.occupancy.fig8_series().pl1;
+    assert!(occ_two > 0.0 && occ_two <= 1.0);
+    assert!(
+        (occ_one - occ_two).abs() < 0.05,
+        "homogeneous cores, similar pooled occupancy: {occ_one} vs {occ_two}"
+    );
+}
+
+/// Regression (posted writebacks polluted demand statistics): write
+/// traffic is split out, and demand counters only see reads.
+#[test]
+fn write_traffic_is_split_from_demand() {
+    let r = Machine::new(quick(1, Mechanism::Radix)).run();
+    assert!(r.mem_traffic.write > 0, "GUPS stores produce writebacks");
+    assert!(r.mem_traffic.data > 0);
+    assert_eq!(
+        r.mem_traffic.total(),
+        r.mem_traffic.demand() + r.mem_traffic.write
+    );
+    // Ideal still does no metadata, writes or not.
+    let ideal = Machine::new(quick(1, Mechanism::Ideal)).run();
+    assert_eq!(ideal.mem_traffic.metadata, 0);
+}
+
+/// Regression (controller stats cleared only when the *last* core started
+/// measuring, silently dropping earlier cores' measured traffic): with the
+/// window opened by the first core, NDPage's bypassed PTE fetches — one
+/// per measured PWC miss, nothing absorbed by caches — must all reach the
+/// controller's metadata counter.
+#[test]
+fn controller_window_covers_every_measuring_core() {
+    let r = Machine::new(quick(4, Mechanism::NdPage)).run();
+    let pwc_misses: u64 = r.pwc.iter().map(|(_, hm)| hm.misses).sum();
+    assert!(pwc_misses > 0);
+    assert!(
+        r.mem_traffic.metadata >= pwc_misses,
+        "every measured bypassed PTE fetch must be counted: {} metadata < {} PWC misses",
+        r.mem_traffic.metadata,
+        pwc_misses
+    );
+}

@@ -3,7 +3,7 @@
 
 use ndp_mmu::tlb::TlbHierarchy;
 use ndp_mmu::walker::PageTableWalker;
-use ndp_types::{PageSize, Pfn, Vpn};
+use ndp_types::{Asid, PageSize, Pfn, Vpn};
 use ndpage::alloc::FrameAllocator;
 use ndpage::Mechanism;
 
@@ -24,8 +24,8 @@ fn tlb_round_trips_every_design() {
                 PageSize::Size4K => tr.pfn,
                 PageSize::Size2M => Pfn::new(tr.pfn.as_u64() - vpn.l1_index() as u64),
             };
-            tlb.fill(vpn, base, tr.size);
-            let hit = tlb.lookup(vpn).hit.unwrap_or_else(|| {
+            tlb.fill(Asid::ZERO, vpn, base, tr.size);
+            let hit = tlb.lookup(Asid::ZERO, vpn).hit.unwrap_or_else(|| {
                 panic!("{mechanism}: fresh fill must hit");
             });
             assert_eq!(
@@ -53,7 +53,7 @@ fn walker_plans_are_subsets_of_walk_paths() {
             let vpn = Vpn::new(i * 7919);
             table.map(vpn, &mut alloc);
             let path = table.walk_path(vpn).expect("mapped");
-            let plan = walker.plan(vpn, &path);
+            let plan = walker.plan(Asid::ZERO, vpn, &path);
             let path_addrs: Vec<u64> = path.steps().iter().map(|s| s.addr.as_u64()).collect();
             let fetched: usize = plan.memory_fetches();
             assert!(
@@ -116,8 +116,8 @@ fn pwcs_preserve_translation_results() {
         let vpn = Vpn::new(i * 313);
         table.map(vpn, &mut alloc);
         let path = table.walk_path(vpn).expect("mapped");
-        let plan_with = with.plan(vpn, &path);
-        let plan_without = without.plan(vpn, &path);
+        let plan_with = with.plan(Asid::ZERO, vpn, &path);
+        let plan_without = without.plan(Asid::ZERO, vpn, &path);
         assert!(plan_with.memory_fetches() <= plan_without.memory_fetches());
         assert_eq!(plan_without.memory_fetches(), path.len());
     }
@@ -151,10 +151,10 @@ fn bottom_flattening_beats_top_flattening_under_pwcs() {
     let (mut fetches_bottom, mut fetches_top) = (0usize, 0usize);
     for &vpn in &vpns {
         fetches_bottom += walker_bottom
-            .plan(vpn, &bottom.walk_path(vpn).expect("mapped"))
+            .plan(Asid::ZERO, vpn, &bottom.walk_path(vpn).expect("mapped"))
             .memory_fetches();
         fetches_top += walker_top
-            .plan(vpn, &top.walk_path(vpn).expect("mapped"))
+            .plan(Asid::ZERO, vpn, &top.walk_path(vpn).expect("mapped"))
             .memory_fetches();
     }
     let per_walk_bottom = fetches_bottom as f64 / vpns.len() as f64;
