@@ -5,8 +5,14 @@
 //! cargo run -p ndp-bench --release --bin ndpsim -- \
 //!     --workload BFS --mechanism ndpage --system ndp --cores 4 \
 //!     [--footprint-mb 2048] [--ops 50000] [--warmup 20000] [--seed 7] \
-//!     [--pwc-entries 64] [--tlb-l2 1536] [--no-fracture]
+//!     [--pwc-entries 64] [--tlb-l2 1536] [--no-fracture] \
+//!     [--window 8] [--mshrs 8] [--walkers 1]
 //! ```
+//!
+//! `--window` sets the per-core issue window (1 = the blocking core; more
+//! overlaps independent memory ops) and implies matching MSHRs unless
+//! `--mshrs` narrows the miss file; `--walkers` sets the hardware
+//! page-table walkers concurrent walks queue for.
 //!
 //! The `bench` subcommand instead times a fixed end-to-end experiment
 //! sweep (the engine behind every figure) and writes the result as JSON,
@@ -21,7 +27,7 @@
 //! ```
 
 use ndp_sim::experiment::run_batch;
-use ndp_sim::sweeps::pwc_size_sweep;
+use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep};
 use ndp_sim::{Machine, SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
@@ -99,7 +105,31 @@ fn bench_sweep_pass() -> (u64, u64) {
     (sim_ops, digest)
 }
 
-fn run_bench(get: impl Fn(&str) -> Option<String>) {
+/// Issue-window sizes of the bench MLP sweep — also the `windows` field
+/// of the emitted JSON, so the two can never diverge.
+const BENCH_MLP_WINDOWS: [u32; 3] = [1, 4, 8];
+
+/// The MLP benchmark sweep: Radix and NDPage over issue-window sizes
+/// (window 1 = the blocking engine, so this digest also re-anchors the
+/// blocking path). Returns `(sim_ops, digest, ndpage speedup at the
+/// widest window, ndpage speedup when blocking)`.
+fn bench_mlp_pass() -> (u64, u64, f64, f64) {
+    let base = SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, WorkloadId::Bfs)
+        .with_ops(4_000, 8_000)
+        .with_footprint(512 << 20);
+    let windows = BENCH_MLP_WINDOWS;
+    let sim_ops = windows.len() as u64 * 2 * 4 * (base.warmup_ops + base.measure_ops);
+    let points = mlp_sweep(WorkloadId::Bfs, &windows, &base);
+    let mut digest = 0u64;
+    for point in &points {
+        digest ^= point.radix.fingerprint() ^ point.ndpage.fingerprint();
+    }
+    let blocking = points.first().expect("window 1 point").ndpage_speedup();
+    let widest = points.last().expect("window 8 point").ndpage_speedup();
+    (sim_ops, digest, widest, blocking)
+}
+
+fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
     let runs: usize = get("--runs")
         .and_then(|s| s.parse().ok())
         .unwrap_or(3)
@@ -127,11 +157,33 @@ fn run_bench(get: impl Fn(&str) -> Option<String>) {
     let best = walls.iter().cloned().fold(f64::INFINITY, f64::min);
     let ops_per_sec = sim_ops as f64 / best;
 
-    let baseline = get("--baseline").and_then(|path| {
-        let text = std::fs::read_to_string(&path).ok()?;
-        let wall = json_f64(&text, "best_wall_s")?;
+    // The MLP sweep runs once, outside the timed passes, so `best_wall_s`
+    // stays comparable with benchmark files from before the pipeline.
+    let t0 = Instant::now();
+    let (mlp_ops, mlp_digest, mlp_speedup_w8, mlp_speedup_w1) = bench_mlp_pass();
+    let mlp_wall = t0.elapsed().as_secs_f64();
+    eprintln!("mlp pass: {mlp_wall:.3} s");
+
+    // A missing --baseline flag is fine (the speedup fields are simply
+    // omitted); a *named* baseline that cannot be read or parsed is an
+    // error — silently dropping it would let the CI gates misfire with a
+    // misleading "need --baseline" diagnosis.
+    let baseline = get("--baseline").map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path:?}: {e}");
+            std::process::exit(2);
+        });
+        let wall = json_f64(&text, "best_wall_s").unwrap_or_else(|| {
+            eprintln!("error: baseline {path:?} has no best_wall_s field");
+            std::process::exit(2);
+        });
         let mode = json_str(&text, "mode").unwrap_or_else(|| "unknown".to_string());
-        Some((mode, wall))
+        // Both digests gate --check-digest: the blocking sweep and the
+        // windowed MLP sweep must each be bit-identical across hot-path
+        // modes (mlp_digest is absent from pre-pipeline baselines).
+        let digest = json_u64(&text, "report_digest");
+        let base_mlp_digest = json_u64(&text, "mlp_digest");
+        (mode, wall, digest, base_mlp_digest)
     });
 
     let mut json = String::from("{\n");
@@ -151,7 +203,22 @@ fn run_bench(get: impl Fn(&str) -> Option<String>) {
             .join(", ")
     ));
     json.push_str(&format!("  \"best_wall_s\": {best:.4},\n"));
-    if let Some((base_mode, base_wall)) = &baseline {
+    json.push_str("  \"mlp_sweep\": {\n");
+    json.push_str(&format!(
+        "    \"windows\": [{}],\n",
+        BENCH_MLP_WINDOWS.map(|w| w.to_string()).join(", ")
+    ));
+    json.push_str(&format!("    \"mlp_simulated_ops\": {mlp_ops},\n"));
+    json.push_str(&format!("    \"mlp_digest\": {mlp_digest},\n"));
+    json.push_str(&format!(
+        "    \"ndpage_speedup_blocking\": {mlp_speedup_w1:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"ndpage_speedup_window8\": {mlp_speedup_w8:.4},\n"
+    ));
+    json.push_str(&format!("    \"mlp_wall_s\": {mlp_wall:.4}\n"));
+    json.push_str("  },\n");
+    if let Some((base_mode, base_wall, _, _)) = &baseline {
         json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
         json.push_str(&format!("  \"baseline_mode\": \"{base_mode}\",\n"));
         json.push_str(&format!("  \"baseline_best_wall_s\": {base_wall:.4},\n"));
@@ -167,13 +234,65 @@ fn run_bench(get: impl Fn(&str) -> Option<String>) {
     std::fs::write(&out, &json).expect("write bench JSON");
     println!("{json}");
     println!("wrote {out}");
-    if let Some((base_mode, base_wall)) = baseline {
+    if let Some((base_mode, base_wall, base_digest, base_mlp_digest)) = baseline {
         println!(
             "speedup vs {base_mode} baseline: {:.2}x ({:.3} s -> {:.3} s)",
             base_wall / best,
             base_wall,
             best
         );
+        // CI gates: the simulated results — blocking sweep and windowed
+        // MLP sweep alike — must be bit-identical across hot-path modes,
+        // and the overhaul's speedup must not regress.
+        if has("--check-digest") {
+            match base_digest {
+                Some(b) if b == digest => eprintln!("digest check: ok ({digest})"),
+                Some(b) => {
+                    eprintln!("error: report digest {digest} != baseline digest {b}");
+                    std::process::exit(1);
+                }
+                None => {
+                    eprintln!("error: --check-digest but baseline has no report_digest");
+                    std::process::exit(1);
+                }
+            }
+            match base_mlp_digest {
+                Some(b) if b == mlp_digest => eprintln!("mlp digest check: ok ({mlp_digest})"),
+                Some(b) => {
+                    eprintln!("error: mlp digest {mlp_digest} != baseline mlp digest {b}");
+                    std::process::exit(1);
+                }
+                // Pre-pipeline baseline files carry no mlp_digest; the
+                // blocking gate above still applies.
+                None => eprintln!("mlp digest check: skipped (baseline has none)"),
+            }
+        }
+        if let Some(floor) = get("--min-speedup") {
+            let floor: f64 = floor.unwrap_or_die("--min-speedup");
+            let speedup = base_wall / best;
+            if speedup < floor {
+                eprintln!("error: speedup {speedup:.3}x fell below the {floor:.3}x floor");
+                std::process::exit(1);
+            }
+            eprintln!("speedup floor check: ok ({speedup:.3}x >= {floor:.3}x)");
+        }
+    } else if has("--check-digest") || get("--min-speedup").is_some() {
+        eprintln!("error: --check-digest/--min-speedup need --baseline");
+        std::process::exit(2);
+    }
+}
+
+/// Parse-or-exit helper for flag values.
+trait ParseOrDie {
+    fn unwrap_or_die(self, flag: &str) -> f64;
+}
+
+impl ParseOrDie for String {
+    fn unwrap_or_die(self, flag: &str) -> f64 {
+        self.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} expects a number, got {self:?}");
+            std::process::exit(2);
+        })
     }
 }
 
@@ -184,6 +303,18 @@ fn json_f64(text: &str, key: &str) -> Option<f64> {
     let rest = rest.trim_start();
     let end = rest
         .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": <integer>` losslessly (digests exceed f64's 53-bit
+/// mantissa, so they must never round-trip through a float).
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
 }
@@ -214,10 +345,13 @@ fn main() {
 
     if args.first().map(String::as_str) == Some("bench") {
         if has("--help") {
-            eprintln!("usage: ndpsim bench [--runs N] [--out FILE] [--baseline FILE]");
+            eprintln!(
+                "usage: ndpsim bench [--runs N] [--out FILE] [--baseline FILE] \\\n\
+                 \x20                   [--check-digest] [--min-speedup X]"
+            );
             return;
         }
-        run_bench(get);
+        run_bench(get, has);
         return;
     }
 
@@ -228,8 +362,10 @@ fn main() {
              \x20             [--system ndp|cpu] [--cores N] [--footprint-mb MB] \\\n\
              \x20             [--ops N] [--warmup N] [--seed S] [--pwc-entries N] \\\n\
              \x20             [--tlb-l2 N] [--no-fracture] [--histogram] \\\n\
-             \x20             [--procs N] [--quantum OPS] [--switch-cost CYC] [--no-asid]\n\
-             \x20      ndpsim bench [--runs N] [--out FILE] [--baseline FILE]"
+             \x20             [--procs N] [--quantum OPS] [--switch-cost CYC] [--no-asid] \\\n\
+             \x20             [--window N] [--mshrs N] [--walkers N]\n\
+             \x20      ndpsim bench [--runs N] [--out FILE] [--baseline FILE] \\\n\
+             \x20                   [--check-digest] [--min-speedup X]"
         );
         return;
     }
@@ -280,6 +416,18 @@ fn main() {
     }
     if has("--no-asid") {
         cfg.tlb_tagging = false;
+    }
+    if let Some(window) = num_u32("--window") {
+        cfg.mlp_window = window;
+        // A wider window usually wants matching MSHRs; default to that
+        // unless --mshrs overrides below.
+        cfg.mshrs_per_core = window.max(1);
+    }
+    if let Some(mshrs) = num_u32("--mshrs") {
+        cfg.mshrs_per_core = mshrs;
+    }
+    if let Some(walkers) = num_u32("--walkers") {
+        cfg.walkers_per_core = walkers;
     }
     if let Some(mb) = num("--footprint-mb") {
         cfg.footprint_override = Some(mb << 20);

@@ -102,6 +102,61 @@ fn accepts_valid_run() {
 }
 
 #[test]
+fn window_flags_reach_the_report() {
+    let out = ndpsim()
+        .args(["--workload", "RND", "--mechanism", "ndpage"])
+        .args(["--window", "8", "--mshrs", "8", "--walkers", "2"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("mlp: window 8"),
+        "mlp line present: {stdout}"
+    );
+    assert!(stdout.contains("in flight"));
+}
+
+#[test]
+fn blocking_run_prints_no_mlp_line() {
+    let out = ndpsim()
+        .args(["--workload", "RND", "--mechanism", "ndpage"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("mlp:"),
+        "no mlp line at window 1: {stdout}"
+    );
+}
+
+#[test]
+fn rejects_out_of_range_window() {
+    let out = ndpsim()
+        .args(["--workload", "RND", "--window", "0"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "validation must reject it");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mlp_window"), "names the knob: {stderr}");
+    let out = ndpsim()
+        .args(["--workload", "RND", "--window", "8", "--walkers", "99"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("walkers_per_core"));
+}
+
+#[test]
 fn multiprogramming_flags_reach_the_report() {
     let out = ndpsim()
         .args(["--workload", "RND", "--mechanism", "ndpage"])

@@ -4,8 +4,9 @@
 //! (with the accumulated lookup latency) or a full miss (the caller then
 //! goes to the memory controller and calls [`CacheHierarchy::fill`]).
 
+use crate::mshr::{MshrFile, MshrLookup, MshrStats};
 use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache, Writeback};
-use ndp_types::InlineVec;
+use ndp_types::{InlineVec, LineAddr};
 
 /// Dirty victims produced by one fill — at most one per cache level, so
 /// the list lives inline (a fill happens on every miss; the seed's `Vec`
@@ -51,13 +52,22 @@ impl LookupResult {
 /// evictions are independent — adequate for miss-rate and latency studies;
 /// the paper's bypass concern about inclusion does not arise in NDP's
 /// single-level hierarchy, §V-A).
+///
+/// The hierarchy additionally owns the core's [`MshrFile`]: misses that
+/// reach memory register their in-flight fill here so overlapped misses
+/// to the same line coalesce ([`CacheHierarchy::probe_mshrs`]) and a full
+/// file backpressures further misses. The default single register
+/// reproduces a blocking cache exactly; [`CacheHierarchy::with_mshrs`]
+/// widens it.
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
     levels: Vec<SetAssocCache>,
+    mshrs: MshrFile,
 }
 
 impl CacheHierarchy {
-    /// Builds a hierarchy from level configurations, outermost last.
+    /// Builds a hierarchy from level configurations, outermost last, with
+    /// a single (blocking-equivalent) MSHR.
     ///
     /// # Panics
     ///
@@ -73,7 +83,20 @@ impl CacheHierarchy {
         );
         CacheHierarchy {
             levels: configs.into_iter().map(SetAssocCache::new).collect(),
+            mshrs: MshrFile::new(1),
         }
+    }
+
+    /// Replaces the MSHR file with one of `registers` entries (the
+    /// `mshrs_per_core` knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is zero.
+    #[must_use]
+    pub fn with_mshrs(mut self, registers: usize) -> Self {
+        self.mshrs = MshrFile::new(registers);
+        self
     }
 
     /// The NDP per-core hierarchy from Table I: a single 32 KB L1.
@@ -138,6 +161,32 @@ impl CacheHierarchy {
         }
     }
 
+    /// Probes the MSHR file for a miss on `addr`'s line observed at `now`
+    /// (after the lookup latency). `Coalesced` misses piggyback on an
+    /// in-flight fill; `Free`/`Full` callers fetch from memory (waiting
+    /// out a `Full` first) and then call [`CacheHierarchy::register_fill`].
+    pub fn probe_mshrs(&mut self, addr: PhysAddr, now: Cycles) -> MshrLookup {
+        self.mshrs.probe(LineAddr::of(addr), now)
+    }
+
+    /// Registers a primary-miss fill for `addr`'s line, sent to memory at
+    /// `sent` and completing at `done`.
+    pub fn register_fill(&mut self, addr: PhysAddr, sent: Cycles, done: Cycles) {
+        self.mshrs.allocate(LineAddr::of(addr), sent, done);
+    }
+
+    /// The completion time of an in-flight fill covering `addr`'s line at
+    /// `now`, if any; counts as a coalesced merge (hit-under-miss).
+    pub fn in_flight_fill(&mut self, addr: PhysAddr, now: Cycles) -> Option<Cycles> {
+        self.mshrs.fill_in_flight(LineAddr::of(addr), now)
+    }
+
+    /// Statistics of the MSHR file.
+    #[must_use]
+    pub fn mshr_stats(&self) -> &MshrStats {
+        self.mshrs.stats()
+    }
+
     /// Installs a line in every level after a memory fill, collecting any
     /// dirty victims that must be written back to memory.
     pub fn fill(&mut self, addr: PhysAddr, class: AccessClass, dirty: bool) -> WritebackList {
@@ -170,18 +219,21 @@ impl CacheHierarchy {
         }
     }
 
-    /// Clears contents and statistics of every level.
+    /// Clears contents and statistics of every level, and the MSHR file.
     pub fn reset(&mut self) {
         for level in &mut self.levels {
             level.reset();
         }
+        self.mshrs.reset();
     }
 
-    /// Clears statistics of every level, preserving contents.
+    /// Clears statistics of every level (and the MSHR file), preserving
+    /// contents and in-flight fills.
     pub fn clear_stats(&mut self) {
         for level in &mut self.levels {
             level.clear_stats();
         }
+        self.mshrs.clear_stats();
     }
 }
 

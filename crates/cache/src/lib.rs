@@ -11,7 +11,9 @@
 //!
 //! [`hierarchy::CacheHierarchy`] assembles the per-core NDP configuration
 //! (a single 32 KB L1) and the CPU configuration (L1 + 512 KB L2 +
-//! 2 MB/core L3) from Table I.
+//! 2 MB/core L3) from Table I, and owns the core's [`mshr::MshrFile`] —
+//! the miss-status holding registers that let a non-blocking core overlap
+//! independent misses and coalesce same-line ones onto a single fill.
 //!
 //! # Examples
 //!
@@ -28,8 +30,10 @@
 //! ```
 
 pub mod hierarchy;
+pub mod mshr;
 pub mod replacement;
 pub mod set_assoc;
 
 pub use hierarchy::CacheHierarchy;
+pub use mshr::{MshrFile, MshrLookup, MshrStats};
 pub use set_assoc::{CacheConfig, CacheStats, SetAssocCache};

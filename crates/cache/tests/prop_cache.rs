@@ -139,6 +139,49 @@ proptest! {
         }
     }
 
+    /// MSHR-file invariants under random probe/advance sequences: the
+    /// file never over-commits its registers, coalescing only merges
+    /// onto *live* fills, a Full verdict names a time that makes
+    /// progress, and registers recycle once their fill lands.
+    #[test]
+    fn mshr_file_invariants(ops in vec((0u64..24, 0u64..60), 1..300)) {
+        use ndp_cache::mshr::{MshrFile, MshrLookup};
+        use ndp_types::LineAddr;
+
+        const CAP: usize = 4;
+        const FILL: u64 = 100;
+        let mut m = MshrFile::new(CAP);
+        let mut now = Cycles::ZERO;
+        for &(line_sel, advance) in &ops {
+            now += Cycles::new(advance);
+            let line = LineAddr::of(PhysAddr::new(line_sel * 64));
+            prop_assert!(m.in_flight(now) <= CAP, "over-committed file");
+            match m.probe(line, now) {
+                MshrLookup::Coalesced(done) => {
+                    // Merges only onto fills still in flight.
+                    prop_assert!(done > now);
+                }
+                MshrLookup::Free => {
+                    m.allocate(line, now, now + Cycles::new(FILL));
+                    prop_assert!(m.in_flight(now) <= CAP);
+                }
+                MshrLookup::Full(free_at) => {
+                    prop_assert!(free_at > now, "Full must name a future time");
+                    prop_assert_eq!(m.in_flight(now), CAP);
+                    // Waiting out the named time always makes progress.
+                    match m.probe(line, free_at) {
+                        MshrLookup::Full(_) => prop_assert!(false, "no progress at free_at"),
+                        MshrLookup::Coalesced(done) => prop_assert!(done > free_at),
+                        MshrLookup::Free => {
+                            m.allocate(line, free_at, free_at + Cycles::new(FILL));
+                        }
+                    }
+                    now = free_at;
+                }
+            }
+        }
+    }
+
     /// Writebacks only ever emerge for lines that were written.
     #[test]
     fn writebacks_require_stores(ops in vec((0u64..4_096, prop::bool::ANY), 1..300)) {

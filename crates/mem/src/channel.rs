@@ -1,0 +1,58 @@
+//! The physical-address → memory-channel map.
+//!
+//! Channels interleave at cache-line granularity (fine interleaving,
+//! standard for HBM): consecutive 64 B lines round-robin across channels.
+//! Both the simulator's NoC routing (which channel endpoint a request
+//! travels to) and the DRAM decoder (which channel services it) must agree
+//! on this map — it used to be duplicated as a bare `(addr >> 6) %
+//! channels` in each place; this module is now the single source of truth.
+
+use ndp_types::{LineAddr, PhysAddr};
+
+/// The memory channel servicing `addr` under line-interleaved mapping
+/// across `channels` channels.
+///
+/// # Panics
+///
+/// Panics if `channels` is zero (a configuration with no channels cannot
+/// route requests anywhere).
+#[must_use]
+#[inline]
+pub fn line_channel(addr: PhysAddr, channels: u32) -> u32 {
+    assert!(channels > 0, "channel map needs at least one channel");
+    (LineAddr::of(addr).as_u64() % u64::from(channels)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_lines_round_robin() {
+        for ch in 0..8u32 {
+            assert_eq!(line_channel(PhysAddr::new(u64::from(ch) * 64), 8), ch);
+        }
+        // Wraps after a full round.
+        assert_eq!(line_channel(PhysAddr::new(8 * 64), 8), 0);
+    }
+
+    #[test]
+    fn same_line_same_channel() {
+        let base = PhysAddr::new(0x4000);
+        let last_byte = PhysAddr::new(0x403f);
+        let next_line = PhysAddr::new(0x4040);
+        assert_eq!(line_channel(base, 4), line_channel(last_byte, 4));
+        assert_ne!(line_channel(base, 4), line_channel(next_line, 4));
+    }
+
+    #[test]
+    fn single_channel_takes_everything() {
+        assert_eq!(line_channel(PhysAddr::new(0xdead_beef), 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = line_channel(PhysAddr::new(0), 0);
+    }
+}

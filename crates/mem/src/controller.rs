@@ -6,7 +6,7 @@
 
 use crate::dram::{Dram, DramConfig, DramStats};
 use ndp_types::stats::LatencyStat;
-use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
+use ndp_types::{AccessClass, Cycles, MemTicket, PhysAddr, RwKind};
 
 /// Per-class request counters.
 ///
@@ -96,6 +96,15 @@ impl MemoryController {
         self
     }
 
+    /// Switches the underlying device to overlap (reservation-list) bank
+    /// scheduling — used when cores issue requests out of processing
+    /// order (non-blocking pipelines). See [`crate::dram`]'s module docs.
+    #[must_use]
+    pub fn with_overlap_scheduling(mut self) -> Self {
+        self.dram.set_overlap_scheduling(true);
+        self
+    }
+
     /// Issues one 64 B request arriving at `now`; returns its completion
     /// timestamp. Writes are timed like reads (they occupy the bank and
     /// channel identically, which is their whole contention effect) but
@@ -108,25 +117,48 @@ impl MemoryController {
         class: AccessClass,
         now: Cycles,
     ) -> Cycles {
-        let result = self.dram.access(addr, rw, now);
+        self.request_ticketed(addr, rw, class, now, now).done
+    }
+
+    /// Issues one 64 B request with full completion-time plumbing: the
+    /// request left its core at `issue` and reaches this controller at
+    /// `arrival` (after the NoC traversal). Returns the [`MemTicket`]
+    /// recording when the data is available *at the controller* — the
+    /// caller adds its return-path latency on top. Overlapped requests
+    /// from a non-blocking core each carry their own arrival time, so they
+    /// contend realistically in the DRAM banks instead of being serialised
+    /// by the issuing core's clock.
+    pub fn request_ticketed(
+        &mut self,
+        addr: PhysAddr,
+        rw: RwKind,
+        class: AccessClass,
+        issue: Cycles,
+        arrival: Cycles,
+    ) -> MemTicket {
+        let result = self.dram.access(addr, rw, arrival);
         let done = result.done + self.overhead;
-        let latency = done - now;
+        let latency = done - arrival;
         if rw.is_write() {
             self.stats.traffic.write += 1;
             self.stats.write_latency.record(latency);
-            return done;
-        }
-        match class {
-            AccessClass::Data => {
-                self.stats.traffic.data += 1;
-                self.stats.data_latency.record(latency);
+        } else {
+            match class {
+                AccessClass::Data => {
+                    self.stats.traffic.data += 1;
+                    self.stats.data_latency.record(latency);
+                }
+                AccessClass::Metadata => {
+                    self.stats.traffic.metadata += 1;
+                    self.stats.metadata_latency.record(latency);
+                }
             }
-            AccessClass::Metadata => {
-                self.stats.traffic.metadata += 1;
-                self.stats.metadata_latency.record(latency);
-            }
         }
-        done
+        MemTicket {
+            issue,
+            arrival,
+            done,
+        }
     }
 
     /// Device-level statistics.

@@ -6,9 +6,35 @@
 //! conservative FR-FCFS-style approximation that produces realistic
 //! queueing growth under multi-core load without simulating per-command
 //! DRAM state machines.
+//!
+//! # Overlap mode
+//!
+//! The simulator processes one core *op* at a time, booking every memory
+//! request of that op's chain (walk fetches, data fill) with its future
+//! arrival timestamp. For blocking cores the chain is short and the
+//! single `busy_until` per bank is a faithful queue. A windowed core,
+//! however, books requests up to a whole issue-window of latency ahead —
+//! under the plain model a request that merely got *processed* later
+//! would queue behind one that *arrives* later, inflating contention with
+//! a processing-order artifact. [`Dram::with_overlap_scheduling`] swaps
+//! each bank's scalar busy time for a short **reservation list**:
+//! a request takes the earliest gap that fits after its arrival
+//! (FR-FCFS-with-lookahead), so overlapped requests contend by their
+//! actual timestamps regardless of processing order. Blocking
+//! configurations keep the legacy scalar path bit for bit.
 
 use ndp_types::stats::LatencyStat;
 use ndp_types::{Cycles, PhysAddr, RwKind};
+use std::collections::VecDeque;
+
+/// Reservations remembered per bank/channel in overlap mode. Banks are
+/// shared by *all* cores, so the live-interval population scales with
+/// `cores × mlp_window ÷ banks`; 256 covers every realistic
+/// configuration (e.g. 8 cores × 64-deep windows against a 24-bank
+/// vault) with slack. Beyond that the oldest interval falls off and its
+/// span can be double-booked — a bounded optimism only reachable by
+/// pathological single-bank hammering at maximum scale.
+const MAX_BANK_RESERVATIONS: usize = 256;
 
 /// Row-buffer outcome of a single DRAM access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,6 +170,44 @@ struct Bank {
     busy_until: Cycles,
 }
 
+/// A sorted, non-overlapping list of `(start, end)` occupancy intervals.
+type Slots = VecDeque<(Cycles, Cycles)>;
+
+/// Reservation state of overlap mode: every bank and every channel keeps
+/// its own booked-interval list.
+#[derive(Debug, Clone)]
+struct Reservations {
+    banks: Vec<Slots>,
+    channels: Vec<Slots>,
+}
+
+/// The earliest start ≥ `arrival` of a `dur`-long gap in `slots`
+/// (read-only; see [`book`]).
+fn gap_at_or_after(slots: &Slots, arrival: Cycles, dur: Cycles) -> Cycles {
+    let mut candidate = arrival;
+    for &(start, end) in slots {
+        if candidate + dur <= start {
+            break;
+        }
+        candidate = candidate.max(end);
+    }
+    candidate
+}
+
+/// Books `[start, start + dur)` in `slots`, keeping them sorted; the
+/// oldest reservation falls off once the list exceeds
+/// [`MAX_BANK_RESERVATIONS`].
+fn book(slots: &mut Slots, start: Cycles, dur: Cycles) {
+    let idx = slots
+        .iter()
+        .position(|&(s, _)| s > start)
+        .unwrap_or(slots.len());
+    slots.insert(idx, (start, start + dur));
+    if slots.len() > MAX_BANK_RESERVATIONS {
+        slots.pop_front();
+    }
+}
+
 /// Statistics accumulated by the DRAM device.
 ///
 /// `requests` and the row-buffer counters cover *all* traffic (reads and
@@ -200,6 +264,9 @@ pub struct Dram {
     config: DramConfig,
     banks: Vec<Bank>,
     channel_busy_until: Vec<Cycles>,
+    /// Bank/channel occupancy-interval lists — only populated in overlap
+    /// mode (see the module docs).
+    reservations: Option<Reservations>,
     stats: DramStats,
 }
 
@@ -217,8 +284,37 @@ impl Dram {
             config,
             banks: vec![Bank::default(); config.total_banks()],
             channel_busy_until: vec![Cycles::ZERO; config.channels as usize],
+            reservations: None,
             stats: DramStats::default(),
         }
+    }
+
+    /// Switches the device to overlap (reservation-list) bank scheduling.
+    /// Used by non-blocking cores; see the module docs for why the
+    /// blocking path must keep the scalar model.
+    #[must_use]
+    pub fn with_overlap_scheduling(mut self) -> Self {
+        self.set_overlap_scheduling(true);
+        self
+    }
+
+    /// Enables or disables overlap scheduling in place, clearing any
+    /// reservation state.
+    pub fn set_overlap_scheduling(&mut self, enabled: bool) {
+        self.reservations = if enabled {
+            Some(Reservations {
+                banks: vec![Slots::new(); self.config.total_banks()],
+                channels: vec![Slots::new(); self.config.channels as usize],
+            })
+        } else {
+            None
+        };
+    }
+
+    /// Whether overlap (reservation-list) scheduling is active.
+    #[must_use]
+    pub fn overlap_scheduling(&self) -> bool {
+        self.reservations.is_some()
     }
 
     /// The device configuration.
@@ -235,12 +331,13 @@ impl Dram {
 
     /// Maps a physical address to `(channel, bank-within-channel, row)`.
     ///
-    /// Channels interleave at cache-line granularity (fine interleaving,
-    /// standard for HBM); banks interleave at row granularity.
+    /// Channels interleave at cache-line granularity via the shared
+    /// [`crate::channel::line_channel`] map (the same one the simulator
+    /// routes NoC requests with); banks interleave at row granularity.
     #[must_use]
     pub fn decode(&self, addr: PhysAddr) -> (u32, u32, u64) {
-        let line = addr.as_u64() >> 6; // 64 B lines
-        let channel = (line % u64::from(self.config.channels)) as u32;
+        let line = ndp_types::LineAddr::of(addr).as_u64();
+        let channel = crate::channel::line_channel(addr, self.config.channels);
         let per_channel_addr = line / u64::from(self.config.channels) * 64;
         let row = per_channel_addr / self.config.row_bytes;
         let bank = (row % u64::from(self.config.banks_per_channel)) as u32;
@@ -268,17 +365,45 @@ impl Dram {
         };
         bank.open_row = Some(row);
 
-        let ready = now
-            .max(bank.busy_until)
-            .max(self.channel_busy_until[channel as usize]);
-        let queue_delay = ready - now;
         let service = self.config.timing.service(outcome);
-        let done = ready + service;
-
+        let burst = self.config.timing.burst;
         // The bank is tied up for the access plus its data burst; the
         // channel bus only for the burst.
-        bank.busy_until = done + self.config.timing.burst;
-        self.channel_busy_until[channel as usize] = ready + self.config.timing.burst;
+        let occupancy = service + burst;
+        let ready = match &mut self.reservations {
+            None => {
+                // Scalar path (blocking cores): latest of arrival, bank
+                // free time and channel free time.
+                let ready = now
+                    .max(bank.busy_until)
+                    .max(self.channel_busy_until[channel as usize]);
+                bank.busy_until = ready + occupancy;
+                self.channel_busy_until[channel as usize] = ready + burst;
+                ready
+            }
+            Some(res) => {
+                // Overlap path: earliest instant at or after arrival
+                // where the bank has an `occupancy`-long gap *and* the
+                // channel bus a `burst`-long one — so requests contend by
+                // their timestamps, not their processing order.
+                let bank_slots = &res.banks[bank_idx];
+                let chan_slots = &res.channels[channel as usize];
+                let mut candidate = now;
+                let ready = loop {
+                    let bank_start = gap_at_or_after(bank_slots, candidate, occupancy);
+                    let chan_start = gap_at_or_after(chan_slots, bank_start, burst);
+                    if chan_start == bank_start {
+                        break bank_start;
+                    }
+                    candidate = chan_start;
+                };
+                book(&mut res.banks[bank_idx], ready, occupancy);
+                book(&mut res.channels[channel as usize], ready, burst);
+                ready
+            }
+        };
+        let queue_delay = ready - now;
+        let done = ready + service;
 
         self.stats.requests += 1;
         match outcome {
@@ -305,10 +430,16 @@ impl Dram {
         self.stats = DramStats::default();
     }
 
-    /// Resets banks and statistics (not configuration).
+    /// Resets banks, reservations and statistics (not configuration or
+    /// scheduling mode).
     pub fn reset(&mut self) {
         self.banks.fill(Bank::default());
         self.channel_busy_until.fill(Cycles::ZERO);
+        if let Some(res) = &mut self.reservations {
+            for slots in res.banks.iter_mut().chain(res.channels.iter_mut()) {
+                slots.clear();
+            }
+        }
         self.stats = DramStats::default();
     }
 }
@@ -412,6 +543,70 @@ mod tests {
         );
         assert_eq!(ddr.capacity_bytes, 16 << 30);
         assert_eq!(hbm.capacity_bytes, 16 << 30);
+    }
+
+    #[test]
+    fn overlap_mode_slots_early_arrivals_into_gaps() {
+        // Book a request far in the future, then one arriving at zero:
+        // the scalar model falsely queues the early request behind the
+        // late one; the reservation model does not.
+        let mut scalar = small();
+        let mut overlap = small().with_overlap_scheduling();
+        let a = PhysAddr::new(0);
+        for d in [&mut scalar, &mut overlap] {
+            d.access(a, RwKind::Read, Cycles::new(10_000));
+        }
+        let s = scalar.access(a, RwKind::Read, Cycles::ZERO);
+        let o = overlap.access(a, RwKind::Read, Cycles::ZERO);
+        assert!(
+            s.queue_delay > Cycles::new(9_000),
+            "scalar artifact: {:?}",
+            s.queue_delay
+        );
+        assert_eq!(o.queue_delay, Cycles::ZERO, "gap before the booking");
+        // And the gap search respects existing bookings: a third request
+        // arriving inside the early booking queues behind it, not the
+        // far-future one.
+        let third = overlap.access(a, RwKind::Read, Cycles::new(20));
+        assert!(third.queue_delay > Cycles::ZERO);
+        assert!(third.done < Cycles::new(10_000));
+    }
+
+    #[test]
+    fn overlap_mode_matches_scalar_for_in_order_arrivals() {
+        // When requests arrive in timestamp order (the blocking pattern),
+        // both schedulers agree on every completion time.
+        let mut scalar = small();
+        let mut overlap = small().with_overlap_scheduling();
+        let mut now = Cycles::ZERO;
+        for i in 0..32u64 {
+            let addr = PhysAddr::new((i % 7) * 64);
+            let s = scalar.access(addr, RwKind::Read, now);
+            let o = overlap.access(addr, RwKind::Read, now);
+            assert_eq!(s.done, o.done, "request {i}");
+            assert_eq!(s.queue_delay, o.queue_delay, "request {i}");
+            now += Cycles::new(17);
+        }
+    }
+
+    #[test]
+    fn reservation_list_is_bounded_and_gap_search_fills_holes() {
+        let mut slots: Slots = Slots::new();
+        for i in 0..(MAX_BANK_RESERVATIONS as u64 + 10) {
+            let start = gap_at_or_after(&slots, Cycles::new(i * 1000), Cycles::new(100));
+            book(&mut slots, start, Cycles::new(100));
+        }
+        assert_eq!(slots.len(), MAX_BANK_RESERVATIONS);
+        // Still sorted and non-overlapping.
+        for pair in slots.iter().zip(slots.iter().skip(1)) {
+            assert!(pair.0 .1 <= pair.1 .0);
+        }
+        // A small request fits into the hole between two bookings.
+        let start = gap_at_or_after(&slots, Cycles::new(11_200), Cycles::new(100));
+        assert_eq!(start, Cycles::new(11_200));
+        // An oversized one skips to the end of the booked region.
+        let start = gap_at_or_after(&slots, Cycles::new(11_200), Cycles::new(2_000));
+        assert!(start >= slots.back().unwrap().1);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! suffer and cause DRAM contention as core counts grow. This crate provides
 //! the pieces that reproduce that behaviour:
 //!
+//! * [`channel`] — the line-interleaved physical-address → channel map
+//!   shared by the NoC routing in the simulator and the DRAM decoder.
 //! * [`dram`] — banked row-buffer DRAM timing (DDR4-2400 and HBM2 presets
 //!   matching Table I).
 //! * [`controller`] — a memory controller that serialises requests per bank
@@ -32,10 +34,12 @@
 //! assert!(done > Cycles::ZERO);
 //! ```
 
+pub mod channel;
 pub mod controller;
 pub mod dram;
 pub mod noc;
 
+pub use channel::line_channel;
 pub use controller::MemoryController;
 pub use dram::{Dram, DramConfig, DramTiming};
 pub use noc::MeshNoc;

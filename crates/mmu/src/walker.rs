@@ -8,8 +8,11 @@
 //! serve every mechanism and every system configuration.
 
 use crate::pwc::PwcSet;
-use ndp_types::{Asid, InlineVec, PhysAddr, PtLevel, Vpn};
+use ndp_types::{Asid, Cycles, InlineVec, PhysAddr, PtLevel, Vpn};
 use ndpage::walk::WalkPath;
+
+/// Most hardware walkers a core can be configured with.
+pub const MAX_WALKERS: usize = 8;
 
 /// One PTE fetch of a walk plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,21 +75,49 @@ pub struct WalkerStats {
     pub fetches: u64,
     /// PTE fetches avoided by PWC hits.
     pub pwc_skips: u64,
+    /// Walks that found every hardware walker busy and had to queue.
+    pub queued_walks: u64,
+    /// Total cycles walks spent waiting for a free hardware walker.
+    pub queue_cycles: u64,
 }
 
-/// Plans page-table walks through the PWC bank.
+/// Plans page-table walks through the PWC bank, and tracks the occupancy
+/// of the core's hardware walkers.
+///
+/// A core has a small fixed number of walker state machines; when more
+/// TLB misses are outstanding than walkers, the excess walks *queue*.
+/// This is the structural asymmetry the non-blocking pipeline exposes:
+/// overlapped data misses each get an MSHR, but overlapped radix walks
+/// serialise behind the walker file — four dependent fetches at a time —
+/// while NDPage's flattened single-fetch walks turn walkers around fast.
 #[derive(Debug, Clone)]
 pub struct PageTableWalker {
     pwcs: PwcSet,
+    /// Per-walker busy-until timestamps (length = configured walkers).
+    walker_free_at: InlineVec<Cycles, MAX_WALKERS>,
     stats: WalkerStats,
 }
 
 impl PageTableWalker {
+    /// Hardware walkers per core when not overridden: one, as fits the
+    /// simple in-order cores this simulator models (x86-class OoO cores
+    /// ship two; see [`PageTableWalker::with_walkers`]).
+    pub const DEFAULT_WALKERS: usize = 1;
+
+    fn slots(n: usize) -> InlineVec<Cycles, MAX_WALKERS> {
+        assert!(
+            (1..=MAX_WALKERS).contains(&n),
+            "walker count must be in 1..={MAX_WALKERS}"
+        );
+        (0..n).map(|_| Cycles::ZERO).collect()
+    }
+
     /// A walker with PWCs enabled (Radix, Huge Page, NDPage).
     #[must_use]
     pub fn with_pwcs() -> Self {
         PageTableWalker {
             pwcs: PwcSet::enabled(),
+            walker_free_at: Self::slots(Self::DEFAULT_WALKERS),
             stats: WalkerStats::default(),
         }
     }
@@ -101,6 +132,7 @@ impl PageTableWalker {
     pub fn with_pwc_capacity(capacity: usize) -> Self {
         PageTableWalker {
             pwcs: PwcSet::enabled_with_capacity(capacity),
+            walker_free_at: Self::slots(Self::DEFAULT_WALKERS),
             stats: WalkerStats::default(),
         }
     }
@@ -110,8 +142,54 @@ impl PageTableWalker {
     pub fn without_pwcs() -> Self {
         PageTableWalker {
             pwcs: PwcSet::disabled(),
+            walker_free_at: Self::slots(Self::DEFAULT_WALKERS),
             stats: WalkerStats::default(),
         }
+    }
+
+    /// Overrides the number of hardware walkers (the `walkers_per_core`
+    /// knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walkers` is zero or exceeds [`MAX_WALKERS`].
+    #[must_use]
+    pub fn with_walkers(mut self, walkers: usize) -> Self {
+        self.walker_free_at = Self::slots(walkers);
+        self
+    }
+
+    /// Number of hardware walkers.
+    #[must_use]
+    pub fn walkers(&self) -> usize {
+        self.walker_free_at.len()
+    }
+
+    /// Admits a walk that wants to start at `now`: picks the
+    /// earliest-free hardware walker and returns `(slot, start)` where
+    /// `start = max(now, that walker's free time)`. Queueing (a start
+    /// later than `now`) is recorded in [`WalkerStats`]. The caller runs
+    /// the walk and must hand the slot back via
+    /// [`PageTableWalker::release`].
+    pub fn admit(&mut self, now: Cycles) -> (usize, Cycles) {
+        let (slot, free_at) = self
+            .walker_free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, free)| *free)
+            .map(|(i, free)| (i, *free))
+            .expect("at least one walker");
+        let start = now.max(free_at);
+        if start > now {
+            self.stats.queued_walks += 1;
+            self.stats.queue_cycles += (start - now).as_u64();
+        }
+        (slot, start)
+    }
+
+    /// Marks `slot` (from [`PageTableWalker::admit`]) busy until `done`.
+    pub fn release(&mut self, slot: usize, done: Cycles) {
+        self.walker_free_at.as_mut_slice()[slot] = done;
     }
 
     /// The PWC bank (for statistics reporting).
@@ -166,9 +244,12 @@ impl PageTableWalker {
         self.pwcs.flush_all()
     }
 
-    /// Clears PWC contents and statistics.
+    /// Clears PWC contents, walker occupancy and statistics.
     pub fn reset(&mut self) {
         self.pwcs.reset();
+        for free in self.walker_free_at.as_mut_slice() {
+            *free = Cycles::ZERO;
+        }
         self.stats = WalkerStats::default();
     }
 
@@ -269,6 +350,47 @@ mod tests {
             "PL4+PL3 PWC hits leave only the flat fetch"
         );
         assert_eq!(plan.rounds[0][0].level, PtLevel::FlatL2L1);
+    }
+
+    #[test]
+    fn walker_occupancy_queues_when_all_busy() {
+        let mut w = PageTableWalker::with_pwcs().with_walkers(2);
+        assert_eq!(w.walkers(), 2);
+        // Two walks admitted at t=0 start immediately on distinct slots.
+        let (s0, t0) = w.admit(Cycles::ZERO);
+        w.release(s0, Cycles::new(400));
+        let (s1, t1) = w.admit(Cycles::ZERO);
+        w.release(s1, Cycles::new(500));
+        assert_eq!((t0, t1), (Cycles::ZERO, Cycles::ZERO));
+        assert_ne!(s0, s1);
+        assert_eq!(w.stats().queued_walks, 0);
+        // A third concurrent walk queues behind the earliest-free walker.
+        let (s2, t2) = w.admit(Cycles::new(100));
+        assert_eq!(t2, Cycles::new(400), "waits for slot {s0}");
+        assert_eq!(s2, s0);
+        assert_eq!(w.stats().queued_walks, 1);
+        assert_eq!(w.stats().queue_cycles, 300);
+    }
+
+    #[test]
+    fn walker_admit_is_free_once_prior_walk_finished() {
+        // The blocking engine's pattern: each walk fully completes before
+        // the next is admitted, so occupancy never queues and never
+        // perturbs timing.
+        let mut w = PageTableWalker::with_pwcs().with_walkers(1);
+        let (s, t) = w.admit(Cycles::new(10));
+        assert_eq!(t, Cycles::new(10));
+        w.release(s, Cycles::new(200));
+        let (_, t) = w.admit(Cycles::new(200));
+        assert_eq!(t, Cycles::new(200), "boundary admit does not queue");
+        assert_eq!(w.stats().queued_walks, 0);
+        assert_eq!(w.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "walker count")]
+    fn zero_walkers_rejected() {
+        let _ = PageTableWalker::with_pwcs().with_walkers(0);
     }
 
     #[test]

@@ -95,6 +95,19 @@ pub struct SimConfig {
     /// must full-flush TLBs and PWCs on every switch and re-walk its
     /// working set cold.
     pub tlb_tagging: bool,
+    /// Memory-level parallelism: independent memory ops a core may keep
+    /// in flight (retire-in-order). The default of 1 is the fully
+    /// blocking core — cycle-identical to the pre-pipeline engine;
+    /// larger windows overlap misses and expose the paper's asymmetry
+    /// between coalescable data misses and serialised page walks.
+    pub mlp_window: u32,
+    /// Miss-status holding registers per core: outstanding L1 fills,
+    /// with same-line misses coalescing onto one fill. Inert at
+    /// `mlp_window = 1` (a blocking core never has two misses in flight).
+    pub mshrs_per_core: u32,
+    /// Hardware page-table walkers per core: concurrent walks beyond
+    /// this queue. Inert at `mlp_window = 1` for the same reason.
+    pub walkers_per_core: u32,
 }
 
 impl SimConfig {
@@ -115,6 +128,14 @@ impl SimConfig {
     pub const DEFAULT_QUANTUM: u64 = 10_000;
     /// Default per-switch OS cost (~1.5 µs at 2.6 GHz).
     pub const DEFAULT_SWITCH_COST: Cycles = Cycles::new(4_000);
+    /// Largest supported issue window / MSHR file.
+    pub const MAX_MLP: u32 = 64;
+    /// Default hardware walkers per core: one, as fits the simple
+    /// in-order cores of both Table I systems (x86-class OoO cores ship
+    /// two — set `walkers_per_core` to explore). One walker is also the
+    /// sharpest instantiation of the pipeline's asymmetry: overlapped
+    /// data misses each get an MSHR while overlapped walks serialise.
+    pub const DEFAULT_WALKERS: u32 = 1;
 
     /// A full-size run configuration.
     #[must_use]
@@ -144,7 +165,17 @@ impl SimConfig {
             context_switch_quantum_ops: Self::DEFAULT_QUANTUM,
             context_switch_cost: Self::DEFAULT_SWITCH_COST,
             tlb_tagging: true,
+            mlp_window: 1,
+            mshrs_per_core: 1,
+            walkers_per_core: Self::DEFAULT_WALKERS,
         }
+    }
+
+    /// Whether this configuration runs the fully blocking core (no
+    /// memory-level parallelism).
+    #[must_use]
+    pub fn is_blocking(&self) -> bool {
+        self.mlp_window <= 1
     }
 
     /// A small, fast configuration for tests and examples (1 GB/core
@@ -209,6 +240,27 @@ impl SimConfig {
         self
     }
 
+    /// Sets the per-core issue window (1 = blocking).
+    #[must_use]
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.mlp_window = window;
+        self
+    }
+
+    /// Sets the per-core MSHR count.
+    #[must_use]
+    pub fn with_mshrs(mut self, mshrs: u32) -> Self {
+        self.mshrs_per_core = mshrs;
+        self
+    }
+
+    /// Sets the per-core hardware-walker count.
+    #[must_use]
+    pub fn with_walkers(mut self, walkers: u32) -> Self {
+        self.walkers_per_core = walkers;
+        self
+    }
+
     /// The per-core footprint in bytes.
     #[must_use]
     pub fn footprint_per_core(&self) -> u64 {
@@ -249,6 +301,17 @@ impl SimConfig {
             return Err(ConfigError::new(
                 "context_switch_quantum_ops must be positive when multiprogrammed",
             ));
+        }
+        if self.mlp_window == 0 || self.mlp_window > Self::MAX_MLP {
+            return Err(ConfigError::new("mlp_window must be in 1..=64"));
+        }
+        if self.mshrs_per_core == 0 || self.mshrs_per_core > Self::MAX_MLP {
+            return Err(ConfigError::new("mshrs_per_core must be in 1..=64"));
+        }
+        if self.walkers_per_core == 0
+            || self.walkers_per_core as usize > ndp_mmu::walker::MAX_WALKERS
+        {
+            return Err(ConfigError::new("walkers_per_core must be in 1..=8"));
         }
         Ok(())
     }
@@ -350,6 +413,45 @@ mod tests {
         // A single process never switches, so a zero quantum is harmless.
         cfg.procs_per_core = 1;
         cfg.context_switch_quantum_ops = 0;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn mlp_defaults_are_blocking() {
+        let cfg = SimConfig::new(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd);
+        assert_eq!(cfg.mlp_window, 1);
+        assert_eq!(cfg.mshrs_per_core, 1);
+        assert_eq!(cfg.walkers_per_core, 1);
+        assert!(cfg.is_blocking());
+        assert!(!cfg.with_window(2).is_blocking());
+    }
+
+    #[test]
+    fn mlp_configs_validated() {
+        let mut cfg = SimConfig::quick(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd);
+        cfg.mlp_window = 0;
+        assert!(cfg.validate().is_err());
+        cfg.mlp_window = 65;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("mlp_window"));
+        cfg.mlp_window = 64;
+        cfg.mshrs_per_core = 0;
+        assert!(cfg.validate().is_err());
+        cfg.mshrs_per_core = 65;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("mshrs_per_core"));
+        cfg.mshrs_per_core = 64;
+        cfg.walkers_per_core = 0;
+        assert!(cfg.validate().is_err());
+        cfg.walkers_per_core = 9;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("walkers_per_core"));
+        cfg.walkers_per_core = 8;
+        assert!(cfg.validate().is_ok());
+        let cfg = cfg.with_window(8).with_mshrs(16).with_walkers(2);
+        assert_eq!(cfg.mlp_window, 8);
+        assert_eq!(cfg.mshrs_per_core, 16);
+        assert_eq!(cfg.walkers_per_core, 2);
         assert!(cfg.validate().is_ok());
     }
 

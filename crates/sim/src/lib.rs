@@ -8,12 +8,17 @@
 //!
 //! # Model
 //!
-//! * **Cores** are in-order and blocking: each trace op is a compute burst
-//!   or one memory access whose full latency (translation + data) accrues
-//!   to the core's clock. Cores interleave through a conservative
-//!   oldest-first event loop and contend in the shared memory controller —
-//!   which is what makes NDP page-table-walk latency *grow* with core
-//!   count (Fig 6) while CPU systems stay flat.
+//! * **Cores** are in-order with a configurable memory pipeline: each
+//!   trace op is a compute burst or one memory access. At the default
+//!   `mlp_window = 1` the core is **blocking** — the op's full latency
+//!   (translation + data) accrues to the core's clock before the next op
+//!   issues, exactly as the paper models. Wider windows keep up to
+//!   `mlp_window` memory ops in flight (retire-in-order), with same-line
+//!   misses coalescing in per-core MSHR files and concurrent page walks
+//!   queueing for the hardware walkers. Cores interleave through a
+//!   conservative oldest-first event loop and contend in the shared
+//!   memory controller — which is what makes NDP page-table-walk latency
+//!   *grow* with core count (Fig 6) while CPU systems stay flat.
 //! * **Translation** follows Fig 11: L1 TLB → L2 TLB → page-table walk.
 //!   The walk consults per-level PWCs, then issues PTE fetches through the
 //!   L1 (cacheable metadata) or straight to memory (NDPage bypass).

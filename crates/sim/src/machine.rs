@@ -4,10 +4,27 @@
 //! Fig 11: TLB lookup → (on miss) PWC-filtered page-table walk whose PTE
 //! fetches either traverse the cache hierarchy or — under NDPage — bypass
 //! the L1 straight to memory, followed by the normal data access.
+//!
+//! # Execution model: blocking vs windowed
+//!
+//! Every memory stage hands back *completion timestamps* rather than
+//! charging latency to the core clock in place, so the same translation
+//! and cache/DRAM code serves two cores:
+//!
+//! * **Blocking** (`mlp_window = 1`, the default): the core's clock jumps
+//!   to each op's completion before the next op issues — exactly the
+//!   pre-pipeline engine, bit for bit (anchored by digest-equality tests).
+//! * **Windowed** (`mlp_window > 1`): up to `mlp_window` memory ops stay
+//!   in flight and retire in order; the clock only advances by issue
+//!   slots, compute bursts and structural stalls (window full, MSHRs
+//!   full, walkers busy). Same-line misses coalesce in the MSHR file;
+//!   concurrent page-table walks queue for the hardware walkers — the
+//!   paper's asymmetry: data misses overlap, radix walks serialise.
 
 use crate::config::{SimConfig, SystemKind};
-use crate::report::{FaultCounts, RunReport, SchedStats};
+use crate::report::{FaultCounts, MlpStats, RunReport, SchedStats};
 use ndp_cache::hierarchy::{CacheHierarchy, LookupResult};
+use ndp_cache::mshr::MshrLookup;
 use ndp_cache::set_assoc::CacheConfig;
 use ndp_mem::controller::MemoryController;
 use ndp_mem::dram::DramConfig;
@@ -24,7 +41,7 @@ use ndpage::bypass::BypassPolicy;
 use ndpage::occupancy::OccupancyReport;
 use ndpage::table::{FaultKind, PageTable};
 use ndpage::Mechanism;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Memory ops after a context switch that count toward the post-switch
 /// cold-miss penalty statistics (see [`SchedStats`]). Sized to cover the
@@ -80,6 +97,24 @@ struct ProcCtx {
     ops_since_tax: u64,
 }
 
+/// One in-flight translation install (windowed mode): the walk that
+/// produced this TLB entry completes at `done`; until then a lookup that
+/// functionally hits the entry is a hit-under-miss and waits — the same
+/// treatment [`CacheHierarchy`] gives lines whose fill is in flight.
+#[derive(Debug, Clone, Copy)]
+struct PendingTlbFill {
+    asid: Asid,
+    /// The installed entry's tag: the exact VPN for 4 KB entries, the
+    /// 2 MB-aligned region base for huge entries.
+    key: Vpn,
+    huge: bool,
+    done: Cycles,
+}
+
+/// Most translation installs a core tracks as in flight (it can never
+/// have more walks outstanding than its issue window, ≤ 64).
+const MAX_PENDING_TLB_FILLS: usize = 64;
+
 struct CoreCtx {
     /// Processes round-robin-scheduled on this core (length is
     /// `procs_per_core`; 1 reproduces the paper's setup exactly).
@@ -114,6 +149,77 @@ struct CoreCtx {
     /// Whole-run scheduling counters (like `faults`, switches are not a
     /// measured-window phenomenon — flush effects from warmup linger).
     sched: SchedStats,
+    /// Completion times of in-flight memory ops in issue order (empty in
+    /// blocking mode, where every op retires before the next issues).
+    /// Retirement is in-order: the front op leaves first, and draining
+    /// advances the clock past *every* completion.
+    inflight: VecDeque<Cycles>,
+    /// Machine-side MLP counters (window stalls, occupancy); the MSHR and
+    /// walker-queue counters live with their structures and are merged in
+    /// at report time.
+    mlp: MlpStats,
+    /// Walks whose TLB entry is installed but whose data is still in
+    /// flight (empty in blocking mode — every walk retires before the
+    /// next op can look its entry up).
+    pending_tlb_fills: VecDeque<PendingTlbFill>,
+}
+
+impl CoreCtx {
+    /// Retires in-flight ops that completed by `self.time` (free), then —
+    /// if the window is still at `capacity` — stalls the clock to the
+    /// oldest op's completion and retires it, recording the stall.
+    fn make_issue_slot(&mut self, capacity: usize) {
+        while let Some(&front) = self.inflight.front() {
+            if front <= self.time {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.inflight.len() >= capacity {
+            let front = self.inflight.pop_front().expect("window is non-empty");
+            if self.measuring {
+                self.mlp.window_stall_cycles += (front - self.time).as_u64();
+            }
+            self.time = front;
+        }
+    }
+
+    /// Advances the clock past every in-flight completion (end of run,
+    /// context switch) and empties the window.
+    fn drain_window(&mut self) {
+        if let Some(&last) = self.inflight.iter().max() {
+            self.time = self.time.max(last);
+        }
+        self.inflight.clear();
+        self.pending_tlb_fills.clear();
+    }
+
+    /// The completion time of an in-flight walk whose installed entry
+    /// covers `vpn`, if any is still outstanding at `now` — the TLB
+    /// analogue of [`CacheHierarchy::in_flight_fill`].
+    fn pending_translation_done(&self, asid: Asid, vpn: Vpn, now: Cycles) -> Option<Cycles> {
+        let huge_base = Vpn::new(vpn.as_u64() - vpn.l1_index() as u64);
+        self.pending_tlb_fills
+            .iter()
+            .filter(|f| {
+                f.done > now && f.asid == asid && (f.key == vpn || (f.huge && f.key == huge_base))
+            })
+            .map(|f| f.done)
+            .max()
+    }
+
+    /// Records a windowed walk's install, pruning retired entries.
+    fn push_pending_fill(&mut self, fill: PendingTlbFill) {
+        while let Some(front) = self.pending_tlb_fills.front() {
+            if front.done <= self.time || self.pending_tlb_fills.len() >= MAX_PENDING_TLB_FILLS {
+                self.pending_tlb_fills.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.pending_tlb_fills.push_back(fill);
+    }
 }
 
 impl CoreCtx {
@@ -233,7 +339,8 @@ impl Machine {
                     (false, _) => PageTableWalker::without_pwcs(),
                     (true, None) => PageTableWalker::with_pwcs(),
                     (true, Some(entries)) => PageTableWalker::with_pwc_capacity(entries),
-                },
+                }
+                .with_walkers(cfg.walkers_per_core as usize),
                 caches: match cfg.system {
                     SystemKind::Ndp => CacheHierarchy::ndp(),
                     // Each CPU core gets its 2 MB share of the shared L3
@@ -244,7 +351,8 @@ impl Machine {
                         CacheConfig::l2(),
                         CacheConfig::l3(1),
                     ]),
-                },
+                }
+                .with_mshrs(cfg.mshrs_per_core as usize),
                 translation_cycles: 0,
                 os_cycles: 0,
                 ptw: LatencyStat::default(),
@@ -253,13 +361,25 @@ impl Machine {
                 ops_measured: 0,
                 mem_ops_measured: 0,
                 sched: SchedStats::default(),
+                inflight: VecDeque::with_capacity(cfg.mlp_window as usize),
+                mlp: MlpStats::default(),
+                pending_tlb_fills: VecDeque::new(),
             })
             .collect();
 
+        // Windowed cores book requests far ahead of their issue clock;
+        // the reservation-list bank scheduler keeps that contention
+        // timestamp-ordered. Blocking runs keep the scalar banks — the
+        // digest-anchored legacy path.
+        let controller = if cfg.is_blocking() {
+            MemoryController::new(dram)
+        } else {
+            MemoryController::new(dram).with_overlap_scheduling()
+        };
         let mut machine = Machine {
             cfg,
             cores,
-            controller: MemoryController::new(dram),
+            controller,
             noc,
             alloc,
             bypass,
@@ -413,6 +533,11 @@ impl Machine {
                 }
             }
         }
+        // Windowed cores finish their traces with ops still in flight;
+        // wall-clock includes waiting those out (in-order retirement).
+        for core in &mut self.cores {
+            core.drain_window();
+        }
         self.into_report()
     }
 
@@ -423,6 +548,9 @@ impl Machine {
     fn context_switch(&mut self, i: usize) {
         let core = &mut self.cores[i];
         core.quantum_ops = 0;
+        // A switch serialises the pipeline: the outgoing process's
+        // in-flight ops retire before the OS takes over.
+        core.drain_window();
         core.active = (core.active + 1) % core.procs.len();
         core.time += self.cfg.context_switch_cost;
         if core.measuring {
@@ -488,9 +616,17 @@ impl Machine {
             }
             Op::Load(va) | Op::Store(va) => {
                 let rw = op.rw().expect("memory op");
+                let window = self.cfg.mlp_window as usize;
+                if window > 1 {
+                    // Issue needs a free window slot; retire (in order)
+                    // to make one, stalling the clock if the oldest op
+                    // has not completed yet.
+                    self.cores[i].make_issue_slot(window);
+                }
+
+                let issue_t = self.cores[i].time;
                 let (pfn, translation, os) = self.translate(i, va.vpn());
                 let core = &mut self.cores[i];
-                core.time += translation + os;
                 if core.measuring {
                     core.translation_cycles += translation.as_u64();
                     core.os_cycles += os.as_u64();
@@ -500,9 +636,27 @@ impl Machine {
                 }
 
                 let paddr = pfn.base().add(va.page_offset());
-                let t_issue = self.cores[i].time;
-                let data_latency = self.cached_access(i, paddr, rw, AccessClass::Data, t_issue);
-                self.cores[i].time += data_latency;
+                let data_issue = issue_t + translation + os;
+                let done = self.access_done(i, paddr, rw, AccessClass::Data, data_issue);
+
+                let core = &mut self.cores[i];
+                if core.measuring {
+                    core.mlp.inflight_latency_cycles += (done - issue_t).as_u64();
+                }
+                if window > 1 {
+                    // Windowed: the op stays in flight; the clock only
+                    // pays the issue slot.
+                    core.inflight.push_back(done);
+                    core.time += Cycles::new(1);
+                    if core.measuring {
+                        let depth = core.inflight.len() as u32;
+                        core.mlp.peak_inflight = core.mlp.peak_inflight.max(depth);
+                    }
+                } else {
+                    // Blocking: the clock jumps to completion before the
+                    // next op, exactly the pre-pipeline engine.
+                    core.time = done;
+                }
             }
         }
     }
@@ -531,6 +685,21 @@ impl Machine {
         let asid = self.cores[i].asid();
         let lookup = self.cores[i].tlb.lookup(asid, vpn);
         if let Some(hit) = lookup.hit {
+            // The functional TLB installs entries the moment their walk
+            // is *planned*; in windowed mode that walk may still be in
+            // flight, making this a hit-under-miss that waits for the
+            // translation data (mirror of the cache-line case).
+            if self.cfg.mlp_window > 1 {
+                let core = &self.cores[i];
+                let now = core.time + lookup.latency;
+                if let Some(done) = core.pending_translation_done(asid, vpn, now) {
+                    let core = &mut self.cores[i];
+                    if core.measuring {
+                        core.mlp.tlb_hits_under_miss += 1;
+                    }
+                    return (hit.pfn, done - core.time, Cycles::ZERO);
+                }
+            }
             return (hit.pfn, lookup.latency, Cycles::ZERO);
         }
 
@@ -583,19 +752,29 @@ impl Machine {
         };
         let plan = self.cores[i].walker.plan(asid, vpn, &path);
 
-        // One cycle per PWC probe, then the memory rounds.
-        let mut walk = Cycles::new(path.len() as u64);
+        // The walk needs a hardware walker: concurrent misses beyond the
+        // walker count queue here (never in blocking mode — each walk
+        // fully retires before the next op issues, so `admit` is free).
+        let walk_base = self.cores[i].time + lookup.latency + os;
+        let (slot, start) = self.cores[i].walker.admit(walk_base);
+        // One cycle per PWC probe, then the memory rounds; `clock` tracks
+        // the walk's own completion frontier.
+        let mut clock = start + Cycles::new(path.len() as u64);
         for round in &plan.rounds {
-            let t_issue = self.cores[i].time + lookup.latency + os + walk;
-            let round_latency = round
+            let t_issue = clock;
+            let round_done = round
                 .iter()
                 .map(|fetch| {
-                    self.cached_access(i, fetch.addr, RwKind::Read, AccessClass::Metadata, t_issue)
+                    self.access_done(i, fetch.addr, RwKind::Read, AccessClass::Metadata, t_issue)
                 })
                 .max()
-                .unwrap_or(Cycles::ZERO);
-            walk += round_latency;
+                .unwrap_or(t_issue);
+            clock = round_done;
         }
+        self.cores[i].walker.release(slot, clock);
+        // The latency a TLB miss experiences: walker queueing (windowed
+        // mode only) + PWC probes + memory rounds.
+        let walk = clock - walk_base;
 
         if self.cores[i].measuring {
             let core = &mut self.cores[i];
@@ -620,13 +799,40 @@ impl Machine {
             }
         };
         self.cores[i].tlb.fill(asid, vpn, base, translation.size);
+        if self.cfg.mlp_window > 1 {
+            // Later ops that functionally hit this entry before `clock`
+            // must wait for the walk's data (hit-under-miss). Only a
+            // *native* (unfractured) 2 MB install covers its whole
+            // region; fractured installs tag the faulting VPN alone.
+            let huge = translation.size == ndp_types::PageSize::Size2M
+                && !self.cfg.tlb_fracture_huge.unwrap_or(true);
+            let key = if huge {
+                Vpn::new(vpn.as_u64() - vpn.l1_index() as u64)
+            } else {
+                vpn
+            };
+            self.cores[i].push_pending_fill(PendingTlbFill {
+                asid,
+                key,
+                huge,
+                done: clock,
+            });
+        }
 
         (translation.pfn, lookup.latency + walk, os)
     }
 
     /// One memory access through (or around) core `i`'s cache hierarchy,
-    /// returning its latency.
-    fn cached_access(
+    /// issued at `t_issue`; returns its **completion timestamp**.
+    ///
+    /// Data misses go through the MSHR file: a second miss to a line
+    /// whose fill is still in flight merges onto that fill (one memory
+    /// request serves both), and a full file delays the fetch until a
+    /// register frees. Metadata (PTE) fetches skip the MSHRs — their
+    /// structural limit is the hardware walkers, and within one walk a
+    /// round's parallel fetches (ECH's hash ways) must not serialise on
+    /// miss registers the walker does not use.
+    fn access_done(
         &mut self,
         i: usize,
         addr: PhysAddr,
@@ -637,32 +843,66 @@ impl Machine {
         if self.bypass.bypasses(class) {
             // NDPage metadata bypass: straight to memory, no cache probe,
             // no fill, no pollution.
-            return self.memory_access(i, addr, rw, class, t_issue);
+            return self.memory_done(i, addr, rw, class, t_issue);
         }
         let core = &mut self.cores[i];
+        // MSHR bookkeeping only matters when ops can overlap; a blocking
+        // core's previous fill always lands before its next access, so
+        // skipping the (provably inert) scans keeps the default hot path
+        // at pre-pipeline speed. Metadata skips them in any mode — the
+        // walker file, not the miss file, is its structural limit.
+        let coalesce = class == AccessClass::Data && !self.cfg.is_blocking();
         match core.caches.lookup(addr, rw, class) {
-            LookupResult::Hit { latency, .. } => latency,
+            LookupResult::Hit { latency, .. } => {
+                let now = t_issue + latency;
+                // The functional cache installs lines when their fill is
+                // *issued*; if that fill is still in flight, this "hit"
+                // is a hit-under-miss and waits for the data to land.
+                if coalesce {
+                    if let Some(fill_done) = core.caches.in_flight_fill(addr, now) {
+                        return fill_done.max(now);
+                    }
+                }
+                now
+            }
             LookupResult::MissAll { lookup_latency } => {
+                let miss_t = t_issue + lookup_latency;
+                let send_t = if coalesce {
+                    match core.caches.probe_mshrs(addr, miss_t) {
+                        // Same-line fill already in flight: merge, no
+                        // second memory request.
+                        MshrLookup::Coalesced(fill_done) => return fill_done.max(miss_t),
+                        MshrLookup::Free => miss_t,
+                        // Every register busy: the fetch waits for one.
+                        MshrLookup::Full(free_at) => free_at,
+                    }
+                } else {
+                    miss_t
+                };
                 // The demand fill fetches the line regardless of load or
                 // store (store dirtiness is captured at eviction as a
                 // writeback), so it reaches memory as a *read* — which is
                 // also what keeps it in the demand-latency statistics.
-                let mem =
-                    self.memory_access(i, addr, RwKind::Read, class, t_issue + lookup_latency);
-                let done = t_issue + lookup_latency + mem;
+                let done = self.memory_done(i, addr, RwKind::Read, class, send_t);
+                if coalesce {
+                    self.cores[i].caches.register_fill(addr, send_t, done);
+                }
                 let writebacks = self.cores[i].caches.fill(addr, class, rw.is_write());
                 for wb in writebacks {
                     // Posted writeback: consumes bandwidth, nobody waits;
                     // accounted under write traffic, not demand latency.
-                    self.memory_access(i, wb.addr, RwKind::Write, wb.class, done);
+                    self.memory_done(i, wb.addr, RwKind::Write, wb.class, done);
                 }
-                lookup_latency + mem
+                done
             }
         }
     }
 
-    /// NoC round trip + DRAM service, returning total latency.
-    fn memory_access(
+    /// NoC traversal + DRAM service via the shared controller, returning
+    /// the timestamp the data is back at the core. Each request carries
+    /// its own issue/arrival times ([`ndp_types::MemTicket`]), so requests
+    /// a windowed core overlaps contend individually in the DRAM banks.
+    fn memory_done(
         &mut self,
         i: usize,
         addr: PhysAddr,
@@ -670,13 +910,13 @@ impl Machine {
         class: AccessClass,
         t_issue: Cycles,
     ) -> Cycles {
-        let channels = u64::from(self.controller.config().channels);
-        let channel = ((addr.as_u64() >> 6) % channels) as u32;
+        let channel = ndp_mem::line_channel(addr, self.controller.config().channels);
         let core_id = CoreId(i as u32);
         let one_way = self.noc.core_to_channel(core_id, channel);
-        let arrival = t_issue + one_way;
-        let done = self.controller.request(addr, rw, class, arrival);
-        (done - t_issue) + one_way
+        let ticket = self
+            .controller
+            .request_ticketed(addr, rw, class, t_issue, t_issue + one_way);
+        ticket.done + one_way
     }
 
     fn into_report(self) -> RunReport {
@@ -694,6 +934,7 @@ impl Machine {
         let mut ops = 0u64;
         let mut mem_ops = 0u64;
         let mut sched = SchedStats::default();
+        let mut mlp = MlpStats::default();
         let mut occupancy = OccupancyReport::new();
         let mut table_bytes = 0u64;
         let mut measured = Vec::with_capacity(self.cores.len());
@@ -716,6 +957,17 @@ impl Machine {
             ops += core.ops_measured;
             mem_ops += core.mem_ops_measured;
             sched.merge(&core.sched);
+            // The machine-side MLP counters, then the ones owned by the
+            // structures themselves (cleared at measurement start, like
+            // every other cache/TLB statistic).
+            mlp.merge(&core.mlp);
+            let mshr = core.caches.mshr_stats();
+            mlp.mshr_coalesced += mshr.coalesced;
+            mlp.mshr_full_stalls += mshr.full_stalls;
+            mlp.mshr_stall_cycles += mshr.full_stall_cycles;
+            let walker = core.walker.stats();
+            mlp.walker_queued_walks += walker.queued_walks;
+            mlp.walker_queue_cycles += walker.queue_cycles;
             for (level, hm) in core.walker.pwcs().stats() {
                 pwc.entry(level).or_default().merge(hm);
             }
@@ -759,6 +1011,8 @@ impl Machine {
             dram_queue_delay: dram.queue_delay.mean(),
             faults,
             sched,
+            mlp_window: self.cfg.mlp_window,
+            mlp,
             occupancy,
             table_bytes,
         }

@@ -78,6 +78,68 @@ impl SchedStats {
     }
 }
 
+/// Memory-level-parallelism counters of one run (measured window, like
+/// the TLB/cache/PWC statistics — warmup overlap is not interesting).
+///
+/// Every *overlap artefact* (stalls, coalescing, queueing, peak depth)
+/// is zero for a blocking (`mlp_window = 1`) run — a blocking core never
+/// has two requests in flight — which is why the block is hashed into
+/// the fingerprint only for windowed runs. The one exception is
+/// `inflight_latency_cycles`, which accumulates for blocking runs too so
+/// [`RunReport::achieved_mlp`] can report how memory-bound they are
+/// (always ≤ 1 there).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MlpStats {
+    /// Cycles cores spent stalled because the issue window was full.
+    pub window_stall_cycles: u64,
+    /// Highest number of simultaneously in-flight memory ops any core
+    /// reached.
+    pub peak_inflight: u32,
+    /// TLB hits on entries whose walk was still in flight — the lookup
+    /// waited for the walk's data (translation hit-under-miss).
+    pub tlb_hits_under_miss: u64,
+    /// Sum over measured memory ops of their in-flight latency
+    /// (completion − issue); dividing by elapsed cycles gives the average
+    /// memory-op occupancy, > 1 only when ops actually overlapped.
+    pub inflight_latency_cycles: u64,
+    /// Misses merged onto an in-flight same-line fill.
+    pub mshr_coalesced: u64,
+    /// Misses that found every MSHR busy.
+    pub mshr_full_stalls: u64,
+    /// Cycles those misses waited for a free MSHR.
+    pub mshr_stall_cycles: u64,
+    /// Walks that queued for a hardware walker.
+    pub walker_queued_walks: u64,
+    /// Cycles walks spent queueing for a walker.
+    pub walker_queue_cycles: u64,
+}
+
+impl MlpStats {
+    /// Accumulates another core's counters into this one.
+    pub fn merge(&mut self, other: &MlpStats) {
+        self.window_stall_cycles += other.window_stall_cycles;
+        self.peak_inflight = self.peak_inflight.max(other.peak_inflight);
+        self.tlb_hits_under_miss += other.tlb_hits_under_miss;
+        self.inflight_latency_cycles += other.inflight_latency_cycles;
+        self.mshr_coalesced += other.mshr_coalesced;
+        self.mshr_full_stalls += other.mshr_full_stalls;
+        self.mshr_stall_cycles += other.mshr_stall_cycles;
+        self.walker_queued_walks += other.walker_queued_walks;
+        self.walker_queue_cycles += other.walker_queue_cycles;
+    }
+
+    /// Mean cycles a queued walk waited for a hardware walker; zero when
+    /// no walk queued.
+    #[must_use]
+    pub fn walker_queue_delay(&self) -> f64 {
+        if self.walker_queued_walks == 0 {
+            0.0
+        } else {
+            self.walker_queue_cycles as f64 / self.walker_queued_walks as f64
+        }
+    }
+}
+
 /// Aggregated results of one simulation run (measured window only).
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -132,6 +194,10 @@ pub struct RunReport {
     /// Context-switch / TLB-shootdown counters (whole run; the post-switch
     /// penalty fields are measured-window).
     pub sched: SchedStats,
+    /// Configured issue-window size (1 = blocking core).
+    pub mlp_window: u32,
+    /// Memory-level-parallelism counters (all zero for blocking runs).
+    pub mlp: MlpStats,
     /// Page-table occupancy pooled over *every* address space (all cores,
     /// all processes): per-level counters are summed, so the aggregate
     /// rate weights each table by its capacity. With the homogeneous
@@ -177,6 +243,20 @@ impl RunReport {
             0.0
         } else {
             self.tlb_l2.misses as f64 / self.tlb_l1.total() as f64
+        }
+    }
+
+    /// Average number of memory ops in flight while the cores ran: the
+    /// achieved memory-level parallelism. At most 1 for blocking runs
+    /// (every op's latency is exposed serially); exceeds 1 — growing
+    /// toward the window size — exactly when overlap succeeds.
+    #[must_use]
+    pub fn achieved_mlp(&self) -> f64 {
+        let elapsed = self.avg_core_cycles * f64::from(self.cores);
+        if elapsed == 0.0 {
+            0.0
+        } else {
+            self.mlp.inflight_latency_cycles as f64 / elapsed
         }
     }
 
@@ -252,6 +332,22 @@ impl RunReport {
             self.sched.post_switch_walks.hash(&mut h);
             self.sched.post_switch_walk_cycles.hash(&mut h);
         }
+        // The MLP block is hashed only for windowed runs, for the same
+        // reason as the scheduling block: blocking reports predate the
+        // pipeline, and their digests must not move when the (inert at
+        // mlp_window = 1) overlap knobs or counters change shape.
+        if self.mlp_window > 1 {
+            self.mlp_window.hash(&mut h);
+            self.mlp.window_stall_cycles.hash(&mut h);
+            self.mlp.peak_inflight.hash(&mut h);
+            self.mlp.tlb_hits_under_miss.hash(&mut h);
+            self.mlp.inflight_latency_cycles.hash(&mut h);
+            self.mlp.mshr_coalesced.hash(&mut h);
+            self.mlp.mshr_full_stalls.hash(&mut h);
+            self.mlp.mshr_stall_cycles.hash(&mut h);
+            self.mlp.walker_queued_walks.hash(&mut h);
+            self.mlp.walker_queue_cycles.hash(&mut h);
+        }
         self.table_bytes.hash(&mut h);
         h.finish()
     }
@@ -305,6 +401,23 @@ impl fmt::Display for RunReport {
                 self.sched.post_switch_walk_cycles
             )?;
         }
+        if self.mlp_window > 1 {
+            write!(
+                f,
+                "\n  mlp: window {}, achieved {:.2} in flight (peak {}), \
+                 {} coalesced misses, {} MSHR-full stalls, \
+                 {} TLB hits-under-miss, \
+                 walker queue {} walks / {:.0} cyc avg",
+                self.mlp_window,
+                self.achieved_mlp(),
+                self.mlp.peak_inflight,
+                self.mlp.mshr_coalesced,
+                self.mlp.mshr_full_stalls,
+                self.mlp.tlb_hits_under_miss,
+                self.mlp.walker_queued_walks,
+                self.mlp.walker_queue_delay()
+            )?;
+        }
         Ok(())
     }
 }
@@ -351,6 +464,8 @@ mod tests {
             dram_queue_delay: 1.0,
             faults: FaultCounts::default(),
             sched: SchedStats::default(),
+            mlp_window: 1,
+            mlp: MlpStats::default(),
             occupancy: OccupancyReport::new(),
             table_bytes: 4096,
         }
@@ -423,6 +538,61 @@ mod tests {
         assert_ne!(base, dummy(1000).fingerprint(), "procs count is hashed");
         multi.sched.context_switches = 99;
         assert_ne!(base, multi.fingerprint(), "sched counters are hashed");
+    }
+
+    #[test]
+    fn fingerprint_ignores_mlp_at_window_one_but_not_above() {
+        // Blocking digests must not move when the (inert) MLP counters
+        // change shape — windowed digests must cover them.
+        let mut blocking = dummy(1000);
+        blocking.mlp.mshr_coalesced = 42;
+        assert_eq!(blocking.fingerprint(), dummy(1000).fingerprint());
+
+        let mut windowed = dummy(1000);
+        windowed.mlp_window = 8;
+        let base = windowed.fingerprint();
+        assert_ne!(base, dummy(1000).fingerprint(), "window size is hashed");
+        windowed.mlp.mshr_coalesced = 42;
+        assert_ne!(base, windowed.fingerprint(), "mlp counters are hashed");
+    }
+
+    #[test]
+    fn mlp_stats_merge_and_derived_metrics() {
+        let mut a = MlpStats {
+            window_stall_cycles: 100,
+            peak_inflight: 3,
+            tlb_hits_under_miss: 6,
+            inflight_latency_cycles: 4000,
+            mshr_coalesced: 5,
+            mshr_full_stalls: 2,
+            mshr_stall_cycles: 50,
+            walker_queued_walks: 4,
+            walker_queue_cycles: 800,
+        };
+        let b = MlpStats {
+            peak_inflight: 7,
+            walker_queued_walks: 4,
+            walker_queue_cycles: 1600,
+            ..MlpStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.peak_inflight, 7, "peak is a max, not a sum");
+        assert_eq!(a.walker_queued_walks, 8);
+        assert!((a.walker_queue_delay() - 300.0).abs() < 1e-12);
+        assert_eq!(MlpStats::default().walker_queue_delay(), 0.0);
+
+        let mut r = dummy(1000);
+        r.mlp.inflight_latency_cycles = 4000;
+        // elapsed = avg_core_cycles * cores = 2000.
+        assert!((r.achieved_mlp() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_covers_mlp_only_when_windowed() {
+        let mut r = dummy(500);
+        assert!(!r.to_string().contains("mlp:"));
+        r.mlp_window = 8;
+        assert!(r.to_string().contains("mlp: window 8"));
     }
 
     #[test]

@@ -66,6 +66,13 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
         &self.buf[..self.len]
     }
 
+    /// The elements as a mutable slice.
+    #[inline]
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.buf[..self.len]
+    }
+
     /// Removes all elements.
     #[inline]
     pub fn clear(&mut self) {

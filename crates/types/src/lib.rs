@@ -15,6 +15,9 @@
 //!   paper's cache-bypass mechanism.
 //! * [`op`] — the trace operation format emitted by workload generators and
 //!   consumed by the simulator.
+//! * [`req`] — cache-line addresses and per-request completion tickets,
+//!   the vocabulary of the non-blocking memory pipeline (MSHR coalescing
+//!   keys, channel interleaving, retirement deadlines).
 //! * [`stats`] — light-weight counters and latency accumulators.
 //!
 //! # Examples
@@ -34,6 +37,7 @@ pub mod fastmap;
 pub mod ids;
 pub mod inline;
 pub mod op;
+pub mod req;
 pub mod stats;
 
 pub use addr::{PageSize, Pfn, PhysAddr, PtLevel, VirtAddr, Vpn};
@@ -42,3 +46,4 @@ pub use fastmap::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use ids::{AccessClass, Asid, CoreId, ProcessId, RwKind};
 pub use inline::InlineVec;
 pub use op::Op;
+pub use req::{LineAddr, MemTicket};
