@@ -75,7 +75,8 @@ fn main() {
 
 fn sweeps(scale: Scale) {
     use ndp_sim::sweeps::{
-        context_switch_sweep, fracturing_ablation, mlp_sweep, pwc_size_sweep, tlb_reach_sweep,
+        context_switch_sweep, fracturing_ablation, mlp_sweep, pwc_size_sweep, shared_llc_sweep,
+        tlb_reach_sweep,
     };
     let base = scale.apply(SimConfig::new(
         SystemKind::Ndp,
@@ -190,6 +191,44 @@ fn sweeps(scale: Scale) {
         "\nData misses overlap with the window; page walks still queue for\n\
          the hardware walker — so translation's share of every op grows\n\
          with MLP, and NDPage's one-fetch walks pay off more, not less."
+    );
+
+    println!(
+        "\n=== Extension: shared-LLC interference sweep \
+         (RND, 2-core NDP, 2 procs/core) ===\n"
+    );
+    let rows: Vec<Vec<String>> = shared_llc_sweep(WorkloadId::Rnd, &[0, 256, 2048, 8192], &base)
+        .iter()
+        .map(|p| {
+            let l3 = p.radix.l3.as_ref();
+            vec![
+                if p.l3_kb == 0 {
+                    "off".into()
+                } else {
+                    format!("{} KB", p.l3_kb)
+                },
+                pct(p.radix_l3_metadata_hit_rate()),
+                l3.map_or_else(|| "-".into(), |s| s.bank_conflicts.to_string()),
+                l3.map_or_else(|| "-".into(), |s| s.back_invalidations.to_string()),
+                spd(p.ndpage_speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "shared L3",
+            "Radix PTE hit",
+            "bank conflicts",
+            "back-invals",
+            "NDPage speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\nOnly Radix's translation path depends on shared capacity: its PTE\n\
+         fetches lose their L3 hits as co-runners squeeze the cache, while\n\
+         NDPage's bypassed fetches never probe it — so the gap between the\n\
+         mechanisms moves with cache pressure, the paper's central claim."
     );
 }
 

@@ -14,6 +14,12 @@
 //! `--mshrs` narrows the miss file; `--walkers` sets the hardware
 //! page-table walkers concurrent walks queue for.
 //!
+//! `--l3-kb` enables a shared banked L3 every core's private misses
+//! contend in (`--l3-ways`/`--l3-banks`/`--l3-policy` shape it; all
+//! inert while `--l3-kb` is absent), and `--vault-kb` adds a per-vault
+//! buffer in front of each memory channel. The defaults (both off) are
+//! cycle-identical to the pre-shared-LLC engine.
+//!
 //! The `bench` subcommand instead times a fixed end-to-end experiment
 //! sweep (the engine behind every figure) and writes the result as JSON,
 //! tracking the simulator's own throughput across PRs:
@@ -26,8 +32,9 @@
 //!     bench --out BENCH_end_to_end.json --baseline BENCH_baseline.json
 //! ```
 
+use ndp_sim::config::InclusionPolicy;
 use ndp_sim::experiment::run_batch;
-use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep};
+use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep, shared_llc_sweep};
 use ndp_sim::{Machine, SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
@@ -109,6 +116,30 @@ fn bench_sweep_pass() -> (u64, u64) {
 /// of the emitted JSON, so the two can never diverge.
 const BENCH_MLP_WINDOWS: [u32; 3] = [1, 4, 8];
 
+/// Shared-L3 capacities of the bench LLC sweep — also the `l3_kbs`
+/// field of the emitted JSON.
+const BENCH_LLC_KBS: [u32; 2] = [512, 4096];
+
+/// The shared-LLC benchmark sweep: Radix and NDPage co-run
+/// multiprogrammed under a small and an ample shared L3 (the co-runner
+/// interference study). Returns `(sim_ops, digest, ndpage speedup under
+/// pressure, ndpage speedup with ample capacity)`.
+fn bench_llc_pass() -> (u64, u64, f64, f64) {
+    let base = SimConfig::new(SystemKind::Ndp, 2, Mechanism::Radix, WorkloadId::Bfs)
+        .with_ops(4_000, 8_000)
+        .with_footprint(512 << 20);
+    let sizes = BENCH_LLC_KBS;
+    let sim_ops = sizes.len() as u64 * 2 * 2 * (base.warmup_ops + base.measure_ops);
+    let points = shared_llc_sweep(WorkloadId::Bfs, &sizes, &base);
+    let mut digest = 0u64;
+    for point in &points {
+        digest ^= point.radix.fingerprint() ^ point.ndpage.fingerprint();
+    }
+    let pressured = points.first().expect("small-L3 point").ndpage_speedup();
+    let ample = points.last().expect("large-L3 point").ndpage_speedup();
+    (sim_ops, digest, pressured, ample)
+}
+
 /// The MLP benchmark sweep: Radix and NDPage over issue-window sizes
 /// (window 1 = the blocking engine, so this digest also re-anchors the
 /// blocking path). Returns `(sim_ops, digest, ndpage speedup at the
@@ -164,6 +195,13 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
     let mlp_wall = t0.elapsed().as_secs_f64();
     eprintln!("mlp pass: {mlp_wall:.3} s");
 
+    // So does the shared-LLC sweep (its digest covers the shared-L3
+    // counters, which only exist when the layer is enabled).
+    let t0 = Instant::now();
+    let (llc_ops, llc_digest, llc_speedup_small, llc_speedup_large) = bench_llc_pass();
+    let llc_wall = t0.elapsed().as_secs_f64();
+    eprintln!("llc pass: {llc_wall:.3} s");
+
     // A missing --baseline flag is fine (the speedup fields are simply
     // omitted); a *named* baseline that cannot be read or parsed is an
     // error — silently dropping it would let the CI gates misfire with a
@@ -178,12 +216,14 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
             std::process::exit(2);
         });
         let mode = json_str(&text, "mode").unwrap_or_else(|| "unknown".to_string());
-        // Both digests gate --check-digest: the blocking sweep and the
-        // windowed MLP sweep must each be bit-identical across hot-path
-        // modes (mlp_digest is absent from pre-pipeline baselines).
+        // All three digests gate --check-digest: the blocking sweep, the
+        // windowed MLP sweep and the shared-LLC sweep must each be
+        // bit-identical across hot-path modes (mlp_digest/llc_digest are
+        // absent from baselines predating their sweep).
         let digest = json_u64(&text, "report_digest");
         let base_mlp_digest = json_u64(&text, "mlp_digest");
-        (mode, wall, digest, base_mlp_digest)
+        let base_llc_digest = json_u64(&text, "llc_digest");
+        (mode, wall, digest, base_mlp_digest, base_llc_digest)
     });
 
     let mut json = String::from("{\n");
@@ -218,7 +258,22 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
     ));
     json.push_str(&format!("    \"mlp_wall_s\": {mlp_wall:.4}\n"));
     json.push_str("  },\n");
-    if let Some((base_mode, base_wall, _, _)) = &baseline {
+    json.push_str("  \"llc_sweep\": {\n");
+    json.push_str(&format!(
+        "    \"l3_kbs\": [{}],\n",
+        BENCH_LLC_KBS.map(|kb| kb.to_string()).join(", ")
+    ));
+    json.push_str(&format!("    \"llc_simulated_ops\": {llc_ops},\n"));
+    json.push_str(&format!("    \"llc_digest\": {llc_digest},\n"));
+    json.push_str(&format!(
+        "    \"ndpage_speedup_small_l3\": {llc_speedup_small:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"ndpage_speedup_large_l3\": {llc_speedup_large:.4},\n"
+    ));
+    json.push_str(&format!("    \"llc_wall_s\": {llc_wall:.4}\n"));
+    json.push_str("  },\n");
+    if let Some((base_mode, base_wall, _, _, _)) = &baseline {
         json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
         json.push_str(&format!("  \"baseline_mode\": \"{base_mode}\",\n"));
         json.push_str(&format!("  \"baseline_best_wall_s\": {base_wall:.4},\n"));
@@ -234,7 +289,7 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
     std::fs::write(&out, &json).expect("write bench JSON");
     println!("{json}");
     println!("wrote {out}");
-    if let Some((base_mode, base_wall, base_digest, base_mlp_digest)) = baseline {
+    if let Some((base_mode, base_wall, base_digest, base_mlp_digest, base_llc_digest)) = baseline {
         println!(
             "speedup vs {base_mode} baseline: {:.2}x ({:.3} s -> {:.3} s)",
             base_wall / best,
@@ -265,6 +320,15 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
                 // Pre-pipeline baseline files carry no mlp_digest; the
                 // blocking gate above still applies.
                 None => eprintln!("mlp digest check: skipped (baseline has none)"),
+            }
+            match base_llc_digest {
+                Some(b) if b == llc_digest => eprintln!("llc digest check: ok ({llc_digest})"),
+                Some(b) => {
+                    eprintln!("error: llc digest {llc_digest} != baseline llc digest {b}");
+                    std::process::exit(1);
+                }
+                // Pre-shared-LLC baseline files carry no llc_digest.
+                None => eprintln!("llc digest check: skipped (baseline has none)"),
             }
         }
         if let Some(floor) = get("--min-speedup") {
@@ -363,7 +427,9 @@ fn main() {
              \x20             [--ops N] [--warmup N] [--seed S] [--pwc-entries N] \\\n\
              \x20             [--tlb-l2 N] [--no-fracture] [--histogram] \\\n\
              \x20             [--procs N] [--quantum OPS] [--switch-cost CYC] [--no-asid] \\\n\
-             \x20             [--window N] [--mshrs N] [--walkers N]\n\
+             \x20             [--window N] [--mshrs N] [--walkers N] \\\n\
+             \x20             [--l3-kb N] [--l3-ways N] [--l3-banks N] \\\n\
+             \x20             [--l3-policy inclusive|exclusive] [--vault-kb N]\n\
              \x20      ndpsim bench [--runs N] [--out FILE] [--baseline FILE] \\\n\
              \x20                   [--check-digest] [--min-speedup X]"
         );
@@ -428,6 +494,27 @@ fn main() {
     }
     if let Some(walkers) = num_u32("--walkers") {
         cfg.walkers_per_core = walkers;
+    }
+    if let Some(kb) = num_u32("--l3-kb") {
+        cfg.l3_kb = kb;
+    }
+    if let Some(ways) = num_u32("--l3-ways") {
+        cfg.l3_ways = ways;
+    }
+    if let Some(banks) = num_u32("--l3-banks") {
+        cfg.l3_banks = banks;
+    }
+    if let Some(policy) = get("--l3-policy") {
+        cfg.l3_policy = InclusionPolicy::parse(&policy).unwrap_or_else(|| {
+            let valid: Vec<String> = InclusionPolicy::ALL
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect();
+            die_unknown("--l3-policy", &policy, &valid)
+        });
+    }
+    if let Some(kb) = num_u32("--vault-kb") {
+        cfg.vault_buffer_kb = kb;
     }
     if let Some(mb) = num("--footprint-mb") {
         cfg.footprint_override = Some(mb << 20);

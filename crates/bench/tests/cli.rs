@@ -157,6 +157,102 @@ fn rejects_out_of_range_window() {
 }
 
 #[test]
+fn shared_llc_flags_round_trip_into_the_report() {
+    let out = ndpsim()
+        .args(["--workload", "RND", "--mechanism", "radix"])
+        .args(["--l3-kb", "1024", "--l3-ways", "8", "--l3-banks", "4"])
+        .args(["--l3-policy", "exclusive", "--vault-kb", "128"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("l3: 1x 1024 KB 8w/4b exclusive"),
+        "accepted values round-trip into the report: {stdout}"
+    );
+    assert!(
+        stdout.contains("vault: 4x 128 KB"),
+        "vault block present: {stdout}"
+    );
+}
+
+#[test]
+fn rejects_unknown_l3_policy_listing_valid_names() {
+    let out = ndpsim()
+        .args([
+            "--workload",
+            "RND",
+            "--l3-kb",
+            "1024",
+            "--l3-policy",
+            "bogus",
+        ])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bogus"), "echoes the bad value: {stderr}");
+    assert!(
+        stderr.contains("inclusive") && stderr.contains("exclusive"),
+        "lists valid policies: {stderr}"
+    );
+}
+
+#[test]
+fn rejects_invalid_l3_geometry() {
+    let out = ndpsim()
+        .args(["--workload", "RND", "--l3-kb", "1024", "--l3-ways", "32"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "validation must reject it");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("l3_ways"));
+}
+
+#[test]
+fn l3_knobs_are_inert_without_l3_kb() {
+    // Geometry/policy knobs without --l3-kb run the disabled engine: no
+    // shared-LLC lines in the report, same output as no knobs at all.
+    let with_knobs = ndpsim()
+        .args(["--workload", "RND", "--mechanism", "radix"])
+        .args([
+            "--l3-ways",
+            "8",
+            "--l3-banks",
+            "2",
+            "--l3-policy",
+            "exclusive",
+        ])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert!(
+        with_knobs.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&with_knobs.stderr)
+    );
+    let knobs_stdout = String::from_utf8_lossy(&with_knobs.stdout);
+    assert!(!knobs_stdout.contains("l3:"), "no l3 line: {knobs_stdout}");
+    assert!(!knobs_stdout.contains("vault:"));
+    let plain = ndpsim()
+        .args(["--workload", "RND", "--mechanism", "radix"])
+        .args(FAST)
+        .output()
+        .unwrap();
+    assert_eq!(
+        knobs_stdout,
+        String::from_utf8_lossy(&plain.stdout),
+        "inert knobs must not change a single reported counter"
+    );
+}
+
+#[test]
 fn multiprogramming_flags_reach_the_report() {
     let out = ndpsim()
         .args(["--workload", "RND", "--mechanism", "ndpage"])

@@ -5,13 +5,38 @@
 //! goes to the memory controller and calls [`CacheHierarchy::fill`]).
 
 use crate::mshr::{MshrFile, MshrLookup, MshrStats};
-use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache, Writeback};
+use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache, Victim, Writeback};
 use ndp_types::{InlineVec, LineAddr};
 
 /// Dirty victims produced by one fill — at most one per cache level, so
 /// the list lives inline (a fill happens on every miss; the seed's `Vec`
 /// return put an allocation there).
 pub type WritebackList = InlineVec<Writeback, 4>;
+
+/// A victim tagged with the level (0 = L1) that evicted it. Victims of
+/// the *outermost* private level leave the private hierarchy entirely —
+/// those are the ones a shared last level absorbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelVictim {
+    /// Index of the evicting level (0 = L1).
+    pub level: usize,
+    /// The evicted line.
+    pub victim: Victim,
+}
+
+/// All victims produced by one fill, clean and dirty, one per level at
+/// most.
+pub type VictimList = InlineVec<LevelVictim, 4>;
+
+/// Result of a back-invalidation sweep across the private levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackInvalidate {
+    /// Whether any private level held the line.
+    pub present: bool,
+    /// Whether any evicted private copy was dirty (its data must still
+    /// reach memory or the shared level).
+    pub dirty: bool,
+}
 use ndp_types::{AccessClass, Cycles, PhysAddr, RwKind};
 
 /// Outcome of a hierarchy lookup.
@@ -144,6 +169,14 @@ impl CacheHierarchy {
         self.levels[level].config()
     }
 
+    /// Checks residency in any level without perturbing state or
+    /// statistics (invariant checks; the timing path uses
+    /// [`CacheHierarchy::lookup`]).
+    #[must_use]
+    pub fn probe(&self, addr: PhysAddr) -> bool {
+        self.levels.iter().any(|level| level.probe(addr))
+    }
+
     /// Probes levels in order until a hit; records per-level hit/miss stats.
     pub fn lookup(&mut self, addr: PhysAddr, rw: RwKind, class: AccessClass) -> LookupResult {
         let mut latency = Cycles::ZERO;
@@ -210,6 +243,41 @@ impl CacheHierarchy {
             .skip(from_level)
             .filter_map(|level| level.fill(addr, class, dirty))
             .collect()
+    }
+
+    /// Installs a line in every level like [`CacheHierarchy::fill`], but
+    /// reports *every* victim — clean ones included — tagged with the
+    /// level that evicted it. A shared last level underneath needs this
+    /// richer view: outermost-level victims leave the private hierarchy
+    /// (exclusive LLCs are filled by exactly those), inner-level victims
+    /// are still resident further out. Statistics are identical to
+    /// [`CacheHierarchy::fill`].
+    pub fn fill_collect(&mut self, addr: PhysAddr, class: AccessClass, dirty: bool) -> VictimList {
+        self.levels
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(level, cache)| {
+                cache
+                    .fill_victim(addr, class, dirty)
+                    .map(|victim| LevelVictim { level, victim })
+            })
+            .collect()
+    }
+
+    /// Invalidates a line in every private level on behalf of an
+    /// inclusive shared cache that just evicted it, reporting whether any
+    /// level held the line and whether any held copy was dirty.
+    pub fn back_invalidate(&mut self, addr: PhysAddr) -> BackInvalidate {
+        let mut result = BackInvalidate::default();
+        for level in &mut self.levels {
+            if level.probe(addr) {
+                result.present = true;
+                if level.invalidate(addr) {
+                    result.dirty = true;
+                }
+            }
+        }
+        result
     }
 
     /// Invalidates a line everywhere.
@@ -299,6 +367,44 @@ mod tests {
             LookupResult::Hit { level, .. } => assert_eq!(level, 1),
             LookupResult::MissAll { .. } => panic!("expected an L2 hit"),
         }
+    }
+
+    #[test]
+    fn fill_collect_tags_victims_with_their_level() {
+        let mut h = CacheHierarchy::ndp(); // one 64-set, 8-way level
+                                           // Fill one L1 set to capacity, then once more: the ninth fill
+                                           // evicts the clean LRU line and fill_collect reports it.
+        for i in 0..=8u64 {
+            let victims = h.fill_collect(
+                PhysAddr::new(i * 64 * 64),
+                AccessClass::Data,
+                i == 0, // only the first line is dirty
+            );
+            if i < 8 {
+                assert!(victims.is_empty(), "set not yet full at fill {i}");
+            } else {
+                assert_eq!(victims.len(), 1);
+                let lv = victims.as_slice()[0];
+                assert_eq!(lv.level, 0);
+                assert_eq!(lv.victim.addr, PhysAddr::new(0));
+                assert!(lv.victim.dirty);
+            }
+        }
+    }
+
+    #[test]
+    fn back_invalidate_reports_presence_and_dirtiness() {
+        let mut h = CacheHierarchy::cpu(1);
+        let a = PhysAddr::new(0x140);
+        assert_eq!(h.back_invalidate(a), BackInvalidate::default());
+        h.fill(a, AccessClass::Data, true);
+        let bi = h.back_invalidate(a);
+        assert!(bi.present && bi.dirty);
+        assert!(!h.lookup(a, RwKind::Read, AccessClass::Data).is_hit());
+        // Re-fetched clean: present but clean on the next sweep.
+        h.fill(a, AccessClass::Data, false);
+        let bi = h.back_invalidate(a);
+        assert!(bi.present && !bi.dirty);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! the miss-status holding registers that let a non-blocking core overlap
 //! independent misses and coalesce same-line ones onto a single fill.
 //!
+//! [`shared::SharedCache`] models the layer *below* the private
+//! hierarchies that co-running cores and processes genuinely share: a
+//! banked shared L3 (inclusive or exclusive of the private levels, with
+//! back-invalidation on inclusive eviction) or an NDP per-vault buffer,
+//! with per-bank MSHR files and occupancy accounted by [`ndp_types::Asid`].
+//!
 //! # Examples
 //!
 //! ```
@@ -33,7 +39,9 @@ pub mod hierarchy;
 pub mod mshr;
 pub mod replacement;
 pub mod set_assoc;
+pub mod shared;
 
 pub use hierarchy::CacheHierarchy;
 pub use mshr::{MshrFile, MshrLookup, MshrStats};
 pub use set_assoc::{CacheConfig, CacheStats, SetAssocCache};
+pub use shared::{InclusionPolicy, SharedCache, SharedConfig, SharedStats};

@@ -148,6 +148,30 @@ impl Default for Writeback {
     }
 }
 
+/// Any line pushed out of the cache, clean or dirty. [`Writeback`] only
+/// reports dirty victims (all a flat hierarchy needs); a shared
+/// exclusive last level additionally wants the clean ones — they are
+/// exactly what fills it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Line-aligned physical address of the victim.
+    pub addr: PhysAddr,
+    /// Class of the victim line.
+    pub class: AccessClass,
+    /// Whether the victim must be written toward memory.
+    pub dirty: bool,
+}
+
+impl Default for Victim {
+    fn default() -> Self {
+        Victim {
+            addr: PhysAddr::new(0),
+            class: AccessClass::Data,
+            dirty: false,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
@@ -280,6 +304,25 @@ impl SetAssocCache {
     /// evicting a victim if the set is full. Returns the victim's writeback
     /// if it was dirty.
     pub fn fill(&mut self, addr: PhysAddr, class: AccessClass, dirty: bool) -> Option<Writeback> {
+        self.fill_victim(addr, class, dirty).and_then(|v| {
+            v.dirty.then_some(Writeback {
+                addr: v.addr,
+                class: v.class,
+            })
+        })
+    }
+
+    /// Like [`fill`](Self::fill), but reports the evicted line whether or
+    /// not it was dirty — a shared exclusive last level is filled by
+    /// private victims, clean ones included. Statistics are identical to
+    /// [`fill`](Self::fill) (the `writebacks` counter still only counts
+    /// dirty victims).
+    pub fn fill_victim(
+        &mut self,
+        addr: PhysAddr,
+        class: AccessClass,
+        dirty: bool,
+    ) -> Option<Victim> {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.set_and_tag(addr);
@@ -325,7 +368,7 @@ impl SetAssocCache {
         };
 
         let mut pollution = false;
-        let mut writeback = None;
+        let mut evicted = None;
         {
             let lines = self.set_slice_mut(set);
             let victim = &mut lines[victim_way];
@@ -333,13 +376,12 @@ impl SetAssocCache {
                 if victim.class == AccessClass::Data && class.is_metadata() {
                     pollution = true;
                 }
-                if victim.dirty {
-                    let victim_line = victim.tag * sets + set as u64;
-                    writeback = Some(Writeback {
-                        addr: PhysAddr::new(victim_line * line_bytes),
-                        class: victim.class,
-                    });
-                }
+                let victim_line = victim.tag * sets + set as u64;
+                evicted = Some(Victim {
+                    addr: PhysAddr::new(victim_line * line_bytes),
+                    class: victim.class,
+                    dirty: victim.dirty,
+                });
             }
             *victim = Line {
                 tag,
@@ -352,10 +394,10 @@ impl SetAssocCache {
         if pollution {
             self.stats.data_evicted_by_metadata += 1;
         }
-        if writeback.is_some() {
+        if evicted.is_some_and(|v| v.dirty) {
             self.stats.writebacks += 1;
         }
-        writeback
+        evicted
     }
 
     /// Drops the line for `addr` if present (e.g. on TLB-shootdown-driven
@@ -509,6 +551,36 @@ mod tests {
         c.fill(PhysAddr::new(128), AccessClass::Data, false);
         let wb = c.fill(PhysAddr::new(256), AccessClass::Data, false);
         assert!(wb.is_some());
+    }
+
+    #[test]
+    fn fill_victim_reports_clean_victims_too() {
+        let mut c = tiny();
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(128);
+        c.fill(a, AccessClass::Data, false); // clean
+        c.fill(b, AccessClass::Data, false);
+        let v = c.fill_victim(PhysAddr::new(256), AccessClass::Data, false);
+        assert_eq!(
+            v,
+            Some(Victim {
+                addr: a,
+                class: AccessClass::Data,
+                dirty: false
+            }),
+            "clean victims surface through fill_victim"
+        );
+        assert_eq!(c.stats().writebacks, 0, "clean victims are not writebacks");
+        // The plain fill API stays dirty-only: re-install `a` dirty
+        // (evicting clean `b`), push out the clean 0x100 line silently,
+        // then evict dirty `a` and get the writeback.
+        c.fill(a, AccessClass::Data, true);
+        assert!(c
+            .fill(PhysAddr::new(384), AccessClass::Data, false)
+            .is_none());
+        let wb = c.fill(PhysAddr::new(512), AccessClass::Data, false);
+        assert!(wb.is_some(), "dirty victim still reported as writeback");
+        assert_eq!(c.stats().writebacks, 1);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Simulation configuration (Table I systems + run parameters).
 
+use ndp_cache::shared::SharedConfig;
 use ndp_types::Cycles;
 use ndp_workloads::WorkloadId;
 use ndpage::bypass::BypassPolicy;
 use ndpage::Mechanism;
 use std::fmt;
+
+pub use ndp_cache::shared::InclusionPolicy;
 
 /// Which Table I system to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +111,28 @@ pub struct SimConfig {
     /// Hardware page-table walkers per core: concurrent walks beyond
     /// this queue. Inert at `mlp_window = 1` for the same reason.
     pub walkers_per_core: u32,
+    /// Shared last-level cache capacity in KB. `0` (the default)
+    /// disables the shared layer entirely and is **cycle-identical** to
+    /// the pre-shared-LLC engine; `> 0` builds a banked shared L3 that
+    /// every core's private misses contend in (on the CPU system it
+    /// replaces the per-core private L3 slice; on NDP it adds a shared
+    /// logic-layer last level).
+    pub l3_kb: u32,
+    /// Shared-L3 associativity (ignored while `l3_kb = 0`).
+    pub l3_ways: u32,
+    /// Shared-L3 bank count — sets are partitioned over banks and each
+    /// bank port serves one access per period, so co-runners conflict
+    /// (ignored while `l3_kb = 0`).
+    pub l3_banks: u32,
+    /// Shared-L3 inclusion policy (ignored while `l3_kb = 0`):
+    /// inclusive evictions back-invalidate private copies; exclusive
+    /// holds only lines that left the private hierarchy.
+    pub l3_policy: InclusionPolicy,
+    /// Per-vault (per-memory-channel) buffer capacity in KB on the
+    /// memory side, arbitrated across every core that reaches the vault.
+    /// `0` (the default) disables it; bypassed NDPage metadata fetches
+    /// skip it just as they skip every other cache.
+    pub vault_buffer_kb: u32,
 }
 
 impl SimConfig {
@@ -136,6 +161,10 @@ impl SimConfig {
     /// sharpest instantiation of the pipeline's asymmetry: overlapped
     /// data misses each get an MSHR while overlapped walks serialise.
     pub const DEFAULT_WALKERS: u32 = 1;
+    /// Default shared-L3 associativity (Table I's L3 is 16-way).
+    pub const DEFAULT_L3_WAYS: u32 = 16;
+    /// Default shared-L3 bank count.
+    pub const DEFAULT_L3_BANKS: u32 = 8;
 
     /// A full-size run configuration.
     #[must_use]
@@ -168,6 +197,11 @@ impl SimConfig {
             mlp_window: 1,
             mshrs_per_core: 1,
             walkers_per_core: Self::DEFAULT_WALKERS,
+            l3_kb: 0,
+            l3_ways: Self::DEFAULT_L3_WAYS,
+            l3_banks: Self::DEFAULT_L3_BANKS,
+            l3_policy: InclusionPolicy::Inclusive,
+            vault_buffer_kb: 0,
         }
     }
 
@@ -261,6 +295,56 @@ impl SimConfig {
         self
     }
 
+    /// Enables the shared L3 at `kb` KB (0 disables it again).
+    #[must_use]
+    pub fn with_l3(mut self, kb: u32) -> Self {
+        self.l3_kb = kb;
+        self
+    }
+
+    /// Sets the shared-L3 geometry (associativity and bank count).
+    #[must_use]
+    pub fn with_l3_geometry(mut self, ways: u32, banks: u32) -> Self {
+        self.l3_ways = ways;
+        self.l3_banks = banks;
+        self
+    }
+
+    /// Sets the shared-L3 inclusion policy.
+    #[must_use]
+    pub fn with_l3_policy(mut self, policy: InclusionPolicy) -> Self {
+        self.l3_policy = policy;
+        self
+    }
+
+    /// Enables the per-vault buffers at `kb` KB each (0 disables).
+    #[must_use]
+    pub fn with_vault_buffer(mut self, kb: u32) -> Self {
+        self.vault_buffer_kb = kb;
+        self
+    }
+
+    /// Whether any shared last-level structure (shared L3 or vault
+    /// buffers) is enabled.
+    #[must_use]
+    pub fn has_shared_llc(&self) -> bool {
+        self.l3_kb > 0 || self.vault_buffer_kb > 0
+    }
+
+    /// The shared-L3 configuration implied by the knobs, if enabled.
+    #[must_use]
+    pub fn l3_config(&self) -> Option<SharedConfig> {
+        (self.l3_kb > 0)
+            .then(|| SharedConfig::l3(self.l3_kb, self.l3_ways, self.l3_banks, self.l3_policy))
+    }
+
+    /// The per-vault buffer configuration implied by the knobs, if
+    /// enabled.
+    #[must_use]
+    pub fn vault_buffer_config(&self) -> Option<SharedConfig> {
+        (self.vault_buffer_kb > 0).then(|| SharedConfig::vault_buffer(self.vault_buffer_kb))
+    }
+
     /// The per-core footprint in bytes.
     #[must_use]
     pub fn footprint_per_core(&self) -> u64 {
@@ -312,6 +396,27 @@ impl SimConfig {
             || self.walkers_per_core as usize > ndp_mmu::walker::MAX_WALKERS
         {
             return Err(ConfigError::new("walkers_per_core must be in 1..=8"));
+        }
+        if let Some(l3) = self.l3_config() {
+            if let Err(e) = l3.check() {
+                // The shared-cache message already names the constraint;
+                // prefix it with the knob family so CLI users know which
+                // flags to fix.
+                return Err(ConfigError::new(match e {
+                    e if e.contains("ways") => "l3_ways must be in 1..=16",
+                    e if e.contains("banks") => {
+                        "l3_banks must be a power of two no larger than the set count"
+                    }
+                    _ => "l3_kb/l3_ways must give a power-of-two set count",
+                }));
+            }
+        }
+        if let Some(vault) = self.vault_buffer_config() {
+            if vault.check().is_err() {
+                return Err(ConfigError::new(
+                    "vault_buffer_kb must give a power-of-two set count (8-way, 64 B lines)",
+                ));
+            }
         }
         Ok(())
     }
@@ -452,6 +557,68 @@ mod tests {
         assert_eq!(cfg.mlp_window, 8);
         assert_eq!(cfg.mshrs_per_core, 16);
         assert_eq!(cfg.walkers_per_core, 2);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn shared_llc_defaults_are_off() {
+        let cfg = SimConfig::new(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd);
+        assert_eq!(cfg.l3_kb, 0);
+        assert_eq!(cfg.vault_buffer_kb, 0);
+        assert!(!cfg.has_shared_llc());
+        assert!(cfg.l3_config().is_none());
+        assert!(cfg.vault_buffer_config().is_none());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn shared_llc_configs_validated() {
+        let base = SimConfig::quick(SystemKind::Ndp, 2, Mechanism::Radix, WorkloadId::Rnd);
+        let cfg = base.clone().with_l3(2048);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.has_shared_llc());
+        assert_eq!(cfg.l3_config().unwrap().size_bytes, 2048 * 1024);
+
+        let bad = base.clone().with_l3(2048).with_l3_geometry(32, 8);
+        assert!(bad.validate().unwrap_err().to_string().contains("l3_ways"));
+        let bad = base.clone().with_l3(2048).with_l3_geometry(16, 3);
+        assert!(bad.validate().unwrap_err().to_string().contains("l3_banks"));
+        let bad = base.clone().with_l3(100); // 100 KB / 16w -> 100 sets
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("power-of-two"));
+
+        let cfg = base.clone().with_vault_buffer(128);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.has_shared_llc());
+        let bad = base.clone().with_vault_buffer(100);
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("vault_buffer_kb"));
+
+        // Bad geometry knobs are harmless while the L3 is disabled.
+        let inert = base
+            .with_l3_geometry(32, 3)
+            .with_l3_policy(InclusionPolicy::Exclusive);
+        assert!(inert.validate().is_ok());
+    }
+
+    #[test]
+    fn shared_llc_builders_compose() {
+        let cfg = SimConfig::quick(SystemKind::Cpu, 2, Mechanism::Radix, WorkloadId::Bfs)
+            .with_l3(4096)
+            .with_l3_geometry(8, 4)
+            .with_l3_policy(InclusionPolicy::Exclusive)
+            .with_vault_buffer(64);
+        assert_eq!(cfg.l3_kb, 4096);
+        assert_eq!(cfg.l3_ways, 8);
+        assert_eq!(cfg.l3_banks, 4);
+        assert_eq!(cfg.l3_policy, InclusionPolicy::Exclusive);
+        assert_eq!(cfg.vault_buffer_kb, 64);
         assert!(cfg.validate().is_ok());
     }
 

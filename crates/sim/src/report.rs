@@ -140,6 +140,71 @@ impl MlpStats {
     }
 }
 
+/// Statistics of one shared last-level structure — the shared banked L3,
+/// or the merge of every per-vault buffer. Present in a report only when
+/// the structure was enabled, and hashed into the fingerprint only then,
+/// so disabled runs keep their pre-shared-LLC digests bit for bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SharedLlcStats {
+    /// Capacity in KB (per vault for the vault block).
+    pub size_kb: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Banks per cache (the port-conflict granularity).
+    pub banks: u32,
+    /// Number of physical caches merged into this block (1 for the L3,
+    /// the channel count for vault buffers).
+    pub units: u32,
+    /// Inclusion policy name ("inclusive" / "exclusive"; vault buffers
+    /// are memory-side and report "memory-side").
+    pub policy: &'static str,
+    /// Hits/misses of normal-data accesses.
+    pub data: HitMiss,
+    /// Hits/misses of metadata (PTE) accesses.
+    pub metadata: HitMiss,
+    /// Data lines evicted by metadata fills — shared-level pollution.
+    pub data_evicted_by_metadata: u64,
+    /// Dirty victims pushed toward memory.
+    pub writebacks: u64,
+    /// Private writebacks absorbed in place instead of reaching memory.
+    pub writebacks_absorbed: u64,
+    /// Accesses that found their bank port busy.
+    pub bank_conflicts: u64,
+    /// Cycles those accesses waited for the port.
+    pub bank_conflict_cycles: u64,
+    /// Inclusive evictions that invalidated a private L1/L2 copy.
+    pub back_invalidations: u64,
+    /// Misses merged onto an in-flight same-line fill (per-bank MSHRs).
+    pub mshr_coalesced: u64,
+    /// Misses that found every bank MSHR busy.
+    pub mshr_full_stalls: u64,
+    /// End-of-run live lines per owning ASID (sorted by ASID; sums to
+    /// `live_lines`) — who is squeezing whom out of the shared capacity.
+    pub occupancy_by_asid: Vec<(u16, u64)>,
+    /// Valid lines resident at the end of the run.
+    pub live_lines: u64,
+}
+
+impl SharedLlcStats {
+    /// Combined accesses across classes.
+    #[must_use]
+    pub fn total(&self) -> HitMiss {
+        let mut t = self.data;
+        t.merge(&self.metadata);
+        t
+    }
+
+    /// Mean cycles a bank-conflicted access waited; zero when none did.
+    #[must_use]
+    pub fn bank_conflict_delay(&self) -> f64 {
+        if self.bank_conflicts == 0 {
+            0.0
+        } else {
+            self.bank_conflict_cycles as f64 / self.bank_conflicts as f64
+        }
+    }
+}
+
 /// Aggregated results of one simulation run (measured window only).
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -198,6 +263,11 @@ pub struct RunReport {
     pub mlp_window: u32,
     /// Memory-level-parallelism counters (all zero for blocking runs).
     pub mlp: MlpStats,
+    /// Shared banked L3 statistics (`None` when `l3_kb = 0`).
+    pub l3: Option<SharedLlcStats>,
+    /// Per-vault buffer statistics, merged over vaults (`None` when
+    /// `vault_buffer_kb = 0`).
+    pub vault: Option<SharedLlcStats>,
     /// Page-table occupancy pooled over *every* address space (all cores,
     /// all processes): per-level counters are summed, so the aggregate
     /// rate weights each table by its capacity. With the homogeneous
@@ -348,6 +418,39 @@ impl RunReport {
             self.mlp.walker_queued_walks.hash(&mut h);
             self.mlp.walker_queue_cycles.hash(&mut h);
         }
+        // The shared-LLC blocks are hashed only when their structure was
+        // enabled, for the same reason as the sched and MLP blocks:
+        // disabled reports predate the shared layer and their digests must
+        // not move when the (inert at l3_kb = 0) knobs or counters change.
+        let shared = |h: &mut ndp_types::FastHasher, tag: u8, s: &SharedLlcStats| {
+            tag.hash(h);
+            s.size_kb.hash(h);
+            s.ways.hash(h);
+            s.banks.hash(h);
+            s.units.hash(h);
+            s.policy.hash(h);
+            hm(h, &s.data);
+            hm(h, &s.metadata);
+            s.data_evicted_by_metadata.hash(h);
+            s.writebacks.hash(h);
+            s.writebacks_absorbed.hash(h);
+            s.bank_conflicts.hash(h);
+            s.bank_conflict_cycles.hash(h);
+            s.back_invalidations.hash(h);
+            s.mshr_coalesced.hash(h);
+            s.mshr_full_stalls.hash(h);
+            for (asid, lines) in &s.occupancy_by_asid {
+                asid.hash(h);
+                lines.hash(h);
+            }
+            s.live_lines.hash(h);
+        };
+        if let Some(l3) = &self.l3 {
+            shared(&mut h, 0x13, l3);
+        }
+        if let Some(vault) = &self.vault {
+            shared(&mut h, 0x14, vault);
+        }
         self.table_bytes.hash(&mut h);
         h.finish()
     }
@@ -418,6 +521,30 @@ impl fmt::Display for RunReport {
                 self.mlp.walker_queue_delay()
             )?;
         }
+        let shared_line = |f: &mut fmt::Formatter<'_>, label: &str, s: &SharedLlcStats| {
+            write!(
+                f,
+                "\n  {label}: {}x {} KB {}w/{}b {}, data hit {:.2}%, meta hit {:.2}%, \
+                 {} bank conflicts ({:.1} cyc avg), {} back-invals, {} lines live",
+                s.units,
+                s.size_kb,
+                s.ways,
+                s.banks,
+                s.policy,
+                s.data.hit_rate() * 100.0,
+                s.metadata.hit_rate() * 100.0,
+                s.bank_conflicts,
+                s.bank_conflict_delay(),
+                s.back_invalidations,
+                s.live_lines
+            )
+        };
+        if let Some(l3) = &self.l3 {
+            shared_line(f, "l3", l3)?;
+        }
+        if let Some(vault) = &self.vault {
+            shared_line(f, "vault", vault)?;
+        }
         Ok(())
     }
 }
@@ -466,6 +593,8 @@ mod tests {
             sched: SchedStats::default(),
             mlp_window: 1,
             mlp: MlpStats::default(),
+            l3: None,
+            vault: None,
             occupancy: OccupancyReport::new(),
             table_bytes: 4096,
         }
@@ -593,6 +722,72 @@ mod tests {
         assert!(!r.to_string().contains("mlp:"));
         r.mlp_window = 8;
         assert!(r.to_string().contains("mlp: window 8"));
+    }
+
+    fn dummy_llc() -> SharedLlcStats {
+        SharedLlcStats {
+            size_kb: 2048,
+            ways: 16,
+            banks: 8,
+            units: 1,
+            policy: "inclusive",
+            data: HitMiss {
+                hits: 10,
+                misses: 90,
+            },
+            metadata: HitMiss { hits: 5, misses: 5 },
+            data_evicted_by_metadata: 2,
+            writebacks: 3,
+            writebacks_absorbed: 1,
+            bank_conflicts: 4,
+            bank_conflict_cycles: 8,
+            back_invalidations: 2,
+            mshr_coalesced: 1,
+            mshr_full_stalls: 0,
+            occupancy_by_asid: vec![(0, 60), (1, 40)],
+            live_lines: 100,
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_llc_when_absent_but_not_when_present() {
+        // A disabled shared layer must not perturb pre-shared digests.
+        assert_eq!(dummy(1000).fingerprint(), dummy(1000).fingerprint());
+
+        let mut with_l3 = dummy(1000);
+        with_l3.l3 = Some(dummy_llc());
+        let base = with_l3.fingerprint();
+        assert_ne!(base, dummy(1000).fingerprint(), "l3 block is hashed");
+        let mut tweaked = with_l3.clone();
+        tweaked.l3.as_mut().unwrap().bank_conflicts += 1;
+        assert_ne!(base, tweaked.fingerprint(), "l3 counters are hashed");
+        let mut tweaked = with_l3.clone();
+        tweaked.l3.as_mut().unwrap().occupancy_by_asid[0].1 += 1;
+        assert_ne!(base, tweaked.fingerprint(), "occupancy is hashed");
+
+        // The vault block hashes with a distinct tag: the same stats as
+        // a vault must not collide with them as an L3.
+        let mut as_vault = dummy(1000);
+        as_vault.vault = Some(dummy_llc());
+        assert_ne!(base, as_vault.fingerprint());
+    }
+
+    #[test]
+    fn llc_derived_metrics_and_display() {
+        let s = dummy_llc();
+        assert_eq!(s.total().total(), 110);
+        assert!((s.bank_conflict_delay() - 2.0).abs() < 1e-12);
+        assert_eq!(SharedLlcStats::default().bank_conflict_delay(), 0.0);
+
+        let mut r = dummy(500);
+        assert!(!r.to_string().contains("l3:"));
+        assert!(!r.to_string().contains("vault:"));
+        r.l3 = Some(dummy_llc());
+        let text = r.to_string();
+        assert!(text.contains("l3: 1x 2048 KB 16w/8b inclusive"), "{text}");
+        assert!(text.contains("back-invals"));
+        r.vault = Some(dummy_llc());
+        assert!(r.to_string().contains("vault:"));
     }
 
     #[test]

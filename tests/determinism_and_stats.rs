@@ -169,6 +169,69 @@ fn parallel_sweep_is_bit_identical_to_serial() {
     assert_eq!(sweep[1].entries, 64);
 }
 
+/// The first configuration combining all three post-seed subsystems:
+/// shared last-level resources (banked L3 + vault buffers), the
+/// non-blocking pipeline (`--window 8`) and multiprogramming
+/// (`--procs 2`).
+fn combined_cfgs() -> Vec<SimConfig> {
+    let mut cfgs = Vec::new();
+    for (mechanism, workload, vault_kb, seed) in [
+        (Mechanism::Radix, WorkloadId::Rnd, 0, 21),
+        (Mechanism::NdPage, WorkloadId::Rnd, 128, 22),
+        (Mechanism::Radix, WorkloadId::Bfs, 128, 23),
+        (Mechanism::NdPage, WorkloadId::Bfs, 0, 24),
+    ] {
+        let mut c = SimConfig::quick(SystemKind::Ndp, 2, mechanism, workload)
+            .with_seed(seed)
+            .with_procs(2)
+            .with_quantum(1_000)
+            .with_l3(512)
+            .with_vault_buffer(vault_kb)
+            .with_window(8)
+            .with_mshrs(8);
+        c.warmup_ops = 1_000;
+        c.measure_ops = 3_000;
+        c.footprint_override = Some(256 << 20);
+        cfgs.push(c);
+    }
+    cfgs
+}
+
+#[test]
+fn parallel_driver_is_bit_identical_with_shared_llc_windowed_multiprogrammed() {
+    // Serial reference first: plain in-order loop.
+    let serial: Vec<u64> = combined_cfgs()
+        .into_iter()
+        .map(|c| Machine::new(c).run().fingerprint())
+        .collect();
+
+    // The driver fan-out path, then an explicitly 4-threaded run so the
+    // threaded schedule is exercised even on single-core CI hosts.
+    let driver: Vec<u64> = run_batch(combined_cfgs())
+        .into_iter()
+        .map(|r| r.fingerprint())
+        .collect();
+    assert_eq!(
+        serial, driver,
+        "run_batch must stay bit-identical with L3 + window 8 + 2 procs"
+    );
+    let threaded: Vec<u64> = par_map_threads(4, combined_cfgs(), |c| Machine::new(c).run())
+        .into_iter()
+        .map(|r| r.fingerprint())
+        .collect();
+    assert_eq!(serial, threaded, "4 worker threads, same bits, same order");
+
+    // The runs genuinely combined the three subsystems.
+    for report in run_batch(combined_cfgs()) {
+        assert_eq!(report.mlp_window, 8);
+        assert_eq!(report.procs_per_core, 2);
+        let l3 = report.l3.as_ref().expect("shared L3 enabled");
+        assert!(l3.total().total() > 0, "the L3 was exercised");
+        assert!(report.sched.context_switches > 0);
+        assert!(report.mlp.inflight_latency_cycles > 0);
+    }
+}
+
 #[test]
 fn ideal_reports_are_clean() {
     let r = Machine::new(SimConfig::quick(
