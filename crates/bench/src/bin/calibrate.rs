@@ -1,16 +1,41 @@
 //! Calibration scratchpad: prints the key shape metrics for a few
 //! workloads so model constants can be tuned against the paper's targets.
+//!
+//! ```text
+//! cargo run -p ndp-bench --release --bin calibrate -- \
+//!     [--footprint-mb MB] [--ops N] [--workloads RND,BFS,XS] [--jobs N]
+//! ```
+//!
+//! Flags share the validated parsers of `ndp_bench::cli` (the same
+//! helpers `ndpsim` and `figures` use), so a typo'd workload or a
+//! malformed number errors out instead of silently running defaults.
 
-use ndp_sim::experiment::{run, Scale};
+use ndp_bench::cli::{exit_on_err, install_jobs, parse_workload_list, Args};
+use ndp_sim::experiment::run;
 use ndp_sim::{SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let footprint_mb: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
-    let ops: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30_000);
-    let workloads = [WorkloadId::Rnd, WorkloadId::Bfs, WorkloadId::Xs];
+    let args = Args::from_env();
+    exit_on_err(install_jobs(&args));
+    exit_on_err(args.reject_unknown(
+        &["--footprint-mb", "--ops", "--workloads", "--jobs"],
+        &["--help"],
+    ));
+    if args.has("--help") {
+        eprintln!(
+            "usage: calibrate [--footprint-mb MB] [--ops N] \
+             [--workloads RND,BFS,XS] [--jobs N]"
+        );
+        return;
+    }
+    let footprint_mb = exit_on_err(args.num("--footprint-mb")).unwrap_or(2048);
+    let ops = exit_on_err(args.num("--ops")).unwrap_or(30_000);
+    let workloads = match args.get("--workloads") {
+        Some(list) => exit_on_err(parse_workload_list("--workloads", &list)),
+        None => vec![WorkloadId::Rnd, WorkloadId::Bfs, WorkloadId::Xs],
+    };
 
     println!("== footprint {footprint_mb} MB, {ops} ops/core ==");
     for w in workloads {
@@ -61,5 +86,4 @@ fn main() {
         }
         println!();
     }
-    let _ = Scale::Quick;
 }

@@ -1,14 +1,17 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run -p ndp-bench --release --bin figures -- [--quick] <what>...
+//! cargo run -p ndp-bench --release --bin figures -- [--quick] [--jobs N] <what>...
 //! ```
 //!
 //! `<what>` ∈ {table1, table2, fig4, fig5, fig6, fig7, fig8, pwc,
-//! fig12, fig13, fig14, ablation, all}. `--quick` uses small footprints
-//! and windows (seconds instead of minutes); EXPERIMENTS.md records the
-//! full-scale output.
+//! fig12, fig13, fig14, ablation, sweeps, all}. `--quick` uses small
+//! footprints and windows (seconds instead of minutes); EXPERIMENTS.md
+//! records the full-scale output. Every simulated table's header names
+//! the scale it was produced at. `--jobs N` caps the parallel driver's
+//! workers (wins over `NDP_THREADS`, exactly as in `ndpsim`).
 
+use ndp_bench::cli::{exit_on_err, install_jobs, Args};
 use ndp_bench::{pct, print_table, spd, AblationVariant};
 use ndp_sim::experiment::{
     geomean_speedups, miss_rate_figure, motivation_figures, occupancy_figure, run, scaling_figure,
@@ -20,20 +23,43 @@ use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
 
 fn main() {
-    // Fail fast (and cleanly) on a malformed NDP_THREADS rather than
-    // panicking once the first sweep fans out.
-    if let Err(e) = ndp_sim::parallel::env_thread_count() {
-        eprintln!("error: {e}");
-        std::process::exit(2);
+    // Fail fast (and cleanly) on a malformed NDP_THREADS or --jobs
+    // rather than panicking once the first sweep fans out; --jobs wins
+    // over the env var, consistently with ndpsim.
+    let args = Args::from_env();
+    exit_on_err(install_jobs(&args));
+    // A typo'd flag or figure name must error out, not silently run the
+    // wrong (possibly hours-long, full-scale) set.
+    exit_on_err(args.reject_unknown(&["--jobs"], &["--quick", "--help"]));
+    const WHATS: &[&str] = &[
+        "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "pwc", "fig12", "fig13",
+        "fig14", "ablation", "sweeps", "all",
+    ];
+    if args.has("--help") {
+        eprintln!(
+            "usage: figures [--quick] [--jobs N] <what>...\n<what>: {}",
+            WHATS.join(", ")
+        );
+        return;
     }
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.has("--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
+    let jobs_value = args.get("--jobs");
     let what: Vec<&str> = args
+        .raw()
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| !a.starts_with("--") && Some(*a) != jobs_value.as_ref())
         .map(String::as_str)
         .collect();
+    for w in &what {
+        if !WHATS.contains(w) {
+            eprintln!(
+                "error: unrecognized figure {w:?}; valid values: {}",
+                WHATS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     let what = if what.is_empty() { vec!["all"] } else { what };
     let all = what.contains(&"all");
 
@@ -85,7 +111,10 @@ fn sweeps(scale: Scale) {
         WorkloadId::Rnd,
     ));
 
-    println!("\n=== Extension: PWC-size sweep (RND, 4-core NDP) ===\n");
+    println!(
+        "\n=== Extension: PWC-size sweep (RND, 4-core NDP) [{} scale] ===\n",
+        scale.name()
+    );
     let rows: Vec<Vec<String>> = pwc_size_sweep(WorkloadId::Rnd, &[8, 16, 64, 256, 1024], &base)
         .iter()
         .map(|p| {
@@ -102,7 +131,10 @@ fn sweeps(scale: Scale) {
         &rows,
     );
 
-    println!("\n=== Extension: L2-TLB reach sweep (RND, 4-core NDP) ===\n");
+    println!(
+        "\n=== Extension: L2-TLB reach sweep (RND, 4-core NDP) [{} scale] ===\n",
+        scale.name()
+    );
     let rows: Vec<Vec<String>> = tlb_reach_sweep(WorkloadId::Rnd, &[384, 1536, 6144], &base)
         .iter()
         .map(|p| {
@@ -118,7 +150,10 @@ fn sweeps(scale: Scale) {
         &rows,
     );
 
-    println!("\n=== Extension: Huge Page TLB-fracturing ablation (RND, 1-core) ===\n");
+    println!(
+        "\n=== Extension: Huge Page TLB-fracturing ablation (RND, 1-core) [{} scale] ===\n",
+        scale.name()
+    );
     let ab = fracturing_ablation(WorkloadId::Rnd, &base);
     let rows = vec![
         vec![
@@ -134,7 +169,10 @@ fn sweeps(scale: Scale) {
     ];
     print_table(&["Huge Page TLB", "walk rate", "speedup vs Radix"], &rows);
 
-    println!("\n=== Extension: context-switch sweep (BFS, 2-core NDP, 2 procs/core) ===\n");
+    println!(
+        "\n=== Extension: context-switch sweep (BFS, 2-core NDP, 2 procs/core) [{} scale] ===\n",
+        scale.name()
+    );
     let rows: Vec<Vec<String>> = context_switch_sweep(WorkloadId::Bfs, &[2_000, 10_000], &base)
         .iter()
         .map(|p| {
@@ -160,7 +198,10 @@ fn sweeps(scale: Scale) {
         &rows,
     );
 
-    println!("\n=== Extension: MLP sweep (BFS, 4-core NDP, MSHRs = window) ===\n");
+    println!(
+        "\n=== Extension: MLP sweep (BFS, 4-core NDP, MSHRs = window) [{} scale] ===\n",
+        scale.name()
+    );
     let rows: Vec<Vec<String>> = mlp_sweep(WorkloadId::Bfs, &[1, 2, 4, 8, 16], &base)
         .iter()
         .map(|p| {
@@ -195,7 +236,8 @@ fn sweeps(scale: Scale) {
 
     println!(
         "\n=== Extension: shared-LLC interference sweep \
-         (RND, 2-core NDP, 2 procs/core) ===\n"
+         (RND, 2-core NDP, 2 procs/core) [{} scale] ===\n",
+        scale.name()
     );
     let rows: Vec<Vec<String>> = shared_llc_sweep(WorkloadId::Rnd, &[0, 256, 2048, 8192], &base)
         .iter()
@@ -280,8 +322,11 @@ fn table2() {
 }
 
 fn fig4_fig5(scale: Scale, workloads: &[WorkloadId]) {
-    println!("\n=== Fig 4: avg PTW latency, 4-core Radix (NDP vs CPU) ===");
-    println!("=== Fig 5: address-translation share of runtime        ===\n");
+    println!(
+        "\n=== Fig 4: avg PTW latency, 4-core Radix (NDP vs CPU) [{} scale] ===",
+        scale.name()
+    );
+    println!("=== Fig 5: address-translation share of runtime ===\n");
     let rows_data = motivation_figures(scale, workloads);
     let mut rows = Vec::new();
     let (mut ndp_ptw, mut cpu_ptw, mut ndp_fr, mut cpu_fr) = (vec![], vec![], vec![], vec![]);
@@ -328,7 +373,10 @@ fn fig4_fig5(scale: Scale, workloads: &[WorkloadId]) {
 }
 
 fn fig6(scale: Scale, workloads: &[WorkloadId]) {
-    println!("\n=== Fig 6: scaling with core count (Radix) ===\n");
+    println!(
+        "\n=== Fig 6: scaling with core count (Radix) [{} scale] ===\n",
+        scale.name()
+    );
     let rows_data = scaling_figure(scale, workloads, &[1, 4, 8]);
     let rows: Vec<Vec<String>> = rows_data
         .iter()
@@ -349,7 +397,10 @@ fn fig6(scale: Scale, workloads: &[WorkloadId]) {
 }
 
 fn fig7(scale: Scale, workloads: &[WorkloadId]) {
-    println!("\n=== Fig 7: L1 miss rates, 4-core NDP ===\n");
+    println!(
+        "\n=== Fig 7: L1 miss rates, 4-core NDP [{} scale] ===\n",
+        scale.name()
+    );
     let data = miss_rate_figure(scale, workloads);
     let mut rows = Vec::new();
     let (mut i, mut a, mut m) = (vec![], vec![], vec![]);
@@ -383,7 +434,10 @@ fn fig7(scale: Scale, workloads: &[WorkloadId]) {
 }
 
 fn fig8(scale: Scale, workloads: &[WorkloadId]) {
-    println!("\n=== Fig 8: radix page-table occupancy ===\n");
+    println!(
+        "\n=== Fig 8: radix page-table occupancy [{} scale] ===\n",
+        scale.name()
+    );
     let data = occupancy_figure(scale, workloads);
     let mut rows = Vec::new();
     let (mut p1, mut p2, mut p3, mut pc) = (vec![], vec![], vec![], vec![]);
@@ -412,7 +466,10 @@ fn fig8(scale: Scale, workloads: &[WorkloadId]) {
 }
 
 fn pwc(scale: Scale) {
-    println!("\n=== §V-C: page-walk-cache hit rates (4-core NDP, Radix) ===\n");
+    println!(
+        "\n=== §V-C: page-walk-cache hit rates (4-core NDP, Radix) [{} scale] ===\n",
+        scale.name()
+    );
     let workloads = [
         WorkloadId::Bfs,
         WorkloadId::Rnd,
@@ -438,7 +495,10 @@ fn pwc(scale: Scale) {
 }
 
 fn speedups(label: &str, cores: u32, scale: Scale, workloads: &[WorkloadId]) {
-    println!("\n=== {label}: speedup over Radix, {cores}-core NDP ===\n");
+    println!(
+        "\n=== {label}: speedup over Radix, {cores}-core NDP [{} scale] ===\n",
+        scale.name()
+    );
     let rows_data = speedup_figure(cores, scale, workloads);
     let mut rows = Vec::new();
     for row in &rows_data {
@@ -468,7 +528,10 @@ fn speedups(label: &str, cores: u32, scale: Scale, workloads: &[WorkloadId]) {
 }
 
 fn ablation(scale: Scale) {
-    println!("\n=== Ablation: NDPage's mechanisms in isolation (4-core NDP) ===\n");
+    println!(
+        "\n=== Ablation: NDPage's mechanisms in isolation (4-core NDP) [{} scale] ===\n",
+        scale.name()
+    );
     let workloads = [WorkloadId::Bfs, WorkloadId::Rnd, WorkloadId::Xs];
     let mut rows = Vec::new();
     for w in workloads {

@@ -1,82 +1,51 @@
-//! `ndpsim` — run one simulation with explicit knobs and print the full
-//! report (including the PTW latency histogram and PWC profile).
+//! `ndpsim` — run one simulation, a declarative sweep, or the fixed
+//! benchmark.
+//!
+//! **Single run** (every flag is generated from the knob registry in
+//! `ndp_sim::spec::KNOBS` — `--help` prints the full table):
 //!
 //! ```text
 //! cargo run -p ndp-bench --release --bin ndpsim -- \
 //!     --workload BFS --mechanism ndpage --system ndp --cores 4 \
-//!     [--footprint-mb 2048] [--ops 50000] [--warmup 20000] [--seed 7] \
-//!     [--pwc-entries 64] [--tlb-l2 1536] [--no-fracture] \
-//!     [--window 8] [--mshrs 8] [--walkers 1]
+//!     [--window 8] [--l3-kb 2048] [--set knob=value]... [--jobs N] ...
 //! ```
 //!
-//! `--window` sets the per-core issue window (1 = the blocking core; more
-//! overlaps independent memory ops) and implies matching MSHRs unless
-//! `--mshrs` narrows the miss file; `--walkers` sets the hardware
-//! page-table walkers concurrent walks queue for.
-//!
-//! `--l3-kb` enables a shared banked L3 every core's private misses
-//! contend in (`--l3-ways`/`--l3-banks`/`--l3-policy` shape it; all
-//! inert while `--l3-kb` is absent), and `--vault-kb` adds a per-vault
-//! buffer in front of each memory channel. The defaults (both off) are
-//! cycle-identical to the pre-shared-LLC engine.
-//!
-//! The `bench` subcommand instead times a fixed end-to-end experiment
-//! sweep (the engine behind every figure) and writes the result as JSON,
-//! tracking the simulator's own throughput across PRs:
+//! **Declarative sweep**: expand a JSON spec's cross product and run it
+//! on the work-stealing driver, optionally with incremental JSONL
+//! output and resume:
 //!
 //! ```text
-//! # Baseline (seed hot path), then current, with the speedup computed:
+//! cargo run -p ndp-bench --release --bin ndpsim -- \
+//!     sweep --spec experiments.json --set cores=2 \
+//!           --out rows.jsonl --resume --jobs 8
+//! ```
+//!
+//! Each completed grid point is appended to the JSONL file in grid
+//! order as soon as every earlier point has retired; `--resume` skips
+//! points already on disk (matched by config fingerprint + grid index)
+//! and produces a file byte-for-byte identical to an uninterrupted run.
+//!
+//! **Benchmark** (`bench`): times the fixed end-to-end experiment sweep
+//! and writes JSON, tracking the simulator's own throughput across PRs:
+//!
+//! ```text
 //! cargo run --release --features legacy_hotpath -p ndp-bench --bin ndpsim -- \
 //!     bench --out BENCH_baseline.json
 //! cargo run --release -p ndp-bench --bin ndpsim -- \
 //!     bench --out BENCH_end_to_end.json --baseline BENCH_baseline.json
 //! ```
 
-use ndp_sim::config::InclusionPolicy;
+use ndp_bench::cli::{
+    config_from_args, exit_on_err, install_jobs, json_f64, json_str, json_u64, knob_help_table,
+    ndpsim_value_flags, Args, CliError, NDPSIM_BOOL_FLAGS,
+};
 use ndp_sim::experiment::run_batch;
+use ndp_sim::spec::{config_fingerprint, run_sweep, run_sweep_jsonl, SweepSpec};
 use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep, shared_llc_sweep};
 use ndp_sim::{Machine, SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
 use std::time::Instant;
-
-fn parse_mechanism(s: &str) -> Option<Mechanism> {
-    Mechanism::ALL.into_iter().find(|m| {
-        m.name()
-            .replace(' ', "")
-            .eq_ignore_ascii_case(&s.replace(['-', '_', ' '], ""))
-    })
-}
-
-fn parse_workload(s: &str) -> Option<WorkloadId> {
-    WorkloadId::ALL
-        .into_iter()
-        .find(|w| w.name().eq_ignore_ascii_case(s))
-}
-
-/// Exits with a message listing the valid spellings — an unrecognised
-/// value must never silently run some default configuration instead.
-fn die_unknown(flag: &str, got: &str, valid: &[String]) -> ! {
-    eprintln!(
-        "error: unrecognized {flag} {got:?}; valid values: {}",
-        valid.join(", ")
-    );
-    std::process::exit(2);
-}
-
-fn workload_names() -> Vec<String> {
-    WorkloadId::ALL
-        .iter()
-        .map(|w| w.name().to_string())
-        .collect()
-}
-
-fn mechanism_names() -> Vec<String> {
-    Mechanism::ALL
-        .iter()
-        .map(|m| m.name().replace(' ', "").to_lowercase())
-        .collect()
-}
 
 /// The fixed benchmark sweep: the Figs 12–14 engine (every mechanism on
 /// two contrasting workloads, 2 cores) plus a 3-point PWC-capacity sweep —
@@ -160,12 +129,13 @@ fn bench_mlp_pass() -> (u64, u64, f64, f64) {
     (sim_ops, digest, widest, blocking)
 }
 
-fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
-    let runs: usize = get("--runs")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3)
+fn run_bench(args: &Args) {
+    let runs: usize = exit_on_err(args.num("--runs"))
+        .map_or(3, |n| n as usize)
         .max(1);
-    let out = get("--out").unwrap_or_else(|| "BENCH_end_to_end.json".to_string());
+    let out = args
+        .get("--out")
+        .unwrap_or_else(|| "BENCH_end_to_end.json".to_string());
     let mode = if cfg!(feature = "legacy_hotpath") {
         "legacy"
     } else {
@@ -206,7 +176,7 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
     // omitted); a *named* baseline that cannot be read or parsed is an
     // error — silently dropping it would let the CI gates misfire with a
     // misleading "need --baseline" diagnosis.
-    let baseline = get("--baseline").map(|path| {
+    let baseline = args.get("--baseline").map(|path| {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             eprintln!("error: cannot read baseline {path:?}: {e}");
             std::process::exit(2);
@@ -299,7 +269,7 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
         // CI gates: the simulated results — blocking sweep and windowed
         // MLP sweep alike — must be bit-identical across hot-path modes,
         // and the overhaul's speedup must not regress.
-        if has("--check-digest") {
+        if args.has("--check-digest") {
             match base_digest {
                 Some(b) if b == digest => eprintln!("digest check: ok ({digest})"),
                 Some(b) => {
@@ -331,8 +301,11 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
                 None => eprintln!("llc digest check: skipped (baseline has none)"),
             }
         }
-        if let Some(floor) = get("--min-speedup") {
-            let floor: f64 = floor.unwrap_or_die("--min-speedup");
+        if let Some(floor) = args.get("--min-speedup") {
+            let floor: f64 = floor.parse().unwrap_or_else(|_| {
+                eprintln!("error: --min-speedup expects a number, got {floor:?}");
+                std::process::exit(2);
+            });
             let speedup = base_wall / best;
             if speedup < floor {
                 eprintln!("error: speedup {speedup:.3}x fell below the {floor:.3}x floor");
@@ -340,210 +313,124 @@ fn run_bench(get: impl Fn(&str) -> Option<String>, has: impl Fn(&str) -> bool) {
             }
             eprintln!("speedup floor check: ok ({speedup:.3}x >= {floor:.3}x)");
         }
-    } else if has("--check-digest") || get("--min-speedup").is_some() {
+    } else if args.has("--check-digest") || args.get("--min-speedup").is_some() {
         eprintln!("error: --check-digest/--min-speedup need --baseline");
         std::process::exit(2);
     }
 }
 
-/// Parse-or-exit helper for flag values.
-trait ParseOrDie {
-    fn unwrap_or_die(self, flag: &str) -> f64;
-}
-
-impl ParseOrDie for String {
-    fn unwrap_or_die(self, flag: &str) -> f64 {
-        self.parse().unwrap_or_else(|_| {
-            eprintln!("error: {flag} expects a number, got {self:?}");
-            std::process::exit(2);
-        })
-    }
-}
-
-/// Extracts `"key": <number>` from a flat JSON object (no serde in-tree).
-fn json_f64(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let rest = &text[text.find(&needle)? + needle.len()..];
-    let rest = rest.trim_start();
-    let end = rest
-        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Extracts `"key": <integer>` losslessly (digests exceed f64's 53-bit
-/// mantissa, so they must never round-trip through a float).
-fn json_u64(text: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\":");
-    let rest = &text[text.find(&needle)? + needle.len()..];
-    let rest = rest.trim_start();
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Extracts `"key": "<string>"` from a flat JSON object.
-fn json_str(text: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\":");
-    let rest = &text[text.find(&needle)? + needle.len()..];
-    let rest = rest.trim_start().strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
-}
-
-fn main() {
-    // Reject a malformed NDP_THREADS up front with a clean exit; the
-    // parallel driver would otherwise panic mid-run with the same message.
-    if let Err(e) = ndp_sim::parallel::env_thread_count() {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    }
-
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let get = |flag: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let has = |flag: &str| args.iter().any(|a| a == flag);
-
-    if args.first().map(String::as_str) == Some("bench") {
-        if has("--help") {
-            eprintln!(
-                "usage: ndpsim bench [--runs N] [--out FILE] [--baseline FILE] \\\n\
-                 \x20                   [--check-digest] [--min-speedup X]"
-            );
-            return;
-        }
-        run_bench(get, has);
-        return;
-    }
-
-    if has("--help") || args.is_empty() {
+/// `ndpsim sweep`: expand a JSON spec (plus `--set` overrides) and run
+/// the grid — in memory with a printed table, or incrementally to JSONL
+/// with `--out`/`--resume`.
+fn run_sweep_cmd(args: &Args) {
+    if args.has("--help") {
         eprintln!(
-            "usage: ndpsim --workload <BC|BFS|CC|GC|PR|TC|SP|XS|RND|DLRM|GEN> \\\n\
-             \x20             --mechanism <radix|ech|hugepage|ndpage|ideal> \\\n\
-             \x20             [--system ndp|cpu] [--cores N] [--footprint-mb MB] \\\n\
-             \x20             [--ops N] [--warmup N] [--seed S] [--pwc-entries N] \\\n\
-             \x20             [--tlb-l2 N] [--no-fracture] [--histogram] \\\n\
-             \x20             [--procs N] [--quantum OPS] [--switch-cost CYC] [--no-asid] \\\n\
-             \x20             [--window N] [--mshrs N] [--walkers N] \\\n\
-             \x20             [--l3-kb N] [--l3-ways N] [--l3-banks N] \\\n\
-             \x20             [--l3-policy inclusive|exclusive] [--vault-kb N]\n\
-             \x20      ndpsim bench [--runs N] [--out FILE] [--baseline FILE] \\\n\
-             \x20                   [--check-digest] [--min-speedup X]"
+            "usage: ndpsim sweep --spec FILE [--set knob=value]... [--out FILE.jsonl] \\\n\
+             \x20                  [--resume] [--jobs N] [--dry-run]\n\
+             \n\
+             spec JSON: {{\"name\": STR, \"base\": {{KNOB: VALUE, ...}},\n\
+             \x20           \"axes\": [{{\"knob\": NAME, \"values\": [V, ...]}} |\n\
+             \x20                    {{\"points\": [{{KNOB: V, ...}}, ...]}}, ...]}}\n\
+             \n\
+             The grid is the axes' cross product (first axis slowest), run on the\n\
+             work-stealing driver. --out appends completed rows in grid order as\n\
+             they retire; --resume reuses rows already on disk (matched by config\n\
+             fingerprint + grid index) and re-runs only the rest.\n\
+             {}",
+            knob_help_table()
         );
         return;
     }
-
-    // Flags may be omitted (defaults apply), but a *present* flag with an
-    // unrecognised value is an error, never a silent substitution.
-    let workload = get("--workload").map_or(WorkloadId::Bfs, |s| {
-        parse_workload(&s).unwrap_or_else(|| die_unknown("--workload", &s, &workload_names()))
+    exit_on_err(args.reject_unknown(
+        &["--spec", "--set", "--out", "--jobs"],
+        &["sweep", "--resume", "--dry-run", "--help"],
+    ));
+    let spec_path = exit_on_err(
+        args.get("--spec")
+            .ok_or_else(|| CliError::usage("error: sweep needs --spec FILE (see sweep --help)")),
+    );
+    let text = std::fs::read_to_string(&spec_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read spec {spec_path:?}: {e}");
+        std::process::exit(2);
     });
-    let mechanism = get("--mechanism").map_or(Mechanism::NdPage, |s| {
-        parse_mechanism(&s).unwrap_or_else(|| die_unknown("--mechanism", &s, &mechanism_names()))
+    let mut spec = SweepSpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: spec {spec_path:?}: {e}");
+        std::process::exit(2);
     });
-    let system = match get("--system").as_deref() {
-        None | Some("ndp") => SystemKind::Ndp,
-        Some("cpu") => SystemKind::Cpu,
-        Some(other) => die_unknown("--system", other, &["ndp".into(), "cpu".into()]),
-    };
-    // Numeric flags follow the same contract: absent applies the default,
-    // present-but-unparseable is an error.
-    let num = |flag: &str| -> Option<u64> {
-        get(flag).map(|s| {
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("error: {flag} expects a non-negative integer, got {s:?}");
-                std::process::exit(2);
-            })
-        })
-    };
-    // ... and out-of-range is an error too, never a silent wrap.
-    let num_u32 = |flag: &str| -> Option<u32> {
-        num(flag).map(|n| {
-            u32::try_from(n).unwrap_or_else(|_| {
-                eprintln!("error: {flag} value {n} exceeds {}", u32::MAX);
-                std::process::exit(2);
-            })
-        })
-    };
-    let cores: u32 = num_u32("--cores").unwrap_or(1);
+    exit_on_err(ndp_bench::cli::apply_sets(&mut spec.base, args));
 
-    let mut cfg = SimConfig::new(system, cores, mechanism, workload);
-    if let Some(procs) = num_u32("--procs") {
-        cfg.procs_per_core = procs;
-    }
-    if let Some(quantum) = num("--quantum") {
-        cfg.context_switch_quantum_ops = quantum;
-    }
-    if let Some(cost) = num("--switch-cost") {
-        cfg.context_switch_cost = ndp_types::Cycles::new(cost);
-    }
-    if has("--no-asid") {
-        cfg.tlb_tagging = false;
-    }
-    if let Some(window) = num_u32("--window") {
-        cfg.mlp_window = window;
-        // A wider window usually wants matching MSHRs; default to that
-        // unless --mshrs overrides below.
-        cfg.mshrs_per_core = window.max(1);
-    }
-    if let Some(mshrs) = num_u32("--mshrs") {
-        cfg.mshrs_per_core = mshrs;
-    }
-    if let Some(walkers) = num_u32("--walkers") {
-        cfg.walkers_per_core = walkers;
-    }
-    if let Some(kb) = num_u32("--l3-kb") {
-        cfg.l3_kb = kb;
-    }
-    if let Some(ways) = num_u32("--l3-ways") {
-        cfg.l3_ways = ways;
-    }
-    if let Some(banks) = num_u32("--l3-banks") {
-        cfg.l3_banks = banks;
-    }
-    if let Some(policy) = get("--l3-policy") {
-        cfg.l3_policy = InclusionPolicy::parse(&policy).unwrap_or_else(|| {
-            let valid: Vec<String> = InclusionPolicy::ALL
-                .iter()
-                .map(|p| p.name().to_string())
-                .collect();
-            die_unknown("--l3-policy", &policy, &valid)
+    if args.has("--dry-run") {
+        let grid = spec.expand().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         });
-    }
-    if let Some(kb) = num_u32("--vault-kb") {
-        cfg.vault_buffer_kb = kb;
-    }
-    if let Some(mb) = num("--footprint-mb") {
-        cfg.footprint_override = Some(mb << 20);
-    } else {
-        cfg.footprint_override = Some(1 << 30); // CLI default: fast
-    }
-    if let Some(ops) = num("--ops") {
-        cfg.measure_ops = ops;
-    } else {
-        cfg.measure_ops = 30_000;
-    }
-    cfg.warmup_ops = num("--warmup").unwrap_or(cfg.measure_ops / 3);
-    if let Some(seed) = num("--seed") {
-        cfg.seed = seed;
-    }
-    if let Some(entries) = num("--pwc-entries") {
-        cfg.pwc_entries = Some(entries as usize);
-    }
-    if let Some(entries) = num_u32("--tlb-l2") {
-        cfg.tlb_l2_entries = Some(entries);
-    }
-    if has("--no-fracture") {
-        cfg.tlb_fracture_huge = Some(false);
+        println!("sweep {}: {} grid points", spec.name, grid.len());
+        for p in &grid {
+            let coords: Vec<String> = p.coords.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!(
+                "  [{:>3}] {}  cfg {}",
+                p.index,
+                coords.join(", "),
+                config_fingerprint(&p.config)
+            );
+        }
+        return;
     }
 
-    if let Err(e) = cfg.validate() {
-        eprintln!("{e}");
-        std::process::exit(1);
+    if let Some(out) = args.get("--out") {
+        let summary = run_sweep_jsonl(&spec, std::path::Path::new(&out), args.has("--resume"))
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "sweep {}: {} grid points, {} executed, {} reused -> {}",
+            spec.name, summary.grid, summary.executed, summary.reused, out
+        );
+        println!("sweep digest: {}", summary.digest);
+    } else {
+        if args.has("--resume") {
+            eprintln!("error: --resume needs --out FILE.jsonl");
+            std::process::exit(2);
+        }
+        let result = run_sweep(&spec).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        println!("sweep {}: {} grid points", result.name, result.rows.len());
+        for row in &result.rows {
+            let coords: Vec<String> = row.coords.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!(
+                "  [{:>3}] {}  cycles {}  cyc/op {:.1}",
+                row.index,
+                coords.join(", "),
+                row.report.total_cycles.as_u64(),
+                row.report.cpo()
+            );
+        }
+        println!("sweep digest: {}", result.digest());
     }
+}
+
+fn run_single(args: &Args) {
+    if args.has("--help") || args.raw().is_empty() {
+        eprintln!(
+            "usage: ndpsim [flags]        run one simulation (flags below)\n\
+             \x20      ndpsim sweep ...    declarative spec sweep (sweep --help)\n\
+             \x20      ndpsim bench [--runs N] [--out FILE] [--baseline FILE] \\\n\
+             \x20                   [--check-digest] [--min-speedup X] [--jobs N]\n\
+             \n\
+             Each run flag sets the registered knob of the same row; `--set\n\
+             knob=value` (repeatable, applied last) reaches every knob, flagged\n\
+             or not. --jobs N caps the parallel driver's workers (wins over\n\
+             NDP_THREADS); --histogram prints the PTW latency histogram.\n\
+             {}",
+            knob_help_table()
+        );
+        return;
+    }
+    exit_on_err(args.reject_unknown(&ndpsim_value_flags(), NDPSIM_BOOL_FLAGS));
+    let cfg = exit_on_err(config_from_args(args));
 
     let report = Machine::new(cfg).run();
     println!("{report}\n");
@@ -557,7 +444,7 @@ fn main() {
         );
     }
 
-    if has("--histogram") && report.ptw_histogram.count() > 0 {
+    if args.has("--histogram") && report.ptw_histogram.count() > 0 {
         println!("\nPTW latency histogram (cycles):");
         let total = report.ptw_histogram.count() as f64;
         for (lower, count) in report.ptw_histogram.iter() {
@@ -573,5 +460,31 @@ fn main() {
             report.ptw_histogram.quantile(0.5),
             report.ptw_histogram.quantile(0.99)
         );
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    // Validate the parallelism knobs up front (a malformed NDP_THREADS or
+    // --jobs must exit cleanly, not panic mid-run); --jobs wins.
+    exit_on_err(install_jobs(&args));
+
+    match args.raw().first().map(String::as_str) {
+        Some("bench") => {
+            if args.has("--help") {
+                eprintln!(
+                    "usage: ndpsim bench [--runs N] [--out FILE] [--baseline FILE] \\\n\
+                     \x20                   [--check-digest] [--min-speedup X] [--jobs N]"
+                );
+                return;
+            }
+            exit_on_err(args.reject_unknown(
+                &["--runs", "--out", "--baseline", "--min-speedup", "--jobs"],
+                &["bench", "--check-digest", "--help"],
+            ));
+            run_bench(&args);
+        }
+        Some("sweep") => run_sweep_cmd(&args),
+        _ => run_single(&args),
     }
 }

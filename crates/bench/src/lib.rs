@@ -11,6 +11,8 @@
 //!
 //! The formatting helpers here are shared by both.
 
+pub mod cli;
+
 use ndp_sim::report::RunReport;
 use ndp_sim::{SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;

@@ -205,6 +205,26 @@ impl SimConfig {
         }
     }
 
+    /// The configuration a flag-less `ndpsim` invocation runs — and the
+    /// base every JSON [`crate::spec::SweepSpec`] starts from: a 1-core
+    /// NDP NDPage/BFS run with a fast 1 GB footprint and a 30 k-op
+    /// measured window. Keeping the two entry points on one base is what
+    /// lets `ndpsim sweep --spec`/`--set` reproduce any configuration
+    /// the flags can express (round-tripped in `crates/bench/tests`).
+    #[must_use]
+    pub fn cli_default() -> Self {
+        let mut cfg = Self::new(
+            SystemKind::Ndp,
+            1,
+            Mechanism::NdPage,
+            ndp_workloads::WorkloadId::Bfs,
+        );
+        cfg.footprint_override = Some(1 << 30);
+        cfg.measure_ops = 30_000;
+        cfg.warmup_ops = 10_000;
+        cfg
+    }
+
     /// Whether this configuration runs the fully blocking core (no
     /// memory-level parallelism).
     #[must_use]

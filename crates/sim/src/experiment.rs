@@ -37,6 +37,16 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The scale's name, as printed in figure-table headers so output
+    /// always says which scale produced it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
     /// Applies this scale to a config.
     #[must_use]
     pub fn apply(self, mut cfg: SimConfig) -> SimConfig {

@@ -52,8 +52,10 @@ pub mod experiment;
 pub mod machine;
 pub mod parallel;
 pub mod report;
+pub mod spec;
 pub mod sweeps;
 
 pub use config::{SimConfig, SystemKind};
 pub use machine::Machine;
 pub use report::{FaultCounts, RunReport, SchedStats};
+pub use spec::{run_sweep, run_sweep_jsonl, SweepResult, SweepSpec};

@@ -1,0 +1,1813 @@
+//! Declarative experiment specs: one knob registry, one sweep engine.
+//!
+//! Historically every sweep was a bespoke struct + hand-rolled grid loop,
+//! and `ndpsim` re-implemented ~30 `--flag` parsers that had to be kept
+//! in sync with [`SimConfig`] by hand. This module replaces all of that
+//! with three pieces:
+//!
+//! * **[`KNOBS`]** — a registry with one entry per [`SimConfig`]
+//!   parameter, carrying the canonical knob name, the `ndpsim` CLI flag
+//!   (if any), help text, and `apply`/`get` functions. It is the single
+//!   source of truth consumed by `ndpsim` flag parsing, spec files and
+//!   [`config_fingerprint`]; unknown-knob errors and `--help` text
+//!   derive from the same table.
+//! * **[`SweepSpec`]** — a base [`SimConfig`] plus [`Axis`] lists whose
+//!   cross product [`SweepSpec::expand`]s into a deterministic,
+//!   seed-stable grid of configs (row-major: the first axis varies
+//!   slowest, the last fastest — matching the legacy sweeps' nesting).
+//!   Axes are either one knob × values, or *paired* points that set
+//!   several knobs together (e.g. `mlp_window` with matching
+//!   `mshrs_per_core`). Specs load from JSON ([`SweepSpec::from_json`]).
+//! * **[`run_sweep`]** — the one generic engine: expands the grid, fans
+//!   the configs out over the work-stealing parallel driver
+//!   ([`crate::parallel`]), and returns a [`SweepResult`] with
+//!   paired-row grouping and geomean helpers. [`run_sweep_jsonl`] is the
+//!   same engine with **incremental JSONL output**: each completed grid
+//!   point is appended (in grid order) as soon as every earlier point
+//!   has retired, and `resume` skips points whose config fingerprint is
+//!   already on disk — an interrupted sweep resumed produces a file
+//!   byte-for-byte equal to an uninterrupted run.
+//!
+//! The legacy sweep functions in [`crate::sweeps`] are thin wrappers
+//! that build a spec and project typed rows; their outputs are
+//! bit-identical to the hand-rolled loops they replaced (asserted by
+//! `tests/spec_api.rs`).
+
+use crate::config::{InclusionPolicy, SimConfig, SystemKind};
+use crate::machine::Machine;
+use crate::parallel::{par_map, par_map_sink};
+use crate::report::RunReport;
+use ndp_types::stats::geomean;
+use ndp_types::Cycles;
+use ndp_workloads::WorkloadId;
+use ndpage::bypass::BypassPolicy;
+use ndpage::Mechanism;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Error from spec parsing, knob application or sweep execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------------
+// Canonical name parsers (shared by the registry and the CLI layer).
+// ---------------------------------------------------------------------------
+
+/// Parses a mechanism name, tolerating case and `-`/`_`/space
+/// (`"huge-page"`, `"NDPage"`, `"radix"` all resolve).
+#[must_use]
+pub fn parse_mechanism(s: &str) -> Option<Mechanism> {
+    Mechanism::ALL.into_iter().find(|m| {
+        m.name()
+            .replace(' ', "")
+            .eq_ignore_ascii_case(&s.replace(['-', '_', ' '], ""))
+    })
+}
+
+/// Parses a workload name (case-insensitive Table II short name).
+#[must_use]
+pub fn parse_workload(s: &str) -> Option<WorkloadId> {
+    WorkloadId::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(s))
+}
+
+/// Canonical (lower-case, space-stripped) mechanism value names.
+#[must_use]
+pub fn mechanism_names() -> Vec<String> {
+    Mechanism::ALL
+        .iter()
+        .map(|m| m.name().replace(' ', "").to_lowercase())
+        .collect()
+}
+
+/// Canonical workload value names.
+#[must_use]
+pub fn workload_names() -> Vec<String> {
+    WorkloadId::ALL
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect()
+}
+
+fn unrecognized(got: &str, valid: &[String]) -> String {
+    format!(
+        "unrecognized value {got:?}; valid values: {}",
+        valid.join(", ")
+    )
+}
+
+fn p_system(s: &str) -> Result<SystemKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "ndp" => Ok(SystemKind::Ndp),
+        "cpu" => Ok(SystemKind::Cpu),
+        _ => Err(unrecognized(s, &["ndp".into(), "cpu".into()])),
+    }
+}
+
+fn p_mechanism(s: &str) -> Result<Mechanism, String> {
+    parse_mechanism(s).ok_or_else(|| unrecognized(s, &mechanism_names()))
+}
+
+fn p_workload(s: &str) -> Result<WorkloadId, String> {
+    parse_workload(s).ok_or_else(|| unrecognized(s, &workload_names()))
+}
+
+fn p_policy(s: &str) -> Result<InclusionPolicy, String> {
+    InclusionPolicy::parse(s).ok_or_else(|| {
+        let valid: Vec<String> = InclusionPolicy::ALL
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        unrecognized(s, &valid)
+    })
+}
+
+fn p_u64(s: &str) -> Result<u64, String> {
+    s.trim()
+        .parse()
+        .map_err(|_| format!("expects a non-negative integer, got {s:?}"))
+}
+
+fn p_u32(s: &str) -> Result<u32, String> {
+    let n = p_u64(s)?;
+    u32::try_from(n).map_err(|_| format!("value {n} exceeds {}", u32::MAX))
+}
+
+fn p_bool(s: &str) -> Result<bool, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "true" | "on" | "1" | "yes" => Ok(true),
+        "false" | "off" | "0" | "no" => Ok(false),
+        _ => Err(format!("expects true or false, got {s:?}")),
+    }
+}
+
+/// `"default"` clears an optional knob back to `None`.
+fn p_opt<T>(s: &str, f: impl Fn(&str) -> Result<T, String>) -> Result<Option<T>, String> {
+    if s.eq_ignore_ascii_case("default") {
+        Ok(None)
+    } else {
+        f(s).map(Some)
+    }
+}
+
+fn opt_str<T: fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "default".to_string(), |x| x.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// The knob registry.
+// ---------------------------------------------------------------------------
+
+/// One registered [`SimConfig`] parameter: the single source of truth for
+/// its spec-file name, `ndpsim` flag, help text, parsing and
+/// serialization.
+pub struct KnobDef {
+    /// Canonical knob name used in spec files and `--set` overrides
+    /// (matches the `SimConfig` field name).
+    pub name: &'static str,
+    /// The `ndpsim` CLI flag bound to this knob, if any.
+    pub flag: Option<&'static str>,
+    /// Multiplier applied to a numeric *flag* value before
+    /// [`Self::apply`] — `--footprint-mb` scales MiB to the knob's bytes.
+    /// Always 1 for direct knob values.
+    pub flag_scale: u64,
+    /// One-line help text (printed by `ndpsim --help` / `sweep --help`).
+    pub help: &'static str,
+    /// Parses `value` and stores it in the config. The error names the
+    /// constraint and echoes the offending value, but not the knob — the
+    /// caller prefixes the knob or flag name.
+    pub apply: fn(&mut SimConfig, &str) -> Result<(), String>,
+    /// Reads the knob's current value back as its canonical string —
+    /// `apply(get(cfg))` is an identity for every knob.
+    pub get: fn(&SimConfig) -> String,
+}
+
+impl fmt::Debug for KnobDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KnobDef")
+            .field("name", &self.name)
+            .field("flag", &self.flag)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Every [`SimConfig`] parameter, registered exactly once, in field
+/// order. Flag application order follows table order.
+pub static KNOBS: &[KnobDef] = &[
+    KnobDef {
+        name: "system",
+        flag: Some("--system"),
+        flag_scale: 1,
+        help: "Table I system flavour: ndp | cpu",
+        apply: |c, v| {
+            c.system = p_system(v)?;
+            Ok(())
+        },
+        get: |c| match c.system {
+            SystemKind::Ndp => "ndp".into(),
+            SystemKind::Cpu => "cpu".into(),
+        },
+    },
+    KnobDef {
+        name: "cores",
+        flag: Some("--cores"),
+        flag_scale: 1,
+        help: "core count (1..=64)",
+        apply: |c, v| {
+            c.cores = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.cores.to_string(),
+    },
+    KnobDef {
+        name: "mechanism",
+        flag: Some("--mechanism"),
+        flag_scale: 1,
+        help: "translation mechanism: radix | ech | hugepage | ndpage | ideal",
+        apply: |c, v| {
+            c.mechanism = p_mechanism(v)?;
+            Ok(())
+        },
+        get: |c| c.mechanism.name().replace(' ', "").to_lowercase(),
+    },
+    KnobDef {
+        name: "workload",
+        flag: Some("--workload"),
+        flag_scale: 1,
+        help: "Table II workload: BC|BFS|CC|GC|PR|TC|SP|XS|RND|DLRM|GEN",
+        apply: |c, v| {
+            c.workload = p_workload(v)?;
+            Ok(())
+        },
+        get: |c| c.workload.name().to_string(),
+    },
+    KnobDef {
+        name: "warmup_ops",
+        flag: Some("--warmup"),
+        flag_scale: 1,
+        help: "untimed warmup ops per core",
+        apply: |c, v| {
+            c.warmup_ops = p_u64(v)?;
+            Ok(())
+        },
+        get: |c| c.warmup_ops.to_string(),
+    },
+    KnobDef {
+        name: "measure_ops",
+        flag: Some("--ops"),
+        flag_scale: 1,
+        help: "measured ops per core",
+        apply: |c, v| {
+            c.measure_ops = p_u64(v)?;
+            Ok(())
+        },
+        get: |c| c.measure_ops.to_string(),
+    },
+    KnobDef {
+        name: "footprint_divisor",
+        flag: None,
+        flag_scale: 1,
+        help: "per-core footprint = Table II size / divisor",
+        apply: |c, v| {
+            c.footprint_divisor = p_u64(v)?;
+            Ok(())
+        },
+        get: |c| c.footprint_divisor.to_string(),
+    },
+    KnobDef {
+        name: "footprint",
+        flag: Some("--footprint-mb"),
+        flag_scale: 1 << 20,
+        help: "absolute per-core footprint in bytes, or 'default' (Table II / divisor); the flag takes MiB",
+        apply: |c, v| {
+            c.footprint_override = p_opt(v, p_u64)?;
+            Ok(())
+        },
+        get: |c| opt_str(c.footprint_override),
+    },
+    KnobDef {
+        name: "seed",
+        flag: Some("--seed"),
+        flag_scale: 1,
+        help: "base RNG seed (core i uses seed + i)",
+        apply: |c, v| {
+            c.seed = p_u64(v)?;
+            Ok(())
+        },
+        get: |c| c.seed.to_string(),
+    },
+    KnobDef {
+        name: "fault_minor_4k",
+        flag: None,
+        flag_scale: 1,
+        help: "OS cycles per 4 KB minor fault",
+        apply: |c, v| {
+            c.fault_minor_4k = Cycles::new(p_u64(v)?);
+            Ok(())
+        },
+        get: |c| c.fault_minor_4k.as_u64().to_string(),
+    },
+    KnobDef {
+        name: "fault_minor_2m",
+        flag: None,
+        flag_scale: 1,
+        help: "OS cycles per 2 MB minor fault",
+        apply: |c, v| {
+            c.fault_minor_2m = Cycles::new(p_u64(v)?);
+            Ok(())
+        },
+        get: |c| c.fault_minor_2m.as_u64().to_string(),
+    },
+    KnobDef {
+        name: "fault_fallback",
+        flag: None,
+        flag_scale: 1,
+        help: "OS cycles per failed-THP fallback fault",
+        apply: |c, v| {
+            c.fault_fallback = Cycles::new(p_u64(v)?);
+            Ok(())
+        },
+        get: |c| c.fault_fallback.as_u64().to_string(),
+    },
+    KnobDef {
+        name: "rehash_entry_cost",
+        flag: None,
+        flag_scale: 1,
+        help: "OS cycles per PTE moved by an elastic-cuckoo rehash",
+        apply: |c, v| {
+            c.rehash_entry_cost = Cycles::new(p_u64(v)?);
+            Ok(())
+        },
+        get: |c| c.rehash_entry_cost.as_u64().to_string(),
+    },
+    KnobDef {
+        name: "pwc",
+        flag: None,
+        flag_scale: 1,
+        help: "page-walk caches: default (per mechanism) | on | off",
+        apply: |c, v| {
+            c.pwc_override = p_opt(v, p_bool)?;
+            Ok(())
+        },
+        get: |c| match c.pwc_override {
+            None => "default".into(),
+            Some(true) => "on".into(),
+            Some(false) => "off".into(),
+        },
+    },
+    KnobDef {
+        name: "bypass",
+        flag: None,
+        flag_scale: 1,
+        help: "L1 bypass policy: default (per mechanism) | none | metadata-l1",
+        apply: |c, v| {
+            c.bypass_override = match v.to_ascii_lowercase().as_str() {
+                "default" => None,
+                "none" => Some(BypassPolicy::None),
+                "metadata-l1" => Some(BypassPolicy::MetadataL1Bypass),
+                _ => {
+                    return Err(unrecognized(
+                        v,
+                        &["default".into(), "none".into(), "metadata-l1".into()],
+                    ))
+                }
+            };
+            Ok(())
+        },
+        get: |c| match c.bypass_override {
+            None => "default".into(),
+            Some(BypassPolicy::None) => "none".into(),
+            Some(BypassPolicy::MetadataL1Bypass) => "metadata-l1".into(),
+        },
+    },
+    KnobDef {
+        name: "memory_capacity",
+        flag: None,
+        flag_scale: 1,
+        help: "physical-memory bytes, or 'default' (Table I 16 GB)",
+        apply: |c, v| {
+            c.memory_capacity_override = p_opt(v, p_u64)?;
+            Ok(())
+        },
+        get: |c| opt_str(c.memory_capacity_override),
+    },
+    KnobDef {
+        name: "pwc_entries",
+        flag: Some("--pwc-entries"),
+        flag_scale: 1,
+        help: "entries per PWC level, or 'default' (64)",
+        apply: |c, v| {
+            c.pwc_entries = p_opt(v, |s| p_u64(s).map(|n| n as usize))?;
+            Ok(())
+        },
+        get: |c| opt_str(c.pwc_entries),
+    },
+    KnobDef {
+        name: "tlb_l2_entries",
+        flag: Some("--tlb-l2"),
+        flag_scale: 1,
+        help: "L2 TLB entries (12-way power-of-two sets), or 'default' (1536)",
+        apply: |c, v| {
+            c.tlb_l2_entries = p_opt(v, p_u32)?;
+            Ok(())
+        },
+        get: |c| opt_str(c.tlb_l2_entries),
+    },
+    KnobDef {
+        name: "tlb_fracture_huge",
+        flag: None,
+        flag_scale: 1,
+        help: "fracture 2 MB TLB entries: default (fractured) | true | false",
+        apply: |c, v| {
+            c.tlb_fracture_huge = p_opt(v, p_bool)?;
+            Ok(())
+        },
+        get: |c| opt_str(c.tlb_fracture_huge),
+    },
+    KnobDef {
+        name: "compaction_tax",
+        flag: None,
+        flag_scale: 1,
+        help: "compaction-interference cycles per period, scaled by THP pressure",
+        apply: |c, v| {
+            c.compaction_tax = Cycles::new(p_u64(v)?);
+            Ok(())
+        },
+        get: |c| c.compaction_tax.as_u64().to_string(),
+    },
+    KnobDef {
+        name: "procs_per_core",
+        flag: Some("--procs"),
+        flag_scale: 1,
+        help: "multiprogrammed processes per core (1 = paper setup)",
+        apply: |c, v| {
+            c.procs_per_core = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.procs_per_core.to_string(),
+    },
+    KnobDef {
+        name: "context_switch_quantum_ops",
+        flag: Some("--quantum"),
+        flag_scale: 1,
+        help: "ops per scheduling timeslice",
+        apply: |c, v| {
+            c.context_switch_quantum_ops = p_u64(v)?;
+            Ok(())
+        },
+        get: |c| c.context_switch_quantum_ops.to_string(),
+    },
+    KnobDef {
+        name: "context_switch_cost",
+        flag: Some("--switch-cost"),
+        flag_scale: 1,
+        help: "OS cycles charged per context switch",
+        apply: |c, v| {
+            c.context_switch_cost = Cycles::new(p_u64(v)?);
+            Ok(())
+        },
+        get: |c| c.context_switch_cost.as_u64().to_string(),
+    },
+    KnobDef {
+        name: "tlb_tagging",
+        flag: None,
+        flag_scale: 1,
+        help: "ASID-tagged TLBs/PWCs: true | false (false = full flush per switch; ndpsim: --no-asid)",
+        apply: |c, v| {
+            c.tlb_tagging = p_bool(v)?;
+            Ok(())
+        },
+        get: |c| c.tlb_tagging.to_string(),
+    },
+    KnobDef {
+        name: "mlp_window",
+        flag: Some("--window"),
+        flag_scale: 1,
+        help: "per-core issue window (1 = blocking core)",
+        apply: |c, v| {
+            c.mlp_window = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.mlp_window.to_string(),
+    },
+    KnobDef {
+        name: "mshrs_per_core",
+        flag: Some("--mshrs"),
+        flag_scale: 1,
+        help: "miss-status holding registers per core",
+        apply: |c, v| {
+            c.mshrs_per_core = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.mshrs_per_core.to_string(),
+    },
+    KnobDef {
+        name: "walkers_per_core",
+        flag: Some("--walkers"),
+        flag_scale: 1,
+        help: "hardware page-table walkers per core",
+        apply: |c, v| {
+            c.walkers_per_core = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.walkers_per_core.to_string(),
+    },
+    KnobDef {
+        name: "l3_kb",
+        flag: Some("--l3-kb"),
+        flag_scale: 1,
+        help: "shared banked L3 capacity in KB (0 = off)",
+        apply: |c, v| {
+            c.l3_kb = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.l3_kb.to_string(),
+    },
+    KnobDef {
+        name: "l3_ways",
+        flag: Some("--l3-ways"),
+        flag_scale: 1,
+        help: "shared-L3 associativity (inert while l3_kb = 0)",
+        apply: |c, v| {
+            c.l3_ways = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.l3_ways.to_string(),
+    },
+    KnobDef {
+        name: "l3_banks",
+        flag: Some("--l3-banks"),
+        flag_scale: 1,
+        help: "shared-L3 bank count (inert while l3_kb = 0)",
+        apply: |c, v| {
+            c.l3_banks = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.l3_banks.to_string(),
+    },
+    KnobDef {
+        name: "l3_policy",
+        flag: Some("--l3-policy"),
+        flag_scale: 1,
+        help: "shared-L3 inclusion policy: inclusive | exclusive",
+        apply: |c, v| {
+            c.l3_policy = p_policy(v)?;
+            Ok(())
+        },
+        get: |c| c.l3_policy.name().to_string(),
+    },
+    KnobDef {
+        name: "vault_buffer_kb",
+        flag: Some("--vault-kb"),
+        flag_scale: 1,
+        help: "per-vault memory-side buffer in KB (0 = off)",
+        apply: |c, v| {
+            c.vault_buffer_kb = p_u32(v)?;
+            Ok(())
+        },
+        get: |c| c.vault_buffer_kb.to_string(),
+    },
+];
+
+/// Looks a knob up by canonical name.
+#[must_use]
+pub fn knob(name: &str) -> Option<&'static KnobDef> {
+    KNOBS.iter().find(|k| k.name == name)
+}
+
+/// Every registered knob name, in registry order.
+#[must_use]
+pub fn knob_names() -> Vec<String> {
+    KNOBS.iter().map(|k| k.name.to_string()).collect()
+}
+
+/// Applies `name = value` to a config.
+///
+/// # Errors
+///
+/// Unknown names error listing every valid knob; bad values error with
+/// the knob's constraint and the offending value.
+pub fn apply_knob(cfg: &mut SimConfig, name: &str, value: &str) -> Result<(), SpecError> {
+    let k = knob(name).ok_or_else(|| {
+        SpecError::new(format!(
+            "unknown knob {name:?}; valid knobs: {}",
+            knob_names().join(", ")
+        ))
+    })?;
+    (k.apply)(cfg, value).map_err(|e| SpecError::new(format!("knob {name}: {e}")))
+}
+
+/// Serializes a config as its full `(knob, value)` list, in registry
+/// order. Applying the list to any config reproduces `cfg` exactly.
+#[must_use]
+pub fn config_knobs(cfg: &SimConfig) -> Vec<(&'static str, String)> {
+    KNOBS.iter().map(|k| (k.name, (k.get)(cfg))).collect()
+}
+
+/// A deterministic fingerprint of a configuration: the hash of every
+/// registered knob's canonical value. Stable across processes (fixed-seed
+/// [`ndp_types::FastHasher`]); the resume key of [`run_sweep_jsonl`].
+#[must_use]
+pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    use core::hash::{Hash, Hasher};
+    let mut h = ndp_types::FastHasher::default();
+    for k in KNOBS {
+        k.name.hash(&mut h);
+        (k.get)(cfg).hash(&mut h);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (the workspace deliberately vendors no serde).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their source text so 64-bit seeds
+/// and fingerprints never round-trip through an `f64`.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// Raw number text, e.g. `"4096"`.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key order is preserved — knob application order matters.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Coerces a scalar to the knob-value string it denotes.
+    fn scalar(&self) -> Option<String> {
+        match self {
+            Json::Num(s) => Some(s.clone()),
+            Json::Str(s) => Some(s.clone()),
+            Json::Bool(b) => Some(b.to_string()),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            b: text.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        // Accumulate raw bytes and convert once: byte-at-a-time
+        // `as char` would mangle multi-byte UTF-8 into mojibake.
+        let mut out = Vec::new();
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            self.i += 1;
+            match c {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| self.err("invalid UTF-8 in string"))
+                }
+                b'\\' => {
+                    let e = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.i += 1;
+                    out.push(match e {
+                        b'"' => b'"',
+                        b'\\' => b'\\',
+                        b'/' => b'/',
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'r' => b'\r',
+                        _ => return Err(self.err("unsupported escape")),
+                    });
+                }
+                _ => out.push(c),
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'n' => self.lit("null", Json::Null),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'[' => {
+                self.eat(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'{' => {
+                self.eat(b'{')?;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            c if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                while self.i < self.b.len()
+                    && matches!(
+                        self.b[self.i],
+                        b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'
+                    )
+                {
+                    self.i += 1;
+                }
+                Ok(Json::Num(
+                    std::str::from_utf8(&self.b[start..self.i])
+                        .map_err(|_| self.err("invalid number"))?
+                        .to_string(),
+                ))
+            }
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = JsonParser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec: base + axes -> deterministic grid.
+// ---------------------------------------------------------------------------
+
+/// The `(knob, value)` assignments identifying one grid point.
+pub type Coords = Vec<(String, String)>;
+
+/// One value of an [`Axis`]: the knob assignments applied together when
+/// the axis selects this point. Single-knob axes have one assignment per
+/// point; paired axes (e.g. `mlp_window` with matching `mshrs_per_core`)
+/// have several.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisPoint {
+    /// `(knob, value)` assignments, applied in order.
+    pub sets: Vec<(String, String)>,
+}
+
+/// One grid dimension of a [`SweepSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    /// The points this axis ranges over.
+    pub points: Vec<AxisPoint>,
+}
+
+/// A declarative sweep: a base configuration plus axes whose cross
+/// product forms the grid. Expansion is row-major — the **first axis
+/// varies slowest**, the last fastest — and deterministic.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Display name (JSONL metadata only; no semantic weight).
+    pub name: String,
+    /// The configuration every grid point starts from.
+    pub base: SimConfig,
+    /// Grid dimensions, slowest-varying first.
+    pub axes: Vec<Axis>,
+}
+
+impl SweepSpec {
+    /// A spec with no axes (a 1-point grid) over `base`.
+    #[must_use]
+    pub fn new(base: SimConfig) -> Self {
+        SweepSpec {
+            name: "sweep".to_string(),
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Sets the display name.
+    #[must_use]
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Appends a single-knob axis over `values`.
+    #[must_use]
+    pub fn axis<T: fmt::Display>(mut self, knob: &str, values: &[T]) -> Self {
+        self.axes.push(Axis {
+            points: values
+                .iter()
+                .map(|v| AxisPoint {
+                    sets: vec![(knob.to_string(), v.to_string())],
+                })
+                .collect(),
+        });
+        self
+    }
+
+    /// Appends a paired axis: each point sets several knobs together.
+    #[must_use]
+    pub fn paired_axis(mut self, points: Vec<Vec<(&str, String)>>) -> Self {
+        self.axes.push(Axis {
+            points: points
+                .into_iter()
+                .map(|sets| AxisPoint {
+                    sets: sets.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+                })
+                .collect(),
+        });
+        self
+    }
+
+    /// Grid size: the product of the axis lengths (1 with no axes).
+    #[must_use]
+    pub fn grid_len(&self) -> usize {
+        self.axes.iter().map(|a| a.points.len()).product()
+    }
+
+    /// Loads a spec from JSON. The base starts from
+    /// [`SimConfig::cli_default`] (the flag-less `ndpsim` configuration)
+    /// and applies the `"base"` object's knobs in order. Axes are either
+    /// `{"knob": NAME, "values": [..]}` or `{"points": [{KNOB: V, ..},
+    /// ..]}` (paired). Unknown keys and unknown knobs are errors.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, unknown keys/knobs, or bad knob values.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let root = parse_json(text).map_err(|e| SpecError::new(format!("spec JSON: {e}")))?;
+        let Json::Obj(fields) = root else {
+            return Err(SpecError::new("spec JSON: root must be an object"));
+        };
+        let mut spec = SweepSpec::new(SimConfig::cli_default());
+        for (key, val) in fields {
+            match key.as_str() {
+                "name" => {
+                    spec.name = val
+                        .scalar()
+                        .ok_or_else(|| SpecError::new("spec \"name\" must be a string"))?;
+                }
+                "base" => {
+                    let Json::Obj(knobs) = val else {
+                        return Err(SpecError::new("spec \"base\" must be an object"));
+                    };
+                    for (name, v) in knobs {
+                        let value = v.scalar().ok_or_else(|| {
+                            SpecError::new(format!("base knob {name:?} must be a scalar"))
+                        })?;
+                        apply_knob(&mut spec.base, &name, &value)?;
+                    }
+                }
+                "axes" => {
+                    let Json::Arr(axes) = val else {
+                        return Err(SpecError::new("spec \"axes\" must be an array"));
+                    };
+                    for axis in axes {
+                        spec.axes.push(Self::axis_from_json(axis)?);
+                    }
+                }
+                other => {
+                    return Err(SpecError::new(format!(
+                        "unknown spec key {other:?}; valid keys: name, base, axes"
+                    )));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    fn axis_from_json(axis: Json) -> Result<Axis, SpecError> {
+        let Json::Obj(fields) = axis else {
+            return Err(SpecError::new("each axis must be an object"));
+        };
+        let mut knob_name: Option<String> = None;
+        let mut values: Option<Vec<Json>> = None;
+        let mut points: Option<Vec<Json>> = None;
+        for (key, val) in fields {
+            match key.as_str() {
+                "knob" => {
+                    knob_name = Some(
+                        val.scalar()
+                            .ok_or_else(|| SpecError::new("axis \"knob\" must be a string"))?,
+                    );
+                }
+                "values" => {
+                    let Json::Arr(vs) = val else {
+                        return Err(SpecError::new("axis \"values\" must be an array"));
+                    };
+                    values = Some(vs);
+                }
+                "points" => {
+                    let Json::Arr(ps) = val else {
+                        return Err(SpecError::new("axis \"points\" must be an array"));
+                    };
+                    points = Some(ps);
+                }
+                other => {
+                    return Err(SpecError::new(format!(
+                        "unknown axis key {other:?}; valid keys: knob, values, points"
+                    )));
+                }
+            }
+        }
+        match (knob_name, values, points) {
+            (Some(name), Some(vs), None) => {
+                if knob(&name).is_none() {
+                    // Surface the unknown knob now, with the full list.
+                    apply_knob(&mut SimConfig::cli_default(), &name, "0")?;
+                }
+                if vs.is_empty() {
+                    return Err(SpecError::new(format!("axis {name:?} has no values")));
+                }
+                Ok(Axis {
+                    points: vs
+                        .into_iter()
+                        .map(|v| {
+                            v.scalar()
+                                .map(|value| AxisPoint {
+                                    sets: vec![(name.clone(), value)],
+                                })
+                                .ok_or_else(|| {
+                                    SpecError::new(format!("axis {name:?} values must be scalars"))
+                                })
+                        })
+                        .collect::<Result<_, _>>()?,
+                })
+            }
+            (None, None, Some(ps)) => {
+                if ps.is_empty() {
+                    return Err(SpecError::new("paired axis has no points"));
+                }
+                Ok(Axis {
+                    points: ps
+                        .into_iter()
+                        .map(|p| {
+                            let Json::Obj(sets) = p else {
+                                return Err(SpecError::new(
+                                    "each paired-axis point must be an object",
+                                ));
+                            };
+                            let sets = sets
+                                .into_iter()
+                                .map(|(k, v)| {
+                                    if knob(&k).is_none() {
+                                        apply_knob(&mut SimConfig::cli_default(), &k, "0")?;
+                                    }
+                                    v.scalar().map(|value| (k.clone(), value)).ok_or_else(|| {
+                                        SpecError::new(format!("point knob {k:?} must be a scalar"))
+                                    })
+                                })
+                                .collect::<Result<_, _>>()?;
+                            Ok(AxisPoint { sets })
+                        })
+                        .collect::<Result<_, _>>()?,
+                })
+            }
+            _ => Err(SpecError::new(
+                "each axis needs either \"knob\" + \"values\" or \"points\"",
+            )),
+        }
+    }
+
+    /// Expands the cross product into the deterministic grid: every
+    /// combination exactly once, row-major (first axis slowest), each
+    /// config validated.
+    ///
+    /// # Errors
+    ///
+    /// Unknown knobs, bad values, or a grid point failing
+    /// [`SimConfig::validate`] (the error names the point).
+    pub fn expand(&self) -> Result<Vec<GridPoint>, SpecError> {
+        let total = self.grid_len();
+        let mut grid = Vec::with_capacity(total);
+        for index in 0..total {
+            // Decompose the row-major index into per-axis choices.
+            let mut rem = index;
+            let mut choices = vec![0usize; self.axes.len()];
+            for (a, axis) in self.axes.iter().enumerate().rev() {
+                choices[a] = rem % axis.points.len();
+                rem /= axis.points.len();
+            }
+            let mut config = self.base.clone();
+            let mut coords = Vec::new();
+            for (a, axis) in self.axes.iter().enumerate() {
+                for (k, v) in &axis.points[choices[a]].sets {
+                    apply_knob(&mut config, k, v)?;
+                    coords.push((k.clone(), v.clone()));
+                }
+            }
+            if let Err(e) = config.validate() {
+                let at: Vec<String> = coords.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                return Err(SpecError::new(format!(
+                    "grid point {index} ({}): {e}",
+                    at.join(", ")
+                )));
+            }
+            grid.push(GridPoint {
+                index,
+                coords,
+                config,
+            });
+        }
+        Ok(grid)
+    }
+}
+
+/// One expanded grid point.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Position in the row-major grid.
+    pub index: usize,
+    /// The axis assignments that produced this point.
+    pub coords: Vec<(String, String)>,
+    /// The fully-built configuration.
+    pub config: SimConfig,
+}
+
+// ---------------------------------------------------------------------------
+// The sweep engine.
+// ---------------------------------------------------------------------------
+
+/// One completed grid point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Position in the row-major grid.
+    pub index: usize,
+    /// The axis assignments that produced this point.
+    pub coords: Vec<(String, String)>,
+    /// [`config_fingerprint`] of the point's configuration (the resume
+    /// key).
+    pub config_fingerprint: u64,
+    /// The simulation's full report.
+    pub report: RunReport,
+}
+
+impl SweepRow {
+    /// The value this row's coordinates assign to `knob`, if any.
+    #[must_use]
+    pub fn coord(&self, knob: &str) -> Option<&str> {
+        self.coords
+            .iter()
+            .find(|(k, _)| k == knob)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes this row as one JSONL line (no trailing newline):
+    /// grid index, config fingerprint, coordinates, headline counters
+    /// and the report fingerprint.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let knobs: Vec<String> = self
+            .coords
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        format!(
+            "{{\"i\":{},\"cfg\":{},\"knobs\":{{{}}},\"cycles\":{},\"ops\":{},\"mem_ops\":{},\"translation_cycles\":{},\"os_cycles\":{},\"walks\":{},\"fp\":{}}}",
+            self.index,
+            self.config_fingerprint,
+            knobs.join(","),
+            self.report.total_cycles.as_u64(),
+            self.report.ops,
+            self.report.mem_ops,
+            self.report.translation_cycles,
+            self.report.os_cycles,
+            self.report.ptw.count,
+            self.report.fingerprint(),
+        )
+    }
+}
+
+/// The outcome of [`run_sweep`]: every grid point's report, in grid
+/// order, with grouping and summary helpers.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The spec's display name.
+    pub name: String,
+    /// One row per grid point, in row-major grid order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepResult {
+    /// The reports in grid order, consuming the result (what the legacy
+    /// sweep wrappers project their typed rows from).
+    #[must_use]
+    pub fn into_reports(self) -> Vec<RunReport> {
+        self.rows.into_iter().map(|r| r.report).collect()
+    }
+
+    /// XOR of every row's report fingerprint — one digest for the whole
+    /// sweep.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.rows
+            .iter()
+            .fold(0u64, |d, r| d ^ r.report.fingerprint())
+    }
+
+    /// Groups rows by every coordinate **except** `knob`, preserving
+    /// grid order within and across groups. For the common
+    /// mechanism-paired sweeps, `pairs("mechanism")` yields one group
+    /// per outer grid point with the Radix/NDPage rows side by side.
+    #[must_use]
+    pub fn pairs(&self, knob: &str) -> Vec<(Coords, Vec<&SweepRow>)> {
+        let mut groups: Vec<(Coords, Vec<&SweepRow>)> = Vec::new();
+        for row in &self.rows {
+            let key: Coords = row
+                .coords
+                .iter()
+                .filter(|(k, _)| k != knob)
+                .cloned()
+                .collect();
+            if let Some((_, rows)) = groups.iter_mut().find(|(k, _)| *k == key) {
+                rows.push(row);
+            } else {
+                groups.push((key, vec![row]));
+            }
+        }
+        groups
+    }
+
+    /// Geometric mean of `metric` over every row.
+    #[must_use]
+    pub fn geomean_of(&self, metric: impl Fn(&RunReport) -> f64) -> f64 {
+        let vals: Vec<f64> = self.rows.iter().map(|r| metric(&r.report)).collect();
+        geomean(&vals)
+    }
+
+    /// Geometric-mean speedup of `test` over `baseline` along `knob`:
+    /// rows are paired by their other coordinates, and each pair
+    /// contributes `baseline.total_cycles / test.total_cycles`. Returns
+    /// 0.0 when no pair has both values.
+    #[must_use]
+    pub fn geomean_speedup(&self, knob: &str, baseline: &str, test: &str) -> f64 {
+        let mut ratios = Vec::new();
+        for (_, rows) in self.pairs(knob) {
+            let base = rows.iter().find(|r| r.coord(knob) == Some(baseline));
+            let fast = rows.iter().find(|r| r.coord(knob) == Some(test));
+            if let (Some(b), Some(t)) = (base, fast) {
+                if t.report.total_cycles.as_u64() > 0 {
+                    ratios.push(b.report.total_cycles.as_f64() / t.report.total_cycles.as_f64());
+                }
+            }
+        }
+        if ratios.is_empty() {
+            0.0
+        } else {
+            geomean(&ratios)
+        }
+    }
+
+    /// Serializes every row as JSONL (one line per grid point, grid
+    /// order) — exactly the bytes [`run_sweep_jsonl`] writes.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&row.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Expands a spec and runs every grid point across the work-stealing
+/// parallel driver, returning reports in grid order (bit-identical to a
+/// serial loop at any thread count).
+///
+/// # Errors
+///
+/// Propagates [`SweepSpec::expand`] errors; execution itself cannot
+/// fail.
+pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResult, SpecError> {
+    let grid = spec.expand()?;
+    let mut meta = Vec::with_capacity(grid.len());
+    let mut configs = Vec::with_capacity(grid.len());
+    for p in grid {
+        meta.push((p.index, p.coords, config_fingerprint(&p.config)));
+        configs.push(p.config);
+    }
+    let reports = par_map(configs, |cfg| Machine::new(cfg).run());
+    let rows = meta
+        .into_iter()
+        .zip(reports)
+        .map(|((index, coords, config_fingerprint), report)| SweepRow {
+            index,
+            coords,
+            config_fingerprint,
+            report,
+        })
+        .collect();
+    Ok(SweepResult {
+        name: spec.name.clone(),
+        rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Incremental JSONL output + resume.
+// ---------------------------------------------------------------------------
+
+/// One row parsed back from a JSONL sweep file (resume bookkeeping —
+/// the full report is not deserialized; `line` preserves the original
+/// bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlRow {
+    /// Grid index recorded in the row.
+    pub index: u64,
+    /// Config fingerprint recorded in the row (the resume key).
+    pub config_fingerprint: u64,
+    /// Report fingerprint recorded in the row.
+    pub report_fingerprint: u64,
+    /// The row's original line, verbatim (no newline).
+    pub line: String,
+}
+
+/// Parses a JSONL sweep file, skipping malformed lines (a truncated
+/// final line after an interrupt parses as malformed and is dropped, so
+/// its grid point re-runs).
+#[must_use]
+pub fn parse_jsonl(text: &str) -> Vec<JsonlRow> {
+    text.lines()
+        .filter_map(|line| {
+            let Ok(Json::Obj(fields)) = parse_json(line) else {
+                return None;
+            };
+            let num = |key: &str| -> Option<u64> {
+                fields.iter().find_map(|(k, v)| match v {
+                    Json::Num(raw) if k == key => raw.parse().ok(),
+                    _ => None,
+                })
+            };
+            Some(JsonlRow {
+                index: num("i")?,
+                config_fingerprint: num("cfg")?,
+                report_fingerprint: num("fp")?,
+                line: line.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Summary of a [`run_sweep_jsonl`] drive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRunSummary {
+    /// Total grid points in the spec.
+    pub grid: usize,
+    /// Points actually simulated this run.
+    pub executed: usize,
+    /// Points reused from the resume file.
+    pub reused: usize,
+    /// XOR of every row's report fingerprint (reused rows contribute
+    /// their recorded fingerprint).
+    pub digest: u64,
+}
+
+/// Runs a sweep with **incremental JSONL output**: the file at `path`
+/// always holds a contiguous, in-grid-order prefix of completed rows
+/// (each flushed as soon as every earlier grid point has retired), so an
+/// interrupted sweep leaves a usable, resumable file.
+///
+/// With `resume`, rows already in the file are reused — a row is
+/// reused when both its config fingerprint and its grid index match the
+/// current spec, so a spec edit re-runs exactly the points it moved or
+/// changed — and only the remaining grid points execute. The merged
+/// file is byte-for-byte identical to an uninterrupted run.
+///
+/// # Errors
+///
+/// Spec expansion errors, or I/O errors reading/writing `path`.
+pub fn run_sweep_jsonl(
+    spec: &SweepSpec,
+    path: &Path,
+    resume: bool,
+) -> Result<SweepRunSummary, SpecError> {
+    let grid = spec.expand()?;
+    let fps: Vec<u64> = grid.iter().map(|p| config_fingerprint(&p.config)).collect();
+
+    // A cached line is reused only if it sits at the same grid index
+    // with the same config fingerprint — the "truncated tail" resume
+    // case. Anything else (edited spec, reordered axes) re-runs.
+    let mut cached: Vec<Option<JsonlRow>> = vec![None; grid.len()];
+    let mut reused = 0usize;
+    if resume {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for row in parse_jsonl(&text) {
+                let idx = row.index as usize;
+                if idx < grid.len() && fps[idx] == row.config_fingerprint && cached[idx].is_none() {
+                    cached[idx] = Some(row);
+                    reused += 1;
+                }
+            }
+        }
+    }
+
+    let mut missing_idx = Vec::new();
+    let mut missing_cfgs = Vec::new();
+    for p in &grid {
+        if cached[p.index].is_none() {
+            missing_idx.push(p.index);
+            missing_cfgs.push(p.config.clone());
+        }
+    }
+
+    struct Sink<'a> {
+        w: std::io::BufWriter<std::fs::File>,
+        written: usize,
+        cached: &'a [Option<JsonlRow>],
+        err: Option<String>,
+    }
+    impl Sink<'_> {
+        fn put(&mut self, line: &str) {
+            // Count the row as logically emitted even after an earlier
+            // write error: `written` is the loop variable of
+            // `flush_cached_until`, which must keep terminating so the
+            // first error can propagate instead of hanging the workers.
+            self.written += 1;
+            if self.err.is_some() {
+                return;
+            }
+            if let Err(e) = writeln!(self.w, "{line}") {
+                self.err = Some(e.to_string());
+            }
+        }
+        /// Writes cached rows up to (not including) grid index `upto`.
+        fn flush_cached_until(&mut self, upto: usize) {
+            while self.written < upto {
+                match &self.cached[self.written] {
+                    Some(row) => {
+                        let line = row.line.clone();
+                        self.put(&line);
+                    }
+                    // The engine only calls with `upto` = a grid index
+                    // about to be written fresh; every earlier index is
+                    // cached by construction.
+                    None => unreachable!("gap in completed sweep prefix"),
+                }
+            }
+            let _ = self.w.flush();
+        }
+    }
+
+    let file = std::fs::File::create(path)
+        .map_err(|e| SpecError::new(format!("cannot create {}: {e}", path.display())))?;
+    let mut sink = Sink {
+        w: std::io::BufWriter::new(file),
+        written: 0,
+        cached: &cached,
+        err: None,
+    };
+
+    // `File::create` truncated the file, so restore the reused prefix
+    // immediately — a sweep interrupted again while its first missing
+    // point is still simulating must not lose rows it already had.
+    sink.flush_cached_until(missing_idx.first().copied().unwrap_or(grid.len()));
+
+    let executed = missing_idx.len();
+    let missing_rows: Vec<(usize, Coords, u64)> = missing_idx
+        .iter()
+        .map(|&g| (g, grid[g].coords.clone(), fps[g]))
+        .collect();
+    let reports = par_map_sink(missing_cfgs, |cfg| Machine::new(cfg).run(), {
+        let sink = &mut sink;
+        let missing_rows = &missing_rows;
+        move |k: usize, report: &RunReport| {
+            let (g, ref coords, cfg_fp) = missing_rows[k];
+            sink.flush_cached_until(g);
+            let row = SweepRow {
+                index: g,
+                coords: coords.clone(),
+                config_fingerprint: cfg_fp,
+                report: report.clone(),
+            };
+            sink.put(&row.to_jsonl());
+            let _ = sink.w.flush();
+        }
+    });
+    sink.flush_cached_until(grid.len());
+    if let Some(e) = sink.err {
+        return Err(SpecError::new(format!("writing {}: {e}", path.display())));
+    }
+    drop(sink);
+
+    let mut digest = 0u64;
+    for row in cached.iter().flatten() {
+        digest ^= row.report_fingerprint;
+    }
+    for report in &reports {
+        digest ^= report.fingerprint();
+    }
+    Ok(SweepRunSummary {
+        grid: grid.len(),
+        executed,
+        reused,
+        digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+
+    fn base() -> SimConfig {
+        SimConfig::quick(SystemKind::Ndp, 2, Mechanism::Radix, WorkloadId::Rnd)
+    }
+
+    #[test]
+    fn every_knob_is_registered_exactly_once() {
+        let mut names: Vec<&str> = KNOBS.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KNOBS.len(), "duplicate knob names");
+        let mut flags: Vec<&str> = KNOBS.iter().filter_map(|k| k.flag).collect();
+        flags.sort_unstable();
+        flags.dedup();
+        assert_eq!(
+            flags.len(),
+            KNOBS.iter().filter(|k| k.flag.is_some()).count(),
+            "duplicate flags"
+        );
+    }
+
+    #[test]
+    fn apply_get_round_trips_every_knob() {
+        // Mutate every field away from the default, then check that
+        // serializing and re-applying the knob list reproduces the
+        // config exactly (same fingerprint).
+        let mut cfg = base();
+        cfg.system = SystemKind::Cpu;
+        cfg.cores = 7;
+        cfg.mechanism = Mechanism::HugePage;
+        cfg.workload = WorkloadId::Gen;
+        cfg.warmup_ops = 123;
+        cfg.measure_ops = 456;
+        cfg.footprint_divisor = 3;
+        cfg.footprint_override = Some(77 << 20);
+        cfg.seed = 0xdead_beef_dead_beef;
+        cfg.fault_minor_4k = Cycles::new(601);
+        cfg.fault_minor_2m = Cycles::new(2601);
+        cfg.fault_fallback = Cycles::new(15001);
+        cfg.rehash_entry_cost = Cycles::new(41);
+        cfg.pwc_override = Some(false);
+        cfg.bypass_override = Some(BypassPolicy::MetadataL1Bypass);
+        cfg.memory_capacity_override = Some(1 << 33);
+        cfg.pwc_entries = Some(128);
+        cfg.tlb_l2_entries = Some(768);
+        cfg.tlb_fracture_huge = Some(false);
+        cfg.compaction_tax = Cycles::new(2201);
+        cfg.procs_per_core = 3;
+        cfg.context_switch_quantum_ops = 999;
+        cfg.context_switch_cost = Cycles::new(4001);
+        cfg.tlb_tagging = false;
+        cfg.mlp_window = 8;
+        cfg.mshrs_per_core = 16;
+        cfg.walkers_per_core = 2;
+        cfg.l3_kb = 2048;
+        cfg.l3_ways = 8;
+        cfg.l3_banks = 4;
+        cfg.l3_policy = InclusionPolicy::Exclusive;
+        cfg.vault_buffer_kb = 128;
+
+        let mut rebuilt = SimConfig::cli_default();
+        for (name, value) in config_knobs(&cfg) {
+            apply_knob(&mut rebuilt, name, &value).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert_eq!(config_fingerprint(&cfg), config_fingerprint(&rebuilt));
+        // Spot-check fields the fingerprint hash could in principle
+        // collide on.
+        assert_eq!(rebuilt.l3_policy, InclusionPolicy::Exclusive);
+        assert_eq!(
+            rebuilt.bypass_override,
+            Some(BypassPolicy::MetadataL1Bypass)
+        );
+        assert_eq!(rebuilt.footprint_override, Some(77 << 20));
+        assert!(!rebuilt.tlb_tagging);
+    }
+
+    #[test]
+    fn optional_knobs_clear_with_default() {
+        let mut cfg = base();
+        cfg.pwc_entries = Some(99);
+        apply_knob(&mut cfg, "pwc_entries", "default").unwrap();
+        assert_eq!(cfg.pwc_entries, None);
+        apply_knob(&mut cfg, "footprint", "default").unwrap();
+        assert_eq!(cfg.footprint_override, None);
+    }
+
+    #[test]
+    fn unknown_knob_lists_valid_names() {
+        let err = apply_knob(&mut base(), "no_such_knob", "1").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no_such_knob"));
+        assert!(msg.contains("mlp_window") && msg.contains("l3_policy"));
+    }
+
+    #[test]
+    fn bad_values_name_the_constraint() {
+        let err = apply_knob(&mut base(), "cores", "many").unwrap_err();
+        assert!(err.to_string().contains("many"));
+        let err = apply_knob(&mut base(), "cores", "4294967297").unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+        let err = apply_knob(&mut base(), "mechanism", "foo").unwrap_err();
+        assert!(err.to_string().contains("ndpage"));
+        let err = apply_knob(&mut base(), "workload", "bar").unwrap_err();
+        assert!(err.to_string().contains("BFS"));
+        let err = apply_knob(&mut base(), "l3_policy", "open").unwrap_err();
+        assert!(err.to_string().contains("exclusive"));
+    }
+
+    #[test]
+    fn config_fingerprint_separates_and_repeats() {
+        assert_eq!(config_fingerprint(&base()), config_fingerprint(&base()));
+        let mut other = base();
+        other.seed += 1;
+        assert_ne!(config_fingerprint(&base()), config_fingerprint(&other));
+    }
+
+    #[test]
+    fn grid_expands_row_major_exactly_once() {
+        let spec = SweepSpec::new(base())
+            .axis("pwc_entries", &[8usize, 64])
+            .axis("mechanism", &["radix", "ndpage"]);
+        assert_eq!(spec.grid_len(), 4);
+        let grid = spec.expand().unwrap();
+        let coords: Vec<String> = grid
+            .iter()
+            .map(|p| {
+                p.coords
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        assert_eq!(
+            coords,
+            vec![
+                "pwc_entries=8,mechanism=radix",
+                "pwc_entries=8,mechanism=ndpage",
+                "pwc_entries=64,mechanism=radix",
+                "pwc_entries=64,mechanism=ndpage",
+            ]
+        );
+        // Deterministic: a second expansion is identical, config for
+        // config.
+        let again = spec.expand().unwrap();
+        for (a, b) in grid.iter().zip(&again) {
+            assert_eq!(config_fingerprint(&a.config), config_fingerprint(&b.config));
+        }
+        // Exactly once: all four config fingerprints distinct.
+        let mut fps: Vec<u64> = grid.iter().map(|p| config_fingerprint(&p.config)).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), 4);
+    }
+
+    #[test]
+    fn paired_axis_sets_knobs_together() {
+        let spec = SweepSpec::new(base()).paired_axis(vec![
+            vec![("mlp_window", "1".into()), ("mshrs_per_core", "1".into())],
+            vec![("mlp_window", "8".into()), ("mshrs_per_core", "8".into())],
+        ]);
+        let grid = spec.expand().unwrap();
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[1].config.mlp_window, 8);
+        assert_eq!(grid[1].config.mshrs_per_core, 8);
+    }
+
+    #[test]
+    fn expansion_validates_each_point() {
+        let spec = SweepSpec::new(base()).axis("mlp_window", &[1u32, 0]);
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(err.contains("grid point 1"), "{err}");
+        assert!(err.contains("mlp_window=0"), "{err}");
+    }
+
+    #[test]
+    fn spec_json_round_trip() {
+        let spec = SweepSpec::from_json(
+            r#"{
+                "name": "demo",
+                "base": {"workload": "RND", "cores": 2, "measure_ops": 1000},
+                "axes": [
+                    {"knob": "l3_kb", "values": [0, 2048]},
+                    {"points": [{"mlp_window": 1, "mshrs_per_core": 1},
+                                {"mlp_window": 8, "mshrs_per_core": 8}]},
+                    {"knob": "mechanism", "values": ["radix", "ndpage"]}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.base.workload, WorkloadId::Rnd);
+        assert_eq!(spec.base.cores, 2);
+        assert_eq!(spec.base.measure_ops, 1000);
+        // Unset base knobs keep the CLI defaults.
+        assert_eq!(spec.base.footprint_override, Some(1 << 30));
+        assert_eq!(spec.grid_len(), 8);
+        let grid = spec.expand().unwrap();
+        assert_eq!(grid[7].config.l3_kb, 2048);
+        assert_eq!(grid[7].config.mlp_window, 8);
+        assert_eq!(grid[7].config.mechanism, Mechanism::NdPage);
+    }
+
+    #[test]
+    fn spec_json_rejects_unknowns() {
+        let err = SweepSpec::from_json(r#"{"bases": {}}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown spec key"));
+        let err = SweepSpec::from_json(r#"{"base": {"coers": 2}}"#).unwrap_err();
+        assert!(err.to_string().contains("coers"));
+        assert!(err.to_string().contains("valid knobs"));
+        let err =
+            SweepSpec::from_json(r#"{"axes": [{"knob": "nope", "values": [1]}]}"#).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        let err = SweepSpec::from_json(r#"{"axes": [{"values": [1]}]}"#).unwrap_err();
+        assert!(err.to_string().contains("knob"));
+        let err = SweepSpec::from_json(r#"{"#).unwrap_err();
+        assert!(err.to_string().contains("spec JSON"));
+    }
+
+    #[test]
+    fn jsonl_rows_parse_back() {
+        let spec =
+            SweepSpec::new(base().with_ops(200, 500)).axis("mechanism", &["radix", "ndpage"]);
+        let result = run_sweep(&spec).unwrap();
+        let text = result.to_jsonl();
+        let rows = parse_jsonl(&text);
+        assert_eq!(rows.len(), 2);
+        for (row, parsed) in result.rows.iter().zip(&rows) {
+            assert_eq!(parsed.index as usize, row.index);
+            assert_eq!(parsed.config_fingerprint, row.config_fingerprint);
+            assert_eq!(parsed.report_fingerprint, row.report.fingerprint());
+            assert_eq!(parsed.line, row.to_jsonl());
+        }
+        // A truncated final line is dropped, not mis-parsed.
+        let truncated = &text[..text.len() - 10];
+        assert_eq!(parse_jsonl(truncated).len(), 1);
+    }
+
+    #[test]
+    fn sweep_result_pairs_and_geomean() {
+        let spec = SweepSpec::new(base().with_ops(200, 500))
+            .axis("pwc_entries", &[8usize, 64])
+            .axis("mechanism", &["radix", "ndpage"]);
+        let result = run_sweep(&spec).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        let pairs = result.pairs("mechanism");
+        assert_eq!(pairs.len(), 2, "one group per pwc size");
+        for (key, rows) in &pairs {
+            assert_eq!(key.len(), 1);
+            assert_eq!(rows.len(), 2);
+            assert_eq!(rows[0].coord("mechanism"), Some("radix"));
+            assert_eq!(rows[1].coord("mechanism"), Some("ndpage"));
+        }
+        let speedup = result.geomean_speedup("mechanism", "radix", "ndpage");
+        assert!(speedup > 0.5 && speedup < 5.0, "sane speedup: {speedup}");
+        assert_eq!(result.geomean_speedup("mechanism", "radix", "radix"), 1.0);
+        assert_eq!(result.geomean_speedup("mechanism", "nope", "ndpage"), 0.0);
+        let digest = result.digest();
+        assert_ne!(digest, 0);
+    }
+
+    #[test]
+    fn json_parser_handles_scalars_and_nesting() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(
+            parse_json("18446744073709551615").unwrap(),
+            Json::Num("18446744073709551615".to_string())
+        );
+        assert_eq!(
+            parse_json(r#""a\"b\\c""#).unwrap(),
+            Json::Str("a\"b\\c".to_string())
+        );
+        let v = parse_json(r#"{"a": [1, {"b": "c"}], "d": {}}"#).unwrap();
+        let Json::Obj(fields) = v else { panic!() };
+        assert_eq!(fields.len(), 2);
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn json_escape_round_trips_through_parser() {
+        let nasty = "a\"b\\c\nd\te";
+        let text = format!("\"{}\"", json_escape(nasty));
+        assert_eq!(parse_json(&text).unwrap(), Json::Str(nasty.to_string()));
+    }
+
+    #[test]
+    fn json_strings_keep_multibyte_utf8_intact() {
+        assert_eq!(
+            parse_json("\"café Σweep\"").unwrap(),
+            Json::Str("café Σweep".to_string())
+        );
+        let spec = SweepSpec::from_json(r#"{"name": "café"}"#).unwrap();
+        assert_eq!(spec.name, "café");
+    }
+}

@@ -28,10 +28,17 @@
 //!   translation cost is *insensitive* to cache pressure — the paper's
 //!   central claim, made measurable.
 
+//!
+//! Every sweep here is a thin wrapper over the declarative spec engine
+//! ([`crate::spec`]): it builds a [`SweepSpec`] whose grid expands in
+//! exactly the order the old hand-rolled loops iterated, runs it through
+//! [`run_sweep`], and projects the reports into its typed rows — so the
+//! outputs are bit-identical to the pre-spec implementations
+//! (`tests/spec_api.rs` asserts this against hand-rolled serial loops).
+
 use crate::config::{SimConfig, SystemKind};
-use crate::machine::Machine;
-use crate::parallel::par_map;
 use crate::report::RunReport;
+use crate::spec::{run_sweep, SweepSpec};
 use ndp_workloads::WorkloadId;
 use ndpage::Mechanism;
 
@@ -65,17 +72,17 @@ pub fn pwc_size_sweep(
     sizes: &[usize],
     base: &SimConfig,
 ) -> Vec<PwcSweepPoint> {
-    let runs: Vec<SimConfig> = sizes
-        .iter()
-        .flat_map(|&entries| {
-            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
-                let mut cfg = with_base(SimConfig::new(SystemKind::Ndp, 4, m, workload), base);
-                cfg.pwc_entries = Some(entries);
-                cfg
-            })
-        })
-        .collect();
-    let mut reports = par_map(runs, |cfg| Machine::new(cfg).run()).into_iter();
+    let spec = SweepSpec::new(with_base(
+        SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, workload),
+        base,
+    ))
+    .named("pwc_size_sweep")
+    .axis("pwc_entries", sizes)
+    .axis("mechanism", &["radix", "ndpage"]);
+    let mut reports = run_sweep(&spec)
+        .expect("pwc_size_sweep spec is valid")
+        .into_reports()
+        .into_iter();
     sizes
         .iter()
         .map(|&entries| PwcSweepPoint {
@@ -106,17 +113,17 @@ pub fn tlb_reach_sweep(
     sizes: &[u32],
     base: &SimConfig,
 ) -> Vec<TlbSweepPoint> {
-    let runs: Vec<SimConfig> = sizes
-        .iter()
-        .flat_map(|&entries| {
-            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
-                let mut cfg = with_base(SimConfig::new(SystemKind::Ndp, 4, m, workload), base);
-                cfg.tlb_l2_entries = Some(entries);
-                cfg
-            })
-        })
-        .collect();
-    let mut reports = par_map(runs, |cfg| Machine::new(cfg).run()).into_iter();
+    let spec = SweepSpec::new(with_base(
+        SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, workload),
+        base,
+    ))
+    .named("tlb_reach_sweep")
+    .axis("tlb_l2_entries", sizes)
+    .axis("mechanism", &["radix", "ndpage"]);
+    let mut reports = run_sweep(&spec)
+        .expect("tlb_reach_sweep spec is valid")
+        .into_reports()
+        .into_iter();
     sizes
         .iter()
         .map(|&entries| TlbSweepPoint {
@@ -141,20 +148,25 @@ pub struct FracturingAblation {
 /// Runs Huge Page with and without TLB fracturing on a 1-core NDP system.
 #[must_use]
 pub fn fracturing_ablation(workload: WorkloadId, base: &SimConfig) -> FracturingAblation {
-    let radix_cfg = with_base(
+    // Not a cross product: one paired axis whose three points are the
+    // Radix baseline and Huge Page with fracturing on/off.
+    let spec = SweepSpec::new(with_base(
         SimConfig::new(SystemKind::Ndp, 1, Mechanism::Radix, workload),
         base,
-    );
-    let fractured_cfg = with_base(
-        SimConfig::new(SystemKind::Ndp, 1, Mechanism::HugePage, workload),
-        base,
-    );
-    let mut native_cfg = fractured_cfg.clone();
-    native_cfg.tlb_fracture_huge = Some(false);
-    let mut reports = par_map(vec![radix_cfg, fractured_cfg, native_cfg], |cfg| {
-        Machine::new(cfg).run()
-    })
-    .into_iter();
+    ))
+    .named("fracturing_ablation")
+    .paired_axis(vec![
+        vec![("mechanism", "radix".to_string())],
+        vec![("mechanism", "hugepage".to_string())],
+        vec![
+            ("mechanism", "hugepage".to_string()),
+            ("tlb_fracture_huge", "false".to_string()),
+        ],
+    ]);
+    let mut reports = run_sweep(&spec)
+        .expect("fracturing_ablation spec is valid")
+        .into_reports()
+        .into_iter();
     FracturingAblation {
         radix: reports.next().expect("radix report"),
         fractured: reports.next().expect("fractured report"),
@@ -248,24 +260,21 @@ pub fn context_switch_sweep(
     quanta: &[u64],
     base: &SimConfig,
 ) -> Vec<CtxSwitchPoint> {
-    let runs: Vec<SimConfig> = quanta
-        .iter()
-        .flat_map(|&quantum| {
-            [
-                (Mechanism::Radix, true),
-                (Mechanism::Radix, false),
-                (Mechanism::NdPage, true),
-                (Mechanism::NdPage, false),
-            ]
-            .map(|(m, tagging)| {
-                with_base(SimConfig::new(SystemKind::Ndp, 2, m, workload), base)
-                    .with_procs(2)
-                    .with_quantum(quantum)
-                    .with_tlb_tagging(tagging)
-            })
-        })
-        .collect();
-    let mut reports = par_map(runs, |cfg| Machine::new(cfg).run()).into_iter();
+    let spec = SweepSpec::new(
+        with_base(
+            SimConfig::new(SystemKind::Ndp, 2, Mechanism::Radix, workload),
+            base,
+        )
+        .with_procs(2),
+    )
+    .named("context_switch_sweep")
+    .axis("context_switch_quantum_ops", quanta)
+    .axis("mechanism", &["radix", "ndpage"])
+    .axis("tlb_tagging", &[true, false]);
+    let mut reports = run_sweep(&spec)
+        .expect("context_switch_sweep spec is valid")
+        .into_reports()
+        .into_iter();
     quanta
         .iter()
         .map(|&quantum| CtxSwitchPoint {
@@ -303,19 +312,30 @@ impl MlpSweepPoint {
 /// while walks keep queueing for the hardware walkers.
 #[must_use]
 pub fn mlp_sweep(workload: WorkloadId, windows: &[u32], base: &SimConfig) -> Vec<MlpSweepPoint> {
-    let runs: Vec<SimConfig> = windows
-        .iter()
-        .flat_map(|&window| {
-            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
-                let mut cfg = with_base(SimConfig::new(SystemKind::Ndp, 4, m, workload), base);
-                cfg.mlp_window = window;
-                cfg.mshrs_per_core = window;
-                cfg.walkers_per_core = base.walkers_per_core;
-                cfg
-            })
-        })
-        .collect();
-    let mut reports = par_map(runs, |cfg| Machine::new(cfg).run()).into_iter();
+    let mut spec_base = with_base(
+        SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, workload),
+        base,
+    );
+    spec_base.walkers_per_core = base.walkers_per_core;
+    let spec = SweepSpec::new(spec_base)
+        .named("mlp_sweep")
+        // A paired axis: MSHRs track the window at every point.
+        .paired_axis(
+            windows
+                .iter()
+                .map(|&w| {
+                    vec![
+                        ("mlp_window", w.to_string()),
+                        ("mshrs_per_core", w.to_string()),
+                    ]
+                })
+                .collect(),
+        )
+        .axis("mechanism", &["radix", "ndpage"]);
+    let mut reports = run_sweep(&spec)
+        .expect("mlp_sweep spec is valid")
+        .into_reports()
+        .into_iter();
     windows
         .iter()
         .map(|&window| MlpSweepPoint {
@@ -367,18 +387,21 @@ pub fn shared_llc_sweep(
     sizes_kb: &[u32],
     base: &SimConfig,
 ) -> Vec<LlcSweepPoint> {
-    let runs: Vec<SimConfig> = sizes_kb
-        .iter()
-        .flat_map(|&kb| {
-            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
-                with_base(SimConfig::new(SystemKind::Ndp, 2, m, workload), base)
-                    .with_procs(2)
-                    .with_quantum(2_000)
-                    .with_l3(kb)
-            })
-        })
-        .collect();
-    let mut reports = par_map(runs, |cfg| Machine::new(cfg).run()).into_iter();
+    let spec = SweepSpec::new(
+        with_base(
+            SimConfig::new(SystemKind::Ndp, 2, Mechanism::Radix, workload),
+            base,
+        )
+        .with_procs(2)
+        .with_quantum(2_000),
+    )
+    .named("shared_llc_sweep")
+    .axis("l3_kb", sizes_kb)
+    .axis("mechanism", &["radix", "ndpage"]);
+    let mut reports = run_sweep(&spec)
+        .expect("shared_llc_sweep spec is valid")
+        .into_reports()
+        .into_iter();
     sizes_kb
         .iter()
         .map(|&l3_kb| LlcSweepPoint {

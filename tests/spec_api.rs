@@ -1,0 +1,342 @@
+//! Spec-API integration tests: the declarative sweep engine must be a
+//! drop-in for the hand-rolled sweep loops it replaced — bit-identical
+//! rows, identical JSON, order-deterministic grids — and the JSONL
+//! driver must resume interrupted sweeps byte-for-byte.
+
+use ndp_sim::parallel::par_map_threads;
+use ndp_sim::spec::{
+    config_fingerprint, parse_jsonl, run_sweep, run_sweep_jsonl, SweepRow, SweepSpec,
+};
+use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep, shared_llc_sweep};
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn quick_base() -> SimConfig {
+    SimConfig::quick(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd)
+        .with_ops(500, 1_500)
+        .with_footprint(256 << 20)
+}
+
+/// Copies exactly the fields the sweeps' `with_base` copies.
+fn with_base(mut cfg: SimConfig, base: &SimConfig) -> SimConfig {
+    cfg.warmup_ops = base.warmup_ops;
+    cfg.measure_ops = base.measure_ops;
+    cfg.footprint_override = base.footprint_override;
+    cfg.seed = base.seed;
+    cfg
+}
+
+#[test]
+fn legacy_pwc_sweep_is_bit_identical_to_spec_engine_and_json() {
+    let base = quick_base();
+    let sizes = [8usize, 64];
+
+    // The pre-spec implementation: a hand-rolled serial grid loop.
+    let legacy: Vec<_> = sizes
+        .iter()
+        .flat_map(|&entries| {
+            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
+                let mut cfg = with_base(
+                    SimConfig::new(SystemKind::Ndp, 4, m, WorkloadId::Rnd),
+                    &base,
+                );
+                cfg.pwc_entries = Some(entries);
+                Machine::new(cfg).run()
+            })
+        })
+        .collect();
+
+    // The wrapper (spec-built) must reproduce it row for row.
+    let points = pwc_size_sweep(WorkloadId::Rnd, &sizes, &base);
+    assert_eq!(points.len(), 2);
+    let wrapper = [
+        &points[0].radix,
+        &points[0].ndpage,
+        &points[1].radix,
+        &points[1].ndpage,
+    ];
+    for (l, w) in legacy.iter().zip(wrapper) {
+        assert_eq!(
+            l.fingerprint(),
+            w.fingerprint(),
+            "rows must be bit-identical"
+        );
+    }
+
+    // ... and serializing the legacy reports through the engine's rows
+    // yields byte-identical JSON to the spec-built sweep.
+    let spec = SweepSpec::new(with_base(
+        SimConfig::new(SystemKind::Ndp, 4, Mechanism::Radix, WorkloadId::Rnd),
+        &base,
+    ))
+    .axis("pwc_entries", &sizes)
+    .axis("mechanism", &["radix", "ndpage"]);
+    let result = run_sweep(&spec).unwrap();
+    let legacy_json: String = result
+        .rows
+        .iter()
+        .zip(legacy)
+        .map(|(row, report)| {
+            let legacy_row = SweepRow {
+                index: row.index,
+                coords: row.coords.clone(),
+                config_fingerprint: row.config_fingerprint,
+                report,
+            };
+            legacy_row.to_jsonl() + "\n"
+        })
+        .collect();
+    assert_eq!(result.to_jsonl(), legacy_json);
+}
+
+#[test]
+fn legacy_mlp_sweep_is_bit_identical_to_spec_engine() {
+    let base = quick_base();
+    let windows = [1u32, 4];
+    let legacy: Vec<_> = windows
+        .iter()
+        .flat_map(|&window| {
+            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
+                let mut cfg = with_base(
+                    SimConfig::new(SystemKind::Ndp, 4, m, WorkloadId::Rnd),
+                    &base,
+                );
+                cfg.mlp_window = window;
+                cfg.mshrs_per_core = window;
+                cfg.walkers_per_core = base.walkers_per_core;
+                Machine::new(cfg).run()
+            })
+        })
+        .collect();
+    let points = mlp_sweep(WorkloadId::Rnd, &windows, &base);
+    let wrapper = [
+        &points[0].radix,
+        &points[0].ndpage,
+        &points[1].radix,
+        &points[1].ndpage,
+    ];
+    for (l, w) in legacy.iter().zip(wrapper) {
+        assert_eq!(l.fingerprint(), w.fingerprint());
+    }
+}
+
+#[test]
+fn legacy_llc_sweep_is_bit_identical_to_spec_engine() {
+    let base = quick_base();
+    let sizes = [0u32, 512];
+    let legacy: Vec<_> = sizes
+        .iter()
+        .flat_map(|&kb| {
+            [Mechanism::Radix, Mechanism::NdPage].map(|m| {
+                let cfg = with_base(
+                    SimConfig::new(SystemKind::Ndp, 2, m, WorkloadId::Rnd),
+                    &base,
+                )
+                .with_procs(2)
+                .with_quantum(2_000)
+                .with_l3(kb);
+                Machine::new(cfg).run()
+            })
+        })
+        .collect();
+    let points = shared_llc_sweep(WorkloadId::Rnd, &sizes, &base);
+    let wrapper = [
+        &points[0].radix,
+        &points[0].ndpage,
+        &points[1].radix,
+        &points[1].ndpage,
+    ];
+    for (l, w) in legacy.iter().zip(wrapper) {
+        assert_eq!(l.fingerprint(), w.fingerprint());
+    }
+}
+
+#[test]
+fn heterogeneous_batches_are_bit_identical_across_thread_counts() {
+    // Deliberately uneven per-task cost: different mechanisms, core
+    // counts and op windows, so completion order scrambles under
+    // parallel schedules.
+    let cfgs: Vec<SimConfig> = vec![
+        quick_base().with_ops(200, 3_000),
+        SimConfig::quick(SystemKind::Ndp, 2, Mechanism::NdPage, WorkloadId::Bfs)
+            .with_ops(100, 400)
+            .with_footprint(256 << 20),
+        SimConfig::quick(SystemKind::Cpu, 1, Mechanism::Ech, WorkloadId::Xs)
+            .with_ops(300, 2_000)
+            .with_footprint(256 << 20),
+        quick_base().with_ops(50, 100),
+        SimConfig::quick(SystemKind::Ndp, 1, Mechanism::HugePage, WorkloadId::Dlrm)
+            .with_ops(200, 1_200)
+            .with_footprint(256 << 20),
+        quick_base().with_ops(400, 2_500).with_seed(9),
+    ];
+    let serial: Vec<u64> = par_map_threads(1, cfgs.clone(), |c| Machine::new(c).run())
+        .iter()
+        .map(ndp_sim::RunReport::fingerprint)
+        .collect();
+    for threads in [2usize, 8] {
+        let parallel: Vec<u64> = par_map_threads(threads, cfgs.clone(), |c| Machine::new(c).run())
+            .iter()
+            .map(ndp_sim::RunReport::fingerprint)
+            .collect();
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ndp_spec_api_{}_{tag}.jsonl", std::process::id()))
+}
+
+fn tiny_grid_spec() -> SweepSpec {
+    SweepSpec::new(quick_base().with_ops(200, 600))
+        .named("resume_test")
+        .axis("seed", &[1u64, 2])
+        .axis("mechanism", &["radix", "ndpage"])
+}
+
+#[test]
+fn interrupted_jsonl_sweep_resumes_byte_for_byte() {
+    let spec = tiny_grid_spec();
+    let path = tmp_path("resume");
+
+    let full = run_sweep_jsonl(&spec, &path, false).unwrap();
+    assert_eq!((full.grid, full.executed, full.reused), (4, 4, 0));
+    let reference = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(reference.lines().count(), 4);
+
+    for k in [0usize, 1, 3] {
+        // Interrupt: keep only the first k rows (plus half a row of
+        // garbage for k > 0, like a write cut mid-line).
+        let mut truncated: String = reference
+            .lines()
+            .take(k)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        if k > 0 {
+            truncated.push_str("{\"i\":99,\"cfg\":12");
+        }
+        std::fs::write(&path, truncated).unwrap();
+
+        let resumed = run_sweep_jsonl(&spec, &path, true).unwrap();
+        assert_eq!(resumed.grid, 4);
+        assert_eq!(resumed.reused, k, "k = {k}");
+        assert_eq!(resumed.executed, 4 - k, "only the missing points run");
+        assert_eq!(resumed.digest, full.digest);
+        let merged = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            merged, reference,
+            "resume must merge byte-for-byte (k = {k})"
+        );
+    }
+
+    // Resuming a complete file executes nothing and rewrites it
+    // identically.
+    let noop = run_sweep_jsonl(&spec, &path, true).unwrap();
+    assert_eq!((noop.executed, noop.reused), (0, 4));
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), reference);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_reruns_points_the_spec_edit_moved() {
+    let spec = tiny_grid_spec();
+    let path = tmp_path("edited");
+    run_sweep_jsonl(&spec, &path, false).unwrap();
+
+    // The second seed axis point changes (2 -> 3): the seed-1 rows stay
+    // at their grid indices and are reused; the seed-3 rows re-run.
+    let edited = SweepSpec::new(quick_base().with_ops(200, 600))
+        .named("resume_test")
+        .axis("seed", &[1u64, 3])
+        .axis("mechanism", &["radix", "ndpage"]);
+    let resumed = run_sweep_jsonl(&edited, &path, true).unwrap();
+    // Rows 0 and 1 (seed 1) match the old file at the same indices and
+    // are reused; rows 2 and 3 (seed 3, previously 2) re-run.
+    assert_eq!(resumed.reused, 2);
+    assert_eq!(resumed.executed, 2);
+    let fresh_path = tmp_path("edited_fresh");
+    let fresh = run_sweep_jsonl(&edited, &fresh_path, false).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        std::fs::read_to_string(&fresh_path).unwrap(),
+        "a resumed edited sweep equals an uninterrupted run of the edit"
+    );
+    assert_eq!(resumed.digest, fresh.digest);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&fresh_path).ok();
+}
+
+#[test]
+fn jsonl_driver_matches_in_memory_engine() {
+    let spec = tiny_grid_spec();
+    let path = tmp_path("memory");
+    let summary = run_sweep_jsonl(&spec, &path, false).unwrap();
+    let in_memory = run_sweep(&spec).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text, in_memory.to_jsonl(), "one serialization, two drivers");
+    assert_eq!(summary.digest, in_memory.digest());
+    let rows = parse_jsonl(&text);
+    assert_eq!(rows.len(), 4);
+    for (parsed, row) in rows.iter().zip(&in_memory.rows) {
+        assert_eq!(parsed.config_fingerprint, row.config_fingerprint);
+        assert_eq!(parsed.report_fingerprint, row.report.fingerprint());
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Grid expansion is order-deterministic and covers the cross
+    /// product exactly once, whatever the axis shapes.
+    #[test]
+    fn grid_expansion_is_deterministic_and_exactly_covers(
+        seeds in prop::collection::vec(0u64..1000, 1..4),
+        pwc in prop::collection::vec(1u64..512, 1..4),
+        windows in prop::collection::vec(1u64..16, 1..3),
+    ) {
+        // Distinct values per axis (duplicates would legitimately
+        // produce equal grid points).
+        let dedup = |mut v: Vec<u64>| { v.sort_unstable(); v.dedup(); v };
+        let (seeds, pwc, windows) = (dedup(seeds), dedup(pwc), dedup(windows));
+
+        let spec = SweepSpec::new(quick_base())
+            .axis("seed", &seeds)
+            .axis("pwc_entries", &pwc)
+            .axis("mlp_window", &windows);
+        let expect = seeds.len() * pwc.len() * windows.len();
+        prop_assert_eq!(spec.grid_len(), expect);
+
+        let grid = spec.expand().unwrap();
+        prop_assert_eq!(grid.len(), expect);
+
+        // Exactly once: every combination appears, and no fingerprint
+        // repeats.
+        let mut fps: Vec<u64> = grid.iter().map(|p| config_fingerprint(&p.config)).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        prop_assert_eq!(fps.len(), expect);
+        for (i, s) in seeds.iter().enumerate() {
+            for (j, p) in pwc.iter().enumerate() {
+                for (k, w) in windows.iter().enumerate() {
+                    // Row-major: first axis slowest.
+                    let idx = (i * pwc.len() + j) * windows.len() + k;
+                    prop_assert_eq!(grid[idx].config.seed, *s);
+                    prop_assert_eq!(grid[idx].config.pwc_entries, Some(*p as usize));
+                    prop_assert_eq!(grid[idx].config.mlp_window, *w as u32);
+                }
+            }
+        }
+
+        // Deterministic: expanding again gives identical configs in
+        // identical order.
+        let again = spec.expand().unwrap();
+        for (a, b) in grid.iter().zip(&again) {
+            prop_assert_eq!(config_fingerprint(&a.config), config_fingerprint(&b.config));
+            prop_assert_eq!(&a.coords, &b.coords);
+        }
+    }
+}
