@@ -39,8 +39,11 @@ use ndp_bench::cli::{
     config_from_args, exit_on_err, install_jobs, json_f64, json_str, json_u64, knob_help_table,
     ndpsim_value_flags, Args, CliError, NDPSIM_BOOL_FLAGS,
 };
+use ndp_bench::supervisor::{supervise, SupervisorConfig};
 use ndp_sim::experiment::run_batch;
-use ndp_sim::spec::{config_fingerprint, run_sweep, run_sweep_jsonl, SweepSpec};
+use ndp_sim::fault::FaultPlan;
+use ndp_sim::shard::ShardSpec;
+use ndp_sim::spec::{config_fingerprint, run_sweep, run_sweep_jsonl_opts, JsonlOptions, SweepSpec};
 use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep, shared_llc_sweep};
 use ndp_sim::{Machine, SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
@@ -319,14 +322,27 @@ fn run_bench(args: &Args) {
     }
 }
 
+/// Validates `NDP_FAULT` up front (like `NDP_THREADS`): a typo'd fault
+/// plan must exit cleanly, not silently run fault-free.
+fn fault_plan_from_env() -> Option<FaultPlan> {
+    ndp_sim::fault::plan_from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// `ndpsim sweep`: expand a JSON spec (plus `--set` overrides) and run
-/// the grid — in memory with a printed table, or incrementally to JSONL
-/// with `--out`/`--resume`.
+/// the grid — in memory with a printed table, incrementally to JSONL
+/// with `--out`/`--resume`, as one stripe of a sharded run
+/// (`--shard I/N`), or as the supervisor of N shard workers
+/// (`--workers N`).
 fn run_sweep_cmd(args: &Args) {
     if args.has("--help") {
         eprintln!(
             "usage: ndpsim sweep --spec FILE [--set knob=value]... [--out FILE.jsonl] \\\n\
-             \x20                  [--resume] [--jobs N] [--dry-run]\n\
+             \x20                  [--resume] [--jobs N] [--dry-run] \\\n\
+             \x20                  [--shard I/N | --workers N] [--row-timeout SECS] \\\n\
+             \x20                  [--max-retries N] [--backoff-ms MS]\n\
              \n\
              spec JSON: {{\"name\": STR, \"base\": {{KNOB: VALUE, ...}},\n\
              \x20           \"axes\": [{{\"knob\": NAME, \"values\": [V, ...]}} |\n\
@@ -334,15 +350,30 @@ fn run_sweep_cmd(args: &Args) {
              \n\
              The grid is the axes' cross product (first axis slowest), run on the\n\
              work-stealing driver. --out appends completed rows in grid order as\n\
-             they retire; --resume reuses rows already on disk (matched by config\n\
-             fingerprint + grid index) and re-runs only the rest.\n\
+             they retire (landing via .tmp + atomic rename); --resume reuses rows\n\
+             already on disk (matched by config fingerprint + grid index) and\n\
+             re-runs only the rest. --shard I/N runs grid indices i mod N == I,\n\
+             streaming to FILE.jsonl.shard-I-of-N; --workers N spawns N such\n\
+             shard subprocesses, retries crashed or stalled ones (exponential\n\
+             backoff, --max-retries), merges the shards byte-identically to a\n\
+             serial run, and exits 0 (full), 3 (partial) or 4 (failed).\n\
              {}",
             knob_help_table()
         );
         return;
     }
     exit_on_err(args.reject_unknown(
-        &["--spec", "--set", "--out", "--jobs"],
+        &[
+            "--spec",
+            "--set",
+            "--out",
+            "--jobs",
+            "--shard",
+            "--workers",
+            "--row-timeout",
+            "--max-retries",
+            "--backoff-ms",
+        ],
         &["sweep", "--resume", "--dry-run", "--help"],
     ));
     let spec_path = exit_on_err(
@@ -358,12 +389,16 @@ fn run_sweep_cmd(args: &Args) {
         std::process::exit(2);
     });
     exit_on_err(ndp_bench::cli::apply_sets(&mut spec.base, args));
+    // Structural spec problems (empty axis, knob on two axes, bad knob
+    // value) are usage errors — catch them before any process spawns or
+    // file is touched.
+    let grid = spec.expand().unwrap_or_else(|e| {
+        eprintln!("error: spec {spec_path:?}: {e}");
+        std::process::exit(2);
+    });
+    let fault = fault_plan_from_env();
 
     if args.has("--dry-run") {
-        let grid = spec.expand().unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        });
         println!("sweep {}: {} grid points", spec.name, grid.len());
         for p in &grid {
             let coords: Vec<String> = p.coords.iter().map(|(k, v)| format!("{k}={v}")).collect();
@@ -377,17 +412,84 @@ fn run_sweep_cmd(args: &Args) {
         return;
     }
 
+    let shard = args.get("--shard").map(|raw| {
+        exit_on_err(ShardSpec::parse(&raw).map_err(|e| CliError::usage(format!("error: {e}"))))
+    });
+    let workers = exit_on_err(args.num("--workers"));
+    if shard.is_some() && workers.is_some() {
+        eprintln!("error: --shard and --workers are mutually exclusive");
+        std::process::exit(2);
+    }
+    if (shard.is_some() || workers.is_some()) && args.get("--out").is_none() {
+        eprintln!("error: --shard/--workers need --out FILE.jsonl");
+        std::process::exit(2);
+    }
+
+    if let Some(workers) = workers {
+        if workers == 0 {
+            eprintln!("error: --workers must be at least 1");
+            std::process::exit(2);
+        }
+        let out = args.get("--out").expect("checked above");
+        let row_timeout = args.get("--row-timeout").map_or(600.0, |raw| {
+            raw.parse::<f64>()
+                .ok()
+                .filter(|t| t.is_finite() && *t > 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!(
+                        "error: --row-timeout expects a positive number of seconds, got {raw:?}"
+                    );
+                    std::process::exit(2);
+                })
+        });
+        let cfg = SupervisorConfig {
+            spec_path,
+            sets: args.get_all("--set"),
+            out: std::path::PathBuf::from(out),
+            workers,
+            resume: args.has("--resume"),
+            jobs: exit_on_err(args.num("--jobs")),
+            row_timeout: std::time::Duration::from_secs_f64(row_timeout),
+            max_retries: exit_on_err(args.num_u32("--max-retries")).unwrap_or(2),
+            backoff: std::time::Duration::from_millis(
+                exit_on_err(args.num("--backoff-ms")).unwrap_or(250),
+            ),
+        };
+        let code = exit_on_err(supervise(&spec, &cfg));
+        std::process::exit(code);
+    }
+
     if let Some(out) = args.get("--out") {
-        let summary = run_sweep_jsonl(&spec, std::path::Path::new(&out), args.has("--resume"))
+        let opts = JsonlOptions {
+            resume: args.has("--resume"),
+            shard,
+            fault,
+        };
+        let summary = run_sweep_jsonl_opts(&spec, std::path::Path::new(&out), &opts)
             .unwrap_or_else(|e| {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             });
-        println!(
-            "sweep {}: {} grid points, {} executed, {} reused -> {}",
-            spec.name, summary.grid, summary.executed, summary.reused, out
-        );
-        println!("sweep digest: {}", summary.digest);
+        for warning in &summary.warnings {
+            eprintln!("warning: {warning}");
+        }
+        if let Some(sh) = shard {
+            println!(
+                "sweep {} shard {sh}: {} stripe points, {} executed, {} reused -> {}",
+                spec.name,
+                summary.grid,
+                summary.executed,
+                summary.reused,
+                ndp_sim::shard::shard_path(std::path::Path::new(&out), sh).display()
+            );
+            println!("shard digest: {}", summary.digest);
+        } else {
+            println!(
+                "sweep {}: {} grid points, {} executed, {} reused -> {}",
+                spec.name, summary.grid, summary.executed, summary.reused, out
+            );
+            println!("sweep digest: {}", summary.digest);
+        }
     } else {
         if args.has("--resume") {
             eprintln!("error: --resume needs --out FILE.jsonl");

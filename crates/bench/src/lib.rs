@@ -12,6 +12,7 @@
 //! The formatting helpers here are shared by both.
 
 pub mod cli;
+pub mod supervisor;
 
 use ndp_sim::report::RunReport;
 use ndp_sim::{SimConfig, SystemKind};

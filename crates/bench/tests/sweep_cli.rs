@@ -349,6 +349,97 @@ fn sweep_jsonl_is_jobs_invariant_and_resumable() {
 }
 
 #[test]
+fn sweep_rejects_a_knob_on_two_axes() {
+    let path = tmp("dup_axis", "json");
+    std::fs::write(
+        &path,
+        r#"{
+          "name": "dup",
+          "base": {"workload": "RND"},
+          "axes": [{"knob": "seed", "values": [1, 2]},
+                   {"knob": "mechanism", "values": ["radix"]},
+                   {"knob": "seed", "values": [3]}]
+        }"#,
+    )
+    .unwrap();
+    let out = ndpsim()
+        .args(["sweep", "--spec", path.to_str().unwrap(), "--dry-run"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"seed\""), "names the knob: {stderr}");
+    assert!(
+        stderr.contains("axis 1") && stderr.contains("axis 3"),
+        "names both axes: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sweep_rejects_an_axis_with_zero_values() {
+    let path = tmp("empty_axis", "json");
+    std::fs::write(&path, r#"{"axes": [{"knob": "mechanism", "values": []}]}"#).unwrap();
+    let out = ndpsim()
+        .args(["sweep", "--spec", path.to_str().unwrap(), "--dry-run"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("mechanism") && stderr.contains("values"),
+        "names the empty axis: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sweep_rejects_malformed_shard_and_worker_flags() {
+    let path = tmp("shardflags", "json");
+    std::fs::write(&path, TINY_SPEC).unwrap();
+    let spec = path.to_str().unwrap();
+    for shard in ["2", "a/2", "2/2", "0/0"] {
+        let out = ndpsim()
+            .args(["sweep", "--spec", spec, "--out", "/tmp/x.jsonl"])
+            .args(["--shard", shard])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "--shard {shard}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--shard"));
+    }
+    // --shard / --workers need --out, and exclude each other.
+    let out = ndpsim()
+        .args(["sweep", "--spec", spec, "--shard", "0/2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+    let out = ndpsim()
+        .args(["sweep", "--spec", spec, "--out", "/tmp/x.jsonl"])
+        .args(["--shard", "0/2", "--workers", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sweep_rejects_a_malformed_fault_plan_up_front() {
+    let path = tmp("badfault", "json");
+    std::fs::write(&path, TINY_SPEC).unwrap();
+    let out = ndpsim()
+        .env("NDP_FAULT", "explode@oops")
+        .args(["sweep", "--spec", path.to_str().unwrap()])
+        .args(["--out", "/tmp/x.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("NDP_FAULT"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn run_path_rejects_unknown_flags() {
     let out = ndpsim()
         .args(["--wndow", "8", "--workload", "RND"])

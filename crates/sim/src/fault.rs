@@ -1,0 +1,204 @@
+//! Fault injection for the sweep executor (`NDP_FAULT`).
+//!
+//! The sharded sweep executor promises to survive crashed workers, hung
+//! rows and torn writes. Those failures are rare enough in the wild that
+//! untested recovery paths rot; this module makes them reproducible. The
+//! `NDP_FAULT` environment variable — parsed **here and only here**, and
+//! completely inert unless set — arms one fault at one grid index:
+//!
+//! ```text
+//! NDP_FAULT=abort@3                 exit(86) just before emitting row 3
+//! NDP_FAULT=hang@3                  hang forever before emitting row 3
+//! NDP_FAULT=torn@3:once=/tmp/trip   write half of row 3's line (no
+//!                                   newline), flush, exit(86) — but only
+//!                                   if /tmp/trip does not exist yet
+//! ```
+//!
+//! The optional `:once=PATH` marker makes a fault **one-shot across
+//! processes**: firing creates `PATH`, and a process that finds `PATH`
+//! already present does not fire. That is what lets an integration test
+//! inject a fault into a supervised sweep and still expect the retried
+//! worker to complete — without the marker the fault re-fires on every
+//! attempt, which is exactly how the retries-exhausted path is tested.
+//!
+//! The hook sits on the row-emission path of the JSONL engine
+//! ([`crate::spec::run_sweep_jsonl_opts`]); merge and resume ingestion
+//! never consult it, so a supervisor process with `NDP_FAULT` in its
+//! environment (inherited by its workers, which is the injection route)
+//! merges shard output unharmed.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Exit code used by injected aborts and torn writes, distinct from the
+/// CLI's usage (2) and semantic (1) errors so tests and the supervisor
+/// log can attribute a death to the harness.
+pub const FAULT_EXIT_CODE: i32 = 86;
+
+/// What the armed fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Exit abnormally before the row is written.
+    Abort,
+    /// Hang forever before the row is written (exercises `--row-timeout`).
+    Hang,
+    /// Write a prefix of the row's line (no newline), flush, exit
+    /// abnormally (exercises torn-line truncate-and-redo on resume).
+    Torn,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Abort => "abort",
+            FaultKind::Hang => "hang",
+            FaultKind::Torn => "torn",
+        }
+    }
+}
+
+/// A parsed `NDP_FAULT` plan: one fault, one grid index, optionally
+/// one-shot across processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The failure to inject.
+    pub kind: FaultKind,
+    /// The (global) grid index whose row emission triggers it.
+    pub index: u64,
+    /// One-shot marker file: firing creates it, and its presence
+    /// disarms the fault for every later process.
+    pub once: Option<PathBuf>,
+}
+
+impl FaultPlan {
+    /// Parses `kind@index[:once=PATH]`.
+    ///
+    /// # Errors
+    ///
+    /// A descriptive message for anything malformed — a typo'd
+    /// `NDP_FAULT` must fail loudly, not silently run fault-free.
+    pub fn parse(raw: &str) -> Result<FaultPlan, String> {
+        let usage = "expected KIND@INDEX[:once=PATH] with KIND one of abort | hang | torn";
+        let (head, once) = match raw.split_once(":once=") {
+            Some((head, path)) if !path.is_empty() => (head, Some(PathBuf::from(path))),
+            Some(_) => return Err(format!("NDP_FAULT {raw:?}: empty once= path; {usage}")),
+            None => (raw, None),
+        };
+        let Some((kind, index)) = head.split_once('@') else {
+            return Err(format!("NDP_FAULT {raw:?}: missing '@'; {usage}"));
+        };
+        let kind = match kind.trim().to_ascii_lowercase().as_str() {
+            "abort" => FaultKind::Abort,
+            "hang" => FaultKind::Hang,
+            "torn" => FaultKind::Torn,
+            other => return Err(format!("NDP_FAULT: unknown kind {other:?}; {usage}")),
+        };
+        let index = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("NDP_FAULT {raw:?}: index must be a non-negative integer"))?;
+        Ok(FaultPlan { kind, index, once })
+    }
+
+    /// Whether the fault would fire for `index` right now (index match,
+    /// one-shot marker absent).
+    #[must_use]
+    pub fn armed(&self, index: u64) -> bool {
+        self.index == index && self.once.as_ref().is_none_or(|p| !p.exists())
+    }
+
+    /// Fires the fault if armed for `index`: creates the one-shot
+    /// marker, then aborts / hangs / tears the line through `w`. Returns
+    /// normally only when not armed.
+    pub fn maybe_fire(&self, index: u64, line: &str, w: &mut dyn Write) {
+        if !self.armed(index) {
+            return;
+        }
+        if let Some(marker) = &self.once {
+            // Best-effort: an unwritable marker must not mask the fault.
+            let _ = std::fs::write(marker, b"tripped\n");
+        }
+        eprintln!("NDP_FAULT: firing {} before row {index}", self.kind.name());
+        match self.kind {
+            FaultKind::Abort => std::process::exit(FAULT_EXIT_CODE),
+            FaultKind::Hang => loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            },
+            FaultKind::Torn => {
+                let cut = (line.len() / 2).max(1).min(line.len());
+                let _ = w.write_all(&line.as_bytes()[..cut]);
+                let _ = w.flush();
+                std::process::exit(FAULT_EXIT_CODE);
+            }
+        }
+    }
+}
+
+/// Reads and parses `NDP_FAULT`: `Ok(None)` when unset or empty (the
+/// common, fully inert case).
+///
+/// # Errors
+///
+/// The [`FaultPlan::parse`] message for a malformed value. Binaries
+/// validate this up front (like `NDP_THREADS`) for a clean exit.
+pub fn plan_from_env() -> Result<Option<FaultPlan>, String> {
+    match std::env::var("NDP_FAULT") {
+        Ok(v) if !v.trim().is_empty() => FaultPlan::parse(v.trim()).map(Some),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        let p = FaultPlan::parse("abort@3").unwrap();
+        assert_eq!((p.kind, p.index, p.once), (FaultKind::Abort, 3, None));
+        let p = FaultPlan::parse("HANG@0").unwrap();
+        assert_eq!(p.kind, FaultKind::Hang);
+        let p = FaultPlan::parse("torn@7:once=/tmp/x").unwrap();
+        assert_eq!(p.kind, FaultKind::Torn);
+        assert_eq!(p.once.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for bad in ["abort", "abort@x", "boom@3", "torn@1:once=", "@3", ""] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.contains("NDP_FAULT"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn armed_respects_index_and_marker() {
+        let dir = std::env::temp_dir();
+        let marker = dir.join(format!("ndp_fault_test_{}", std::process::id()));
+        std::fs::remove_file(&marker).ok();
+        let plan = FaultPlan {
+            kind: FaultKind::Abort,
+            index: 2,
+            once: Some(marker.clone()),
+        };
+        assert!(!plan.armed(1));
+        assert!(plan.armed(2));
+        std::fs::write(&marker, b"tripped\n").unwrap();
+        assert!(!plan.armed(2), "marker disarms the fault");
+        std::fs::remove_file(&marker).ok();
+    }
+
+    #[test]
+    fn torn_fault_writes_a_prefix() {
+        // Only the Torn arm is testable in-process (the others exit);
+        // check the disarmed path and the cut math instead of firing.
+        let plan = FaultPlan {
+            kind: FaultKind::Torn,
+            index: 5,
+            once: None,
+        };
+        let mut buf = Vec::new();
+        plan.maybe_fire(4, "{\"i\":4}", &mut buf);
+        assert!(buf.is_empty(), "wrong index must be a no-op");
+    }
+}

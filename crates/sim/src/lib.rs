@@ -49,9 +49,11 @@
 
 pub mod config;
 pub mod experiment;
+pub mod fault;
 pub mod machine;
 pub mod parallel;
 pub mod report;
+pub mod shard;
 pub mod spec;
 pub mod sweeps;
 

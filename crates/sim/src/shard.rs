@@ -1,0 +1,188 @@
+//! Shard arithmetic and file naming for the multi-process sweep executor.
+//!
+//! A sweep grid is split across `N` workers by striping: shard `I` owns
+//! every grid index `i` with `i % N == I`. Striping (rather than
+//! contiguous blocks) keeps the expensive points — which tend to cluster
+//! at one end of an axis — spread evenly across workers, and makes a
+//! shard's stripe a pure function of `(I, N)` so a respawned worker
+//! recomputes its remaining work from its own shard file alone.
+//!
+//! Each shard streams rows to `<out>.shard-I-of-N` next to the final
+//! output; the merge step ([`crate::spec::merge_sweep_jsonl`]) stitches
+//! the shard files back into grid order and lands the result at `<out>`
+//! via temp-file + atomic rename. Everything path-related lives here so
+//! worker, supervisor and merge agree on names by construction.
+
+use std::path::{Path, PathBuf};
+
+/// One worker's slice of the grid: stripe `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Which stripe this worker owns (`0 <= index < count`).
+    pub index: u64,
+    /// Total number of stripes the grid is split into.
+    pub count: u64,
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `I/N`, e.g. `0/4`.
+    ///
+    /// # Errors
+    ///
+    /// A descriptive message when the form is not `I/N`, `N` is zero, or
+    /// `I >= N`.
+    pub fn parse(raw: &str) -> Result<ShardSpec, String> {
+        let Some((index, count)) = raw.split_once('/') else {
+            return Err(format!("--shard {raw:?}: expected I/N, e.g. 0/4"));
+        };
+        let index: u64 = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("--shard {raw:?}: shard index must be a non-negative integer"))?;
+        let count: u64 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("--shard {raw:?}: shard count must be a positive integer"))?;
+        if count == 0 {
+            return Err(format!("--shard {raw:?}: shard count must be at least 1"));
+        }
+        if index >= count {
+            return Err(format!(
+                "--shard {raw:?}: shard index {index} out of range for {count} shard(s)"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Whether this shard owns grid index `i`.
+    #[must_use]
+    pub fn owns(&self, i: usize) -> bool {
+        i as u64 % self.count == self.index
+    }
+
+    /// The filename suffix identifying this shard, e.g. `shard-0-of-4`.
+    #[must_use]
+    pub fn suffix(&self) -> String {
+        format!("shard-{}-of-{}", self.index, self.count)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Appends a suffix to a path's file name: `out.jsonl` + `tmp` →
+/// `out.jsonl.tmp`. The suffix extends the name rather than replacing
+/// the extension so sibling artifacts sort next to their output.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".");
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The per-shard stream path for `out`, e.g. `out.jsonl.shard-0-of-4`.
+#[must_use]
+pub fn shard_path(out: &Path, shard: ShardSpec) -> PathBuf {
+    sibling(out, &shard.suffix())
+}
+
+/// The temp sibling a serial/merged stream writes through before the
+/// atomic rename to `out`, e.g. `out.jsonl.tmp`.
+#[must_use]
+pub fn stream_path(out: &Path) -> PathBuf {
+    sibling(out, "tmp")
+}
+
+/// All existing shard files for `out`, sorted by name — any shard
+/// count, any completeness. Resume and merge ingest whatever is there.
+#[must_use]
+pub fn existing_shard_files(out: &Path) -> Vec<PathBuf> {
+    let Some(name) = out.file_name().and_then(|n| n.to_str()) else {
+        return Vec::new();
+    };
+    let prefix = format!("{name}.shard-");
+    let dir = match out.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_stripes() {
+        let s = ShardSpec::parse("1/3").unwrap();
+        assert_eq!((s.index, s.count), (1, 3));
+        let owned: Vec<usize> = (0..9).filter(|&i| s.owns(i)).collect();
+        assert_eq!(owned, vec![1, 4, 7]);
+        assert_eq!(s.suffix(), "shard-1-of-3");
+        assert_eq!(s.to_string(), "1/3");
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let s = ShardSpec::parse("0/1").unwrap();
+        assert!((0..5).all(|i| s.owns(i)));
+    }
+
+    #[test]
+    fn rejects_bad_shard_specs() {
+        for bad in ["3", "a/2", "1/0", "2/2", "5/2", "-1/2", ""] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn path_helpers_extend_the_file_name() {
+        let out = Path::new("results/sweep.jsonl");
+        let shard = ShardSpec { index: 0, count: 2 };
+        assert_eq!(
+            shard_path(out, shard),
+            Path::new("results/sweep.jsonl.shard-0-of-2")
+        );
+        assert_eq!(stream_path(out), Path::new("results/sweep.jsonl.tmp"));
+    }
+
+    #[test]
+    fn lists_only_matching_shard_files() {
+        let dir = std::env::temp_dir().join(format!("ndp_shard_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("run.jsonl");
+        std::fs::write(shard_path(&out, ShardSpec { index: 1, count: 2 }), b"").unwrap();
+        std::fs::write(shard_path(&out, ShardSpec { index: 0, count: 2 }), b"").unwrap();
+        std::fs::write(dir.join("run.jsonl.tmp"), b"").unwrap();
+        std::fs::write(dir.join("other.jsonl.shard-0-of-2"), b"").unwrap();
+        let files = existing_shard_files(&out);
+        let names: Vec<_> = files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["run.jsonl.shard-0-of-2", "run.jsonl.shard-1-of-2"]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,9 +34,11 @@
 //! `tests/spec_api.rs`).
 
 use crate::config::{InclusionPolicy, SimConfig, SystemKind};
+use crate::fault::FaultPlan;
 use crate::machine::Machine;
 use crate::parallel::{par_map, par_map_sink};
 use crate::report::RunReport;
+use crate::shard::{self, ShardSpec};
 use ndp_types::stats::geomean;
 use ndp_types::Cycles;
 use ndp_workloads::WorkloadId;
@@ -1074,15 +1076,57 @@ impl SweepSpec {
         }
     }
 
+    /// Structural validation of the axes themselves, before any grid
+    /// point is built: an axis with zero values collapses the whole
+    /// grid to nothing, and a knob appearing on two different axes
+    /// makes one axis silently overwrite the other — both are spec
+    /// bugs, rejected with the axis/knob named.
+    ///
+    /// # Errors
+    ///
+    /// Names the empty axis (1-based) or the knob and the two axes it
+    /// appears on.
+    pub fn validate_axes(&self) -> Result<(), SpecError> {
+        let mut seen: Vec<(&str, usize)> = Vec::new();
+        for (a, axis) in self.axes.iter().enumerate() {
+            if axis.points.is_empty() {
+                return Err(SpecError::new(format!(
+                    "axis {} has zero values (an empty axis makes the grid empty)",
+                    a + 1
+                )));
+            }
+            let mut here: Vec<&str> = axis
+                .points
+                .iter()
+                .flat_map(|p| p.sets.iter().map(|(k, _)| k.as_str()))
+                .collect();
+            here.sort_unstable();
+            here.dedup();
+            for k in here {
+                if let Some(&(_, prev)) = seen.iter().find(|(name, _)| *name == k) {
+                    return Err(SpecError::new(format!(
+                        "knob {k:?} appears on both axis {prev} and axis {} \
+                         (each knob may vary on one axis only)",
+                        a + 1
+                    )));
+                }
+                seen.push((k, a + 1));
+            }
+        }
+        Ok(())
+    }
+
     /// Expands the cross product into the deterministic grid: every
     /// combination exactly once, row-major (first axis slowest), each
     /// config validated.
     ///
     /// # Errors
     ///
-    /// Unknown knobs, bad values, or a grid point failing
+    /// Structurally invalid axes ([`Self::validate_axes`]), unknown
+    /// knobs, bad values, or a grid point failing
     /// [`SimConfig::validate`] (the error names the point).
     pub fn expand(&self) -> Result<Vec<GridPoint>, SpecError> {
+        self.validate_axes()?;
         let total = self.grid_len();
         let mut grid = Vec::with_capacity(total);
         for index in 0..total {
@@ -1333,154 +1377,309 @@ pub struct JsonlRow {
 /// its grid point re-runs).
 #[must_use]
 pub fn parse_jsonl(text: &str) -> Vec<JsonlRow> {
-    text.lines()
-        .filter_map(|line| {
-            let Ok(Json::Obj(fields)) = parse_json(line) else {
-                return None;
-            };
-            let num = |key: &str| -> Option<u64> {
-                fields.iter().find_map(|(k, v)| match v {
-                    Json::Num(raw) if k == key => raw.parse().ok(),
-                    _ => None,
-                })
-            };
-            Some(JsonlRow {
-                index: num("i")?,
-                config_fingerprint: num("cfg")?,
-                report_fingerprint: num("fp")?,
-                line: line.to_string(),
-            })
+    text.lines().filter_map(parse_jsonl_line).collect()
+}
+
+/// Result of strictly ingesting a JSONL sweep stream for resume/merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlIngest {
+    /// Every valid, newline-terminated row, in file order.
+    pub rows: Vec<JsonlRow>,
+    /// Byte offset just past each row's newline (parallel to `rows`) —
+    /// truncating the file to `ends[k]` keeps exactly rows `0..=k`.
+    pub ends: Vec<u64>,
+    /// Non-fatal observations: a torn or garbage **trailing** line is
+    /// skipped with a warning here (its point simply re-runs).
+    pub warnings: Vec<String>,
+}
+
+/// Strictly parses a JSONL sweep stream with line-granular crash
+/// recovery semantics: a malformed or unterminated **final** line is
+/// the signature of an interrupted append and is skipped with a
+/// warning (truncate-and-redo — never an error, never a duplicate);
+/// a malformed line **mid**-file means something other than a crash
+/// mangled the stream, and that is an error naming the line.
+///
+/// Blank lines are ignored. A *valid* final line without a trailing
+/// newline is still treated as torn: append-only recovery truncates
+/// to the last newline-terminated row, so a partially-flushed line
+/// re-runs rather than risking a half-written row surviving.
+///
+/// # Errors
+///
+/// Corruption before the final line, with `source` and the 1-based
+/// line number in the message.
+pub fn ingest_jsonl(text: &str, source: &str) -> Result<JsonlIngest, SpecError> {
+    let mut ingest = JsonlIngest {
+        rows: Vec::new(),
+        ends: Vec::new(),
+        warnings: Vec::new(),
+    };
+    let mut offset = 0u64;
+    let mut lineno = 0usize;
+    let mut segments = text.split_inclusive('\n').peekable();
+    while let Some(seg) = segments.next() {
+        lineno += 1;
+        offset += seg.len() as u64;
+        let last = segments.peek().is_none();
+        let terminated = seg.ends_with('\n');
+        let content = seg.trim_end_matches('\n').trim_end_matches('\r');
+        if content.trim().is_empty() {
+            continue;
+        }
+        let row = parse_jsonl_line(content);
+        match (row, terminated, last) {
+            (Some(row), true, _) => {
+                ingest.rows.push(row);
+                ingest.ends.push(offset);
+            }
+            (Some(_), false, _) => {
+                // Unterminated can only be the final segment.
+                ingest.warnings.push(format!(
+                    "{source}: final line {lineno} has no trailing newline \
+                     (torn write); dropping it, its grid point will re-run"
+                ));
+            }
+            (None, _, true) => {
+                ingest.warnings.push(format!(
+                    "{source}: skipping truncated/garbage trailing line {lineno}; \
+                     its grid point will re-run"
+                ));
+            }
+            (None, _, false) => {
+                return Err(SpecError::new(format!(
+                    "{source}: corrupt JSONL row at line {lineno} (mid-file — \
+                     not a torn tail; refusing to resume over it)"
+                )));
+            }
+        }
+    }
+    Ok(ingest)
+}
+
+fn parse_jsonl_line(line: &str) -> Option<JsonlRow> {
+    let Ok(Json::Obj(fields)) = parse_json(line) else {
+        return None;
+    };
+    let num = |key: &str| -> Option<u64> {
+        fields.iter().find_map(|(k, v)| match v {
+            Json::Num(raw) if k == key => raw.parse().ok(),
+            _ => None,
         })
-        .collect()
+    };
+    Some(JsonlRow {
+        index: num("i")?,
+        config_fingerprint: num("cfg")?,
+        report_fingerprint: num("fp")?,
+        line: line.to_string(),
+    })
+}
+
+/// Loads resume rows from `sources` in order (later sources win) into
+/// a by-grid-index cache. A row is usable only when its grid index and
+/// config fingerprint both match the current grid; anything else is
+/// warned about and ignored. A duplicate grid index **within one
+/// file** is warned about, last row wins.
+///
+/// # Errors
+///
+/// Mid-file corruption in any source ([`ingest_jsonl`]).
+fn load_resume_cache(
+    sources: &[std::path::PathBuf],
+    fps: &[u64],
+    warnings: &mut Vec<String>,
+) -> Result<Vec<Option<JsonlRow>>, SpecError> {
+    let mut cached: Vec<Option<JsonlRow>> = vec![None; fps.len()];
+    for src in sources {
+        let Ok(text) = std::fs::read_to_string(src) else {
+            continue;
+        };
+        let name = src.display().to_string();
+        let ingest = ingest_jsonl(&text, &name)?;
+        warnings.extend(ingest.warnings);
+        let mut seen = vec![false; fps.len()];
+        for row in ingest.rows {
+            let idx = row.index as usize;
+            if idx >= fps.len() || fps[idx] != row.config_fingerprint {
+                warnings.push(format!(
+                    "{name}: row for grid index {} does not match the current \
+                     grid (ignored; its point re-runs if still in the spec)",
+                    row.index
+                ));
+                continue;
+            }
+            if seen[idx] {
+                warnings.push(format!(
+                    "{name}: duplicate row for grid index {idx} (keeping the last)"
+                ));
+            }
+            seen[idx] = true;
+            cached[idx] = Some(row);
+        }
+    }
+    Ok(cached)
 }
 
 /// Summary of a [`run_sweep_jsonl`] drive.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepRunSummary {
-    /// Total grid points in the spec.
+    /// Grid points this run was responsible for (the full grid, or the
+    /// shard's stripe under `--shard`).
     pub grid: usize,
     /// Points actually simulated this run.
     pub executed: usize,
-    /// Points reused from the resume file.
+    /// Points reused from resume state (final output, `.tmp` stream or
+    /// shard files).
     pub reused: usize,
     /// XOR of every row's report fingerprint (reused rows contribute
     /// their recorded fingerprint).
     pub digest: u64,
+    /// Non-fatal resume observations (torn tails skipped, stale rows
+    /// ignored, duplicates resolved). Callers should surface these.
+    pub warnings: Vec<String>,
 }
 
-/// Runs a sweep with **incremental JSONL output**: the file at `path`
-/// always holds a contiguous, in-grid-order prefix of completed rows
-/// (each flushed as soon as every earlier grid point has retired), so an
-/// interrupted sweep leaves a usable, resumable file.
+/// How [`run_sweep_jsonl_opts`] executes and recovers.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlOptions {
+    /// Reuse matching rows from existing output/stream/shard files.
+    pub resume: bool,
+    /// Run only this stripe of the grid, streaming to the shard file.
+    pub shard: Option<ShardSpec>,
+    /// Fault-injection plan (tests only; `None` in production).
+    pub fault: Option<FaultPlan>,
+}
+
+/// Runs a sweep with **incremental JSONL output**: the stream always
+/// holds a contiguous, in-order prefix of completed rows (each flushed
+/// as soon as every earlier point has retired), so an interrupted sweep
+/// leaves a usable, resumable stream. The final file lands via
+/// temp-file + atomic rename ([`run_sweep_jsonl_opts`] for details).
 ///
-/// With `resume`, rows already in the file are reused — a row is
-/// reused when both its config fingerprint and its grid index match the
+/// With `resume`, rows already on disk are reused — a row is reused
+/// when both its config fingerprint and its grid index match the
 /// current spec, so a spec edit re-runs exactly the points it moved or
 /// changed — and only the remaining grid points execute. The merged
 /// file is byte-for-byte identical to an uninterrupted run.
 ///
 /// # Errors
 ///
-/// Spec expansion errors, or I/O errors reading/writing `path`.
+/// Spec expansion errors, mid-file resume corruption, or I/O errors.
 pub fn run_sweep_jsonl(
     spec: &SweepSpec,
     path: &Path,
     resume: bool,
 ) -> Result<SweepRunSummary, SpecError> {
-    let grid = spec.expand()?;
-    let fps: Vec<u64> = grid.iter().map(|p| config_fingerprint(&p.config)).collect();
+    run_sweep_jsonl_opts(
+        spec,
+        path,
+        &JsonlOptions {
+            resume,
+            ..JsonlOptions::default()
+        },
+    )
+}
 
-    // A cached line is reused only if it sits at the same grid index
-    // with the same config fingerprint — the "truncated tail" resume
-    // case. Anything else (edited spec, reordered axes) re-runs.
-    let mut cached: Vec<Option<JsonlRow>> = vec![None; grid.len()];
-    let mut reused = 0usize;
-    if resume {
-        if let Ok(text) = std::fs::read_to_string(path) {
-            for row in parse_jsonl(&text) {
-                let idx = row.index as usize;
-                if idx < grid.len() && fps[idx] == row.config_fingerprint && cached[idx].is_none() {
-                    cached[idx] = Some(row);
-                    reused += 1;
-                }
-            }
+/// In-order row sink over a position list: positions `0..written` are
+/// already on disk; `put` appends the next one.
+struct Sink<'a> {
+    w: std::io::BufWriter<std::fs::File>,
+    /// Positions (into the emit list) already emitted.
+    written: usize,
+    /// Grid index of each emit position (fault-plan addressing).
+    emit: &'a [usize],
+    cached: &'a [Option<JsonlRow>],
+    fault: Option<&'a FaultPlan>,
+    err: Option<String>,
+}
+
+impl Sink<'_> {
+    fn put(&mut self, line: &str) {
+        let pos = self.written;
+        // Count the row as logically emitted even after an earlier
+        // write error: `written` is the loop variable of
+        // `flush_cached_until`, which must keep terminating so the
+        // first error can propagate instead of hanging the workers.
+        self.written += 1;
+        if self.err.is_some() {
+            return;
+        }
+        if let Some(fault) = self.fault {
+            // Abort/hang/torn exit or block here; returns iff disarmed.
+            fault.maybe_fire(self.emit[pos] as u64, line, &mut self.w);
+        }
+        if let Err(e) = writeln!(self.w, "{line}") {
+            self.err = Some(e.to_string());
         }
     }
 
-    let mut missing_idx = Vec::new();
+    /// Writes cached rows up to (not including) emit position `upto`.
+    fn flush_cached_until(&mut self, upto: usize) {
+        while self.written < upto {
+            match &self.cached[self.written] {
+                Some(row) => {
+                    let line = row.line.clone();
+                    self.put(&line);
+                }
+                // The engine only calls with `upto` = a position about
+                // to be written fresh; every earlier position is cached
+                // or in the execute list, which runs in ascending order.
+                None => unreachable!("gap in completed sweep prefix"),
+            }
+        }
+        let _ = self.w.flush();
+    }
+}
+
+/// Streams rows for emit positions `start..emit.len()` into `file` in
+/// order: cached rows are copied, the rest simulate on the parallel
+/// driver and flush per-row. Returns `(executed, digest_of_executed)`.
+#[allow(clippy::too_many_arguments)]
+fn stream_rows(
+    grid: &[GridPoint],
+    fps: &[u64],
+    emit: &[usize],
+    start: usize,
+    cached: &[Option<JsonlRow>],
+    file: std::fs::File,
+    fault: Option<&FaultPlan>,
+    path: &Path,
+) -> Result<(usize, u64), SpecError> {
+    let mut missing_pos = Vec::new();
     let mut missing_cfgs = Vec::new();
-    for p in &grid {
-        if cached[p.index].is_none() {
-            missing_idx.push(p.index);
-            missing_cfgs.push(p.config.clone());
+    for pos in start..emit.len() {
+        if cached[pos].is_none() {
+            missing_pos.push(pos);
+            missing_cfgs.push(grid[emit[pos]].config.clone());
         }
     }
 
-    struct Sink<'a> {
-        w: std::io::BufWriter<std::fs::File>,
-        written: usize,
-        cached: &'a [Option<JsonlRow>],
-        err: Option<String>,
-    }
-    impl Sink<'_> {
-        fn put(&mut self, line: &str) {
-            // Count the row as logically emitted even after an earlier
-            // write error: `written` is the loop variable of
-            // `flush_cached_until`, which must keep terminating so the
-            // first error can propagate instead of hanging the workers.
-            self.written += 1;
-            if self.err.is_some() {
-                return;
-            }
-            if let Err(e) = writeln!(self.w, "{line}") {
-                self.err = Some(e.to_string());
-            }
-        }
-        /// Writes cached rows up to (not including) grid index `upto`.
-        fn flush_cached_until(&mut self, upto: usize) {
-            while self.written < upto {
-                match &self.cached[self.written] {
-                    Some(row) => {
-                        let line = row.line.clone();
-                        self.put(&line);
-                    }
-                    // The engine only calls with `upto` = a grid index
-                    // about to be written fresh; every earlier index is
-                    // cached by construction.
-                    None => unreachable!("gap in completed sweep prefix"),
-                }
-            }
-            let _ = self.w.flush();
-        }
-    }
-
-    let file = std::fs::File::create(path)
-        .map_err(|e| SpecError::new(format!("cannot create {}: {e}", path.display())))?;
     let mut sink = Sink {
         w: std::io::BufWriter::new(file),
-        written: 0,
-        cached: &cached,
+        written: start,
+        emit,
+        cached,
+        fault,
         err: None,
     };
+    // Land the reused prefix immediately — a sweep interrupted again
+    // while its first missing point is still simulating must not lose
+    // rows it already had.
+    sink.flush_cached_until(missing_pos.first().copied().unwrap_or(emit.len()));
 
-    // `File::create` truncated the file, so restore the reused prefix
-    // immediately — a sweep interrupted again while its first missing
-    // point is still simulating must not lose rows it already had.
-    sink.flush_cached_until(missing_idx.first().copied().unwrap_or(grid.len()));
-
-    let executed = missing_idx.len();
-    let missing_rows: Vec<(usize, Coords, u64)> = missing_idx
+    let executed = missing_pos.len();
+    let missing_rows: Vec<(usize, Coords, u64)> = missing_pos
         .iter()
-        .map(|&g| (g, grid[g].coords.clone(), fps[g]))
+        .map(|&p| (p, grid[emit[p]].coords.clone(), fps[emit[p]]))
         .collect();
     let reports = par_map_sink(missing_cfgs, |cfg| Machine::new(cfg).run(), {
         let sink = &mut sink;
         let missing_rows = &missing_rows;
         move |k: usize, report: &RunReport| {
-            let (g, ref coords, cfg_fp) = missing_rows[k];
-            sink.flush_cached_until(g);
+            let (p, ref coords, cfg_fp) = missing_rows[k];
+            sink.flush_cached_until(p);
             let row = SweepRow {
-                index: g,
+                index: emit[p],
                 coords: coords.clone(),
                 config_fingerprint: cfg_fp,
                 report: report.clone(),
@@ -1489,24 +1688,252 @@ pub fn run_sweep_jsonl(
             let _ = sink.w.flush();
         }
     });
-    sink.flush_cached_until(grid.len());
+    sink.flush_cached_until(emit.len());
     if let Some(e) = sink.err {
         return Err(SpecError::new(format!("writing {}: {e}", path.display())));
     }
     drop(sink);
 
     let mut digest = 0u64;
-    for row in cached.iter().flatten() {
-        digest ^= row.report_fingerprint;
-    }
     for report in &reports {
         digest ^= report.fingerprint();
     }
-    Ok(SweepRunSummary {
+    Ok((executed, digest))
+}
+
+/// The crash-safe JSONL sweep engine.
+///
+/// **Serial mode** (`shard: None`): resumes from the final output, its
+/// `.tmp` stream and any shard files next to it (later sources win),
+/// streams the full grid to `<path>.tmp`, then atomically renames onto
+/// `path` and removes the now-stale shard files. An interrupt leaves
+/// the previous `path` intact and a contiguous `.tmp` prefix to resume
+/// from; `path` itself is never half-written.
+///
+/// **Shard mode** (`shard: Some(I/N)`): runs only grid indices with
+/// `i % N == I`, appending to `<path>.shard-I-of-N`. Resume keeps the
+/// longest prefix of the shard file that matches the stripe in order
+/// (truncating a torn tail byte-accurately), reuses matching rows from
+/// the merged output for later stripe positions, and appends the rest
+/// with a per-row flush — the file's growth is the worker's heartbeat.
+/// [`merge_sweep_jsonl`] stitches shard files back into the serial
+/// byte stream.
+///
+/// # Errors
+///
+/// Spec expansion errors, mid-file corruption in resume sources, or
+/// I/O errors.
+pub fn run_sweep_jsonl_opts(
+    spec: &SweepSpec,
+    path: &Path,
+    opts: &JsonlOptions,
+) -> Result<SweepRunSummary, SpecError> {
+    let grid = spec.expand()?;
+    let fps: Vec<u64> = grid.iter().map(|p| config_fingerprint(&p.config)).collect();
+    let mut warnings = Vec::new();
+
+    if let Some(sh) = opts.shard {
+        let emit: Vec<usize> = (0..grid.len()).filter(|&i| sh.owns(i)).collect();
+        let spath = shard::shard_path(path, sh);
+        let sname = spath.display().to_string();
+
+        // The shard file is append-only in stripe order, so its usable
+        // resume state is the longest prefix matching the stripe; the
+        // first mismatched row (spec edit) or torn tail truncates.
+        let mut prefix_rows = 0usize;
+        let mut prefix_bytes = 0u64;
+        let mut digest = 0u64;
+        if opts.resume {
+            if let Ok(text) = std::fs::read_to_string(&spath) {
+                let ingest = ingest_jsonl(&text, &sname)?;
+                warnings.extend(ingest.warnings);
+                for (k, row) in ingest.rows.iter().enumerate() {
+                    let expect = emit.get(k).copied();
+                    if expect != Some(row.index as usize)
+                        || fps[row.index as usize] != row.config_fingerprint
+                    {
+                        warnings.push(format!(
+                            "{sname}: row {} does not match stripe {sh} of the \
+                             current grid; truncating and re-running from there",
+                            k + 1
+                        ));
+                        break;
+                    }
+                    prefix_rows = k + 1;
+                    prefix_bytes = ingest.ends[k];
+                    digest ^= row.report_fingerprint;
+                }
+            }
+        }
+
+        // Later stripe positions can still reuse rows from a previous
+        // (possibly partial) merged output or its stream.
+        let mut cached: Vec<Option<JsonlRow>> = vec![None; emit.len()];
+        if opts.resume {
+            let sources = [path.to_path_buf(), shard::stream_path(path)];
+            let mut by_idx = load_resume_cache(&sources, &fps, &mut warnings)?;
+            for (pos, &g) in emit.iter().enumerate().skip(prefix_rows) {
+                cached[pos] = by_idx[g].take();
+            }
+        }
+
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&spath)
+            .map_err(|e| SpecError::new(format!("cannot open {sname}: {e}")))?;
+        file.set_len(prefix_bytes)
+            .map_err(|e| SpecError::new(format!("cannot truncate {sname}: {e}")))?;
+        {
+            use std::io::Seek as _;
+            let mut f = &file;
+            f.seek(std::io::SeekFrom::End(0))
+                .map_err(|e| SpecError::new(format!("cannot seek {sname}: {e}")))?;
+        }
+
+        let reused = prefix_rows + cached.iter().flatten().count();
+        for row in cached.iter().flatten() {
+            digest ^= row.report_fingerprint;
+        }
+        let (executed, exec_digest) = stream_rows(
+            &grid,
+            &fps,
+            &emit,
+            prefix_rows,
+            &cached,
+            file,
+            opts.fault.as_ref(),
+            &spath,
+        )?;
+        Ok(SweepRunSummary {
+            grid: emit.len(),
+            executed,
+            reused,
+            digest: digest ^ exec_digest,
+            warnings,
+        })
+    } else {
+        let emit: Vec<usize> = (0..grid.len()).collect();
+        let shard_files = shard::existing_shard_files(path);
+        let mut cached: Vec<Option<JsonlRow>> = vec![None; grid.len()];
+        if opts.resume {
+            let mut sources = vec![path.to_path_buf(), shard::stream_path(path)];
+            sources.extend(shard_files.iter().cloned());
+            cached = load_resume_cache(&sources, &fps, &mut warnings)?;
+        }
+
+        let tmp = shard::stream_path(path);
+        let file = std::fs::File::create(&tmp)
+            .map_err(|e| SpecError::new(format!("cannot create {}: {e}", tmp.display())))?;
+        let reused = cached.iter().flatten().count();
+        let mut digest = 0u64;
+        for row in cached.iter().flatten() {
+            digest ^= row.report_fingerprint;
+        }
+        let (executed, exec_digest) = stream_rows(
+            &grid,
+            &fps,
+            &emit,
+            0,
+            &cached,
+            file,
+            opts.fault.as_ref(),
+            &tmp,
+        )?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            SpecError::new(format!(
+                "cannot rename {} to {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })?;
+        // The sweep is complete at `path`; shard files for it are stale.
+        for f in &shard_files {
+            std::fs::remove_file(f).ok();
+        }
+        Ok(SweepRunSummary {
+            grid: grid.len(),
+            executed,
+            reused,
+            digest: digest ^ exec_digest,
+            warnings,
+        })
+    }
+}
+
+/// Summary of a [`merge_sweep_jsonl`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Total grid points in the spec.
+    pub grid: usize,
+    /// Rows present in the merged output.
+    pub merged: usize,
+    /// Grid indices with no completed row anywhere (partial sweep).
+    pub missing: Vec<usize>,
+    /// XOR of every merged row's report fingerprint.
+    pub digest: u64,
+    /// Non-fatal observations from ingesting the sources.
+    pub warnings: Vec<String>,
+}
+
+/// Merges shard files (plus any previous merged output / `.tmp`
+/// stream) into the final JSONL at `path`: rows in grid order, written
+/// through `<path>.tmp` + atomic rename, byte-identical to an
+/// uninterrupted serial run when every row is present. Deliberately
+/// consults no fault plan — a supervisor with `NDP_FAULT` exported for
+/// its workers merges unharmed. On a complete merge the shard files
+/// are removed; on a partial one they are kept so a later run can
+/// resume, and `missing` lists the absent grid indices.
+///
+/// # Errors
+///
+/// Spec expansion errors, mid-file corruption in any source, or I/O
+/// errors writing the merged file.
+pub fn merge_sweep_jsonl(spec: &SweepSpec, path: &Path) -> Result<MergeSummary, SpecError> {
+    let grid = spec.expand()?;
+    let fps: Vec<u64> = grid.iter().map(|p| config_fingerprint(&p.config)).collect();
+    let mut warnings = Vec::new();
+
+    let shard_files = shard::existing_shard_files(path);
+    let mut sources = vec![path.to_path_buf(), shard::stream_path(path)];
+    sources.extend(shard_files.iter().cloned());
+    let cached = load_resume_cache(&sources, &fps, &mut warnings)?;
+
+    let missing: Vec<usize> = (0..grid.len()).filter(|&i| cached[i].is_none()).collect();
+    let tmp = shard::stream_path(path);
+    let file = std::fs::File::create(&tmp)
+        .map_err(|e| SpecError::new(format!("cannot create {}: {e}", tmp.display())))?;
+    let mut w = std::io::BufWriter::new(file);
+    let mut digest = 0u64;
+    let mut merged = 0usize;
+    for row in cached.iter().flatten() {
+        writeln!(w, "{}", row.line)
+            .map_err(|e| SpecError::new(format!("writing {}: {e}", tmp.display())))?;
+        digest ^= row.report_fingerprint;
+        merged += 1;
+    }
+    w.flush()
+        .map_err(|e| SpecError::new(format!("writing {}: {e}", tmp.display())))?;
+    drop(w);
+    std::fs::rename(&tmp, path).map_err(|e| {
+        SpecError::new(format!(
+            "cannot rename {} to {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })?;
+    if missing.is_empty() {
+        for f in &shard_files {
+            std::fs::remove_file(f).ok();
+        }
+    }
+    Ok(MergeSummary {
         grid: grid.len(),
-        executed,
-        reused,
+        merged,
+        missing,
         digest,
+        warnings,
     })
 }
 
@@ -1809,5 +2236,78 @@ mod tests {
         );
         let spec = SweepSpec::from_json(r#"{"name": "café"}"#).unwrap();
         assert_eq!(spec.name, "café");
+    }
+
+    #[test]
+    fn axes_reject_a_knob_on_two_axes() {
+        let spec = SweepSpec::new(base())
+            .axis("seed", &[1u64, 2])
+            .axis("mechanism", &["radix", "ndpage"])
+            .axis("seed", &[3u64]);
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(err.contains("\"seed\""), "names the knob: {err}");
+        assert!(
+            err.contains("axis 1") && err.contains("axis 3"),
+            "names both axes: {err}"
+        );
+        // A paired axis sharing a knob with a plain axis is caught too.
+        let spec = SweepSpec::new(base())
+            .axis("cores", &[1u32, 2])
+            .paired_axis(vec![vec![("cores", "4".to_string())]]);
+        assert!(spec.expand().is_err());
+    }
+
+    #[test]
+    fn axes_reject_zero_values() {
+        let spec = SweepSpec::new(base()).axis("seed", &[] as &[u64]);
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(
+            err.contains("axis 1") && err.contains("zero values"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn ingest_accepts_clean_streams_with_byte_ends() {
+        let text = "{\"i\":0,\"cfg\":10,\"fp\":100}\n{\"i\":1,\"cfg\":11,\"fp\":101}\n";
+        let ingest = ingest_jsonl(text, "test").unwrap();
+        assert_eq!(ingest.rows.len(), 2);
+        assert!(ingest.warnings.is_empty());
+        assert_eq!(ingest.ends[0], 26);
+        assert_eq!(ingest.ends[1], text.len() as u64);
+        assert!(ingest_jsonl("", "test").unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn ingest_skips_torn_or_garbage_tails_with_a_warning() {
+        for tail in ["{\"i\":2,\"cfg\":1", "not json at all\n", "{\"i\":2}\n"] {
+            let text = format!("{{\"i\":0,\"cfg\":10,\"fp\":100}}\n{tail}");
+            let ingest = ingest_jsonl(&text, "test").unwrap();
+            assert_eq!(ingest.rows.len(), 1, "tail {tail:?}");
+            assert_eq!(ingest.warnings.len(), 1, "tail {tail:?}");
+            assert!(
+                ingest.warnings[0].contains("line 2"),
+                "{}",
+                ingest.warnings[0]
+            );
+        }
+        // A *valid* final row without its newline is still torn: the
+        // append stream recovers to the last terminated line.
+        let text = "{\"i\":0,\"cfg\":10,\"fp\":100}\n{\"i\":1,\"cfg\":11,\"fp\":101}";
+        let ingest = ingest_jsonl(text, "test").unwrap();
+        assert_eq!(ingest.rows.len(), 1);
+        assert!(
+            ingest.warnings[0].contains("torn"),
+            "{}",
+            ingest.warnings[0]
+        );
+    }
+
+    #[test]
+    fn ingest_errors_on_mid_file_corruption_naming_the_line() {
+        let text = "{\"i\":0,\"cfg\":10,\"fp\":100}\ngarbage\n{\"i\":2,\"cfg\":12,\"fp\":102}\n";
+        let err = ingest_jsonl(text, "rows.jsonl").unwrap_err().to_string();
+        assert!(err.contains("rows.jsonl"), "names the source: {err}");
+        assert!(err.contains("line 2"), "names the line: {err}");
     }
 }

@@ -4,8 +4,10 @@
 //! driver must resume interrupted sweeps byte-for-byte.
 
 use ndp_sim::parallel::par_map_threads;
+use ndp_sim::shard::ShardSpec;
 use ndp_sim::spec::{
-    config_fingerprint, parse_jsonl, run_sweep, run_sweep_jsonl, SweepRow, SweepSpec,
+    config_fingerprint, merge_sweep_jsonl, parse_jsonl, run_sweep, run_sweep_jsonl,
+    run_sweep_jsonl_opts, JsonlOptions, SweepRow, SweepSpec,
 };
 use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep, shared_llc_sweep};
 use ndp_sim::{Machine, SimConfig, SystemKind};
@@ -285,6 +287,194 @@ fn jsonl_driver_matches_in_memory_engine() {
         assert_eq!(parsed.report_fingerprint, row.report.fingerprint());
     }
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_duplicate_row_is_last_wins_and_warned() {
+    let spec = tiny_grid_spec();
+    let path = tmp_path("dup");
+    run_sweep_jsonl(&spec, &path, false).unwrap();
+    let reference = std::fs::read_to_string(&path).unwrap();
+
+    // Append a second row for grid index 1 with a tampered report
+    // fingerprint: same identity (index + config fingerprint), visibly
+    // different content — last-wins must pick it.
+    let line1 = reference.lines().nth(1).unwrap();
+    let (lead, _) = line1.rsplit_once("\"fp\":").unwrap();
+    let tampered = format!("{lead}\"fp\":42}}");
+    std::fs::write(&path, format!("{reference}{tampered}\n")).unwrap();
+
+    let resumed = run_sweep_jsonl(&spec, &path, true).unwrap();
+    assert_eq!((resumed.executed, resumed.reused), (0, 4));
+    assert!(
+        resumed
+            .warnings
+            .iter()
+            .any(|w| w.contains("duplicate row for grid index 1")),
+        "warns about the duplicate: {:?}",
+        resumed.warnings
+    );
+    let merged = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        merged.lines().nth(1) == Some(tampered.as_str()),
+        "the LAST duplicate wins"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_ignores_rows_not_in_the_grid_with_a_warning() {
+    let spec = tiny_grid_spec();
+    let path = tmp_path("stale");
+    run_sweep_jsonl(&spec, &path, false).unwrap();
+    let reference = std::fs::read_to_string(&path).unwrap();
+
+    // Corrupt row 2's config fingerprint: its identity no longer
+    // matches any grid point, so it is ignored (warned) and re-run.
+    let mangled: String = reference
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 2 {
+                let (lead, rest) = l.split_once("\"cfg\":").unwrap();
+                let digits = rest.find(',').unwrap();
+                format!("{lead}\"cfg\":7{}\n", &rest[digits..])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&path, mangled).unwrap();
+
+    let resumed = run_sweep_jsonl(&spec, &path, true).unwrap();
+    assert_eq!((resumed.executed, resumed.reused), (1, 3));
+    assert!(
+        resumed
+            .warnings
+            .iter()
+            .any(|w| w.contains("does not match the current grid")),
+        "warns about the stale row: {:?}",
+        resumed.warnings
+    );
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), reference);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_from_an_empty_file_is_a_clean_cold_start() {
+    let spec = tiny_grid_spec();
+    let path = tmp_path("empty");
+    std::fs::write(&path, "").unwrap();
+    let resumed = run_sweep_jsonl(&spec, &path, true).unwrap();
+    assert_eq!((resumed.executed, resumed.reused), (4, 0));
+    assert!(resumed.warnings.is_empty(), "{:?}", resumed.warnings);
+    assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 4);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_errors_on_mid_file_corruption_naming_the_line() {
+    let spec = tiny_grid_spec();
+    let path = tmp_path("corrupt");
+    run_sweep_jsonl(&spec, &path, false).unwrap();
+    let reference = std::fs::read_to_string(&path).unwrap();
+    let mangled: String = reference
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 1 {
+                "{\"i\":99,\"cf\n".to_string()
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&path, mangled).unwrap();
+    let err = run_sweep_jsonl(&spec, &path, true).unwrap_err().to_string();
+    assert!(err.contains("line 2"), "names the offending line: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_tolerates_a_torn_final_line_with_a_warning() {
+    let spec = tiny_grid_spec();
+    let path = tmp_path("torn_warn");
+    run_sweep_jsonl(&spec, &path, false).unwrap();
+    let reference = std::fs::read_to_string(&path).unwrap();
+    let torn: String = reference
+        .lines()
+        .take(3)
+        .map(|l| format!("{l}\n"))
+        .chain(std::iter::once("{\"i\":3,\"cfg\":99".to_string()))
+        .collect();
+    std::fs::write(&path, torn).unwrap();
+    let resumed = run_sweep_jsonl(&spec, &path, true).unwrap();
+    assert_eq!((resumed.executed, resumed.reused), (1, 3));
+    assert!(
+        resumed.warnings.iter().any(|w| w.contains("line 4")),
+        "warns about the torn tail: {:?}",
+        resumed.warnings
+    );
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), reference);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shard_workers_plus_merge_equal_the_serial_bytes() {
+    let spec = tiny_grid_spec();
+    let serial_path = tmp_path("shard_serial");
+    let full = run_sweep_jsonl(&spec, &serial_path, false).unwrap();
+    let reference = std::fs::read_to_string(&serial_path).unwrap();
+
+    let out = tmp_path("sharded");
+    std::fs::remove_file(&out).ok();
+    let mut executed = 0;
+    for index in 0..2 {
+        let shard = ShardSpec { index, count: 2 };
+        let opts = JsonlOptions {
+            resume: true,
+            shard: Some(shard),
+            fault: None,
+        };
+        let summary = run_sweep_jsonl_opts(&spec, &out, &opts).unwrap();
+        assert_eq!(summary.grid, 2, "each stripe owns half the 4-point grid");
+        executed += summary.executed;
+    }
+    assert_eq!(executed, 4);
+
+    let merge = merge_sweep_jsonl(&spec, &out).unwrap();
+    assert_eq!(merge.merged, 4);
+    assert!(merge.missing.is_empty());
+    assert_eq!(merge.digest, full.digest);
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap(),
+        reference,
+        "merged shards must be byte-identical to the serial run"
+    );
+    assert!(
+        ndp_sim::shard::existing_shard_files(&out).is_empty(),
+        "a complete merge removes its shard files"
+    );
+
+    // A serial resume over an (incomplete) shard layout ingests the
+    // shard files directly.
+    std::fs::remove_file(&out).ok();
+    let opts = JsonlOptions {
+        resume: true,
+        shard: Some(ShardSpec { index: 0, count: 2 }),
+        fault: None,
+    };
+    run_sweep_jsonl_opts(&spec, &out, &opts).unwrap();
+    let resumed = run_sweep_jsonl(&spec, &out, true).unwrap();
+    assert_eq!((resumed.executed, resumed.reused), (2, 2));
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), reference);
+    assert!(
+        ndp_sim::shard::existing_shard_files(&out).is_empty(),
+        "a completing serial resume cleans up ingested shard files"
+    );
+
+    std::fs::remove_file(&serial_path).ok();
+    std::fs::remove_file(&out).ok();
 }
 
 proptest! {
