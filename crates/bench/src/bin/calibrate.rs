@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Calibration scratchpad: prints the key shape metrics for a few
 //! workloads so model constants can be tuned against the paper's targets.
 //!

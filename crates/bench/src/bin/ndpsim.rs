@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ndpsim` — run one simulation, a declarative sweep, or the fixed
 //! benchmark.
 //!

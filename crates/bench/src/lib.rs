@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Benchmark & figure-regeneration harness for the NDPage reproduction.
 //!
 //! Two entry points:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Cache substrate for the NDPage reproduction.
 //!
 //! Provides a set-associative write-back cache model with **per-class

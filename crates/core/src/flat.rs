@@ -347,7 +347,7 @@ mod tests {
             flat.map(v, &mut alloc_a);
             radix.map(v, &mut alloc_b);
         }
-        let mut flat_frames = std::collections::HashSet::new();
+        let mut flat_frames = ndp_types::FastSet::default();
         for &v in &vpns {
             assert!(flat_frames.insert(flat.translate(v).unwrap().pfn));
             assert!(radix.translate(v).is_some());

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # NDPage: tailored page tables for near-data processing
 //!
 //! This crate is the reproduction of the paper's primary contribution

@@ -343,7 +343,7 @@ mod tests {
     #[test]
     fn distinct_pages_get_distinct_frames() {
         let (mut alloc, mut t) = setup();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = ndp_types::FastSet::default();
         for i in 0..1000u64 {
             let vpn = Vpn::new(i * 7919); // scattered
             t.map(vpn, &mut alloc);

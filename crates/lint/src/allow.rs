@@ -1,0 +1,212 @@
+//! The `lint.allow` exemption file.
+//!
+//! Format, one entry per line (blank lines and `#`-comment lines are
+//! skipped):
+//!
+//! ```text
+//! path/to/file.rs: line-pattern # reason the exemption is sound
+//! ```
+//!
+//! An entry suppresses every diagnostic whose file equals `path` and
+//! whose offending line *contains* `line-pattern`. Hygiene is itself a
+//! rule: an entry with no path, no pattern or no reason is an error, and
+//! so is a *stale* entry — one that suppressed nothing in this run — so
+//! exemptions cannot outlive the code they excuse.
+
+use crate::diag::Diagnostic;
+
+/// One parsed `lint.allow` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// 1-indexed line in `lint.allow`.
+    pub line: usize,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Substring the offending source line must contain.
+    pub pattern: String,
+    /// Why the exemption is sound (required).
+    pub reason: String,
+}
+
+/// The parsed allowlist plus the diagnostics its own parsing produced.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Well-formed entries.
+    pub entries: Vec<AllowEntry>,
+    /// Malformed-entry diagnostics (`allow-hygiene`).
+    pub problems: Vec<Diagnostic>,
+}
+
+/// The `lint.allow` file name at the workspace root.
+pub const ALLOW_FILE: &str = "lint.allow";
+
+/// Parses `lint.allow` text.
+#[must_use]
+pub fn parse(text: &str) -> Allowlist {
+    let mut out = Allowlist::default();
+    for (i, raw_line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let malformed = |what: &str| {
+            Diagnostic::new(
+                ALLOW_FILE,
+                lineno,
+                "allow-hygiene",
+                format!("malformed entry ({what}); expected `path: line-pattern # reason`"),
+                raw_line,
+            )
+        };
+        // The reason comes after the *last* ` # ` so patterns may contain
+        // `#` when spaced tightly.
+        let Some(hash) = line.rfind(" # ").map(|p| p + 1) else {
+            out.problems.push(malformed("missing ` # reason`"));
+            continue;
+        };
+        let (head, reason) = line.split_at(hash);
+        let reason = reason[1..].trim();
+        if reason.is_empty() {
+            out.problems.push(malformed("empty reason"));
+            continue;
+        }
+        let head = head.trim().trim_end_matches('#').trim();
+        let Some(colon) = head.find(": ").or_else(|| head.find(':')) else {
+            out.problems.push(malformed("missing `path:` prefix"));
+            continue;
+        };
+        let path = head[..colon].trim();
+        let pattern = head[colon + 1..].trim();
+        if path.is_empty() {
+            out.problems.push(malformed("empty path"));
+            continue;
+        }
+        if pattern.is_empty() {
+            out.problems.push(malformed("empty line-pattern"));
+            continue;
+        }
+        out.entries.push(AllowEntry {
+            line: lineno,
+            path: path.to_string(),
+            pattern: pattern.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+    out
+}
+
+/// Applies the allowlist: returns the surviving diagnostics, appending a
+/// `stale-allow` diagnostic for every entry that suppressed nothing and
+/// the malformed-entry problems from parsing.
+#[must_use]
+pub fn apply(allow: &Allowlist, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut used = vec![false; allow.entries.len()];
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in diags {
+        let mut suppressed = false;
+        for (i, e) in allow.entries.iter().enumerate() {
+            if e.path == d.file && d.line_text.contains(&e.pattern) {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (i, e) in allow.entries.iter().enumerate() {
+        if !used[i] {
+            out.push(Diagnostic::new(
+                ALLOW_FILE,
+                e.line,
+                "stale-allow",
+                format!(
+                    "entry `{}: {}` no longer matches any violation; delete it (reason was: {})",
+                    e.path, e.pattern, e.reason
+                ),
+                &format!("{}: {}", e.path, e.pattern),
+            ));
+        }
+    }
+    out.extend(allow.problems.iter().cloned());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line_text: &str) -> Diagnostic {
+        Diagnostic::new(file, 10, "determinism", "forbidden token", line_text)
+    }
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let a = parse(
+            "# header comment\n\
+             \n\
+             crates/types/src/fastmap.rs: Hash # definition site of the fixed-seed aliases\n",
+        );
+        assert!(a.problems.is_empty());
+        assert_eq!(a.entries.len(), 1);
+        let e = &a.entries[0];
+        assert_eq!(e.path, "crates/types/src/fastmap.rs");
+        assert_eq!(e.pattern, "Hash");
+        assert!(e.reason.contains("definition site"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn malformed_entries_are_diagnostics() {
+        let a = parse("no reason here\npath only # why\n: pat # why\np: # why\n");
+        assert_eq!(a.entries.len(), 0, "{:?}", a.entries);
+        assert_eq!(a.problems.len(), 4);
+        for p in &a.problems {
+            assert_eq!(p.rule, "allow-hygiene");
+            assert_eq!(p.file, ALLOW_FILE);
+        }
+    }
+
+    #[test]
+    fn suppresses_matching_and_flags_stale() {
+        let a = parse(
+            "a.rs: HashSet # test helper\n\
+             b.rs: never-matches # obsolete\n",
+        );
+        let diags = vec![
+            diag("a.rs", "let s = HashSet::new();"),
+            diag("a.rs", "let m = HashMap::new();"),
+        ];
+        let out = apply(&a, diags);
+        // HashSet suppressed; HashMap survives; stale entry flagged.
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|d| d.line_text.contains("HashMap")));
+        let stale: Vec<_> = out.iter().filter(|d| d.rule == "stale-allow").collect();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, ALLOW_FILE);
+        assert_eq!(stale[0].line, 2);
+        assert!(stale[0].message.contains("never-matches"));
+    }
+
+    #[test]
+    fn one_entry_may_suppress_many_lines() {
+        let a = parse("f.rs: Hash # alias definitions\n");
+        let out = apply(
+            &a,
+            vec![
+                diag("f.rs", "pub type FastMap<K, V> = HashMap<K, V, S>;"),
+                diag("f.rs", "pub type FastSet<T> = HashSet<T, S>;"),
+            ],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn path_must_match_exactly() {
+        let a = parse("crates/a/src/x.rs: token # why\n");
+        let out = apply(&a, vec![diag("crates/b/src/x.rs", "token here")]);
+        // The diagnostic survives AND the entry is stale.
+        assert_eq!(out.len(), 2);
+    }
+}

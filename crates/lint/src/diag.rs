@@ -1,0 +1,74 @@
+//! Clippy-style diagnostics: `file:line: rule-name: message`.
+
+use std::fmt;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line the violation anchors to.
+    pub line: usize,
+    /// Rule family that fired (kebab-case).
+    pub rule: &'static str,
+    /// What is wrong and how to fix it.
+    pub message: String,
+    /// Raw text of the offending line — what `lint.allow` patterns match
+    /// against. Empty for diagnostics with no meaningful anchor line.
+    pub line_text: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic anchored to `line` of `file`.
+    #[must_use]
+    pub fn new(
+        file: &str,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+        line_text: &str,
+    ) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message: message.into(),
+            line_text: line_text.trim().to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_clippy_style() {
+        let d = Diagnostic::new(
+            "crates/core/src/radix.rs",
+            346,
+            "determinism",
+            "std::collections::HashSet is forbidden here; use ndp_types::FastSet",
+            "  let mut seen = std::collections::HashSet::new();",
+        );
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/radix.rs:346: determinism: \
+             std::collections::HashSet is forbidden here; use ndp_types::FastSet"
+        );
+        assert_eq!(
+            d.line_text,
+            "let mut seen = std::collections::HashSet::new();"
+        );
+    }
+}

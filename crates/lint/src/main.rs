@@ -1,0 +1,123 @@
+#![forbid(unsafe_code)]
+//! The `ndp-lint` binary: walks the workspace, runs every rule family,
+//! prints clippy-style diagnostics and exits nonzero on any violation.
+//!
+//! ```text
+//! cargo run -p ndp-lint            # check the workspace you're in
+//! cargo run -p ndp-lint -- --root /path/to/workspace
+//! ```
+
+use ndp_lint::allow::ALLOW_FILE;
+use ndp_lint::rules::Workspace;
+use ndp_lint::scan::SourceFile;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories never scanned.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "ndp-lint: workspace invariant checker\n\
+                     usage: ndp-lint [--root <workspace-dir>]\n\
+                     Checks registry completeness, digest coverage, determinism,\n\
+                     panic-free I/O paths, forbid(unsafe_code) and lint.allow hygiene.\n\
+                     Exits 0 when clean, 1 on any diagnostic, 2 on usage/IO errors."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unrecognized argument {other:?}")),
+        }
+    }
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ndp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs(&root, &root, &mut files) {
+        eprintln!("ndp-lint: walking {}: {e}", root.display());
+        return ExitCode::from(2);
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let allow_text = std::fs::read_to_string(root.join(ALLOW_FILE)).unwrap_or_default();
+
+    let file_count = files.len();
+    let ws = Workspace { files, readme };
+    let diags = ndp_lint::check(&ws, &allow_text);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("ndp-lint: {file_count} files checked, 0 problems");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ndp-lint: {file_count} files checked, {} problem{}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ndp-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+/// Ascends from the current directory to the first one holding a
+/// `Cargo.toml` with a `[workspace]` table.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory; pass --root".into());
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` as [`SourceFile`]s keyed
+/// by workspace-relative path.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let raw = std::fs::read_to_string(&path)?;
+            out.push(SourceFile::new(&rel, &raw));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,390 @@
+//! Lexical scrubbing and test-region detection.
+//!
+//! The rules never want to fire on a forbidden token that only appears
+//! inside a comment or a string literal, and most rules exempt test
+//! code. Instead of a full parser, the scanner produces a *scrubbed*
+//! copy of each source file — byte-for-byte the same length, with the
+//! contents of comments, string literals and char literals blanked to
+//! spaces — plus a per-line mask of which lines sit inside test-only
+//! regions (`#[cfg(test)]` / `#[test]` items).
+
+/// One source file prepared for rule matching.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (diagnostic key).
+    pub rel: String,
+    /// Raw text as read from disk.
+    pub raw: String,
+    /// Same length as `raw`, with comment/string/char contents blanked.
+    pub scrubbed: String,
+    /// `test_lines[i]` is true when 1-indexed line `i + 1` is inside a
+    /// `#[cfg(test)]` or `#[test]` item.
+    pub test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Prepares a file for rule matching.
+    #[must_use]
+    pub fn new(rel: &str, raw: &str) -> Self {
+        let scrubbed = scrub(raw);
+        let test_lines = test_line_mask(&scrubbed);
+        SourceFile {
+            rel: rel.to_string(),
+            raw: raw.to_string(),
+            scrubbed,
+            test_lines,
+        }
+    }
+
+    /// Whether the whole file is test/dev-only by location: under a
+    /// `tests/`, `benches/` or `examples/` directory.
+    #[must_use]
+    pub fn is_test_file(&self) -> bool {
+        let r = &self.rel;
+        ["tests/", "benches/", "examples/"]
+            .iter()
+            .any(|d| r.starts_with(d) || r.contains(&format!("/{d}")))
+    }
+
+    /// Whether 1-indexed `line` is inside a test-only region (or the
+    /// whole file is test-only).
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.is_test_file()
+            || self
+                .test_lines
+                .get(line.saturating_sub(1))
+                .copied()
+                .unwrap_or(false)
+    }
+
+    /// The scrubbed lines, 1-indexed by position in the iterator + 1.
+    pub fn scrubbed_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.scrubbed.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+
+    /// The raw text of 1-indexed `line` (empty when out of range).
+    #[must_use]
+    pub fn raw_line(&self, line: usize) -> &str {
+        self.raw.lines().nth(line.saturating_sub(1)).unwrap_or("")
+    }
+}
+
+/// Converts a byte offset into a 1-indexed line number.
+#[must_use]
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Blanks comments, string literals and char literals to spaces,
+/// preserving length and newlines, so structural matching (braces,
+/// identifiers, attributes) sees only real code.
+#[must_use]
+pub fn scrub(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    // Keep newlines everywhere so line numbers survive blanking.
+    for (j, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            out[j] = b'\n';
+        }
+    }
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"..." / r#"..."# (optionally b-prefixed), only when
+        // the `r` does not terminate a longer identifier.
+        let ident_before =
+            |k: usize| k > 0 && (b[k - 1].is_ascii_alphanumeric() || b[k - 1] == b'_');
+        let raw_start = if (c == b'r' || c == b'b') && !ident_before(i) {
+            let mut k = i + 1;
+            if c == b'b' && b.get(k) == Some(&b'r') {
+                k += 1;
+            }
+            let hash_from = k;
+            while b.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            (b.get(k) == Some(&b'"') && (c == b'r' || k > i + 1)).then_some((k, k - hash_from))
+        } else {
+            None
+        };
+        if let Some((quote, hashes)) = raw_start {
+            let mut closer = vec![b'"'];
+            closer.resize(hashes + 1, b'#');
+            let mut k = quote + 1;
+            while k < b.len() && !b[k..].starts_with(&closer) {
+                k += 1;
+            }
+            i = (k + closer.len()).min(b.len());
+            continue;
+        }
+        // Plain (or byte) string literal.
+        if c == b'"' || (c == b'b' && b.get(i + 1) == Some(&b'"') && !ident_before(i)) {
+            i += if c == b'b' { 2 } else { 1 };
+            while i < b.len() && b[i] != b'"' {
+                i += if b[i] == b'\\' { 2 } else { 1 };
+            }
+            i += 1;
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals; 'ident is a
+        // lifetime (no closing quote right after one element).
+        if c == b'\'' {
+            let is_char = match b.get(i + 1) {
+                Some(b'\\') => true,
+                Some(_) => b.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                i += 1;
+                while i < b.len() && b[i] != b'\'' {
+                    i += if b[i] == b'\\' { 2 } else { 1 };
+                }
+                i += 1;
+            } else {
+                out[i] = b'\'';
+                i += 1;
+            }
+            continue;
+        }
+        out[i] = c;
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` / `#[test]` items in a
+/// scrubbed source.
+fn test_line_mask(scrubbed: &str) -> Vec<bool> {
+    let lines = scrubbed.lines().count();
+    let mut mask = vec![false; lines];
+    let b = scrubbed.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = scrubbed[i..].find("#[") {
+        let attr_start = i + pos;
+        let Some(attr_end) = matching(b, attr_start + 1, b'[', b']') else {
+            break;
+        };
+        let content = &scrubbed[attr_start + 2..attr_end];
+        i = attr_end + 1;
+        if !is_test_attr(content) {
+            continue;
+        }
+        // Skip whitespace and any further attributes, then span the item:
+        // to the matching `}` of its first top-level brace, or to the
+        // first top-level `;` (attribute on a brace-less item).
+        let mut k = attr_end + 1;
+        let mut end = None;
+        while k < b.len() {
+            match b[k] {
+                b'#' if b.get(k + 1) == Some(&b'[') => match matching(b, k + 1, b'[', b']') {
+                    Some(e) => k = e + 1,
+                    None => break,
+                },
+                b'(' => match matching(b, k, b'(', b')') {
+                    Some(e) => k = e + 1,
+                    None => break,
+                },
+                b'[' => match matching(b, k, b'[', b']') {
+                    Some(e) => k = e + 1,
+                    None => break,
+                },
+                b'{' => {
+                    end = matching(b, k, b'{', b'}');
+                    break;
+                }
+                b';' => {
+                    end = Some(k);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        if let Some(end) = end {
+            let first = line_of(scrubbed, attr_start) - 1;
+            let last = line_of(scrubbed, end) - 1;
+            for m in mask.iter_mut().take(last + 1).skip(first) {
+                *m = true;
+            }
+            i = end + 1;
+        }
+    }
+    mask
+}
+
+/// Whether an attribute body denotes test-only code. `cfg(not(test))`
+/// deliberately does not match.
+fn is_test_attr(content: &str) -> bool {
+    let c = content.trim();
+    c == "test"
+        || c.contains("cfg(test")
+        || c.contains("all(test")
+        || c.contains("any(test")
+        || c.contains("test,")
+}
+
+/// Byte offset of the bracket matching `open` at `start` (which must
+/// point at `open`), honouring nesting.
+#[must_use]
+pub fn matching(b: &[u8], start: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &c) in b.iter().enumerate().skip(start) {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Whether `ident` occurs in `text` as a whole token (not as a substring
+/// of a longer identifier).
+#[must_use]
+pub fn has_token(text: &str, ident: &str) -> bool {
+    let b = text.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(ident) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(b[at - 1]);
+        let after = at + ident.len();
+        let after_ok = after >= b.len() || !is_ident(b[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* HashMap */ let z = 2;\n";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains("HashMap"), "{s:?}");
+        assert!(s.contains("let x ="));
+        assert!(s.contains("let z = 2;"));
+        assert_eq!(s.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_escapes() {
+        let src =
+            r####"let a = r#"Instant::now"#; let b = "q\"Instant\""; let c = br"SystemTime";"####;
+        let s = scrub(src);
+        assert!(!s.contains("Instant"));
+        assert!(!s.contains("SystemTime"));
+        assert!(s.contains("let b ="));
+        assert!(s.ends_with(';'));
+    }
+
+    #[test]
+    fn scrub_keeps_lifetimes_but_blanks_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = '{'; let d = '\\''; }";
+        let s = scrub(src);
+        assert!(s.contains("<'a>"), "{s:?}");
+        // The brace inside the char literal is blanked: only the fn-body
+        // braces remain.
+        assert_eq!(s.matches('{').count(), 1, "{s:?}");
+        assert_eq!(s.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn scrub_handles_nested_block_comments() {
+        let s = scrub("a /* x /* y */ z */ b");
+        assert_eq!(s.trim(), "a                   b".trim());
+        assert!(s.contains('a') && s.contains('b'));
+        assert!(!s.contains('x') && !s.contains('z'));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() {}\n}\npub fn after() {}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2), "attribute line itself");
+        assert!(f.is_test_line(4), "mod body");
+        assert!(f.is_test_line(7), "closing brace");
+        assert!(!f.is_test_line(8), "code after the mod");
+    }
+
+    #[test]
+    fn test_mask_covers_single_test_fn_and_braceless_items() {
+        let src = "#[test]\nfn t() {\n    let x = 1;\n}\nfn live() {}\n#[cfg(test)]\nuse foo::bar;\nfn live2() {}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+        assert!(f.is_test_line(7), "brace-less cfg(test) use item");
+        assert!(!f.is_test_line(8));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn shipping() { let x = 1; }\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn tests_dir_files_are_wholly_test() {
+        let f = SourceFile::new("tests/spec_api.rs", "fn anything() {}\n");
+        assert!(f.is_test_line(1));
+        let f = SourceFile::new("crates/cache/tests/prop_cache.rs", "fn x() {}\n");
+        assert!(f.is_test_file());
+        let f = SourceFile::new("crates/cache/src/mshr.rs", "fn x() {}\n");
+        assert!(!f.is_test_file());
+    }
+
+    #[test]
+    fn token_matching_respects_identifier_boundaries() {
+        assert!(has_token("self.ptw.count.hash(&mut h);", "ptw"));
+        assert!(!has_token("self.ptw_histogram.foo", "ptw"));
+        assert!(has_token("x (HashMap :: new)", "HashMap"));
+        assert!(!has_token("FastHashMapLike", "HashMap"));
+    }
+
+    #[test]
+    fn line_of_is_one_indexed() {
+        assert_eq!(line_of("a\nb\nc", 0), 1);
+        assert_eq!(line_of("a\nb\nc", 2), 2);
+        assert_eq!(line_of("a\nb\nc", 4), 3);
+    }
+}

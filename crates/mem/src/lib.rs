@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Main-memory substrate for the NDPage reproduction: DRAM device timing,
 //! a contention-modelling memory controller, and the mesh interconnect.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The memory-management unit of the simulated cores: TLBs, page-walk
 //! caches, and the hardware page-table walker.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The NDPage system simulator: trace-driven, mechanistic, multi-core.
 //!
 //! This crate wires every substrate together into the two systems of

@@ -1624,7 +1624,19 @@ impl Sink<'_> {
                 // The engine only calls with `upto` = a position about
                 // to be written fresh; every earlier position is cached
                 // or in the execute list, which runs in ascending order.
-                None => unreachable!("gap in completed sweep prefix"),
+                // A gap would mean the resume bookkeeping lost a row —
+                // surfaced as a sweep error (never a panic: a supervised
+                // worker must die reporting, not crash mid-stream), with
+                // `written` still advancing so the loop terminates.
+                None => {
+                    if self.err.is_none() {
+                        self.err = Some(format!(
+                            "internal: gap in completed sweep prefix at emit position {}",
+                            self.written
+                        ));
+                    }
+                    self.written += 1;
+                }
             }
         }
         let _ = self.w.flush();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Foundational types shared by every crate in the NDPage reproduction.
 //!
 //! This crate defines the vocabulary of the simulated machine:

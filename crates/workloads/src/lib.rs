@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic trace generators for the paper's 11 data-intensive workloads
 //! (Table II).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Meta-crate re-exporting the NDPage reproduction workspace crates.
 pub use ndp_cache as cache;
 pub use ndp_mem as mem;

@@ -6,8 +6,8 @@
 use ndp_sim::parallel::par_map_threads;
 use ndp_sim::shard::ShardSpec;
 use ndp_sim::spec::{
-    config_fingerprint, merge_sweep_jsonl, parse_jsonl, run_sweep, run_sweep_jsonl,
-    run_sweep_jsonl_opts, JsonlOptions, SweepRow, SweepSpec,
+    apply_knob, config_fingerprint, config_knobs, merge_sweep_jsonl, parse_jsonl, run_sweep,
+    run_sweep_jsonl, run_sweep_jsonl_opts, JsonlOptions, SweepRow, SweepSpec,
 };
 use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep, shared_llc_sweep};
 use ndp_sim::{Machine, SimConfig, SystemKind};
@@ -29,6 +29,36 @@ fn with_base(mut cfg: SimConfig, base: &SimConfig) -> SimConfig {
     cfg.footprint_override = base.footprint_override;
     cfg.seed = base.seed;
     cfg
+}
+
+/// Runtime companion to `ndp-lint`'s static registry-completeness rule:
+/// the registry must carry exactly one entry per `SimConfig` field. The
+/// count is pinned so the static scanner (which reads the source) and
+/// the runtime registry (which reads the table) can never disagree
+/// silently — adding a `SimConfig` field without a knob trips both this
+/// test and `cargo run -p ndp-lint`.
+#[test]
+fn knob_registry_covers_every_simconfig_field_exactly_once() {
+    let cfg = SimConfig::cli_default();
+    let knobs = config_knobs(&cfg);
+    assert_eq!(
+        knobs.len(),
+        32,
+        "one KNOBS entry per SimConfig field — update KNOBS (and this pin) \
+         together with the struct"
+    );
+    let mut names: Vec<&str> = knobs.iter().map(|(n, _)| *n).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), knobs.len(), "knob names must be unique");
+
+    // The serialized list is a lossless image of the config: applying it
+    // to a fresh default reproduces the fingerprint exactly.
+    let mut rebuilt = SimConfig::cli_default();
+    for (name, value) in &knobs {
+        apply_knob(&mut rebuilt, name, value).expect("registry round-trip");
+    }
+    assert_eq!(config_fingerprint(&rebuilt), config_fingerprint(&cfg));
 }
 
 #[test]

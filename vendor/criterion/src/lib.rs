@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal, dependency-free stand-in for the parts of `criterion` this
 //! workspace's benches use, so the build needs no network access.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal, dependency-free stand-in for the parts of `rand` this
 //! workspace uses, so the build needs no network access.
 //!
