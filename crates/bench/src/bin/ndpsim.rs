@@ -225,6 +225,10 @@ fn run_bench(args: &Args) {
     json.push_str(&format!("    \"mlp_simulated_ops\": {mlp_ops},\n"));
     json.push_str(&format!("    \"mlp_digest\": {mlp_digest},\n"));
     json.push_str(&format!(
+        "    \"mlp_ops_per_sec\": {:.1},\n",
+        mlp_ops as f64 / mlp_wall
+    ));
+    json.push_str(&format!(
         "    \"ndpage_speedup_blocking\": {mlp_speedup_w1:.4},\n"
     ));
     json.push_str(&format!(
@@ -239,6 +243,10 @@ fn run_bench(args: &Args) {
     ));
     json.push_str(&format!("    \"llc_simulated_ops\": {llc_ops},\n"));
     json.push_str(&format!("    \"llc_digest\": {llc_digest},\n"));
+    json.push_str(&format!(
+        "    \"llc_ops_per_sec\": {:.1},\n",
+        llc_ops as f64 / llc_wall
+    ));
     json.push_str(&format!(
         "    \"ndpage_speedup_small_l3\": {llc_speedup_small:.4},\n"
     ));

@@ -60,9 +60,12 @@ const HISTORY_SLACK: usize = 64;
 /// observe fills that were in flight at their instant.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    /// `(line, fill-completion time)` records. Linear scan: the list is
-    /// small (≤ capacity + [`HISTORY_SLACK`]) and probed once per miss.
-    entries: Vec<(LineAddr, Cycles)>,
+    /// Record lines, parallel to `dones` (struct-of-arrays: the live-fill
+    /// and occupancy scans each touch only the array they test, and both
+    /// stay small — ≤ capacity + [`HISTORY_SLACK`] — and branch-light).
+    lines: Vec<LineAddr>,
+    /// Fill-completion time of each record, parallel to `lines`.
+    dones: Vec<Cycles>,
     capacity: usize,
     stats: MshrStats,
 }
@@ -79,7 +82,8 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one register");
         MshrFile {
-            entries: Vec::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            dones: Vec::with_capacity(capacity),
             capacity,
             stats: MshrStats::default(),
         }
@@ -100,7 +104,7 @@ impl MshrFile {
     /// Registers still occupied at `now` (fills not yet complete).
     #[must_use]
     pub fn in_flight(&self, now: Cycles) -> usize {
-        self.entries.iter().filter(|(_, done)| *done > now).count()
+        self.dones.iter().filter(|&&done| done > now).count()
     }
 
     /// The completion time of an in-flight fill covering `line`, if one
@@ -112,10 +116,11 @@ impl MshrFile {
     /// in-flight data if the fill has not landed yet.
     pub fn fill_in_flight(&mut self, line: LineAddr, now: Cycles) -> Option<Cycles> {
         let done = self
-            .entries
+            .lines
             .iter()
-            .find(|(l, done)| *l == line && *done > now)
-            .map(|&(_, done)| done);
+            .zip(&self.dones)
+            .find(|&(&l, &done)| l == line && done > now)
+            .map(|(_, &done)| done);
         if done.is_some() {
             self.stats.coalesced += 1;
         }
@@ -140,10 +145,10 @@ impl MshrFile {
         // excess, not just the earliest completion. (Expired history
         // records are skipped; their times are in the past.)
         let mut live: Vec<Cycles> = self
-            .entries
+            .dones
             .iter()
-            .filter(|(_, done)| *done > now)
-            .map(|(_, done)| *done)
+            .filter(|&&done| done > now)
+            .copied()
             .collect();
         live.sort_unstable();
         let free_at = live[live.len() - self.capacity];
@@ -163,22 +168,25 @@ impl MshrFile {
     pub fn allocate(&mut self, line: LineAddr, now: Cycles, done: Cycles) {
         debug_assert!(self.in_flight(now) < self.capacity, "no free register");
         self.stats.allocated += 1;
-        self.entries.push((line, done));
-        if self.entries.len() > self.capacity + HISTORY_SLACK {
+        self.lines.push(line);
+        self.dones.push(done);
+        if self.dones.len() > self.capacity + HISTORY_SLACK {
             let oldest = self
-                .entries
+                .dones
                 .iter()
                 .enumerate()
-                .min_by_key(|&(_, &(_, d))| d)
+                .min_by_key(|&(_, &d)| d)
                 .map(|(i, _)| i)
                 .expect("non-empty list");
-            self.entries.swap_remove(oldest);
+            self.lines.swap_remove(oldest);
+            self.dones.swap_remove(oldest);
         }
     }
 
     /// Clears in-flight entries and statistics.
     pub fn reset(&mut self) {
-        self.entries.clear();
+        self.lines.clear();
+        self.dones.clear();
         self.stats = MshrStats::default();
     }
 
@@ -287,7 +295,7 @@ mod tests {
             m.allocate(line(i * 64), now, now + Cycles::new(10));
             now += Cycles::new(10);
         }
-        assert!(m.entries.len() <= 2 + HISTORY_SLACK);
+        assert!(m.lines.len() <= 2 + HISTORY_SLACK);
         assert!(m.in_flight(now - Cycles::new(5)) >= 1, "newest survives");
     }
 

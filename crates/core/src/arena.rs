@@ -1,0 +1,180 @@
+//! A contiguous slab arena for page-table nodes.
+//!
+//! Every table design in this crate used to give each node its own
+//! `Vec<Pte>` heap allocation and resolve child nodes through a
+//! `by_frame: FastMap<frame, index>` hash probe on **every walk step** —
+//! three or four dependent hash lookups per translation on the simulator's
+//! hottest path. The arena replaces both:
+//!
+//! * all PTEs live in one contiguous [`Vec<Pte>`] slab, carved into
+//!   fixed-size blocks addressed by a `u32` offset ([`PteBlock`]), so a
+//!   table's entries share cache lines and the allocator is a bump
+//!   pointer;
+//! * interior blocks carry a parallel *child-handle* lane: when a PTE is
+//!   linked to a child node, the child's index is recorded at the same
+//!   slot, turning descent into a direct array load instead of a
+//!   `by_frame[&pte.pfn()]` hash probe.
+//!
+//! [`Node`] is the per-node bookkeeping the tables share: the owning
+//! physical frame (walk steps report genuine PTE addresses), the arena
+//! block, and a valid-entry count for occupancy reports.
+
+use crate::pte::Pte;
+use ndp_types::Pfn;
+
+/// Child-handle sentinel: slot has no linked child node.
+const NO_CHILD: u32 = u32::MAX;
+/// Block sentinel: block allocated without a child-handle lane.
+const NO_KIDS: u32 = u32::MAX;
+
+/// Handle to one block of PTEs (and, for interior nodes, child handles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PteBlock {
+    /// Offset of the block's first entry in the PTE slab.
+    pte: u32,
+    /// Offset of the block's first slot in the child-handle slab, or
+    /// [`NO_KIDS`] for leaf blocks.
+    kid: u32,
+}
+
+/// The slab allocator: one PTE lane, one child-handle lane.
+///
+/// Blocks are never freed — page-table nodes are only ever allocated in
+/// this simulator, matching the tables' previous `Vec<Node>` growth.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PteArena {
+    ptes: Vec<Pte>,
+    kids: Vec<u32>,
+}
+
+impl PteArena {
+    pub(crate) fn new() -> Self {
+        PteArena::default()
+    }
+
+    /// Allocates a zeroed block of `len` PTEs; `track_kids` adds the
+    /// parallel child-handle lane interior nodes use for descent.
+    pub(crate) fn alloc(&mut self, len: usize, track_kids: bool) -> PteBlock {
+        let pte = u32::try_from(self.ptes.len()).expect("PTE slab outgrew u32 offsets");
+        self.ptes.resize(self.ptes.len() + len, Pte::NULL);
+        let kid = if track_kids {
+            let k = u32::try_from(self.kids.len()).expect("child slab outgrew u32 offsets");
+            self.kids.resize(self.kids.len() + len, NO_CHILD);
+            k
+        } else {
+            NO_KIDS
+        };
+        PteBlock { pte, kid }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, b: PteBlock, idx: usize) -> Pte {
+        self.ptes[b.pte as usize + idx]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, b: PteBlock, idx: usize, pte: Pte) {
+        self.ptes[b.pte as usize + idx] = pte;
+    }
+
+    /// The child node linked at `idx`, if any. Mirrors the old
+    /// `by_frame.get(&pte.pfn())` probe as a direct array load. (Unused
+    /// under `legacy_hotpath`, whose descents keep the map probe.)
+    #[cfg_attr(feature = "legacy_hotpath", allow(dead_code))]
+    #[inline]
+    pub(crate) fn kid(&self, b: PteBlock, idx: usize) -> Option<usize> {
+        let k = self.kids[b.kid as usize + idx];
+        (k != NO_CHILD).then_some(k as usize)
+    }
+
+    #[inline]
+    pub(crate) fn set_kid(&mut self, b: PteBlock, idx: usize, child: usize) {
+        self.kids[b.kid as usize + idx] = u32::try_from(child).expect("node index fits u32");
+    }
+}
+
+/// Per-node bookkeeping shared by the radix-family tables.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    /// The physical frame(s) backing this node; walk steps report
+    /// `frame.entry_addr(idx)` so the DRAM model sees real PTE addresses.
+    pub(crate) frame: Pfn,
+    /// Where this node's entries live in the arena.
+    pub(crate) block: PteBlock,
+    /// Present-entry count, for occupancy reports.
+    pub(crate) valid: u32,
+}
+
+impl Node {
+    pub(crate) fn new(frame: Pfn, len: usize, track_kids: bool, arena: &mut PteArena) -> Self {
+        Node {
+            frame,
+            block: arena.alloc(len, track_kids),
+            valid: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, arena: &PteArena, idx: usize) -> Pte {
+        arena.get(self.block, idx)
+    }
+
+    pub(crate) fn set(&mut self, arena: &mut PteArena, idx: usize, pte: Pte) {
+        if !arena.get(self.block, idx).is_present() && pte.is_present() {
+            self.valid += 1;
+        }
+        arena.set(self.block, idx, pte);
+    }
+
+    /// The child node index linked at `idx` (set alongside the PTE when a
+    /// child table is attached).
+    #[cfg_attr(feature = "legacy_hotpath", allow(dead_code))]
+    #[inline]
+    pub(crate) fn kid(&self, arena: &PteArena, idx: usize) -> Option<usize> {
+        arena.kid(self.block, idx)
+    }
+
+    pub(crate) fn set_kid(&self, arena: &mut PteArena, idx: usize, child: usize) {
+        arena.set_kid(self.block, idx, child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_types::Pfn;
+
+    #[test]
+    fn blocks_are_zeroed_and_independent() {
+        let mut a = PteArena::new();
+        let b1 = a.alloc(4, true);
+        let b2 = a.alloc(4, false);
+        for i in 0..4 {
+            assert!(!a.get(b1, i).is_present());
+            assert!(!a.get(b2, i).is_present());
+        }
+        a.set(b1, 2, Pte::leaf(Pfn::new(7)));
+        assert!(a.get(b1, 2).is_present());
+        assert!(!a.get(b2, 2).is_present());
+    }
+
+    #[test]
+    fn kids_default_to_none_and_round_trip() {
+        let mut a = PteArena::new();
+        let b = a.alloc(8, true);
+        assert_eq!(a.kid(b, 3), None);
+        a.set_kid(b, 3, 42);
+        assert_eq!(a.kid(b, 3), Some(42));
+        assert_eq!(a.kid(b, 4), None);
+    }
+
+    #[test]
+    fn node_tracks_valid_count() {
+        let mut a = PteArena::new();
+        let mut n = Node::new(Pfn::new(1), 16, false, &mut a);
+        n.set(&mut a, 0, Pte::leaf(Pfn::new(2)));
+        n.set(&mut a, 0, Pte::leaf(Pfn::new(3))); // overwrite: no recount
+        n.set(&mut a, 5, Pte::leaf(Pfn::new(4)));
+        assert_eq!(n.valid, 2);
+    }
+}

@@ -11,13 +11,15 @@
 //! like any page-table storage).
 
 use crate::alloc::{FrameAllocator, FramePurpose};
+use crate::arena::{Node, PteArena};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
-use crate::radix::Node;
 use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_FLAT_NODE, ENTRIES_PER_NODE, PAGE_SIZE};
-use ndp_types::{FastMap, PageSize, PtLevel, Vpn};
+#[cfg(feature = "legacy_hotpath")]
+use ndp_types::FastMap;
+use ndp_types::{PageSize, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 const FLAT_ENTRIES: usize = ENTRIES_PER_FLAT_NODE as usize;
@@ -28,12 +30,17 @@ const FLAT_NODE_FRAMES: u64 = (ENTRIES_PER_FLAT_NODE * 8) / PAGE_SIZE;
 /// the bypass policy).
 #[derive(Debug, Clone)]
 pub struct FlattenedL2L1 {
-    /// Interior nodes: index 0 = root (L4), rest are L3 nodes.
+    arena: PteArena,
+    /// Interior nodes: index 0 = root (L4), rest are L3 nodes. Their
+    /// child-handle lanes index `nodes` (root) or `flat_nodes` (L3s).
     nodes: Vec<Node>,
     /// Flattened leaf nodes (2^18 entries each).
     flat_nodes: Vec<Node>,
-    /// Node indices by owning frame; probed per walk step (fast hash).
+    /// The seed's frame→node maps, used for descent under
+    /// `legacy_hotpath` in place of the arena's child-handle lane.
+    #[cfg(feature = "legacy_hotpath")]
     by_frame: FastMap<u64, usize>,
+    #[cfg(feature = "legacy_hotpath")]
     flat_by_frame: FastMap<u64, usize>,
     l3_nodes: Vec<usize>,
     root: usize,
@@ -45,9 +52,12 @@ impl FlattenedL2L1 {
     #[must_use]
     pub fn new(alloc: &mut FrameAllocator) -> Self {
         let mut t = FlattenedL2L1 {
+            arena: PteArena::new(),
             nodes: Vec::new(),
             flat_nodes: Vec::new(),
+            #[cfg(feature = "legacy_hotpath")]
             by_frame: FastMap::default(),
+            #[cfg(feature = "legacy_hotpath")]
             flat_by_frame: FastMap::default(),
             l3_nodes: Vec::new(),
             root: 0,
@@ -60,7 +70,9 @@ impl FlattenedL2L1 {
     fn new_interior(&mut self, alloc: &mut FrameAllocator, is_l3: bool) -> usize {
         let frame = alloc.alloc_frame(FramePurpose::PageTable);
         let idx = self.nodes.len();
-        self.nodes.push(Node::new(frame, NODE_ENTRIES));
+        self.nodes
+            .push(Node::new(frame, NODE_ENTRIES, true, &mut self.arena));
+        #[cfg(feature = "legacy_hotpath")]
         self.by_frame.insert(frame.as_u64(), idx);
         if is_l3 {
             self.l3_nodes.push(idx);
@@ -68,12 +80,40 @@ impl FlattenedL2L1 {
         idx
     }
 
+    /// Resolves the interior child (root→L3) a present PTE points to.
+    #[cfg(not(feature = "legacy_hotpath"))]
+    #[inline]
+    fn interior_child(&self, node: usize, idx: usize, _pte: Pte) -> Option<usize> {
+        self.nodes[node].kid(&self.arena, idx)
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    #[inline]
+    fn interior_child(&self, _node: usize, _idx: usize, pte: Pte) -> Option<usize> {
+        self.by_frame.get(&pte.pfn().as_u64()).copied()
+    }
+
+    /// Resolves the flattened leaf node (L3→flat) a present PTE points to.
+    #[cfg(not(feature = "legacy_hotpath"))]
+    #[inline]
+    fn flat_child(&self, node: usize, idx: usize, _pte: Pte) -> Option<usize> {
+        self.nodes[node].kid(&self.arena, idx)
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    #[inline]
+    fn flat_child(&self, _node: usize, _idx: usize, pte: Pte) -> Option<usize> {
+        self.flat_by_frame.get(&pte.pfn().as_u64()).copied()
+    }
+
     fn new_flat(&mut self, alloc: &mut FrameAllocator) -> usize {
         let frame = alloc
             .alloc_contiguous(FLAT_NODE_FRAMES, FramePurpose::PageTable)
             .expect("page-table reservations always succeed");
         let idx = self.flat_nodes.len();
-        self.flat_nodes.push(Node::new(frame, FLAT_ENTRIES));
+        self.flat_nodes
+            .push(Node::new(frame, FLAT_ENTRIES, false, &mut self.arena));
+        #[cfg(feature = "legacy_hotpath")]
         self.flat_by_frame.insert(frame.as_u64(), idx);
         idx
     }
@@ -84,26 +124,30 @@ impl FlattenedL2L1 {
         let mut tables_allocated = 0;
 
         let l4_idx = vpn.l4_index();
-        let l4e = self.nodes[self.root].get(l4_idx);
+        let l4e = self.nodes[self.root].get(&self.arena, l4_idx);
         let l3 = if l4e.is_present() {
-            self.by_frame[&l4e.pfn().as_u64()]
+            self.interior_child(self.root, l4_idx, l4e)
+                .expect("root PTE links its L3 node")
         } else {
             let n = self.new_interior(alloc, true);
             tables_allocated += 1;
             let f = self.nodes[n].frame;
-            self.nodes[self.root].set(l4_idx, Pte::next(f));
+            self.nodes[self.root].set(&mut self.arena, l4_idx, Pte::next(f));
+            self.nodes[self.root].set_kid(&mut self.arena, l4_idx, n);
             n
         };
 
         let l3_idx = vpn.l3_index();
-        let l3e = self.nodes[l3].get(l3_idx);
+        let l3e = self.nodes[l3].get(&self.arena, l3_idx);
         let flat = if l3e.is_present() {
-            self.flat_by_frame[&l3e.pfn().as_u64()]
+            self.flat_child(l3, l3_idx, l3e)
+                .expect("L3 PTE links its flattened node")
         } else {
             let n = self.new_flat(alloc);
             tables_allocated += 1;
             let f = self.flat_nodes[n].frame;
-            self.nodes[l3].set(l3_idx, Pte::next_flattened(f));
+            self.nodes[l3].set(&mut self.arena, l3_idx, Pte::next_flattened(f));
+            self.nodes[l3].set_kid(&mut self.arena, l3_idx, n);
             n
         };
         (flat, tables_allocated)
@@ -111,17 +155,19 @@ impl FlattenedL2L1 {
 
     /// Resolves `(l3_node, flat_node)` indices for `vpn`, if mapped that far.
     fn descend(&self, vpn: Vpn) -> Option<(usize, usize)> {
-        let l4e = self.nodes[self.root].get(vpn.l4_index());
+        let l4_idx = vpn.l4_index();
+        let l4e = self.nodes[self.root].get(&self.arena, l4_idx);
         if !l4e.is_present() {
             return None;
         }
-        let l3 = *self.by_frame.get(&l4e.pfn().as_u64())?;
-        let l3e = self.nodes[l3].get(vpn.l3_index());
+        let l3 = self.interior_child(self.root, l4_idx, l4e)?;
+        let l3_idx = vpn.l3_index();
+        let l3e = self.nodes[l3].get(&self.arena, l3_idx);
         if !l3e.is_present() {
             return None;
         }
         debug_assert!(l3e.is_flattened(), "L3 entries point to flattened nodes");
-        let flat = *self.flat_by_frame.get(&l3e.pfn().as_u64())?;
+        let flat = self.flat_child(l3, l3_idx, l3e)?;
         Some((l3, flat))
     }
 }
@@ -133,7 +179,7 @@ impl PageTable for FlattenedL2L1 {
 
     fn translate(&self, vpn: Vpn) -> Option<Translation> {
         let (_, flat) = self.descend(vpn)?;
-        let pte = self.flat_nodes[flat].get(vpn.flat_l2l1_index());
+        let pte = self.flat_nodes[flat].get(&self.arena, vpn.flat_l2l1_index());
         pte.is_present().then(|| Translation {
             pfn: pte.pfn(),
             size: PageSize::Size4K,
@@ -143,11 +189,11 @@ impl PageTable for FlattenedL2L1 {
     fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome {
         let (flat, tables_allocated) = self.flat_node_for(vpn, alloc);
         let fi = vpn.flat_l2l1_index();
-        if self.flat_nodes[flat].get(fi).is_present() {
+        if self.flat_nodes[flat].get(&self.arena, fi).is_present() {
             return MapOutcome::already_mapped();
         }
         let frame = alloc.alloc_frame(FramePurpose::Data);
-        self.flat_nodes[flat].set(fi, Pte::leaf(frame));
+        self.flat_nodes[flat].set(&mut self.arena, fi, Pte::leaf(frame));
         self.mapped += 1;
         MapOutcome {
             newly_mapped: true,
@@ -173,11 +219,11 @@ impl PageTable for FlattenedL2L1 {
                 }
             };
             let fi = vpn.flat_l2l1_index();
-            if self.flat_nodes[flat].get(fi).is_present() {
+            if self.flat_nodes[flat].get(&self.arena, fi).is_present() {
                 continue;
             }
             let frame = alloc.alloc_frame(FramePurpose::Data);
-            self.flat_nodes[flat].set(fi, Pte::leaf(frame));
+            self.flat_nodes[flat].set(&mut self.arena, fi, Pte::leaf(frame));
             self.mapped += 1;
             totals.minor_4k += 1;
         }
@@ -191,7 +237,7 @@ impl PageTable for FlattenedL2L1 {
     fn translate_and_walk(&self, vpn: Vpn) -> Option<(Translation, WalkPath)> {
         // Single descent serving both results; per-op hot path.
         let (l3, flat) = self.descend(vpn)?;
-        let pte = self.flat_nodes[flat].get(vpn.flat_l2l1_index());
+        let pte = self.flat_nodes[flat].get(&self.arena, vpn.flat_l2l1_index());
         if !pte.is_present() {
             return None;
         }

@@ -18,13 +18,15 @@
 //! [`FlattenedL2L1`]: crate::flat::FlattenedL2L1
 
 use crate::alloc::{FrameAllocator, FramePurpose};
+use crate::arena::{Node, PteArena};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
-use crate::radix::Node;
 use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, Translation};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_FLAT_NODE, ENTRIES_PER_NODE, LEVEL_BITS, PAGE_SIZE};
-use ndp_types::{FastMap, PageSize, PtLevel, Vpn};
+#[cfg(feature = "legacy_hotpath")]
+use ndp_types::FastMap;
+use ndp_types::{PageSize, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 const FLAT_ENTRIES: usize = ENTRIES_PER_FLAT_NODE as usize;
@@ -38,10 +40,14 @@ fn flat_l4l3_index(vpn: Vpn) -> usize {
 /// The top-flattened 3-level table: merged L4/L3 root, then PL2, then PL1.
 #[derive(Debug, Clone)]
 pub struct FlattenedL4L3 {
+    arena: PteArena,
     /// The single merged root node (2^18 entries).
     root: Node,
     /// PL2 and PL1 nodes.
     nodes: Vec<Node>,
+    /// The seed's frame→node map, used for descent under `legacy_hotpath`
+    /// in place of the arena's child-handle lane.
+    #[cfg(feature = "legacy_hotpath")]
     by_frame: FastMap<u64, usize>,
     l2_nodes: Vec<usize>,
     l1_nodes: Vec<usize>,
@@ -55,9 +61,13 @@ impl FlattenedL4L3 {
         let frame = alloc
             .alloc_contiguous(FLAT_NODE_FRAMES, FramePurpose::PageTable)
             .expect("page-table reservations always succeed");
+        let mut arena = PteArena::new();
+        let root = Node::new(frame, FLAT_ENTRIES, true, &mut arena);
         FlattenedL4L3 {
-            root: Node::new(frame, FLAT_ENTRIES),
+            arena,
+            root,
             nodes: Vec::new(),
+            #[cfg(feature = "legacy_hotpath")]
             by_frame: FastMap::default(),
             l2_nodes: Vec::new(),
             l1_nodes: Vec::new(),
@@ -68,7 +78,10 @@ impl FlattenedL4L3 {
     fn new_node(&mut self, alloc: &mut FrameAllocator, is_l2: bool) -> usize {
         let frame = alloc.alloc_frame(FramePurpose::PageTable);
         let idx = self.nodes.len();
-        self.nodes.push(Node::new(frame, NODE_ENTRIES));
+        // L1 nodes hold only leaves; no child lane needed.
+        self.nodes
+            .push(Node::new(frame, NODE_ENTRIES, is_l2, &mut self.arena));
+        #[cfg(feature = "legacy_hotpath")]
         self.by_frame.insert(frame.as_u64(), idx);
         if is_l2 {
             self.l2_nodes.push(idx);
@@ -78,17 +91,45 @@ impl FlattenedL4L3 {
         idx
     }
 
+    /// Resolves the PL2 node a present root PTE points to.
+    #[cfg(not(feature = "legacy_hotpath"))]
+    #[inline]
+    fn root_child(&self, ri: usize, _pte: Pte) -> Option<usize> {
+        self.root.kid(&self.arena, ri)
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    #[inline]
+    fn root_child(&self, _ri: usize, pte: Pte) -> Option<usize> {
+        self.by_frame.get(&pte.pfn().as_u64()).copied()
+    }
+
+    /// Resolves the PL1 node a present PL2 PTE points to.
+    #[cfg(not(feature = "legacy_hotpath"))]
+    #[inline]
+    fn child_of(&self, node: usize, idx: usize, _pte: Pte) -> Option<usize> {
+        self.nodes[node].kid(&self.arena, idx)
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    #[inline]
+    fn child_of(&self, _node: usize, _idx: usize, pte: Pte) -> Option<usize> {
+        self.by_frame.get(&pte.pfn().as_u64()).copied()
+    }
+
     fn descend(&self, vpn: Vpn) -> Option<(usize, usize)> {
-        let re = self.root.get(flat_l4l3_index(vpn));
+        let ri = flat_l4l3_index(vpn);
+        let re = self.root.get(&self.arena, ri);
         if !re.is_present() {
             return None;
         }
-        let l2 = *self.by_frame.get(&re.pfn().as_u64())?;
-        let l2e = self.nodes[l2].get(vpn.l2_index());
+        let l2 = self.root_child(ri, re)?;
+        let l2_idx = vpn.l2_index();
+        let l2e = self.nodes[l2].get(&self.arena, l2_idx);
         if !l2e.is_present() {
             return None;
         }
-        let l1 = *self.by_frame.get(&l2e.pfn().as_u64())?;
+        let l1 = self.child_of(l2, l2_idx, l2e)?;
         Some((l2, l1))
     }
 }
@@ -102,7 +143,7 @@ impl PageTable for FlattenedL4L3 {
 
     fn translate(&self, vpn: Vpn) -> Option<Translation> {
         let (_, l1) = self.descend(vpn)?;
-        let pte = self.nodes[l1].get(vpn.l1_index());
+        let pte = self.nodes[l1].get(&self.arena, vpn.l1_index());
         pte.is_present().then(|| Translation {
             pfn: pte.pfn(),
             size: PageSize::Size4K,
@@ -113,35 +154,38 @@ impl PageTable for FlattenedL4L3 {
         let mut tables_allocated = 0;
 
         let ri = flat_l4l3_index(vpn);
-        let re = self.root.get(ri);
+        let re = self.root.get(&self.arena, ri);
         let l2 = if re.is_present() {
-            self.by_frame[&re.pfn().as_u64()]
+            self.root_child(ri, re).expect("root PTE links its L2 node")
         } else {
             let n = self.new_node(alloc, true);
             tables_allocated += 1;
             let f = self.nodes[n].frame;
-            self.root.set(ri, Pte::next_flattened(f));
+            self.root.set(&mut self.arena, ri, Pte::next_flattened(f));
+            self.root.set_kid(&mut self.arena, ri, n);
             n
         };
 
         let l2_idx = vpn.l2_index();
-        let l2e = self.nodes[l2].get(l2_idx);
+        let l2e = self.nodes[l2].get(&self.arena, l2_idx);
         let l1 = if l2e.is_present() {
-            self.by_frame[&l2e.pfn().as_u64()]
+            self.child_of(l2, l2_idx, l2e)
+                .expect("L2 PTE links its L1 node")
         } else {
             let n = self.new_node(alloc, false);
             tables_allocated += 1;
             let f = self.nodes[n].frame;
-            self.nodes[l2].set(l2_idx, Pte::next(f));
+            self.nodes[l2].set(&mut self.arena, l2_idx, Pte::next(f));
+            self.nodes[l2].set_kid(&mut self.arena, l2_idx, n);
             n
         };
 
         let l1_idx = vpn.l1_index();
-        if self.nodes[l1].get(l1_idx).is_present() {
+        if self.nodes[l1].get(&self.arena, l1_idx).is_present() {
             return MapOutcome::already_mapped();
         }
         let frame = alloc.alloc_frame(FramePurpose::Data);
-        self.nodes[l1].set(l1_idx, Pte::leaf(frame));
+        self.nodes[l1].set(&mut self.arena, l1_idx, Pte::leaf(frame));
         self.mapped += 1;
         MapOutcome {
             newly_mapped: true,
@@ -152,7 +196,7 @@ impl PageTable for FlattenedL4L3 {
 
     fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
         let (l2, l1) = self.descend(vpn)?;
-        if !self.nodes[l1].get(vpn.l1_index()).is_present() {
+        if !self.nodes[l1].get(&self.arena, vpn.l1_index()).is_present() {
             return None;
         }
         Some(WalkPath::of([

@@ -13,13 +13,15 @@
 //! [`FaultKind`]: crate::table::FaultKind
 
 use crate::alloc::{FrameAllocator, FramePurpose};
+use crate::arena::{Node, PteArena};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
-use crate::radix::Node;
 use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_NODE, PAGE_SIZE};
-use ndp_types::{FastMap, PageSize, PtLevel, Vpn};
+#[cfg(feature = "legacy_hotpath")]
+use ndp_types::FastMap;
+use ndp_types::{PageSize, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 
@@ -35,7 +37,11 @@ pub struct HugeStats {
 /// The 2 MB transparent-huge-page table ("Huge Page" in Figs 12–14).
 #[derive(Debug, Clone)]
 pub struct HugePageTable {
+    arena: PteArena,
     nodes: Vec<Node>,
+    /// The seed's frame→node map, used for descent under `legacy_hotpath`
+    /// in place of the arena's child-handle lane.
+    #[cfg(feature = "legacy_hotpath")]
     by_frame: FastMap<u64, usize>,
     /// per-level node lists: [L4, L3, L2, L1-fallback].
     per_level: [Vec<usize>; 4],
@@ -48,7 +54,9 @@ impl HugePageTable {
     #[must_use]
     pub fn new(alloc: &mut FrameAllocator) -> Self {
         let mut t = HugePageTable {
+            arena: PteArena::new(),
             nodes: Vec::new(),
+            #[cfg(feature = "legacy_hotpath")]
             by_frame: FastMap::default(),
             per_level: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             root: 0,
@@ -67,24 +75,43 @@ impl HugePageTable {
     fn new_node(&mut self, alloc: &mut FrameAllocator, level_idx: usize) -> usize {
         let frame = alloc.alloc_frame(FramePurpose::PageTable);
         let idx = self.nodes.len();
-        self.nodes.push(Node::new(frame, NODE_ENTRIES));
+        // L1 fallback nodes hold only leaves; no child lane needed.
+        let track_kids = level_idx < 3;
+        self.nodes
+            .push(Node::new(frame, NODE_ENTRIES, track_kids, &mut self.arena));
+        #[cfg(feature = "legacy_hotpath")]
         self.by_frame.insert(frame.as_u64(), idx);
         self.per_level[level_idx].push(idx);
         idx
     }
 
+    /// Resolves the child node a present non-huge PTE points to.
+    #[cfg(not(feature = "legacy_hotpath"))]
+    #[inline]
+    fn child_of(&self, node: usize, idx: usize, _pte: Pte) -> Option<usize> {
+        self.nodes[node].kid(&self.arena, idx)
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    #[inline]
+    fn child_of(&self, _node: usize, _idx: usize, pte: Pte) -> Option<usize> {
+        self.by_frame.get(&pte.pfn().as_u64()).copied()
+    }
+
     /// Descends to the L2 node, returning `(l3_node, l2_node)` if present.
     fn descend_l2(&self, vpn: Vpn) -> Option<(usize, usize)> {
-        let l4e = self.nodes[self.root].get(vpn.l4_index());
+        let l4_idx = vpn.l4_index();
+        let l4e = self.nodes[self.root].get(&self.arena, l4_idx);
         if !l4e.is_present() {
             return None;
         }
-        let l3 = *self.by_frame.get(&l4e.pfn().as_u64())?;
-        let l3e = self.nodes[l3].get(vpn.l3_index());
+        let l3 = self.child_of(self.root, l4_idx, l4e)?;
+        let l3_idx = vpn.l3_index();
+        let l3e = self.nodes[l3].get(&self.arena, l3_idx);
         if !l3e.is_present() {
             return None;
         }
-        let l2 = *self.by_frame.get(&l3e.pfn().as_u64())?;
+        let l2 = self.child_of(l3, l3_idx, l3e)?;
         Some((l3, l2))
     }
 }
@@ -96,7 +123,8 @@ impl PageTable for HugePageTable {
 
     fn translate(&self, vpn: Vpn) -> Option<Translation> {
         let (_, l2) = self.descend_l2(vpn)?;
-        let l2e = self.nodes[l2].get(vpn.l2_index());
+        let l2_idx = vpn.l2_index();
+        let l2e = self.nodes[l2].get(&self.arena, l2_idx);
         if !l2e.is_present() {
             return None;
         }
@@ -106,8 +134,8 @@ impl PageTable for HugePageTable {
                 size: PageSize::Size2M,
             });
         }
-        let l1 = *self.by_frame.get(&l2e.pfn().as_u64())?;
-        let l1e = self.nodes[l1].get(vpn.l1_index());
+        let l1 = self.child_of(l2, l2_idx, l2e)?;
+        let l1e = self.nodes[l1].get(&self.arena, vpn.l1_index());
         l1e.is_present().then(|| Translation {
             pfn: l1e.pfn(),
             size: PageSize::Size4K,
@@ -118,43 +146,49 @@ impl PageTable for HugePageTable {
         let mut tables_allocated = 0;
 
         let l4_idx = vpn.l4_index();
-        let l4e = self.nodes[self.root].get(l4_idx);
+        let l4e = self.nodes[self.root].get(&self.arena, l4_idx);
         let l3 = if l4e.is_present() {
-            self.by_frame[&l4e.pfn().as_u64()]
+            self.child_of(self.root, l4_idx, l4e)
+                .expect("L4 PTE links its L3 node")
         } else {
             let n = self.new_node(alloc, 1);
             tables_allocated += 1;
             let f = self.nodes[n].frame;
-            self.nodes[self.root].set(l4_idx, Pte::next(f));
+            self.nodes[self.root].set(&mut self.arena, l4_idx, Pte::next(f));
+            self.nodes[self.root].set_kid(&mut self.arena, l4_idx, n);
             n
         };
 
         let l3_idx = vpn.l3_index();
-        let l3e = self.nodes[l3].get(l3_idx);
+        let l3e = self.nodes[l3].get(&self.arena, l3_idx);
         let l2 = if l3e.is_present() {
-            self.by_frame[&l3e.pfn().as_u64()]
+            self.child_of(l3, l3_idx, l3e)
+                .expect("L3 PTE links its L2 node")
         } else {
             let n = self.new_node(alloc, 2);
             tables_allocated += 1;
             let f = self.nodes[n].frame;
-            self.nodes[l3].set(l3_idx, Pte::next(f));
+            self.nodes[l3].set(&mut self.arena, l3_idx, Pte::next(f));
+            self.nodes[l3].set_kid(&mut self.arena, l3_idx, n);
             n
         };
 
         let l2_idx = vpn.l2_index();
-        let l2e = self.nodes[l2].get(l2_idx);
+        let l2e = self.nodes[l2].get(&self.arena, l2_idx);
         if l2e.is_present() {
             if l2e.is_huge() {
                 return MapOutcome::already_mapped();
             }
             // Fallback region: map the individual 4 KB page.
-            let l1 = self.by_frame[&l2e.pfn().as_u64()];
+            let l1 = self
+                .child_of(l2, l2_idx, l2e)
+                .expect("fallback L2 PTE links its L1 node");
             let l1_idx = vpn.l1_index();
-            if self.nodes[l1].get(l1_idx).is_present() {
+            if self.nodes[l1].get(&self.arena, l1_idx).is_present() {
                 return MapOutcome::already_mapped();
             }
             let frame = alloc.alloc_frame(FramePurpose::Data);
-            self.nodes[l1].set(l1_idx, Pte::leaf(frame));
+            self.nodes[l1].set(&mut self.arena, l1_idx, Pte::leaf(frame));
             self.stats.fallback_mapped += 1;
             return MapOutcome {
                 newly_mapped: true,
@@ -166,7 +200,7 @@ impl PageTable for HugePageTable {
         // Fresh 2 MB region: try a huge allocation.
         match alloc.alloc_contiguous(PageSize::Size2M.frames(), FramePurpose::Data) {
             Some(base) => {
-                self.nodes[l2].set(l2_idx, Pte::huge_leaf(base));
+                self.nodes[l2].set(&mut self.arena, l2_idx, Pte::huge_leaf(base));
                 self.stats.huge_mapped += 1;
                 MapOutcome {
                     newly_mapped: true,
@@ -179,9 +213,10 @@ impl PageTable for HugePageTable {
                 let l1 = self.new_node(alloc, 3);
                 tables_allocated += 1;
                 let l1_frame = self.nodes[l1].frame;
-                self.nodes[l2].set(l2_idx, Pte::next(l1_frame));
+                self.nodes[l2].set(&mut self.arena, l2_idx, Pte::next(l1_frame));
+                self.nodes[l2].set_kid(&mut self.arena, l2_idx, l1);
                 let frame = alloc.alloc_frame(FramePurpose::Data);
-                self.nodes[l1].set(vpn.l1_index(), Pte::leaf(frame));
+                self.nodes[l1].set(&mut self.arena, vpn.l1_index(), Pte::leaf(frame));
                 self.stats.fallback_mapped += 1;
                 MapOutcome {
                     newly_mapped: true,
@@ -225,7 +260,7 @@ impl PageTable for HugePageTable {
     fn translate_and_walk(&self, vpn: Vpn) -> Option<(Translation, WalkPath)> {
         // Single descent serving both results; per-op hot path.
         let (l3, l2) = self.descend_l2(vpn)?;
-        let l2e = self.nodes[l2].get(vpn.l2_index());
+        let l2e = self.nodes[l2].get(&self.arena, vpn.l2_index());
         if !l2e.is_present() {
             return None;
         }
@@ -252,8 +287,8 @@ impl PageTable for HugePageTable {
                 size: PageSize::Size2M,
             }
         } else {
-            let l1 = *self.by_frame.get(&l2e.pfn().as_u64())?;
-            let l1e = self.nodes[l1].get(vpn.l1_index());
+            let l1 = self.child_of(l2, vpn.l2_index(), l2e)?;
+            let l1e = self.nodes[l1].get(&self.arena, vpn.l1_index());
             if !l1e.is_present() {
                 return None;
             }

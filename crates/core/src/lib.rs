@@ -48,6 +48,7 @@
 //! ```
 
 pub mod alloc;
+pub(crate) mod arena;
 pub mod bypass;
 pub mod cuckoo;
 pub mod flat;

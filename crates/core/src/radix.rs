@@ -1,53 +1,32 @@
 //! The conventional x86-64 4-level radix page table (the paper's baseline).
 
 use crate::alloc::{FrameAllocator, FramePurpose};
+use crate::arena::{Node, PteArena};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
 use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_NODE, PAGE_SIZE};
-use ndp_types::{FastMap, PageSize, Pfn, PtLevel, Vpn};
+#[cfg(feature = "legacy_hotpath")]
+use ndp_types::FastMap;
+use ndp_types::{PageSize, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 
-#[derive(Debug, Clone)]
-pub(crate) struct Node {
-    pub(crate) frame: Pfn,
-    pub(crate) entries: Vec<Pte>,
-    pub(crate) valid: u32,
-}
-
-impl Node {
-    pub(crate) fn new(frame: Pfn, entries: usize) -> Self {
-        Node {
-            frame,
-            entries: vec![Pte::NULL; entries],
-            valid: 0,
-        }
-    }
-
-    pub(crate) fn set(&mut self, idx: usize, pte: Pte) {
-        if !self.entries[idx].is_present() && pte.is_present() {
-            self.valid += 1;
-        }
-        self.entries[idx] = pte;
-    }
-
-    pub(crate) fn get(&self, idx: usize) -> Pte {
-        self.entries[idx]
-    }
-}
-
 /// The baseline 4-level radix tree ("Radix" in Figs 12–14).
 ///
-/// Nodes live in an arena; each node also owns a real physical frame from
-/// the [`FrameAllocator`] so that [`walk_path`](PageTable::walk_path)
-/// reports genuine PTE addresses (which the DRAM model banks on — literally).
+/// Node entries live in a contiguous [`PteArena`] slab; each node also owns
+/// a real physical frame from the [`FrameAllocator`] so that
+/// [`walk_path`](PageTable::walk_path) reports genuine PTE addresses (which
+/// the DRAM model banks on — literally). Descents follow the arena's
+/// child-handle lane instead of a frame→node hash map.
 #[derive(Debug, Clone)]
 pub struct Radix4 {
+    arena: PteArena,
     nodes: Vec<Node>,
-    /// node index by owning frame, for descent from a PTE's PFN.
-    /// Probed on every walk step, so it lives on the shared fast hasher.
+    /// The seed's frame→node map, used for descent under `legacy_hotpath`
+    /// in place of the arena's child-handle lane.
+    #[cfg(feature = "legacy_hotpath")]
     by_frame: FastMap<u64, usize>,
     /// per-level node lists: [L4, L3, L2, L1] indices.
     per_level: [Vec<usize>; 4],
@@ -60,7 +39,9 @@ impl Radix4 {
     #[must_use]
     pub fn new(alloc: &mut FrameAllocator) -> Self {
         let mut t = Radix4 {
+            arena: PteArena::new(),
             nodes: Vec::new(),
+            #[cfg(feature = "legacy_hotpath")]
             by_frame: FastMap::default(),
             per_level: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             root: 0,
@@ -73,10 +54,29 @@ impl Radix4 {
     fn new_node(&mut self, alloc: &mut FrameAllocator, level_idx: usize) -> usize {
         let frame = alloc.alloc_frame(FramePurpose::PageTable);
         let idx = self.nodes.len();
-        self.nodes.push(Node::new(frame, NODE_ENTRIES));
+        // L1 nodes hold only leaves; no child lane needed.
+        let track_kids = level_idx < 3;
+        self.nodes
+            .push(Node::new(frame, NODE_ENTRIES, track_kids, &mut self.arena));
+        #[cfg(feature = "legacy_hotpath")]
         self.by_frame.insert(frame.as_u64(), idx);
         self.per_level[level_idx].push(idx);
         idx
+    }
+
+    /// Resolves the child node a present interior PTE points to: a direct
+    /// child-handle load, or the seed's frame-keyed hash probe under
+    /// `legacy_hotpath`.
+    #[cfg(not(feature = "legacy_hotpath"))]
+    #[inline]
+    fn child_of(&self, node: usize, idx: usize, _pte: Pte) -> Option<usize> {
+        self.nodes[node].kid(&self.arena, idx)
+    }
+
+    #[cfg(feature = "legacy_hotpath")]
+    #[inline]
+    fn child_of(&self, _node: usize, _idx: usize, pte: Pte) -> Option<usize> {
+        self.by_frame.get(&pte.pfn().as_u64()).copied()
     }
 
     /// Descends to (creating as needed) the L1 node for `vpn`, returning
@@ -86,14 +86,16 @@ impl Radix4 {
         let mut tables_allocated = 0;
         for (depth, level) in PtLevel::RADIX_WALK.iter().enumerate().take(3) {
             let idx = vpn.index_for(*level);
-            let pte = self.nodes[node].get(idx);
+            let pte = self.nodes[node].get(&self.arena, idx);
             node = if pte.is_present() {
-                self.by_frame[&pte.pfn().as_u64()]
+                self.child_of(node, idx, pte)
+                    .expect("interior PTE links its child node")
             } else {
                 let child = self.new_node(alloc, depth + 1);
                 tables_allocated += 1;
                 let child_frame = self.nodes[child].frame;
-                self.nodes[node].set(idx, Pte::next(child_frame));
+                self.nodes[node].set(&mut self.arena, idx, Pte::next(child_frame));
+                self.nodes[node].set_kid(&mut self.arena, idx, child);
                 child
             };
         }
@@ -105,12 +107,13 @@ impl Radix4 {
     fn descend(&self, vpn: Vpn, level_idx: usize) -> Option<usize> {
         let mut node = self.root;
         for (depth, level) in PtLevel::RADIX_WALK.iter().enumerate().take(level_idx) {
-            let pte = self.nodes[node].get(vpn.index_for(*level));
+            let idx = vpn.index_for(*level);
+            let pte = self.nodes[node].get(&self.arena, idx);
             if !pte.is_present() {
                 return None;
             }
             let _ = depth;
-            node = *self.by_frame.get(&pte.pfn().as_u64())?;
+            node = self.child_of(node, idx, pte)?;
         }
         Some(node)
     }
@@ -123,7 +126,7 @@ impl PageTable for Radix4 {
 
     fn translate(&self, vpn: Vpn) -> Option<Translation> {
         let leaf = self.descend(vpn, 3)?;
-        let pte = self.nodes[leaf].get(vpn.l1_index());
+        let pte = self.nodes[leaf].get(&self.arena, vpn.l1_index());
         pte.is_present().then(|| Translation {
             pfn: pte.pfn(),
             size: PageSize::Size4K,
@@ -133,11 +136,11 @@ impl PageTable for Radix4 {
     fn map(&mut self, vpn: Vpn, alloc: &mut FrameAllocator) -> MapOutcome {
         let (node, tables_allocated) = self.leaf_node_for(vpn, alloc);
         let l1 = vpn.l1_index();
-        if self.nodes[node].get(l1).is_present() {
+        if self.nodes[node].get(&self.arena, l1).is_present() {
             return MapOutcome::already_mapped();
         }
         let frame = alloc.alloc_frame(FramePurpose::Data);
-        self.nodes[node].set(l1, Pte::leaf(frame));
+        self.nodes[node].set(&mut self.arena, l1, Pte::leaf(frame));
         self.mapped += 1;
         MapOutcome {
             newly_mapped: true,
@@ -165,11 +168,11 @@ impl PageTable for Radix4 {
                 }
             };
             let idx = vpn.l1_index();
-            if self.nodes[leaf].get(idx).is_present() {
+            if self.nodes[leaf].get(&self.arena, idx).is_present() {
                 continue;
             }
             let frame = alloc.alloc_frame(FramePurpose::Data);
-            self.nodes[leaf].set(idx, Pte::leaf(frame));
+            self.nodes[leaf].set(&mut self.arena, idx, Pte::leaf(frame));
             self.mapped += 1;
             totals.minor_4k += 1;
         }
@@ -193,12 +196,12 @@ impl PageTable for Radix4 {
                 level: *level,
                 group: group as u8,
             });
-            let pte = self.nodes[node].get(idx);
+            let pte = self.nodes[node].get(&self.arena, idx);
             if !pte.is_present() {
                 return None;
             }
             if group < 3 {
-                node = *self.by_frame.get(&pte.pfn().as_u64())?;
+                node = self.child_of(node, idx, pte)?;
             } else {
                 leaf = pte;
             }

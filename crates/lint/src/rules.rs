@@ -44,6 +44,9 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/sim/src/",
 ];
 
+/// The arena module that owns all page-table PTE storage.
+pub const ARENA_RS: &str = "crates/core/src/arena.rs";
+
 /// I/O-path files where `unwrap`/`expect`/`panic!` must not appear in
 /// non-test code: ingest, resume and supervision surface errors instead
 /// of crashing mid-sweep.
@@ -60,6 +63,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     out.extend(registry_rule(ws));
     out.extend(digest_rule(ws));
     out.extend(determinism_rule(ws));
+    out.extend(arena_rule(ws));
     out.extend(panic_free_rule(ws));
     out.extend(forbid_unsafe_rule(ws));
     out
@@ -400,6 +404,40 @@ pub fn determinism_rule(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
+/// Arena allocation (determinism family): page-table nodes draw their
+/// PTE storage from the contiguous `PteArena` slab; a per-node
+/// `Vec<Pte>` outside `arena.rs` reintroduces the pointer-chasing
+/// layout the arena replaced and scatters walk state across the heap.
+/// Construction-time code that legitimately owns a PTE vector (e.g. the
+/// cuckoo hash ways, which are not tree nodes) carries a `lint.allow`
+/// entry with its reason.
+#[must_use]
+pub fn arena_rule(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if !f.rel.starts_with("crates/core/src/") || f.rel == ARENA_RS {
+            continue;
+        }
+        for (lineno, line) in f.scrubbed_lines() {
+            if f.is_test_line(lineno) {
+                continue;
+            }
+            if line.contains("Vec<Pte>") {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    lineno,
+                    "arena-allocation",
+                    "per-node `Vec<Pte>` allocation outside arena.rs; carve PTE storage \
+                     from `PteArena` (or allowlist construction-time code in lint.allow \
+                     with a reason)",
+                    f.raw_line(lineno),
+                ));
+            }
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Rule family 4: panic-freedom in I/O paths.
 // ---------------------------------------------------------------------------
@@ -629,6 +667,33 @@ mod tests {
             "",
         );
         assert_eq!(determinism_rule(&w), vec![]);
+    }
+
+    #[test]
+    fn arena_flags_vec_pte_outside_arena_module() {
+        // Seeded violation: a table growing its own PTE vector per node.
+        let src = "pub struct Node {\n    ptes: Vec<Pte>,\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let v: Vec<Pte> = Vec::new(); }\n}\n";
+        let w = ws(&[("crates/core/src/radix.rs", src)], "");
+        let d = arena_rule(&w);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "arena-allocation");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("PteArena"));
+    }
+
+    #[test]
+    fn arena_ignores_the_arena_module_comments_and_foreign_crates() {
+        let arena = "pub struct PteArena {\n    ptes: Vec<Pte>,\n}\n";
+        let commented = "// the old Vec<Pte> layout\npub fn f() {}\n";
+        let w = ws(
+            &[
+                (ARENA_RS, arena),
+                ("crates/core/src/flat.rs", commented),
+                ("crates/sim/src/machine.rs", "pub a: Vec<Pte>,\n"),
+            ],
+            "",
+        );
+        assert_eq!(arena_rule(&w), vec![]);
     }
 
     #[test]

@@ -77,28 +77,12 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct TlbEntry {
-    key: u64,
-    asid: Asid,
-    pfn: Pfn,
-    size: PageSize,
-    valid: bool,
-    stamp: u64,
-}
+/// Tag of an empty way. Live tags pack a ≤ 37-bit page key with a 16-bit
+/// ASID at [`Asid::TAG_SHIFT`], so they can never reach the sentinel.
+const INVALID_TAG: u64 = u64::MAX;
 
-impl Default for TlbEntry {
-    fn default() -> Self {
-        TlbEntry {
-            key: 0,
-            asid: Asid::ZERO,
-            pfn: Pfn::new(0),
-            size: PageSize::Size4K,
-            valid: false,
-            stamp: 0,
-        }
-    }
-}
+/// Bits of a tag that hold the ASID.
+const ASID_MASK: u64 = !0u64 << Asid::TAG_SHIFT;
 
 /// A translation returned by a TLB probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,11 +94,21 @@ pub struct TlbHit {
 }
 
 /// One set-associative TLB level.
+///
+/// Probe state is struct-of-arrays (the `PwcSet` treatment): `tags[i]`
+/// packs the page key with the owning ASID so a set probe is one `u64`
+/// compare per way over a contiguous row, `stamps[i]` carries LRU age
+/// (zeroed on invalidation — valid stamps are always ≥ 1, so the victim
+/// scan needs no validity branch), and `pfns[i]` is the payload, touched
+/// only on a hit. The mapping size is not stored: the key's low bit *is*
+/// the 4 KB / 2 MB namespace.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
     sets: usize,
-    entries: Vec<TlbEntry>,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    pfns: Vec<Pfn>,
     tick: u64,
     stats: HitMiss,
 }
@@ -124,10 +118,13 @@ impl Tlb {
     #[must_use]
     pub fn new(config: TlbConfig) -> Self {
         let sets = config.sets();
+        let ways = sets * config.ways as usize;
         Tlb {
             config,
             sets,
-            entries: vec![TlbEntry::default(); sets * config.ways as usize],
+            tags: vec![INVALID_TAG; ways],
+            stamps: vec![0; ways],
+            pfns: vec![Pfn::new(0); ways],
             tick: 0,
             stats: HitMiss::default(),
         }
@@ -157,11 +154,17 @@ impl Tlb {
     fn probe_key(&mut self, asid: Asid, key: u64) -> Option<(Pfn, PageSize)> {
         let set = (key as usize >> 1) & (self.sets - 1);
         let ways = self.config.ways as usize;
-        let tick = self.tick;
-        for e in &mut self.entries[set * ways..(set + 1) * ways] {
-            if e.valid && e.key == key && e.asid == asid {
-                e.stamp = tick;
-                return Some((e.pfn, e.size));
+        let tag = key | asid.tag_bits();
+        let base = set * ways;
+        for w in base..base + ways {
+            if self.tags[w] == tag {
+                self.stamps[w] = self.tick;
+                let size = if key & 1 == 1 {
+                    PageSize::Size2M
+                } else {
+                    PageSize::Size4K
+                };
+                return Some((self.pfns[w], size));
             }
         }
         None
@@ -194,39 +197,39 @@ impl Tlb {
         let key = Self::key_for(vpn, size);
         let set = (key as usize >> 1) & (self.sets - 1);
         let ways = self.config.ways as usize;
-        let tick = self.tick;
-        let slice = &mut self.entries[set * ways..(set + 1) * ways];
-        // Refresh if present.
-        if let Some(e) = slice
-            .iter_mut()
-            .find(|e| e.valid && e.key == key && e.asid == asid)
-        {
-            e.stamp = tick;
-            e.pfn = pfn;
-            return;
+        let tag = key | asid.tag_bits();
+        let base = set * ways;
+        // One pass: refresh if present (the size lives in the key, so a
+        // refresh can never change it), else first-minimum-stamp victim —
+        // invalidated ways scan as stamp 0, below every live stamp.
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for w in base..base + ways {
+            if self.tags[w] == tag {
+                self.stamps[w] = self.tick;
+                self.pfns[w] = pfn;
+                return;
+            }
+            if self.stamps[w] < victim_stamp {
+                victim = w;
+                victim_stamp = self.stamps[w];
+            }
         }
-        let victim = slice
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
-            .expect("ways > 0");
-        *victim = TlbEntry {
-            key,
-            asid,
-            pfn,
-            size,
-            valid: true,
-            stamp: tick,
-        };
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
+        self.pfns[victim] = pfn;
     }
 
     /// Invalidates every entry of `asid` (a targeted shootdown), returning
     /// how many entries were dropped. Statistics and other address spaces
     /// are untouched.
     pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        let tag_bits = asid.tag_bits();
         let mut dropped = 0;
-        for e in &mut self.entries {
-            if e.valid && e.asid == asid {
-                e.valid = false;
+        for w in 0..self.tags.len() {
+            if self.tags[w] != INVALID_TAG && self.tags[w] & ASID_MASK == tag_bits {
+                self.tags[w] = INVALID_TAG;
+                self.stamps[w] = 0;
                 dropped += 1;
             }
         }
@@ -238,9 +241,10 @@ impl Tlb {
     /// flush loses state, not history.
     pub fn flush_all(&mut self) -> u64 {
         let mut dropped = 0;
-        for e in &mut self.entries {
-            if e.valid {
-                e.valid = false;
+        for w in 0..self.tags.len() {
+            if self.tags[w] != INVALID_TAG {
+                self.tags[w] = INVALID_TAG;
+                self.stamps[w] = 0;
                 dropped += 1;
             }
         }
@@ -249,7 +253,9 @@ impl Tlb {
 
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
-        self.entries.fill(TlbEntry::default());
+        self.tags.fill(INVALID_TAG);
+        self.stamps.fill(0);
+        self.pfns.fill(Pfn::new(0));
         self.tick = 0;
         self.stats = HitMiss::default();
     }

@@ -133,6 +133,13 @@ pub struct SimConfig {
     /// `0` (the default) disables it; bypassed NDPage metadata fetches
     /// skip it just as they skip every other cache.
     pub vault_buffer_kb: u32,
+    /// Most ops a core executes per scheduler pick (the *epoch*). The
+    /// batched scheduler only keeps running a core while the per-op
+    /// scheduler would still pick it, so **every** epoch size is
+    /// cycle-identical to per-op execution (`epoch_ops = 1`); larger
+    /// epochs amortise the per-op core scan and keep one core's state
+    /// hot across a block of ops.
+    pub epoch_ops: u64,
 }
 
 impl SimConfig {
@@ -165,6 +172,14 @@ impl SimConfig {
     pub const DEFAULT_L3_WAYS: u32 = 16;
     /// Default shared-L3 bank count.
     pub const DEFAULT_L3_BANKS: u32 = 8;
+    /// Default scheduler epoch: long enough to amortise the per-op core
+    /// scan, short enough that a core's batch rarely outlives its
+    /// scheduling eligibility. Timing-inert at any value (see
+    /// [`Self::epoch_ops`]).
+    pub const DEFAULT_EPOCH_OPS: u64 = 64;
+    /// Largest accepted scheduler epoch (a sanity bound, not a timing
+    /// constraint).
+    pub const MAX_EPOCH_OPS: u64 = 1 << 20;
 
     /// A full-size run configuration.
     #[must_use]
@@ -202,6 +217,7 @@ impl SimConfig {
             l3_banks: Self::DEFAULT_L3_BANKS,
             l3_policy: InclusionPolicy::Inclusive,
             vault_buffer_kb: 0,
+            epoch_ops: Self::DEFAULT_EPOCH_OPS,
         }
     }
 
@@ -344,6 +360,14 @@ impl SimConfig {
         self
     }
 
+    /// Sets the scheduler epoch in ops (1 = per-op scheduling; timing is
+    /// identical at any value).
+    #[must_use]
+    pub fn with_epoch_ops(mut self, ops: u64) -> Self {
+        self.epoch_ops = ops;
+        self
+    }
+
     /// Whether any shared last-level structure (shared L3 or vault
     /// buffers) is enabled.
     #[must_use]
@@ -416,6 +440,9 @@ impl SimConfig {
             || self.walkers_per_core as usize > ndp_mmu::walker::MAX_WALKERS
         {
             return Err(ConfigError::new("walkers_per_core must be in 1..=8"));
+        }
+        if self.epoch_ops == 0 || self.epoch_ops > Self::MAX_EPOCH_OPS {
+            return Err(ConfigError::new("epoch_ops must be in 1..=1048576"));
         }
         if let Some(l3) = self.l3_config() {
             if let Err(e) = l3.check() {
@@ -577,6 +604,20 @@ mod tests {
         assert_eq!(cfg.mlp_window, 8);
         assert_eq!(cfg.mshrs_per_core, 16);
         assert_eq!(cfg.walkers_per_core, 2);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn epoch_configs_validated() {
+        let mut cfg = SimConfig::quick(SystemKind::Ndp, 1, Mechanism::Radix, WorkloadId::Rnd);
+        assert_eq!(cfg.epoch_ops, SimConfig::DEFAULT_EPOCH_OPS);
+        cfg.epoch_ops = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("epoch_ops"));
+        cfg.epoch_ops = SimConfig::MAX_EPOCH_OPS + 1;
+        assert!(cfg.validate().is_err());
+        let cfg = cfg.with_epoch_ops(1);
+        assert_eq!(cfg.epoch_ops, 1);
         assert!(cfg.validate().is_ok());
     }
 

@@ -589,6 +589,17 @@ pub static KNOBS: &[KnobDef] = &[
         },
         get: |c| c.vault_buffer_kb.to_string(),
     },
+    KnobDef {
+        name: "epoch_ops",
+        flag: Some("--epoch"),
+        flag_scale: 1,
+        help: "ops per scheduler pick (timing-inert batching; 1 = per-op)",
+        apply: |c, v| {
+            c.epoch_ops = p_u64(v)?;
+            Ok(())
+        },
+        get: |c| c.epoch_ops.to_string(),
+    },
 ];
 
 /// Looks a knob up by canonical name.

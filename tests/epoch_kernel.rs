@@ -1,0 +1,105 @@
+//! Epoch-batched kernel invariants.
+//!
+//! The epoch-batching PR restructured `machine.rs::run` from "re-scan all
+//! cores before every op" to "pick a core, run it for up to `epoch_ops`
+//! ops while it remains the oldest". The batch limit is chosen so that
+//! only the picked core's clock can move during a batch, which makes the
+//! schedule — and therefore every digest — **bit-identical at any epoch
+//! size**. These tests hold that bar across the knob matrix and pin
+//! golden digests for the batched defaults.
+
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+use proptest::prelude::*;
+
+/// A small-but-real configuration touching the interacting knobs: MLP
+/// window (in-flight ops per core), process count (context switches
+/// drain batches), shared L3 (cross-core timing coupling).
+fn cfg(window: u32, procs: u32, l3_kb: u32) -> SimConfig {
+    let mut c = SimConfig::new(SystemKind::Ndp, 2, Mechanism::NdPage, WorkloadId::Bfs)
+        .with_ops(2_000, 5_000)
+        .with_footprint(256 << 20)
+        .with_l3(l3_kb);
+    if procs > 1 {
+        c = c.with_procs(procs).with_quantum(1_000);
+    }
+    c.mlp_window = window;
+    c.mshrs_per_core = window.max(1);
+    c
+}
+
+fn fp(c: SimConfig) -> u64 {
+    Machine::new(c).run().fingerprint()
+}
+
+#[test]
+fn epoch_batching_is_bit_identical_across_knob_matrix() {
+    for window in [1u32, 8] {
+        for procs in [1u32, 2] {
+            for l3_kb in [0u32, 512] {
+                let per_op = fp(cfg(window, procs, l3_kb).with_epoch_ops(1));
+                for epoch in [3u64, 64, SimConfig::MAX_EPOCH_OPS] {
+                    let batched = fp(cfg(window, procs, l3_kb).with_epoch_ops(epoch));
+                    assert_eq!(
+                        batched, per_op,
+                        "window={window} procs={procs} l3_kb={l3_kb} \
+                         epoch={epoch}: batching moved the digest"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random corners of the same matrix, including ragged epoch sizes
+    /// that never divide the op counts evenly.
+    #[test]
+    fn any_epoch_size_matches_per_op_execution(
+        window in 1u32..9,
+        procs in 1u32..3,
+        l3_kb in prop::sample::select(vec![0u32, 512]),
+        epoch in 1u64..1025,
+    ) {
+        let per_op = fp(cfg(window, procs, l3_kb).with_epoch_ops(1));
+        let batched = fp(cfg(window, procs, l3_kb).with_epoch_ops(epoch));
+        prop_assert_eq!(batched, per_op);
+    }
+}
+
+#[test]
+fn epoch_ops_is_inert_at_its_default() {
+    // The default must preserve the seed's behaviour exactly: a config
+    // that never mentions epoch_ops digests identically to forced
+    // per-op execution.
+    let base = SimConfig::quick(SystemKind::Ndp, 2, Mechanism::Radix, WorkloadId::Rnd);
+    assert_eq!(base.epoch_ops, SimConfig::DEFAULT_EPOCH_OPS);
+    let defaulted = fp(base.clone());
+    let per_op = fp(base.with_epoch_ops(1));
+    assert_eq!(defaulted, per_op, "default epoch size must be inert");
+}
+
+/// Golden digests for batched runs at the default epoch size, one per
+/// matrix corner. Produced by this tree's engine; they re-pin the
+/// epoch-batched kernel so a future scheduling change cannot silently
+/// move timing even if it stays internally consistent.
+const GOLDEN: [(u32, u32, u32, u64); 4] = [
+    (1, 1, 0, 7951321719782436550),
+    (8, 1, 0, 1578718316153312710),
+    (1, 2, 512, 294085866865651957),
+    (8, 2, 512, 16922653198480144996),
+];
+
+#[test]
+fn batched_golden_digests_hold() {
+    for (window, procs, l3_kb, want) in GOLDEN {
+        let got = fp(cfg(window, procs, l3_kb));
+        assert_eq!(
+            got, want,
+            "window={window} procs={procs} l3_kb={l3_kb}: golden digest moved"
+        );
+    }
+}
