@@ -33,8 +33,21 @@ fn main() {
     // wrong (possibly hours-long, full-scale) set.
     exit_on_err(args.reject_unknown(&["--jobs"], &["--quick", "--help"]));
     const WHATS: &[&str] = &[
-        "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "pwc", "fig12", "fig13",
-        "fig14", "ablation", "sweeps", "all",
+        "table1",
+        "table2",
+        "calibration",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "pwc",
+        "fig12",
+        "fig13",
+        "fig14",
+        "ablation",
+        "sweeps",
+        "all",
     ];
     if args.has("--help") {
         eprintln!(
@@ -71,6 +84,9 @@ fn main() {
     }
     if all || what.contains(&"table2") {
         table2();
+    }
+    if all || what.contains(&"calibration") {
+        calibration_targets();
     }
     if all || what.contains(&"fig4") || what.contains(&"fig5") {
         fig4_fig5(scale, &workloads);
@@ -320,6 +336,24 @@ fn table2() {
         })
         .collect();
     print_table(&["suite", "workload", "dataset"], &rows);
+}
+
+fn calibration_targets() {
+    // Static (simulation-free): the reference points `calibrate --check`
+    // gates against, straight from the embedded table.
+    println!("\n=== Calibration: embedded paper targets (Figs 4/5/6/7) ===\n");
+    print_table(
+        &[
+            "key",
+            "figure",
+            "description",
+            "target",
+            "unit",
+            "tolerance",
+        ],
+        &ndp_bench::calibration::target_rows(),
+    );
+    println!("\nregenerate: cargo run -p ndp-bench --release --bin calibrate -- --out calibration.jsonl --resume --check");
 }
 
 fn fig4_fig5(scale: Scale, workloads: &[WorkloadId]) {

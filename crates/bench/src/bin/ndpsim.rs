@@ -36,6 +36,7 @@
 //!     bench --out BENCH_end_to_end.json --baseline BENCH_baseline.json
 //! ```
 
+use ndp_bench::calibration;
 use ndp_bench::cli::{
     config_from_args, exit_on_err, install_jobs, json_f64, json_str, json_u64, knob_help_table,
     ndpsim_value_flags, Args, CliError, NDPSIM_BOOL_FLAGS,
@@ -44,7 +45,9 @@ use ndp_bench::supervisor::{supervise, SupervisorConfig};
 use ndp_sim::experiment::run_batch;
 use ndp_sim::fault::FaultPlan;
 use ndp_sim::shard::ShardSpec;
-use ndp_sim::spec::{config_fingerprint, run_sweep, run_sweep_jsonl_opts, JsonlOptions, SweepSpec};
+use ndp_sim::spec::{
+    apply_knob, config_fingerprint, run_sweep, run_sweep_jsonl_opts, JsonlOptions, SweepSpec,
+};
 use ndp_sim::sweeps::{mlp_sweep, pwc_size_sweep, shared_llc_sweep};
 use ndp_sim::{Machine, SimConfig, SystemKind};
 use ndp_workloads::WorkloadId;
@@ -133,6 +136,49 @@ fn bench_mlp_pass() -> (u64, u64, f64, f64) {
     (sim_ops, digest, widest, blocking)
 }
 
+/// Tolerance widening for the quick-scale calibration pass — the same
+/// factor the CI `calibrate --quick --check` gate uses, chosen so the
+/// deterministic quick-scale deviations sit inside every band.
+const CAL_TOLERANCE_SCALE: f64 = 8.0;
+
+/// The calibration benchmark pass: the `calibrate --quick` grid (three
+/// workloads x NDP 1/4/8 + CPU 4 cores x every mechanism) evaluated
+/// against the embedded paper targets with CI-widened bands. Returns
+/// `(sim_ops, digest, findings)` — the digest covers every row's report
+/// and gates `--check-digest` across hot-path modes like the others.
+fn bench_calibration_pass() -> (u64, u64, Vec<calibration::Finding>) {
+    let mut base = SimConfig::cli_default();
+    for (knob, value) in [
+        ("footprint", "268435456"),
+        ("measure_ops", "6000"),
+        ("warmup_ops", "2000"),
+    ] {
+        apply_knob(&mut base, knob, value).expect("calibration base knob");
+    }
+    let spec = calibration::grid(base, &["RND", "BFS", "XS"]);
+    let sim_ops: u64 = spec
+        .expand()
+        .expect("calibration grid")
+        .iter()
+        .map(|p| u64::from(p.config.cores) * (p.config.warmup_ops + p.config.measure_ops))
+        .sum();
+    let result = run_sweep(&spec).expect("calibration sweep");
+    let mut digest = 0u64;
+    let lines: Vec<String> = result
+        .rows
+        .iter()
+        .map(|r| {
+            digest ^= r.report.fingerprint();
+            r.to_jsonl()
+        })
+        .collect();
+    // Through the same JSONL text `calibrate --check` consumes, so the
+    // bench numbers and the harness can never derive metrics differently.
+    let rows = calibration::parse_rows(&lines.join("\n")).expect("calibration rows");
+    let findings = calibration::evaluate(&rows, &[], CAL_TOLERANCE_SCALE).expect("calibration");
+    (sim_ops, digest, findings)
+}
+
 fn run_bench(args: &Args) {
     let runs: usize = exit_on_err(args.num("--runs"))
         .map_or(3, |n| n as usize)
@@ -176,6 +222,17 @@ fn run_bench(args: &Args) {
     let llc_wall = t0.elapsed().as_secs_f64();
     eprintln!("llc pass: {llc_wall:.3} s");
 
+    // And the calibration pass: the quick-scale paper-target grid, with
+    // the CI-widened bands, digest-gated like the other sweeps.
+    let t0 = Instant::now();
+    let (cal_ops, cal_digest, cal_findings) = bench_calibration_pass();
+    let cal_wall = t0.elapsed().as_secs_f64();
+    let cal_hit = cal_findings.iter().filter(|f| f.pass).count();
+    eprintln!(
+        "calibration pass: {cal_wall:.3} s ({cal_hit}/{} targets in band at {CAL_TOLERANCE_SCALE}x tolerance)",
+        cal_findings.len()
+    );
+
     // A missing --baseline flag is fine (the speedup fields are simply
     // omitted); a *named* baseline that cannot be read or parsed is an
     // error — silently dropping it would let the CI gates misfire with a
@@ -197,7 +254,15 @@ fn run_bench(args: &Args) {
         let digest = json_u64(&text, "report_digest");
         let base_mlp_digest = json_u64(&text, "mlp_digest");
         let base_llc_digest = json_u64(&text, "llc_digest");
-        (mode, wall, digest, base_mlp_digest, base_llc_digest)
+        let base_cal_digest = json_u64(&text, "cal_digest");
+        (
+            mode,
+            wall,
+            digest,
+            base_mlp_digest,
+            base_llc_digest,
+            base_cal_digest,
+        )
     });
 
     let mut json = String::from("{\n");
@@ -255,7 +320,18 @@ fn run_bench(args: &Args) {
     ));
     json.push_str(&format!("    \"llc_wall_s\": {llc_wall:.4}\n"));
     json.push_str("  },\n");
-    if let Some((base_mode, base_wall, _, _, _)) = &baseline {
+    json.push_str("  \"calibration\": {\n");
+    json.push_str(&format!("    \"cal_simulated_ops\": {cal_ops},\n"));
+    json.push_str(&format!("    \"cal_digest\": {cal_digest},\n"));
+    json.push_str(&format!(
+        "    \"cal_tolerance_scale\": {CAL_TOLERANCE_SCALE},\n"
+    ));
+    json.push_str(&format!(
+        "    {}\n",
+        calibration::bench_json_fields(&cal_findings, cal_wall)
+    ));
+    json.push_str("  },\n");
+    if let Some((base_mode, base_wall, _, _, _, _)) = &baseline {
         json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
         json.push_str(&format!("  \"baseline_mode\": \"{base_mode}\",\n"));
         json.push_str(&format!("  \"baseline_best_wall_s\": {base_wall:.4},\n"));
@@ -271,7 +347,15 @@ fn run_bench(args: &Args) {
     std::fs::write(&out, &json).expect("write bench JSON");
     println!("{json}");
     println!("wrote {out}");
-    if let Some((base_mode, base_wall, base_digest, base_mlp_digest, base_llc_digest)) = baseline {
+    if let Some((
+        base_mode,
+        base_wall,
+        base_digest,
+        base_mlp_digest,
+        base_llc_digest,
+        base_cal_digest,
+    )) = baseline
+    {
         println!(
             "speedup vs {base_mode} baseline: {:.2}x ({:.3} s -> {:.3} s)",
             base_wall / best,
@@ -311,6 +395,15 @@ fn run_bench(args: &Args) {
                 }
                 // Pre-shared-LLC baseline files carry no llc_digest.
                 None => eprintln!("llc digest check: skipped (baseline has none)"),
+            }
+            match base_cal_digest {
+                Some(b) if b == cal_digest => eprintln!("cal digest check: ok ({cal_digest})"),
+                Some(b) => {
+                    eprintln!("error: cal digest {cal_digest} != baseline cal digest {b}");
+                    std::process::exit(1);
+                }
+                // Pre-calibration baseline files carry no cal_digest.
+                None => eprintln!("cal digest check: skipped (baseline has none)"),
             }
         }
         if let Some(floor) = args.get("--min-speedup") {

@@ -12,6 +12,7 @@
 //!
 //! The formatting helpers here are shared by both.
 
+pub mod calibration;
 pub mod cli;
 pub mod supervisor;
 

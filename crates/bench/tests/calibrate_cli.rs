@@ -1,0 +1,254 @@
+//! `calibrate` harness tests: flag validation (the `--footprint-mb 0`
+//! shift bug must stay fixed), resumable JSONL byte-identity, the
+//! `--check` exit-code contract, and the `--emit-spec` round-trip into
+//! the `ndpsim sweep` executor.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn calibrate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_calibrate"))
+}
+
+fn ndpsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ndpsim"))
+}
+
+fn tmp(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ndp_calibrate_cli_{}_{tag}.{ext}",
+        std::process::id()
+    ))
+}
+
+/// Flags for a grid tiny enough for debug-build tests (20 points of a
+/// few hundred ops each) while still covering every (system, cores,
+/// mechanism) group the embedded targets reference.
+const TINY: &[&str] = &["--workloads", "RND", "--footprint-mb", "8", "--ops", "300"];
+
+// ---------------------------------------------------------------------------
+// Flag validation (all exit 2, no simulation).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rejects_zero_footprint_by_knob_name() {
+    // The old scratchpad shifted `--footprint-mb 0` straight into the
+    // config and simulated an empty address space.
+    let out = calibrate().args(["--footprint-mb", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--footprint-mb"), "{stderr}");
+    assert!(stderr.contains("footprint"), "names the knob: {stderr}");
+}
+
+#[test]
+fn rejects_overflowing_footprint() {
+    // 2^44 MiB << 20 would wrap; the checked multiply must reject it.
+    let out = calibrate()
+        .args(["--footprint-mb", "17592186044416"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("overflows"));
+}
+
+#[test]
+fn rejects_unknown_flags_and_workloads() {
+    let out = calibrate().args(["--fotprint-mb", "64"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--fotprint-mb") && stderr.contains("--footprint-mb"),
+        "{stderr}"
+    );
+
+    let out = calibrate()
+        .args(["--workloads", "RND,NOPE"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("NOPE"));
+}
+
+#[test]
+fn rejects_malformed_tolerance_flags() {
+    let out = calibrate()
+        .args(["--tolerance", "ndp_radix_ptw_4c"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("KEY=BAND"));
+
+    let out = calibrate()
+        .args(["--tolerance", "ndp_radix_ptw_4c=abc"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a number"));
+
+    let out = calibrate()
+        .args(["--tolerance-scale", "wide"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--tolerance-scale"));
+}
+
+#[test]
+fn rejects_shard_check_and_orphan_stream_flags() {
+    // A single stripe is not the grid: checking it would report every
+    // other group as missing.
+    let out = calibrate()
+        .args(TINY)
+        .args(["--out", "/tmp/x.jsonl", "--shard", "0/2", "--check"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shard"));
+
+    let out = calibrate().args(["--resume"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    let out = calibrate()
+        .args(["--out", "/tmp/x.jsonl", "--shard", "nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn check_from_missing_file_is_a_semantic_error() {
+    let out = calibrate()
+        .args(["--check", "--from", "/nonexistent/cal.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cal.jsonl"));
+}
+
+// ---------------------------------------------------------------------------
+// Static outputs (no simulation).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn targets_table_lists_every_embedded_key() {
+    let out = calibrate().arg("--targets").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for t in ndp_bench::calibration::TARGETS {
+        assert!(stdout.contains(t.key), "missing {}", t.key);
+    }
+}
+
+#[test]
+fn emit_spec_round_trips_into_the_sweep_executor() {
+    let spec = tmp("emit", "json");
+    let out = calibrate()
+        .args(TINY)
+        .args(["--emit-spec", spec.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&spec).unwrap();
+    assert!(text.contains("\"calibration\"") && text.contains("\"axes\""));
+
+    // The emitted spec must load and expand to the same grid.
+    let dry = ndpsim()
+        .args(["sweep", "--spec", spec.to_str().unwrap(), "--dry-run"])
+        .output()
+        .unwrap();
+    assert!(
+        dry.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&dry.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&dry.stdout);
+    assert!(stdout.contains("20 grid points"), "{stdout}");
+    std::fs::remove_file(&spec).ok();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: stream, resume, check (one tiny grid, reused across
+// assertions to keep debug-build runtime down).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streamed_jsonl_resumes_byte_identically_and_check_gates() {
+    let out_path = tmp("stream", "jsonl");
+    let run = calibrate()
+        .args(TINY)
+        .args(["--out", out_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let bytes = std::fs::read(&out_path).unwrap();
+    let text = String::from_utf8(bytes.clone()).unwrap();
+    assert_eq!(text.lines().count(), 20, "full grid streamed");
+
+    // Interrupt after three rows; resume must re-run exactly the missing
+    // points and reproduce the file byte-for-byte.
+    let head: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&out_path, head).unwrap();
+    let resumed = calibrate()
+        .args(TINY)
+        .args(["--out", out_path.to_str().unwrap(), "--resume"])
+        .output()
+        .unwrap();
+    assert!(resumed.status.success());
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("17 executed, 3 reused"), "{stdout}");
+    assert_eq!(std::fs::read(&out_path).unwrap(), bytes);
+
+    // --check --from on the finished stream: wide bands pass (exit 0),
+    // near-zero bands fail (exit 1) — deterministically.
+    let pass = calibrate()
+        .args(["--check", "--from", out_path.to_str().unwrap()])
+        .args(["--tolerance-scale", "1000000"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        pass.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&pass.stderr)
+    );
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("9/9 targets in band"));
+
+    let fail = calibrate()
+        .args(["--check", "--from", out_path.to_str().unwrap()])
+        .args(["--tolerance-scale", "0.0000001"])
+        .output()
+        .unwrap();
+    assert_eq!(fail.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&fail.stderr).contains("out of band"));
+
+    // Per-target overrides reach the evaluation: an absurd band on one
+    // key must flip only that key's verdict.
+    let overridden = calibrate()
+        .args(["--check", "--from", out_path.to_str().unwrap()])
+        .args(["--tolerance-scale", "1000000"])
+        .args(["--tolerance", "ndp_radix_ptw_4c=0.0000001"])
+        .output()
+        .unwrap();
+    assert_eq!(overridden.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&overridden.stderr).contains("1 target(s) out of band"));
+
+    let unknown = calibrate()
+        .args(["--check", "--from", out_path.to_str().unwrap()])
+        .args(["--tolerance", "bogus=25%"])
+        .output()
+        .unwrap();
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("bogus"));
+
+    std::fs::remove_file(&out_path).ok();
+}

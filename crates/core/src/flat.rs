@@ -14,12 +14,14 @@ use crate::alloc::{FrameAllocator, FramePurpose};
 use crate::arena::{Node, PteArena};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
-use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
+use crate::table::{
+    FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, RangePlan, Translation,
+};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_FLAT_NODE, ENTRIES_PER_NODE, PAGE_SIZE};
 #[cfg(feature = "legacy_hotpath")]
 use ndp_types::FastMap;
-use ndp_types::{PageSize, PtLevel, Vpn};
+use ndp_types::{PageSize, Pfn, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 const FLAT_ENTRIES: usize = ENTRIES_PER_FLAT_NODE as usize;
@@ -153,6 +155,62 @@ impl FlattenedL2L1 {
         (flat, tables_allocated)
     }
 
+    /// Scans `pages` from `first` once, creating L3/flat nodes as needed
+    /// and reserving backing frames for maximal runs of absent pages
+    /// (bulk-bumped, preserving the per-page allocator call sequence);
+    /// leaf installs are recorded as plan segments. Shared by `map_range`
+    /// (which applies immediately) and `plan_range` (which defers).
+    fn plan_runs(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangePlan {
+        let mut plan = RangePlan::default();
+        let mut cached: Option<(u64, usize)> = None;
+        let mut p = 0u64;
+        while p < pages {
+            let vpn = first.add(p);
+            let region = vpn.as_u64() & !(ENTRIES_PER_FLAT_NODE - 1);
+            let flat = match cached {
+                Some((base, node)) if base == region => node,
+                _ => {
+                    let (node, _) = self.flat_node_for(vpn, alloc);
+                    cached = Some((region, node));
+                    node
+                }
+            };
+            let fi = vpn.flat_l2l1_index();
+            if self.flat_nodes[flat].get(&self.arena, fi).is_present() {
+                p += 1;
+                continue;
+            }
+            // Maximal run of absent pages within this flat node: the
+            // per-page loop would allocate one frame per iteration with
+            // nothing in between, so the frames are consecutive either way.
+            let max_run = (pages - p).min((FLAT_ENTRIES - fi) as u64) as usize;
+            let mut run = 1;
+            while run < max_run
+                && !self.flat_nodes[flat]
+                    .get(&self.arena, fi + run)
+                    .is_present()
+            {
+                run += 1;
+            }
+            let first_pfn = alloc.alloc_data_frames(run as u64);
+            plan.push(flat, fi, run, first_pfn);
+            p += run as u64;
+        }
+        plan
+    }
+
+    fn install_plan(&mut self, plan: &RangePlan) {
+        for seg in &plan.segments {
+            self.flat_nodes[seg.node as usize].set_leaf_run(
+                &mut self.arena,
+                seg.start as usize,
+                seg.count as usize,
+                |k| Pfn::new(seg.first_pfn + k as u64),
+            );
+            self.mapped += u64::from(seg.count);
+        }
+    }
+
     /// Resolves `(l3_node, flat_node)` indices for `vpn`, if mapped that far.
     fn descend(&self, vpn: Vpn) -> Option<(usize, usize)> {
         let l4_idx = vpn.l4_index();
@@ -203,31 +261,25 @@ impl PageTable for FlattenedL2L1 {
     }
 
     fn map_range(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangeMapOutcome {
-        // One descent per touched 1 GB flat-node region instead of one
-        // per page; allocation order matches the per-page loop exactly.
-        let mut totals = RangeMapOutcome::default();
-        let mut cached: Option<(u64, usize)> = None;
-        for p in 0..pages {
-            let vpn = first.add(p);
-            let region = vpn.as_u64() & !(ENTRIES_PER_FLAT_NODE - 1);
-            let flat = match cached {
-                Some((base, node)) if base == region => node,
-                _ => {
-                    let (node, _) = self.flat_node_for(vpn, alloc);
-                    cached = Some((region, node));
-                    node
-                }
-            };
-            let fi = vpn.flat_l2l1_index();
-            if self.flat_nodes[flat].get(&self.arena, fi).is_present() {
-                continue;
-            }
-            let frame = alloc.alloc_frame(FramePurpose::Data);
-            self.flat_nodes[flat].set(&mut self.arena, fi, Pte::leaf(frame));
-            self.mapped += 1;
-            totals.minor_4k += 1;
-        }
-        totals
+        // One descent per touched 1 GB flat-node region and one
+        // frame-allocator bump per run of absent pages, instead of one of
+        // each per page; allocation order matches the per-page loop exactly.
+        let plan = self.plan_runs(first, pages, alloc);
+        self.install_plan(&plan);
+        plan.outcome
+    }
+
+    fn plan_range(
+        &mut self,
+        first: Vpn,
+        pages: u64,
+        alloc: &mut FrameAllocator,
+    ) -> Option<RangePlan> {
+        Some(self.plan_runs(first, pages, alloc))
+    }
+
+    fn apply_plan(&mut self, plan: &RangePlan) {
+        self.install_plan(plan);
     }
 
     fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
@@ -421,6 +473,32 @@ mod tests {
         t.map(Vpn::new(0), &mut alloc);
         // root (4K) + one L3 (4K) + one flat node (2M).
         assert_eq!(t.table_bytes(), 2 * PAGE_SIZE + 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn plan_then_apply_matches_map_range() {
+        let (mut alloc_a, mut planned) = setup();
+        let (mut alloc_b, mut direct) = setup();
+        // Straddles a 1 GB flat-node boundary so the plan spans two nodes.
+        let first = Vpn::new(ENTRIES_PER_FLAT_NODE - 500);
+        let plan = planned
+            .plan_range(first, 1000, &mut alloc_a)
+            .expect("flat plans");
+        direct.map_range(first, 1000, &mut alloc_b);
+        assert_eq!(alloc_a.frames_used(), alloc_b.frames_used());
+        assert!(
+            planned.translate(first).is_none(),
+            "not visible before apply"
+        );
+        planned.apply_plan(&plan);
+        assert_eq!(plan.outcome.minor_4k, 1000);
+        assert!(plan.segments.len() >= 2, "boundary splits the run");
+        assert_eq!(planned.mapped_pages(), direct.mapped_pages());
+        for p in 0..1000 {
+            let vpn = first.add(p);
+            assert_eq!(planned.translate(vpn), direct.translate(vpn), "{vpn:?}");
+        }
+        assert_eq!(planned.table_bytes(), direct.table_bytes());
     }
 
     #[test]

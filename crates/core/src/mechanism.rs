@@ -8,7 +8,7 @@ use crate::flat::FlattenedL2L1;
 use crate::huge::HugePageTable;
 use crate::occupancy::OccupancyReport;
 use crate::radix::Radix4;
-use crate::table::{MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
+use crate::table::{MapOutcome, PageTable, PageTableKind, RangeMapOutcome, RangePlan, Translation};
 use crate::walk::WalkPath;
 use ndp_types::Vpn;
 use std::fmt;
@@ -165,6 +165,19 @@ impl PageTable for PageTableImpl {
 
     fn map_range(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangeMapOutcome {
         dispatch!(self, t => t.map_range(first, pages, alloc))
+    }
+
+    fn plan_range(
+        &mut self,
+        first: Vpn,
+        pages: u64,
+        alloc: &mut FrameAllocator,
+    ) -> Option<RangePlan> {
+        dispatch!(self, t => t.plan_range(first, pages, alloc))
+    }
+
+    fn apply_plan(&mut self, plan: &RangePlan) {
+        dispatch!(self, t => t.apply_plan(plan))
     }
 
     #[inline]

@@ -4,12 +4,14 @@ use crate::alloc::{FrameAllocator, FramePurpose};
 use crate::arena::{Node, PteArena};
 use crate::occupancy::{LevelOccupancy, OccupancyReport};
 use crate::pte::Pte;
-use crate::table::{FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, Translation};
+use crate::table::{
+    FaultKind, MapOutcome, PageTable, PageTableKind, RangeMapOutcome, RangePlan, Translation,
+};
 use crate::walk::{WalkPath, WalkStep};
 use ndp_types::addr::{ENTRIES_PER_NODE, PAGE_SIZE};
 #[cfg(feature = "legacy_hotpath")]
 use ndp_types::FastMap;
-use ndp_types::{PageSize, PtLevel, Vpn};
+use ndp_types::{PageSize, Pfn, PtLevel, Vpn};
 
 const NODE_ENTRIES: usize = ENTRIES_PER_NODE as usize;
 
@@ -102,6 +104,58 @@ impl Radix4 {
         (node, tables_allocated)
     }
 
+    /// Scans `pages` from `first` once, creating interior nodes as needed
+    /// and reserving backing frames for maximal runs of absent pages
+    /// (bulk-bumped, preserving the per-page allocator call sequence);
+    /// leaf installs are recorded as plan segments. Shared by `map_range`
+    /// (which applies immediately) and `plan_range` (which defers).
+    fn plan_runs(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangePlan {
+        let mut plan = RangePlan::default();
+        let mut cached: Option<(Vpn, usize)> = None;
+        let mut p = 0u64;
+        while p < pages {
+            let vpn = first.add(p);
+            let region = vpn.huge_aligned();
+            let leaf = match cached {
+                Some((base, node)) if base == region => node,
+                _ => {
+                    let (node, _) = self.leaf_node_for(vpn, alloc);
+                    cached = Some((region, node));
+                    node
+                }
+            };
+            let idx = vpn.l1_index();
+            if self.nodes[leaf].get(&self.arena, idx).is_present() {
+                p += 1;
+                continue;
+            }
+            // Maximal run of absent pages within this L1 node: the
+            // per-page loop would allocate one frame per iteration with
+            // nothing in between, so the frames are consecutive either way.
+            let max_run = (pages - p).min((NODE_ENTRIES - idx) as u64) as usize;
+            let mut run = 1;
+            while run < max_run && !self.nodes[leaf].get(&self.arena, idx + run).is_present() {
+                run += 1;
+            }
+            let first_pfn = alloc.alloc_data_frames(run as u64);
+            plan.push(leaf, idx, run, first_pfn);
+            p += run as u64;
+        }
+        plan
+    }
+
+    fn install_plan(&mut self, plan: &RangePlan) {
+        for seg in &plan.segments {
+            self.nodes[seg.node as usize].set_leaf_run(
+                &mut self.arena,
+                seg.start as usize,
+                seg.count as usize,
+                |k| Pfn::new(seg.first_pfn + k as u64),
+            );
+            self.mapped += u64::from(seg.count);
+        }
+    }
+
     /// Walks down to the node at `level_idx` (0=L4 .. 3=L1) for `vpn`,
     /// returning its arena index, or `None` where the path is unmapped.
     fn descend(&self, vpn: Vpn, level_idx: usize) -> Option<usize> {
@@ -150,33 +204,27 @@ impl PageTable for Radix4 {
     }
 
     fn map_range(&mut self, first: Vpn, pages: u64, alloc: &mut FrameAllocator) -> RangeMapOutcome {
-        // One descent per touched 2 MB region instead of one per page;
-        // allocation order matches the per-page loop exactly (pages are
-        // ascending, so a region's interior nodes are created at its
-        // first page either way).
-        let mut totals = RangeMapOutcome::default();
-        let mut cached: Option<(Vpn, usize)> = None;
-        for p in 0..pages {
-            let vpn = first.add(p);
-            let region = vpn.huge_aligned();
-            let leaf = match cached {
-                Some((base, node)) if base == region => node,
-                _ => {
-                    let (node, _) = self.leaf_node_for(vpn, alloc);
-                    cached = Some((region, node));
-                    node
-                }
-            };
-            let idx = vpn.l1_index();
-            if self.nodes[leaf].get(&self.arena, idx).is_present() {
-                continue;
-            }
-            let frame = alloc.alloc_frame(FramePurpose::Data);
-            self.nodes[leaf].set(&mut self.arena, idx, Pte::leaf(frame));
-            self.mapped += 1;
-            totals.minor_4k += 1;
-        }
-        totals
+        // One descent per touched 2 MB region and one frame-allocator bump
+        // per run of absent pages, instead of one of each per page; the
+        // allocator call sequence and resulting structure match the
+        // per-page loop exactly (pages are ascending, so a region's
+        // interior nodes are created at its first page either way).
+        let plan = self.plan_runs(first, pages, alloc);
+        self.install_plan(&plan);
+        plan.outcome
+    }
+
+    fn plan_range(
+        &mut self,
+        first: Vpn,
+        pages: u64,
+        alloc: &mut FrameAllocator,
+    ) -> Option<RangePlan> {
+        Some(self.plan_runs(first, pages, alloc))
+    }
+
+    fn apply_plan(&mut self, plan: &RangePlan) {
+        self.install_plan(plan);
     }
 
     fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
@@ -341,6 +389,81 @@ mod tests {
         assert_eq!(t.table_bytes(), PAGE_SIZE); // root only
         t.map(Vpn::new(0), &mut alloc);
         assert_eq!(t.table_bytes(), 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn map_range_matches_per_page_maps() {
+        let (mut alloc_a, mut ranged) = setup();
+        let (mut alloc_b, mut paged) = setup();
+        // Two ranges with a gap, the second re-mapping part of the first
+        // (so the present-page skip path is exercised mid-range).
+        let spans = [(0u64, 700u64), (2000, 300), (400, 400)];
+        let mut totals_a = RangeMapOutcome::default();
+        let mut totals_b = RangeMapOutcome::default();
+        for (start, pages) in spans {
+            totals_a.absorb_range(ranged.map_range(Vpn::new(start), pages, &mut alloc_a));
+            for p in 0..pages {
+                totals_b.absorb(paged.map(Vpn::new(start + p), &mut alloc_b));
+            }
+        }
+        assert_eq!(totals_a, totals_b);
+        assert_eq!(alloc_a.frames_used(), alloc_b.frames_used());
+        assert_eq!(alloc_a.contig_free_bytes(), alloc_b.contig_free_bytes());
+        assert_eq!(ranged.mapped_pages(), paged.mapped_pages());
+        for vpn in (0..800).chain(1990..2310).map(Vpn::new) {
+            assert_eq!(ranged.translate(vpn), paged.translate(vpn), "{vpn:?}");
+        }
+    }
+
+    #[test]
+    fn plan_then_apply_matches_map_range() {
+        let (mut alloc_a, mut planned) = setup();
+        let (mut alloc_b, mut direct) = setup();
+        let first = Vpn::new(0x3f0); // straddles a 2 MB region boundary
+        let plan = planned
+            .plan_range(first, 1000, &mut alloc_a)
+            .expect("radix plans");
+        // Allocator effects happen at plan time; visibility at apply time.
+        assert_eq!(alloc_a.frames_used(), {
+            direct.map_range(first, 1000, &mut alloc_b);
+            alloc_b.frames_used()
+        });
+        assert!(
+            planned.translate(first).is_none(),
+            "not visible before apply"
+        );
+        assert_eq!(planned.mapped_pages(), 0);
+        planned.apply_plan(&plan);
+        assert_eq!(plan.outcome.minor_4k, 1000);
+        assert_eq!(plan.pages(), 1000);
+        assert_eq!(planned.mapped_pages(), direct.mapped_pages());
+        for p in 0..1000 {
+            let vpn = first.add(p);
+            assert_eq!(planned.translate(vpn), direct.translate(vpn), "{vpn:?}");
+        }
+    }
+
+    /// Maps enough pages through one table that its arena crosses the
+    /// default slab capacity (2²¹ entries ≈ 4100 radix nodes) — the
+    /// boundary that replaced the old single-slab arena's `u32`-offset
+    /// panic ("PTE slab outgrew u32 offsets"), whose literal 2³²-entry
+    /// trigger needs ~34 GB of slab and is exercised at reduced capacity
+    /// in `arena::tests` instead.
+    #[test]
+    fn arena_crosses_default_slab_capacity_under_map_range() {
+        let pages = (1u64 << 21) + 512;
+        // Frames: `pages` data + ~4110 table + slack; 4 KB each.
+        let mut alloc = FrameAllocator::new((pages + 8192) * PAGE_SIZE);
+        let mut t = Radix4::new(&mut alloc);
+        let outcome = t.map_range(Vpn::new(0), pages, &mut alloc);
+        assert_eq!(outcome.minor_4k, pages);
+        assert_eq!(t.mapped_pages(), pages);
+        for vpn in [0, 1 << 20, (1 << 21) - 1, pages - 1].map(Vpn::new) {
+            let tr = t.translate(vpn).expect("mapped");
+            assert_eq!(t.walk_path(vpn).map(|p| p.len()), Some(4), "{vpn:?}");
+            assert!(tr.pfn.as_u64() > 0);
+        }
+        assert!(t.translate(Vpn::new(pages)).is_none());
     }
 
     #[test]

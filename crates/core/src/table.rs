@@ -106,6 +106,58 @@ impl RangeMapOutcome {
             None => {}
         }
     }
+
+    /// Folds another range's totals into this one.
+    pub fn absorb_range(&mut self, other: RangeMapOutcome) {
+        self.minor_4k += other.minor_4k;
+        self.minor_2m += other.minor_2m;
+        self.fallback += other.fallback;
+    }
+}
+
+/// One deferred run of leaf installs: `count` consecutive pages landing in
+/// one leaf node, backed by `count` consecutive frames from `first_pfn`.
+///
+/// `node` is an implementation-defined leaf-node index (Radix L1 node,
+/// flattened L2/L1 node); only the table that produced the plan can
+/// interpret it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlanSegment {
+    pub(crate) node: u32,
+    pub(crate) start: u32,
+    pub(crate) count: u32,
+    pub(crate) first_pfn: u64,
+}
+
+/// The deferred half of a [`PageTable::map_range`]: every allocator
+/// interaction has already happened (interior nodes created, data frames
+/// reserved), but the leaf PTE writes — the bulk of premap time at
+/// paper-scale footprints — are recorded as segments to be installed
+/// later by [`PageTable::apply_plan`], possibly on another thread.
+#[derive(Debug, Clone, Default)]
+pub struct RangePlan {
+    pub(crate) segments: Vec<PlanSegment>,
+    /// Fault totals, identical to what the combined call would return.
+    pub outcome: RangeMapOutcome,
+}
+
+impl RangePlan {
+    /// Records one run of `count` absent pages (all 4 KB minor faults).
+    pub(crate) fn push(&mut self, node: usize, start: usize, count: usize, first_pfn: Pfn) {
+        self.segments.push(PlanSegment {
+            node: node as u32,
+            start: start as u32,
+            count: count as u32,
+            first_pfn: first_pfn.as_u64(),
+        });
+        self.outcome.minor_4k += count as u64;
+    }
+
+    /// Number of pages the plan will install.
+    #[must_use]
+    pub fn pages(&self) -> u64 {
+        self.segments.iter().map(|s| u64::from(s.count)).sum()
+    }
 }
 
 /// A translation structure mapping virtual to physical pages.
@@ -141,6 +193,43 @@ pub trait PageTable {
             totals.absorb(self.map(first.add(p), alloc));
         }
         totals
+    }
+
+    /// The allocator half of [`Self::map_range`], with leaf installs
+    /// deferred into the returned [`RangePlan`]. The allocator call
+    /// sequence and fault totals are exactly those of `map_range`; the
+    /// mapping only becomes visible once [`Self::apply_plan`] runs.
+    ///
+    /// Returns `None` when the design cannot split the two halves (the
+    /// elastic cuckoo table interleaves allocation with insertion during
+    /// resizes; huge pages fall back based on live allocator state) —
+    /// callers must then use plain `map_range`.
+    ///
+    /// Until the plan is applied, the planned pages still read as
+    /// unmapped, so planning the same page twice would double-allocate:
+    /// callers are responsible for only batching plans over disjoint
+    /// ranges (the machine's premap checks this and falls back).
+    fn plan_range(
+        &mut self,
+        first: Vpn,
+        pages: u64,
+        alloc: &mut FrameAllocator,
+    ) -> Option<RangePlan> {
+        let _ = (first, pages, alloc);
+        None
+    }
+
+    /// Installs the leaf PTEs recorded by an earlier [`Self::plan_range`]
+    /// on this same table. Pure memory writes — no allocator access — so
+    /// per-table apply calls can run in parallel across tables.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: it must only be called on designs whose
+    /// `plan_range` returns plans.
+    fn apply_plan(&mut self, plan: &RangePlan) {
+        let _ = plan;
+        unreachable!("apply_plan called on a design without plan_range support");
     }
 
     /// The physical PTE accesses a hardware walk for `vpn` performs, or

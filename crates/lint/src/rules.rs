@@ -65,6 +65,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     out.extend(determinism_rule(ws));
     out.extend(arena_rule(ws));
     out.extend(panic_free_rule(ws));
+    out.extend(registry_construction_rule(ws));
     out.extend(forbid_unsafe_rule(ws));
     out
 }
@@ -477,6 +478,54 @@ pub fn panic_free_rule(ws: &Workspace) -> Vec<Diagnostic> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule family: registry-driven config construction.
+// ---------------------------------------------------------------------------
+
+/// Binaries whose `SimConfig`s must be built through the knob registry
+/// (`SimConfig::cli_default()` + `apply_knob`/`config_from_args`/
+/// `--set`), never the ad-hoc `SimConfig::new(..).with_*(..)`
+/// constructors: their grids feed spec files and JSONL coordinates, so
+/// a config assembled outside the registry silently drifts from what
+/// `--emit-spec` round-trips and what `calibrate --check` re-derives.
+pub const REGISTRY_CONSTRUCTION_FILES: &[&str] = &["crates/bench/src/bin/calibrate.rs"];
+
+/// Construction tokens that bypass the knob registry.
+const AD_HOC_CONFIG_TOKENS: &[&str] = &["SimConfig::new(", ".with_ops(", ".with_footprint("];
+
+/// Registry construction: calibration configs come from
+/// `SimConfig::cli_default()` + `apply_knob`, keeping the registry the
+/// single source of truth for every coordinate the harness emits.
+#[must_use]
+pub fn registry_construction_rule(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rel in REGISTRY_CONSTRUCTION_FILES {
+        let Some(f) = ws.file(rel) else { continue };
+        for (lineno, line) in f.scrubbed_lines() {
+            if f.is_test_line(lineno) {
+                continue;
+            }
+            for token in AD_HOC_CONFIG_TOKENS {
+                if line.contains(token) {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        lineno,
+                        "registry-construction",
+                        format!(
+                            "`{token}..` bypasses the knob registry; build the config \
+                             with `SimConfig::cli_default()` + `apply_knob` (or \
+                             `config_from_args`) so spec files and JSONL coordinates \
+                             cannot drift"
+                        ),
+                        f.raw_line(lineno),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Rule family (satellite): forbid(unsafe_code) on every crate root.
 // ---------------------------------------------------------------------------
 
@@ -719,6 +768,30 @@ mod tests {
             "",
         );
         assert_eq!(panic_free_rule(&w), vec![]);
+    }
+
+    #[test]
+    fn registry_construction_flags_ad_hoc_config_in_calibrate() {
+        let src = "fn main() {\n    let cfg = SimConfig::new(system, cores, m, w)\n        .with_ops(10, 30)\n        .with_footprint(mb << 20);\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let c = SimConfig::new(s, 1, m, w); }\n}\n";
+        let w = ws(&[("crates/bench/src/bin/calibrate.rs", src)], "");
+        let d = registry_construction_rule(&w);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "registry-construction"));
+        assert_eq!(d.iter().map(|x| x.line).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn registry_construction_ignores_other_files_and_registry_calls() {
+        let clean = "fn main() {\n    let mut cfg = SimConfig::cli_default();\n    apply_knob(&mut cfg, \"footprint\", \"1024\").unwrap();\n}\n";
+        let elsewhere = "pub fn f() { let c = SimConfig::new(s, 1, m, w).with_ops(1, 2); }\n";
+        let w = ws(
+            &[
+                ("crates/bench/src/bin/calibrate.rs", clean),
+                ("crates/bench/src/bin/figures.rs", elsewhere),
+            ],
+            "",
+        );
+        assert_eq!(registry_construction_rule(&w), vec![]);
     }
 
     #[test]

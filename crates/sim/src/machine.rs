@@ -80,6 +80,61 @@ fn build_table(mechanism: Mechanism, alloc: &mut FrameAllocator) -> TableImpl {
     }
 }
 
+/// Streams one process's premap schedule — its regions flattened into
+/// 2 MB-or-smaller chunks — without materialising the chunk list (at
+/// paper-scale footprints that list runs to tens of thousands of entries
+/// per process, all derivable from a cursor).
+struct ChunkCursor<'a> {
+    regions: &'a [ndp_workloads::region::Region],
+    region: usize,
+    offset: u64,
+}
+
+impl<'a> ChunkCursor<'a> {
+    fn new(regions: &'a [ndp_workloads::region::Region]) -> Self {
+        ChunkCursor {
+            regions,
+            region: 0,
+            offset: 0,
+        }
+    }
+
+    /// The next `(base address, byte length)` chunk, if any.
+    fn next_chunk(&mut self) -> Option<(u64, u64)> {
+        use ndp_types::addr::HUGE_PAGE_SIZE;
+        while let Some(region) = self.regions.get(self.region) {
+            if self.offset < region.bytes {
+                let len = (region.bytes - self.offset).min(HUGE_PAGE_SIZE);
+                let base = region.base.as_u64() + self.offset;
+                self.offset += len;
+                return Some((base, len));
+            }
+            self.region += 1;
+            self.offset = 0;
+        }
+        None
+    }
+}
+
+/// Whether the regions' page spans are pairwise disjoint (conservatively
+/// rounded outward to page boundaries) — the precondition for deferring
+/// premap leaf installs, since a planned-but-unapplied page still reads
+/// as unmapped and would double-allocate if planned again.
+#[cfg(not(feature = "legacy_hotpath"))]
+fn page_spans_disjoint(regions: &[ndp_workloads::region::Region]) -> bool {
+    use ndp_types::addr::PAGE_SIZE;
+    let mut spans: Vec<(u64, u64)> = regions
+        .iter()
+        .map(|r| {
+            let first = r.base.as_u64() / PAGE_SIZE;
+            let last = (r.base.as_u64() + r.bytes).div_ceil(PAGE_SIZE);
+            (first, last)
+        })
+        .collect();
+    spans.sort_unstable();
+    spans.windows(2).all(|w| w[0].1 <= w[1].0)
+}
+
 /// One multiprogrammed process: a private address space (its own page
 /// table and ASID) and its own trace stream. The translation hardware
 /// (TLBs, PWCs, caches) belongs to the core the process runs on.
@@ -419,8 +474,18 @@ impl Machine {
     /// Processes' regions are mapped in interleaved 2 MB chunks so
     /// contiguity exhaustion hits all address spaces evenly (as concurrent
     /// first-touch faulting would).
+    ///
+    /// The chunk schedule streams from per-target cursors (nothing
+    /// footprint-proportional is materialised — traces themselves are
+    /// already lazy iterators), and for designs that support the
+    /// plan/apply split the phase runs in two halves: a serial planning
+    /// pass over the canonical interleaved schedule that performs every
+    /// allocator interaction (so frames, faults and digests are identical
+    /// to the combined path), then a parallel per-table pass installing
+    /// the planned leaf PTEs — the bulk of init time at paper-scale
+    /// footprints — via the order-preserving parallel driver.
     fn premap_footprints(&mut self) {
-        use ndp_types::addr::{HUGE_PAGE_SIZE, PAGE_SIZE};
+        use ndp_types::addr::PAGE_SIZE;
 
         let footprint = self.cfg.footprint_per_core();
         // One entry per (core, proc), core-major — the same order the
@@ -437,31 +502,30 @@ impl Machine {
                 })
             })
             .collect();
-
-        // Flatten each process's regions into 2 MB-or-smaller chunks.
-        let chunk_lists: Vec<Vec<(u64, u64)>> = region_lists
-            .iter()
-            .map(|regions| {
-                let mut chunks = Vec::new();
-                for region in regions {
-                    let mut offset = 0u64;
-                    while offset < region.bytes {
-                        let len = (region.bytes - offset).min(HUGE_PAGE_SIZE);
-                        chunks.push((region.base.as_u64() + offset, len));
-                        offset += len;
-                    }
-                }
-                chunks
-            })
-            .collect();
+        let mut cursors: Vec<ChunkCursor<'_>> =
+            region_lists.iter().map(|r| ChunkCursor::new(r)).collect();
 
         let mut proc_faults = vec![FaultCounts::default(); targets.len()];
-        let max_chunks = chunk_lists.iter().map(Vec::len).max().unwrap_or(0);
-        for chunk_idx in 0..max_chunks {
-            for (target_idx, chunks) in chunk_lists.iter().enumerate() {
-                let Some(&(base, len)) = chunks.get(chunk_idx) else {
+        // Deferred leaf installs are only sound while planned pages cannot
+        // be re-planned: a planned-but-unapplied page still reads as
+        // unmapped, so a process whose regions overlap must take the
+        // combined path (chunks within one region never overlap).
+        #[cfg(not(feature = "legacy_hotpath"))]
+        let mut deferred = region_lists.iter().all(|rs| page_spans_disjoint(rs));
+        #[cfg(not(feature = "legacy_hotpath"))]
+        let mut plans: Vec<Vec<ndpage::table::RangePlan>> = vec![Vec::new(); targets.len()];
+
+        // Round-robin passes over the cursors reproduce the historical
+        // `for chunk_idx { for target }` interleaving exactly (exhausted
+        // targets drop out, the rest keep their relative order).
+        let mut live = true;
+        while live {
+            live = false;
+            for target_idx in 0..targets.len() {
+                let Some((base, len)) = cursors[target_idx].next_chunk() else {
                     continue;
                 };
+                live = true;
                 let (core_idx, proc_idx) = targets[target_idx];
                 let first = ndp_types::VirtAddr::new(base).vpn();
                 let pages = len.div_ceil(PAGE_SIZE);
@@ -471,11 +535,25 @@ impl Machine {
                 // frames and counts) is kept under `legacy_hotpath`.
                 #[cfg(not(feature = "legacy_hotpath"))]
                 {
-                    let outcome = self.cores[core_idx].procs[proc_idx].table.map_range(
-                        first,
-                        pages,
-                        &mut self.alloc,
-                    );
+                    let table = &mut self.cores[core_idx].procs[proc_idx].table;
+                    let outcome = if deferred {
+                        match table.plan_range(first, pages, &mut self.alloc) {
+                            Some(plan) => {
+                                let outcome = plan.outcome;
+                                plans[target_idx].push(plan);
+                                outcome
+                            }
+                            // The design can't split the halves (ECH, Huge
+                            // Page); the probe had no side effects, so the
+                            // combined call takes over from here on.
+                            None => {
+                                deferred = false;
+                                table.map_range(first, pages, &mut self.alloc)
+                            }
+                        }
+                    } else {
+                        table.map_range(first, pages, &mut self.alloc)
+                    };
                     let faults = &mut proc_faults[target_idx];
                     faults.minor_4k += outcome.minor_4k;
                     faults.minor_2m += outcome.minor_2m;
@@ -496,6 +574,25 @@ impl Machine {
                 }
             }
         }
+
+        // Apply phase: install the planned leaf PTEs, one task per table.
+        // Pure memory writes with no shared state, so thread count cannot
+        // affect the result; `par_map` keeps task order regardless.
+        #[cfg(not(feature = "legacy_hotpath"))]
+        if plans.iter().any(|p| !p.is_empty()) {
+            let work: Vec<(&mut TableImpl, Vec<ndpage::table::RangePlan>)> = self
+                .cores
+                .iter_mut()
+                .flat_map(|c| c.procs.iter_mut().map(|p| &mut p.table))
+                .zip(plans)
+                .collect();
+            crate::parallel::par_map(work, |(table, table_plans)| {
+                for plan in &table_plans {
+                    table.apply_plan(plan);
+                }
+            });
+        }
+
         for (target_idx, &(core_idx, proc_idx)) in targets.iter().enumerate() {
             let faults = proc_faults[target_idx];
             let core = &mut self.cores[core_idx];

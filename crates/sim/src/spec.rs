@@ -1213,8 +1213,12 @@ impl SweepRow {
     }
 
     /// Serializes this row as one JSONL line (no trailing newline):
-    /// grid index, config fingerprint, coordinates, headline counters
-    /// and the report fingerprint.
+    /// grid index, config fingerprint, coordinates, headline counters,
+    /// the calibration counters (everything `calibrate --check` needs to
+    /// derive Fig 4/5/7 metrics — PTW latency, translation fraction,
+    /// walk rate, L1 data/metadata miss rates — from the file alone)
+    /// and the report fingerprint. Resume only re-parses `i`/`cfg`/`fp`,
+    /// so adding fields here never invalidates existing streams.
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let knobs: Vec<String> = self
@@ -1223,7 +1227,7 @@ impl SweepRow {
             .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
             .collect();
         format!(
-            "{{\"i\":{},\"cfg\":{},\"knobs\":{{{}}},\"cycles\":{},\"ops\":{},\"mem_ops\":{},\"translation_cycles\":{},\"os_cycles\":{},\"walks\":{},\"fp\":{}}}",
+            "{{\"i\":{},\"cfg\":{},\"knobs\":{{{}}},\"cycles\":{},\"ops\":{},\"mem_ops\":{},\"translation_cycles\":{},\"os_cycles\":{},\"walks\":{},\"ptw_cycles\":{},\"avg_core_cycles\":{},\"tlb_l1_hits\":{},\"tlb_l1_misses\":{},\"tlb_l2_misses\":{},\"l1d_hits\":{},\"l1d_misses\":{},\"l1m_hits\":{},\"l1m_misses\":{},\"fp\":{}}}",
             self.index,
             self.config_fingerprint,
             knobs.join(","),
@@ -1233,6 +1237,15 @@ impl SweepRow {
             self.report.translation_cycles,
             self.report.os_cycles,
             self.report.ptw.count,
+            self.report.ptw.sum.as_u64(),
+            self.report.avg_core_cycles,
+            self.report.tlb_l1.hits,
+            self.report.tlb_l1.misses,
+            self.report.tlb_l2.misses,
+            self.report.l1_data.hits,
+            self.report.l1_data.misses,
+            self.report.l1_metadata.hits,
+            self.report.l1_metadata.misses,
             self.report.fingerprint(),
         )
     }

@@ -1,0 +1,47 @@
+//! Large-footprint smoke: a single-core premap that crosses the PTE
+//! arena's first slab (8 GiB of 4 KB mappings per table) must build and
+//! run without panicking — the old fixed-capacity arena died here with
+//! "PTE slab outgrew u32 offsets" — and stay digest-stable across
+//! repeated runs (chained slabs must not perturb determinism).
+//!
+//! Ops are kept tiny: the point is the `Machine::new` setup path
+//! (streamed trace generation + chunked premap) at a paper-sized
+//! footprint, not the measured phase.
+
+use ndp_sim::{Machine, SimConfig, SystemKind};
+use ndp_workloads::WorkloadId;
+use ndpage::Mechanism;
+
+/// The arena's per-slab PTE capacity (`arena::SLAB_ENTRIES`, which is
+/// crate-private; `arena.rs` has the unit-level crossing test).
+const SLAB_ENTRIES: u64 = 1 << 21;
+
+/// Just past the first slab: 8 GiB maps exactly `SLAB_ENTRIES` 4 KB
+/// pages, plus 32 MiB to force a second slab.
+const FOOTPRINT: u64 = (1 << 33) + (1 << 25);
+
+fn cross_slab_config(mechanism: Mechanism) -> SimConfig {
+    SimConfig::quick(SystemKind::Ndp, 1, mechanism, WorkloadId::Rnd)
+        .with_ops(100, 300)
+        .with_footprint(FOOTPRINT)
+}
+
+#[test]
+fn premap_past_one_slab_is_stable_for_radix_and_flat() {
+    for mechanism in [Mechanism::Radix, Mechanism::NdPage] {
+        let first = Machine::new(cross_slab_config(mechanism)).run();
+        assert!(
+            first.faults.minor_4k > SLAB_ENTRIES,
+            "{mechanism:?}: premap must cross the first slab ({} faults)",
+            first.faults.minor_4k
+        );
+        assert!(first.ops > 0 && first.total_cycles.as_u64() > 0);
+
+        let second = Machine::new(cross_slab_config(mechanism)).run();
+        assert_eq!(
+            first.fingerprint(),
+            second.fingerprint(),
+            "{mechanism:?}: slab chaining must not perturb the digest"
+        );
+    }
+}
