@@ -310,20 +310,7 @@ fn main() {
         calibration::parse_rows(&text).map_err(|e| CliError::semantic(format!("error: {e}"))),
     );
     println!("\nper-group shape metrics ({} rows):", rows.len());
-    print_table(
-        &[
-            "system",
-            "cores",
-            "mechanism",
-            "n",
-            "ptw",
-            "trans",
-            "walkrate",
-            "L1d miss",
-            "L1m miss",
-        ],
-        &calibration::group_rows(&rows),
-    );
+    print_table(&calibration::GROUP_HEADERS, &calibration::group_rows(&rows));
 
     let findings = exit_on_err(
         calibration::evaluate(&rows, &overrides, scale)

@@ -31,7 +31,24 @@ fn main() {
     exit_on_err(install_jobs(&args));
     // A typo'd flag or figure name must error out, not silently run the
     // wrong (possibly hours-long, full-scale) set.
-    exit_on_err(args.reject_unknown(&["--jobs"], &["--quick", "--help"]));
+    exit_on_err(args.reject_unknown(&["--jobs", "--from-jsonl"], &["--quick", "--help"]));
+
+    // Stored-row mode: render tables from a sweep JSONL file without
+    // re-simulating anything (same renderer as the simulated path, same
+    // group-mean code as `calibrate --check --from`).
+    if let Some(path) = args.get("--from-jsonl") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let tables = ndp_bench::calibration::jsonl_tables(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\n=== Stored rows: {path} ===\n");
+        print!("{tables}");
+        return;
+    }
     const WHATS: &[&str] = &[
         "table1",
         "table2",
@@ -51,7 +68,9 @@ fn main() {
     ];
     if args.has("--help") {
         eprintln!(
-            "usage: figures [--quick] [--jobs N] <what>...\n<what>: {}",
+            "usage: figures [--quick] [--jobs N] <what>...\n\
+             \x20      figures --from-jsonl FILE.jsonl   render tables from stored rows\n\
+             <what>: {}",
             WHATS.join(", ")
         );
         return;

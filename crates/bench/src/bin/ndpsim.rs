@@ -41,6 +41,7 @@ use ndp_bench::cli::{
     config_from_args, exit_on_err, install_jobs, json_f64, json_str, json_u64, knob_help_table,
     ndpsim_value_flags, Args, CliError, NDPSIM_BOOL_FLAGS,
 };
+use ndp_bench::serve::{serve, ServeConfig};
 use ndp_bench::supervisor::{supervise, SupervisorConfig};
 use ndp_sim::experiment::run_batch;
 use ndp_sim::fault::FaultPlan;
@@ -448,9 +449,12 @@ fn run_sweep_cmd(args: &Args) {
              \n\
              spec JSON: {{\"name\": STR, \"base\": {{KNOB: VALUE, ...}},\n\
              \x20           \"axes\": [{{\"knob\": NAME, \"values\": [V, ...]}} |\n\
-             \x20                    {{\"points\": [{{KNOB: V, ...}}, ...]}}, ...]}}\n\
+             \x20                    {{\"points\": [{{KNOB: V, ...}}, ...]}}, ...],\n\
+             \x20           \"filter\": [\"KNOB OP VALUE\", ...]}}   OP: = != < <= > >=\n\
              \n\
-             The grid is the axes' cross product (first axis slowest), run on the\n\
+             The grid is the axes' cross product (first axis slowest), pruned by\n\
+             the conjunctive \"filter\" clauses (kept points re-index compactly,\n\
+             so filtered grids shard and resume like dense ones) and run on the\n\
              work-stealing driver. --out appends completed rows in grid order as\n\
              they retire (landing via .tmp + atomic rename); --resume reuses rows\n\
              already on disk (matched by config fingerprint + grid index) and\n\
@@ -616,6 +620,102 @@ fn run_sweep_cmd(args: &Args) {
     }
 }
 
+/// Parses `--row-timeout SECS` (float, positive) with the sweep
+/// command's semantics.
+fn row_timeout_from_args(args: &Args) -> std::time::Duration {
+    let secs = args.get("--row-timeout").map_or(600.0, |raw| {
+        raw.parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t > 0.0)
+            .unwrap_or_else(|| {
+                eprintln!("error: --row-timeout expects a positive number of seconds, got {raw:?}");
+                std::process::exit(2);
+            })
+    });
+    std::time::Duration::from_secs_f64(secs)
+}
+
+/// `ndpsim serve`: the long-running experiment service (submit/status/
+/// watch/cancel/shutdown over newline-delimited JSON on TCP).
+fn run_serve_cmd(args: &Args) {
+    if args.has("--help") {
+        eprintln!(
+            "usage: ndpsim serve --addr HOST:PORT [--state DIR] [--workers N] [--jobs N] \\\n\
+             \x20                  [--row-timeout SECS] [--max-retries N] [--backoff-ms MS]\n\
+             \n\
+             Long-running experiment service. Binds HOST:PORT (port 0 = ephemeral;\n\
+             the bound address is printed as a JSON line on stdout), accepts\n\
+             newline-delimited JSON requests — submit / status / watch / cancel /\n\
+             shutdown — and runs each submitted sweep spec through the sharded,\n\
+             fault-tolerant supervisor (N worker subprocesses, always resuming).\n\
+             Job state (journal, specs, row streams) lives under --state DIR\n\
+             (default serve-state); a killed server restarted on the same state\n\
+             dir re-enqueues interrupted jobs and reuses every completed row.\n\
+             Clients: ndpsim submit|status|watch|cancel|shutdown --addr HOST:PORT."
+        );
+        return;
+    }
+    exit_on_err(args.reject_unknown(
+        &[
+            "--addr",
+            "--state",
+            "--jobs",
+            "--workers",
+            "--row-timeout",
+            "--max-retries",
+            "--backoff-ms",
+        ],
+        &["serve", "--help"],
+    ));
+    let addr = exit_on_err(args.get("--addr").ok_or_else(|| {
+        CliError::usage("error: serve needs --addr HOST:PORT (port 0 picks an ephemeral port)")
+    }));
+    let workers = exit_on_err(args.num("--workers")).unwrap_or(2);
+    if workers == 0 {
+        eprintln!("error: --workers must be at least 1");
+        std::process::exit(2);
+    }
+    let cfg = ServeConfig {
+        addr,
+        state: std::path::PathBuf::from(
+            args.get("--state")
+                .unwrap_or_else(|| "serve-state".to_string()),
+        ),
+        workers,
+        jobs: exit_on_err(args.num("--jobs")),
+        row_timeout: row_timeout_from_args(args),
+        max_retries: exit_on_err(args.num_u32("--max-retries")).unwrap_or(2),
+        backoff: std::time::Duration::from_millis(
+            exit_on_err(args.num("--backoff-ms")).unwrap_or(250),
+        ),
+    };
+    exit_on_err(serve(&cfg));
+}
+
+/// `ndpsim submit|status|watch|cancel|shutdown`: one client request to
+/// a running `ndpsim serve`, response copied to stdout verbatim.
+fn run_client_cmd(verb: &str, args: &Args) {
+    if args.has("--help") {
+        eprintln!(
+            "usage: ndpsim submit   --addr HOST:PORT --spec FILE\n\
+             \x20      ndpsim status   --addr HOST:PORT [--job ID]\n\
+             \x20      ndpsim watch    --addr HOST:PORT --job ID [--from N]\n\
+             \x20      ndpsim cancel   --addr HOST:PORT --job ID\n\
+             \x20      ndpsim shutdown --addr HOST:PORT\n\
+             \n\
+             Talks to a running `ndpsim serve`. submit enqueues a sweep spec and\n\
+             prints its deterministic job id; watch streams completed rows as\n\
+             JSONL in grid order (byte-identical to an offline `ndpsim sweep` of\n\
+             the same spec), resumable with --from N; cancel kills the job's\n\
+             workers but keeps completed rows. Exits 1 if the server answers\n\
+             with a structured {{\"ok\":false,...}} error record."
+        );
+        return;
+    }
+    let code = exit_on_err(ndp_bench::client::run_verb(verb, args));
+    std::process::exit(code);
+}
+
 fn run_single(args: &Args) {
     if args.has("--help") || args.raw().is_empty() {
         eprintln!(
@@ -689,6 +789,12 @@ fn main() {
             run_bench(&args);
         }
         Some("sweep") => run_sweep_cmd(&args),
+        Some("serve") => run_serve_cmd(&args),
+        Some(verb @ ("submit" | "status" | "watch" | "cancel" | "shutdown")) => {
+            // Borrow ends before args is used again below.
+            let verb = verb.to_string();
+            run_client_cmd(&verb, &args);
+        }
         _ => run_single(&args),
     }
 }

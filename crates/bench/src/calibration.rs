@@ -577,6 +577,21 @@ pub fn target_rows() -> Vec<Vec<String>> {
         .collect()
 }
 
+/// Headers of the per-group shape table — the one definition shared by
+/// `calibrate` and `figures --from-jsonl`, so the two renderings can
+/// never drift.
+pub const GROUP_HEADERS: [&str; 9] = [
+    "system",
+    "cores",
+    "mechanism",
+    "n",
+    "ptw",
+    "trans",
+    "walkrate",
+    "L1d miss",
+    "L1m miss",
+];
+
 /// The per-group shape summary (`system/cores/mechanism` → derived
 /// metrics), in grid order of first appearance — the human-readable
 /// view `calibrate` prints after a run.
@@ -623,6 +638,116 @@ pub fn group_rows(rows: &[CalRow]) -> Vec<Vec<String>> {
             ]
         })
         .collect()
+}
+
+/// Renders stored sweep JSONL as tables without re-simulating — the
+/// `figures --from-jsonl` engine.
+///
+/// Every stream gets a generic per-row table: grid index, the knob
+/// coordinates (first-seen order across rows; `-` where a row lacks
+/// one), then the derived per-row metrics computable from the raw
+/// counters alone (cycles, cycles/op, mean PTW latency, walk rate, L1
+/// miss rates). When the rows also carry the calibration coordinates
+/// (`workload`/`system`/`cores`/`mechanism`), the same per-group shape
+/// table `calibrate --check --from` prints is appended, through the
+/// same [`group_rows`]/[`GROUP_HEADERS`] code, so the two paths emit
+/// identical bytes for identical rows.
+///
+/// # Errors
+///
+/// Empty input or a malformed line (named by 1-based number).
+pub fn jsonl_tables(text: &str) -> Result<String, String> {
+    use ndp_sim::spec::{parse_json, Json};
+
+    /// One parsed stream line: grid index, knob coordinates, raw text.
+    type ParsedRow = (u64, Vec<(String, String)>, String);
+    let mut knob_names: Vec<String> = Vec::new();
+    let mut parsed: Vec<ParsedRow> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let index = v
+            .get("i")
+            .and_then(Json::scalar)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("line {}: row has no grid index \"i\"", lineno + 1))?;
+        let mut knobs = Vec::new();
+        if let Some(Json::Obj(pairs)) = v.get("knobs") {
+            for (k, val) in pairs {
+                let val = val.scalar().unwrap_or_default();
+                if !knob_names.contains(k) {
+                    knob_names.push(k.clone());
+                }
+                knobs.push((k.clone(), val));
+            }
+        }
+        parsed.push((index, knobs, line.to_string()));
+    }
+    if parsed.is_empty() {
+        return Err("no rows (empty JSONL)".to_string());
+    }
+
+    let ratio = |num: Option<u64>, den: Option<u64>| -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        match (num, den) {
+            (Some(n), Some(d)) if d > 0 => Some(n as f64 / d as f64),
+            _ => None,
+        }
+    };
+    let fmt = |v: Option<f64>, f: &dyn Fn(f64) -> String| v.map_or_else(|| "-".to_string(), f);
+    let mut headers: Vec<&str> = vec!["i"];
+    headers.extend(knob_names.iter().map(String::as_str));
+    headers.extend_from_slice(&[
+        "cycles", "cyc/op", "ptw", "walkrate", "L1d miss", "L1m miss",
+    ]);
+    let rows: Vec<Vec<String>> = parsed
+        .iter()
+        .map(|(index, knobs, line)| {
+            let n = |key: &str| json_u64(line, key);
+            let mut cells = vec![index.to_string()];
+            for name in &knob_names {
+                cells.push(
+                    knobs
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map_or_else(|| "-".to_string(), |(_, v)| v.clone()),
+                );
+            }
+            cells.push(n("cycles").map_or_else(|| "-".to_string(), |c| c.to_string()));
+            cells.push(fmt(ratio(n("cycles"), n("ops")), &|x| format!("{x:.1}")));
+            cells.push(fmt(ratio(n("ptw_cycles"), n("walks")), &|x| {
+                format!("{x:.1}")
+            }));
+            let tlb_accesses = n("tlb_l1_hits").zip(n("tlb_l1_misses")).map(|(h, m)| h + m);
+            cells.push(fmt(ratio(n("tlb_l2_misses"), tlb_accesses), &|x| {
+                format!("{:.2}%", x * 100.0)
+            }));
+            let l1d = n("l1d_hits").zip(n("l1d_misses")).map(|(h, m)| h + m);
+            cells.push(fmt(ratio(n("l1d_misses"), l1d), &|x| {
+                format!("{:.2}%", x * 100.0)
+            }));
+            let l1m = n("l1m_hits").zip(n("l1m_misses")).map(|(h, m)| h + m);
+            cells.push(fmt(ratio(n("l1m_misses"), l1m), &|x| {
+                format!("{:.2}%", x * 100.0)
+            }));
+            cells
+        })
+        .collect();
+    let mut out = format!("rows ({}):\n", parsed.len());
+    out.push_str(&crate::table_string(&headers, &rows));
+
+    // The calibration view rides along whenever the coordinates allow
+    // it — same parse, same grouping, same headers as `calibrate`.
+    if let Ok(cal) = parse_rows(text) {
+        out.push_str(&format!(
+            "\nper-group shape metrics ({} rows):\n",
+            cal.len()
+        ));
+        out.push_str(&crate::table_string(&GROUP_HEADERS, &group_rows(&cal)));
+    }
+    Ok(out)
 }
 
 /// Builds the flat-JSON `calibration` fields for `BENCH_end_to_end.json`

@@ -14,6 +14,8 @@
 
 pub mod calibration;
 pub mod cli;
+pub mod client;
+pub mod serve;
 pub mod supervisor;
 
 use ndp_sim::report::RunReport;
@@ -34,8 +36,12 @@ pub fn spd(x: f64) -> String {
     format!("{x:.2}x")
 }
 
-/// Prints a simple aligned table: header row then data rows.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Renders a simple aligned table (header row, dash rule, data rows)
+/// to a string — the one table renderer behind both the live
+/// simulation path and `figures --from-jsonl`, so their bytes can be
+/// asserted identical.
+#[must_use]
+pub fn table_string(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -53,14 +59,21 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     let head: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
-    println!("{}", fmt_row(&head));
-    println!(
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
-    );
+    let mut out = String::new();
+    out.push_str(&fmt_row(&head));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
     for row in rows {
-        println!("{}", fmt_row(row));
+        out.push_str(&fmt_row(row));
+        out.push('\n');
     }
+    out
+}
+
+/// Prints a simple aligned table: header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", table_string(headers, rows));
 }
 
 /// The ablation variants of §V, isolating NDPage's two mechanisms and its

@@ -1,0 +1,973 @@
+//! The long-running experiment service: `ndpsim serve` accepts sweep
+//! specs over TCP, queues them, executes each through the PR-6
+//! supervisor (sharded `--resume`-respawned worker subprocesses), and
+//! streams completed rows back in grid order.
+//!
+//! **Protocol.** Newline-delimited JSON over a plain TCP connection,
+//! parsed by the same serde-free parser the spec files use. Each
+//! request is one line; each response is one or more JSON lines (or,
+//! for `watch`, raw sweep JSONL rows) terminated by one **blank
+//! line**. Connections are persistent: a malformed request line gets a
+//! structured `{"ok":false,...}` error and the connection survives for
+//! the next request.
+//!
+//! | verb       | request                                     | response                         |
+//! |------------|---------------------------------------------|----------------------------------|
+//! | `submit`   | `{"verb":"submit","spec":{...}}`            | `{"ok":true,"job":ID,...}`       |
+//! | `status`   | `{"verb":"status"[,"job":ID]}`              | one record per job               |
+//! | `watch`    | `{"verb":"watch","job":ID[,"from":N]}`      | sweep JSONL rows, grid order     |
+//! | `cancel`   | `{"verb":"cancel","job":ID}`                | `{"ok":true,"state":...}`        |
+//! | `shutdown` | `{"verb":"shutdown"}`                       | `{"ok":true,"state":"draining"}` |
+//!
+//! **Job identity** is deterministic: the id is the spec base's
+//! [`config_fingerprint`] plus an order-sensitive digest of every grid
+//! point's fingerprint, so re-submitting the same spec yields the same
+//! job (and its already-computed rows) instead of a duplicate run.
+//!
+//! **Crash safety.** All job state lives under the `--state` directory:
+//! `<state>/journal.jsonl` appends one record per job state transition
+//! (queued → running → done/partial/failed/cancelled) and
+//! `<state>/<job-id>/` holds the submitted spec plus the supervisor's
+//! append-only shard streams and merged `rows.jsonl`. A killed or
+//! restarted server re-ingests the journal (line-granular recovery: a
+//! torn trailing record is dropped), re-enqueues every non-terminal
+//! job, and the always-`--resume` supervisor reuses every row already
+//! on disk — finished rows are never recomputed, and `watch` bytes
+//! stay identical to an offline `ndpsim sweep` of the same spec.
+
+use crate::cli::CliError;
+use crate::supervisor::{
+    supervise_with_cancel, SupervisorConfig, EXIT_CANCELLED, EXIT_FULL, EXIT_PARTIAL,
+};
+use ndp_sim::shard::{existing_shard_files, stream_path};
+use ndp_sim::spec::{config_fingerprint, json_escape, parse_json, parse_jsonl, Json, SweepSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Accept-loop and watch poll cadence.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Everything the service needs: where to listen, where job state
+/// lives, and the supervisor policy each job runs under.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// `HOST:PORT` to bind (port 0 picks an ephemeral port; the chosen
+    /// address is printed as the first stdout line).
+    pub addr: String,
+    /// Job-state directory (journal, specs, row streams).
+    pub state: PathBuf,
+    /// Shard worker subprocesses per job.
+    pub workers: u64,
+    /// `--jobs` forwarded to each worker (`None` = worker default).
+    pub jobs: Option<u64>,
+    /// Supervisor heartbeat timeout per row.
+    pub row_timeout: Duration,
+    /// Supervisor respawns allowed per shard.
+    pub max_retries: u32,
+    /// Supervisor respawn backoff base.
+    pub backoff: Duration,
+}
+
+/// Lifecycle of a job, journalled at every transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for the executor.
+    Queued,
+    /// The supervisor is running its workers.
+    Running,
+    /// Every grid point completed and merged.
+    Done,
+    /// Retries exhausted on some rows; completed rows kept.
+    Partial,
+    /// Nothing completed (or the spec failed to load on restart).
+    Failed,
+    /// Cancelled; completed rows kept.
+    Cancelled,
+}
+
+impl JobState {
+    /// The journal/status wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Partial => "partial",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses the wire name back.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "partial" => Some(JobState::Partial),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Whether the state is final (no further transitions).
+    #[must_use]
+    pub fn terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Partial | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// One job as the registry tracks it.
+struct Job {
+    id: String,
+    name: String,
+    grid: usize,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    started: Option<Instant>,
+    wall_s: f64,
+}
+
+/// In-memory job table, rebuilt from the journal on startup.
+struct Registry {
+    jobs: Vec<Job>,
+    draining: bool,
+    /// The executor exited (drain complete).
+    finished: bool,
+}
+
+/// Poison-proof lock: a panicking connection thread must not wedge the
+/// daemon, so a poisoned registry is recovered, not propagated.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The deterministic job id of a spec: base config fingerprint plus an
+/// order-sensitive FNV-style fold of every grid point's fingerprint
+/// (so any change to the grid — axes, filters, knob values, order —
+/// changes the id).
+///
+/// # Errors
+///
+/// Spec expansion errors.
+pub fn job_id(spec: &SweepSpec) -> Result<(String, usize), CliError> {
+    let grid = spec
+        .expand()
+        .map_err(|e| CliError::semantic(format!("error: spec: {e}")))?;
+    let base_fp = config_fingerprint(&spec.base);
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in &grid {
+        digest = digest
+            .wrapping_mul(0x0000_0100_0000_01b3)
+            .wrapping_add(config_fingerprint(&p.config));
+    }
+    Ok((format!("{base_fp:016x}-{digest:016x}"), grid.len()))
+}
+
+/// `<state>/journal.jsonl`.
+fn journal_path(state: &Path) -> PathBuf {
+    state.join("journal.jsonl")
+}
+
+/// `<state>/<job-id>/`.
+fn job_dir(state: &Path, id: &str) -> PathBuf {
+    state.join(id)
+}
+
+/// `<state>/<job-id>/spec.json`.
+fn spec_path(state: &Path, id: &str) -> PathBuf {
+    job_dir(state, id).join("spec.json")
+}
+
+/// `<state>/<job-id>/rows.jsonl` (the supervisor's `--out`).
+fn rows_path(state: &Path, id: &str) -> PathBuf {
+    job_dir(state, id).join("rows.jsonl")
+}
+
+/// Appends one record to the journal with an immediate flush (the
+/// append-only journal is the restart source of truth; a torn tail
+/// from a hard kill is dropped on re-ingest).
+fn journal_append(state: &Path, record: &str) -> Result<(), CliError> {
+    let path = journal_path(state);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| CliError::semantic(format!("error: cannot open {}: {e}", path.display())))?;
+    writeln!(f, "{record}")
+        .and_then(|()| f.flush())
+        .map_err(|e| CliError::semantic(format!("error: cannot append {}: {e}", path.display())))
+}
+
+/// One parsed journal record.
+struct JournalRec {
+    job: String,
+    state: JobState,
+    name: String,
+    grid: usize,
+    wall_s: f64,
+}
+
+/// Re-ingests the journal with the same line-granular recovery
+/// semantics as the sweep streams: a torn or garbage **trailing** line
+/// is dropped with a warning (the transition it recorded re-derives
+/// from the job dir), a malformed line mid-file is an error.
+fn ingest_journal(text: &str, source: &str) -> Result<Vec<JournalRec>, CliError> {
+    let mut recs = Vec::new();
+    let mut segments = text.split_inclusive('\n').peekable();
+    let mut lineno = 0usize;
+    while let Some(seg) = segments.next() {
+        lineno += 1;
+        let last = segments.peek().is_none();
+        let terminated = seg.ends_with('\n');
+        let content = seg.trim_end_matches('\n').trim_end_matches('\r');
+        if content.trim().is_empty() {
+            continue;
+        }
+        let parsed = parse_json(content).ok().and_then(|v| {
+            let job = v.get("job")?.scalar()?;
+            let state = JobState::parse(&v.get("state")?.scalar()?)?;
+            let name = v.get("name").and_then(Json::scalar).unwrap_or_default();
+            let grid = v
+                .get("grid")
+                .and_then(Json::scalar)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let wall_s = v
+                .get("wall_s")
+                .and_then(Json::scalar)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0);
+            Some(JournalRec {
+                job,
+                state,
+                name,
+                grid,
+                wall_s,
+            })
+        });
+        match parsed {
+            Some(rec) if terminated => recs.push(rec),
+            Some(_) | None if last => {
+                eprintln!(
+                    "serve: {source}: dropping torn/garbage trailing journal line {lineno} \
+                     (the transition re-derives from the job directory)"
+                );
+            }
+            _ => {
+                return Err(CliError::semantic(format!(
+                    "error: {source}: corrupt journal record at line {lineno} \
+                     (mid-file — not a torn tail; refusing to start over it)"
+                )));
+            }
+        }
+    }
+    Ok(recs)
+}
+
+impl Registry {
+    /// Rebuilds the job table from the on-disk journal: the last
+    /// journalled state wins per job, and every non-terminal job is
+    /// re-enqueued (its supervisor run always resumes, so rows already
+    /// on disk are reused, never recomputed).
+    fn load(state: &Path) -> Result<Registry, CliError> {
+        let mut reg = Registry {
+            jobs: Vec::new(),
+            draining: false,
+            finished: false,
+        };
+        let path = journal_path(state);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(reg); // fresh state dir
+        };
+        for rec in ingest_journal(&text, &path.display().to_string())? {
+            if let Some(job) = reg.jobs.iter_mut().find(|j| j.id == rec.job) {
+                job.state = rec.state;
+                job.wall_s = rec.wall_s;
+                if !rec.name.is_empty() {
+                    job.name = rec.name;
+                }
+                if rec.grid > 0 {
+                    job.grid = rec.grid;
+                }
+            } else {
+                reg.jobs.push(Job {
+                    id: rec.job,
+                    name: rec.name,
+                    grid: rec.grid,
+                    state: rec.state,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    started: None,
+                    wall_s: rec.wall_s,
+                });
+            }
+        }
+        for job in &mut reg.jobs {
+            if !job.state.terminal() {
+                if spec_path(state, &job.id).is_file() {
+                    eprintln!(
+                        "serve: re-enqueueing interrupted job {} ({}, last state {})",
+                        job.id,
+                        job.name,
+                        job.state.as_str()
+                    );
+                    job.state = JobState::Queued;
+                } else {
+                    eprintln!("serve: job {} has no spec file; marking failed", job.id);
+                    job.state = JobState::Failed;
+                }
+            }
+        }
+        Ok(reg)
+    }
+
+    /// 1-based queue position of a queued job (0 otherwise).
+    fn queue_position(&self, id: &str) -> usize {
+        let mut pos = 0;
+        for job in &self.jobs {
+            if job.state == JobState::Queued {
+                pos += 1;
+                if job.id == id {
+                    return pos;
+                }
+            }
+        }
+        0
+    }
+}
+
+/// Every completed row currently on disk for a job, keyed by grid
+/// index in ascending order (merged output, live `.tmp` stream and
+/// shard files all count; later sources win). Lenient per-line parsing
+/// — a half-written row is simply not a row yet.
+fn collect_rows(out: &Path) -> Vec<(u64, String)> {
+    let mut sources = vec![out.to_path_buf(), stream_path(out)];
+    sources.extend(existing_shard_files(out));
+    let mut map: Vec<(u64, String)> = Vec::new();
+    for src in &sources {
+        let Ok(text) = std::fs::read_to_string(src) else {
+            continue;
+        };
+        for row in parse_jsonl(&text) {
+            if let Some(entry) = map.iter_mut().find(|(i, _)| *i == row.index) {
+                entry.1 = row.line;
+            } else {
+                map.push((row.index, row.line));
+            }
+        }
+    }
+    map.sort_by_key(|&(i, _)| i);
+    map
+}
+
+/// Renders one status record for a job (the registry lock must be
+/// released before the row scan — see `status_records`).
+fn status_record(
+    state: &Path,
+    id: &str,
+    name: &str,
+    grid: usize,
+    job_state: JobState,
+    queue: usize,
+    wall_s: f64,
+) -> String {
+    let rows_done = collect_rows(&rows_path(state, id)).len();
+    format!(
+        "{{\"job\":\"{}\",\"name\":\"{}\",\"state\":\"{}\",\"queue\":{queue},\
+         \"rows_done\":{rows_done},\"rows_total\":{grid},\"wall_s\":{wall_s:.3}}}",
+        json_escape(id),
+        json_escape(name),
+        job_state.as_str()
+    )
+}
+
+/// A structured protocol error line.
+fn err_record(code: &str, msg: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"code\":\"{}\",\"error\":\"{}\"}}",
+        json_escape(code),
+        json_escape(msg)
+    )
+}
+
+/// Runs one job under the supervisor (always resuming) and maps its
+/// exit code to the terminal state.
+fn run_job(cfg: &ServeConfig, id: &str, cancel: &AtomicBool) -> JobState {
+    let spath = spec_path(&cfg.state, id);
+    let text = match std::fs::read_to_string(&spath) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("serve: job {id}: cannot read {}: {e}", spath.display());
+            return JobState::Failed;
+        }
+    };
+    let spec = match SweepSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: job {id}: spec no longer loads: {e}");
+            return JobState::Failed;
+        }
+    };
+    let scfg = SupervisorConfig {
+        spec_path: spath.display().to_string(),
+        sets: Vec::new(),
+        out: rows_path(&cfg.state, id),
+        workers: cfg.workers,
+        // Always resume: a restarted server (or a re-submitted job)
+        // must reuse every row already on disk.
+        resume: true,
+        jobs: cfg.jobs,
+        row_timeout: cfg.row_timeout,
+        max_retries: cfg.max_retries,
+        backoff: cfg.backoff,
+    };
+    match supervise_with_cancel(&spec, &scfg, Some(cancel)) {
+        Ok(code) if code == EXIT_FULL => JobState::Done,
+        Ok(code) if code == EXIT_PARTIAL => JobState::Partial,
+        Ok(code) if code == EXIT_CANCELLED => JobState::Cancelled,
+        Ok(_) => JobState::Failed,
+        Err(e) => {
+            eprintln!("serve: job {id}: {e}");
+            JobState::Failed
+        }
+    }
+}
+
+/// The job executor: one job at a time, submission order, drains the
+/// queue on shutdown.
+fn executor(reg: &Arc<Mutex<Registry>>, cfg: &ServeConfig) {
+    loop {
+        let next = {
+            let mut r = lock(reg);
+            match r.jobs.iter_mut().find(|j| j.state == JobState::Queued) {
+                Some(job) => {
+                    job.state = JobState::Running;
+                    job.started = Some(Instant::now());
+                    job.cancel.store(false, Ordering::SeqCst);
+                    Some((job.id.clone(), job.cancel.clone()))
+                }
+                None => {
+                    if r.draining {
+                        r.finished = true;
+                        return;
+                    }
+                    None
+                }
+            }
+        };
+        let Some((id, cancel)) = next else {
+            std::thread::sleep(POLL);
+            continue;
+        };
+        if let Err(e) = journal_append(
+            &cfg.state,
+            &format!("{{\"job\":\"{}\",\"state\":\"running\"}}", json_escape(&id)),
+        ) {
+            eprintln!("serve: {e}");
+        }
+        let t0 = Instant::now();
+        // A panic inside one job (a macro hitting a closed pipe, a
+        // supervisor bug) must fail that job, not silently kill the
+        // executor thread and wedge every later submit at "queued".
+        let state =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(cfg, &id, &cancel)))
+                .unwrap_or_else(|_| {
+                    let _ = writeln!(
+                        std::io::stderr(),
+                        "serve: job {id}: panicked; marking failed"
+                    );
+                    JobState::Failed
+                });
+        let wall_s = t0.elapsed().as_secs_f64();
+        {
+            let mut r = lock(reg);
+            if let Some(job) = r.jobs.iter_mut().find(|j| j.id == id) {
+                job.state = state;
+                job.wall_s = wall_s;
+            }
+        }
+        if let Err(e) = journal_append(
+            &cfg.state,
+            &format!(
+                "{{\"job\":\"{}\",\"state\":\"{}\",\"wall_s\":{wall_s:.3}}}",
+                json_escape(&id),
+                state.as_str()
+            ),
+        ) {
+            eprintln!("serve: {e}");
+        }
+        eprintln!("serve: job {id} -> {}", state.as_str());
+    }
+}
+
+/// Handles `submit`: validate, dedupe by deterministic id, persist the
+/// spec, journal the queued transition, enqueue.
+fn handle_submit(req: &Json, reg: &Arc<Mutex<Registry>>, cfg: &ServeConfig) -> String {
+    if lock(reg).draining {
+        return err_record("draining", "server is draining; new submits are refused");
+    }
+    let Some(spec_json) = req.get("spec") else {
+        return err_record("bad-request", "submit needs a \"spec\" object");
+    };
+    if !matches!(spec_json, Json::Obj(_)) {
+        return err_record("bad-request", "submit \"spec\" must be an object");
+    }
+    let text = spec_json.render();
+    let spec = match SweepSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => return err_record("bad-request", &format!("spec: {e}")),
+    };
+    if let Err(e) = spec.validate_axes() {
+        return err_record("bad-request", &format!("spec: {e}"));
+    }
+    let (id, grid) = match job_id(&spec) {
+        Ok(v) => v,
+        Err(e) => return err_record("bad-request", &e.message),
+    };
+    {
+        let r = lock(reg);
+        if let Some(job) = r.jobs.iter().find(|j| j.id == id) {
+            // Deterministic ids make re-submission idempotent.
+            let queue = r.queue_position(&id);
+            return format!(
+                "{{\"ok\":true,\"job\":\"{}\",\"grid\":{},\"state\":\"{}\",\"queue\":{queue},\
+                 \"note\":\"already submitted\"}}",
+                json_escape(&id),
+                job.grid,
+                job.state.as_str()
+            );
+        }
+    }
+    let dir = job_dir(&cfg.state, &id);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return err_record(
+            "server-error",
+            &format!("cannot create {}: {e}", dir.display()),
+        );
+    }
+    // Land the spec atomically so a crash between submit and journal
+    // cannot leave a half-written spec for the restart path to load.
+    let spath = spec_path(&cfg.state, &id);
+    let tmp = dir.join("spec.json.tmp");
+    if let Err(e) = std::fs::write(&tmp, &text).and_then(|()| std::fs::rename(&tmp, &spath)) {
+        return err_record(
+            "server-error",
+            &format!("cannot write {}: {e}", spath.display()),
+        );
+    }
+    if let Err(e) = journal_append(
+        &cfg.state,
+        &format!(
+            "{{\"job\":\"{}\",\"state\":\"queued\",\"name\":\"{}\",\"grid\":{grid}}}",
+            json_escape(&id),
+            json_escape(&spec.name)
+        ),
+    ) {
+        return err_record("server-error", &e.message);
+    }
+    let queue = {
+        let mut r = lock(reg);
+        r.jobs.push(Job {
+            id: id.clone(),
+            name: spec.name.clone(),
+            grid,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            started: None,
+            wall_s: 0.0,
+        });
+        r.queue_position(&id)
+    };
+    format!(
+        "{{\"ok\":true,\"job\":\"{}\",\"grid\":{grid},\"state\":\"queued\",\"queue\":{queue}}}",
+        json_escape(&id)
+    )
+}
+
+/// Handles `status`: one record for the named job, or one per job.
+fn handle_status(req: &Json, reg: &Arc<Mutex<Registry>>, cfg: &ServeConfig) -> Vec<String> {
+    let filter = req.get("job").and_then(Json::scalar);
+    // Snapshot under the lock, scan row files after releasing it: the
+    // row count is a directory scan and must not block the executor.
+    let snapshot: Vec<(String, String, usize, JobState, usize, f64)> = {
+        let r = lock(reg);
+        r.jobs
+            .iter()
+            .filter(|j| filter.as_ref().is_none_or(|id| &j.id == id))
+            .map(|j| {
+                let wall = match (j.state, j.started) {
+                    (JobState::Running, Some(t0)) => t0.elapsed().as_secs_f64(),
+                    _ => j.wall_s,
+                };
+                (
+                    j.id.clone(),
+                    j.name.clone(),
+                    j.grid,
+                    j.state,
+                    r.queue_position(&j.id),
+                    wall,
+                )
+            })
+            .collect()
+    };
+    if snapshot.is_empty() {
+        if let Some(id) = filter {
+            return vec![err_record("not-found", &format!("unknown job {id:?}"))];
+        }
+        return vec!["{\"jobs\":0}".to_string()];
+    }
+    snapshot
+        .iter()
+        .map(|(id, name, grid, state, queue, wall)| {
+            status_record(&cfg.state, id, name, *grid, *state, *queue, *wall)
+        })
+        .collect()
+}
+
+/// Handles `cancel`: a queued job flips straight to cancelled; a
+/// running one has its supervisor's cancel flag raised (workers are
+/// killed, completed rows merged and kept); terminal jobs report their
+/// state unchanged.
+fn handle_cancel(req: &Json, reg: &Arc<Mutex<Registry>>, cfg: &ServeConfig) -> String {
+    let Some(id) = req.get("job").and_then(Json::scalar) else {
+        return err_record("bad-request", "cancel needs a \"job\" id");
+    };
+    let outcome = {
+        let mut r = lock(reg);
+        match r.jobs.iter_mut().find(|j| j.id == id) {
+            None => None,
+            Some(job) => match job.state {
+                JobState::Queued => {
+                    job.state = JobState::Cancelled;
+                    Some(("cancelled", true))
+                }
+                JobState::Running => {
+                    job.cancel.store(true, Ordering::SeqCst);
+                    // The executor journals the terminal record when
+                    // the supervisor actually stops.
+                    Some(("cancelling", false))
+                }
+                state => Some((state.as_str(), false)),
+            },
+        }
+    };
+    match outcome {
+        None => err_record("not-found", &format!("unknown job {id:?}")),
+        Some((state, journal)) => {
+            if journal {
+                if let Err(e) = journal_append(
+                    &cfg.state,
+                    &format!(
+                        "{{\"job\":\"{}\",\"state\":\"cancelled\",\"wall_s\":0.000}}",
+                        json_escape(&id)
+                    ),
+                ) {
+                    eprintln!("serve: {e}");
+                }
+            }
+            format!(
+                "{{\"ok\":true,\"job\":\"{}\",\"state\":\"{state}\"}}",
+                json_escape(&id)
+            )
+        }
+    }
+}
+
+/// Handles `watch`: streams completed rows as JSONL in grid order as
+/// they retire. While the job runs only the contiguous prefix is
+/// emitted (later rows may still fill earlier gaps); once it reaches a
+/// terminal state every row on disk is flushed (a cancelled or partial
+/// job yields its completed rows, with gaps). `from` skips the first N
+/// stream rows, making an interrupted watch resumable.
+fn handle_watch(
+    req: &Json,
+    reg: &Arc<Mutex<Registry>>,
+    cfg: &ServeConfig,
+    w: &mut impl Write,
+) -> std::io::Result<()> {
+    let Some(id) = req.get("job").and_then(Json::scalar) else {
+        return writeln!(
+            w,
+            "{}",
+            err_record("bad-request", "watch needs a \"job\" id")
+        );
+    };
+    let from: usize = req
+        .get("from")
+        .and_then(Json::scalar)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if !lock(reg).jobs.iter().any(|j| j.id == id) {
+        // Satellite fix: an unknown job is a structured not-found
+        // record, never a silently empty stream.
+        return writeln!(
+            w,
+            "{}",
+            err_record("not-found", &format!("unknown job {id:?}"))
+        );
+    }
+    let out = rows_path(&cfg.state, &id);
+    let mut sent = from;
+    loop {
+        let state = lock(reg).jobs.iter().find(|j| j.id == id).map(|j| j.state);
+        let Some(state) = state else {
+            return writeln!(
+                w,
+                "{}",
+                err_record("not-found", &format!("job {id:?} vanished"))
+            );
+        };
+        let rows = collect_rows(&out);
+        if state.terminal() {
+            for (_, line) in rows.iter().skip(sent) {
+                writeln!(w, "{line}")?;
+            }
+            w.flush()?;
+            return Ok(());
+        }
+        // Contiguous prefix only: row k is safe to emit once every
+        // earlier grid index is on disk too.
+        let mut prefix = 0;
+        for (k, &(i, _)) in rows.iter().enumerate() {
+            if i as usize == k {
+                prefix = k + 1;
+            } else {
+                break;
+            }
+        }
+        let mut progressed = false;
+        while sent < prefix {
+            writeln!(w, "{}", rows[sent].1)?;
+            sent += 1;
+            progressed = true;
+        }
+        if progressed {
+            w.flush()?;
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+/// Dispatches one request line; returns the response lines already
+/// written (watch streams directly). The blank-line terminator is
+/// written by the caller.
+fn respond(
+    line: &str,
+    reg: &Arc<Mutex<Registry>>,
+    cfg: &ServeConfig,
+    w: &mut impl Write,
+) -> std::io::Result<()> {
+    let req = match parse_json(line.trim()) {
+        Ok(v) if matches!(v, Json::Obj(_)) => v,
+        Ok(_) => {
+            return writeln!(
+                w,
+                "{}",
+                err_record("bad-request", "request must be a JSON object")
+            );
+        }
+        Err(e) => {
+            return writeln!(
+                w,
+                "{}",
+                err_record("bad-request", &format!("malformed request: {e}"))
+            );
+        }
+    };
+    let Some(verb) = req.get("verb").and_then(Json::scalar) else {
+        return writeln!(
+            w,
+            "{}",
+            err_record("bad-request", "request has no \"verb\"")
+        );
+    };
+    match verb.as_str() {
+        "submit" => writeln!(w, "{}", handle_submit(&req, reg, cfg)),
+        "status" => {
+            for rec in handle_status(&req, reg, cfg) {
+                writeln!(w, "{rec}")?;
+            }
+            Ok(())
+        }
+        "watch" => handle_watch(&req, reg, cfg, w),
+        "cancel" => writeln!(w, "{}", handle_cancel(&req, reg, cfg)),
+        "shutdown" => {
+            let pending = {
+                let mut r = lock(reg);
+                r.draining = true;
+                r.jobs.iter().filter(|j| !j.state.terminal()).count()
+            };
+            eprintln!("serve: draining ({pending} job(s) pending), refusing new submits");
+            writeln!(
+                w,
+                "{{\"ok\":true,\"state\":\"draining\",\"jobs_pending\":{pending}}}"
+            )
+        }
+        other => writeln!(
+            w,
+            "{}",
+            err_record(
+                "bad-request",
+                &format!("unknown verb {other:?}; valid: submit, status, watch, cancel, shutdown")
+            )
+        ),
+    }
+}
+
+/// One connection: a loop of request lines, each answered by response
+/// lines plus a blank terminator. Errors (including malformed lines)
+/// are structured records; only I/O failure ends the connection.
+fn handle_conn(stream: TcpStream, reg: &Arc<Mutex<Registry>>, cfg: &ServeConfig) {
+    // A dead peer must not pin the thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(3600)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut w = std::io::BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // peer closed / timed out
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if respond(&line, reg, cfg, &mut w).is_err() {
+            return;
+        }
+        // Response terminator; flush so one-shot clients see it now.
+        if writeln!(w).and_then(|()| w.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs the service until a `shutdown` request drains the queue.
+/// Prints one `{"serve":"listening","addr":...}` line on stdout once
+/// the socket is bound (with the resolved port — `--addr host:0` binds
+/// an ephemeral one).
+///
+/// # Errors
+///
+/// Bind/setup failures and journal corruption; per-connection and
+/// per-job failures are handled in-protocol.
+pub fn serve(cfg: &ServeConfig) -> Result<(), CliError> {
+    std::fs::create_dir_all(&cfg.state).map_err(|e| {
+        CliError::semantic(format!(
+            "error: cannot create state dir {}: {e}",
+            cfg.state.display()
+        ))
+    })?;
+    let reg = Arc::new(Mutex::new(Registry::load(&cfg.state)?));
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| CliError::semantic(format!("error: cannot bind {}: {e}", cfg.addr)))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::semantic(format!("error: cannot resolve bound address: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::semantic(format!("error: cannot set nonblocking accept: {e}")))?;
+    println!(
+        "{{\"serve\":\"listening\",\"addr\":\"{local}\",\"state\":\"{}\",\"workers\":{}}}",
+        json_escape(&cfg.state.display().to_string()),
+        cfg.workers
+    );
+    // stdout is the machine-readable channel (tests read the bound
+    // address from it); make sure the line is out before accepting.
+    let _ = std::io::stdout().flush();
+
+    let exec_reg = Arc::clone(&reg);
+    let exec_cfg = cfg.clone();
+    let exec = std::thread::spawn(move || executor(&exec_reg, &exec_cfg));
+
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_reg = Arc::clone(&reg);
+                let conn_cfg = cfg.clone();
+                std::thread::spawn(move || handle_conn(stream, &conn_reg, &conn_cfg));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if lock(&reg).finished {
+                    break;
+                }
+                std::thread::sleep(POLL);
+            }
+            Err(e) => {
+                return Err(CliError::semantic(format!("error: accept failed: {e}")));
+            }
+        }
+    }
+    let _ = exec.join();
+    eprintln!("serve: drained; exiting");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_states_round_trip_and_classify() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Partial,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(JobState::parse(s.as_str()), Some(s));
+            assert_eq!(
+                s.terminal(),
+                !matches!(s, JobState::Queued | JobState::Running)
+            );
+        }
+        assert_eq!(JobState::parse("nope"), None);
+    }
+
+    #[test]
+    fn journal_ingest_drops_torn_tail_and_rejects_midfile_garbage() {
+        let good = "{\"job\":\"a\",\"state\":\"queued\",\"name\":\"n\",\"grid\":4}\n";
+        let recs = ingest_journal(good, "j").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].job, "a");
+        assert_eq!(recs[0].state, JobState::Queued);
+        assert_eq!(recs[0].grid, 4);
+
+        // Torn tail (no newline) is dropped.
+        let torn = format!("{good}{{\"job\":\"b\",\"sta");
+        assert_eq!(ingest_journal(&torn, "j").unwrap().len(), 1);
+        // Unterminated but valid final line is also treated as torn.
+        let unterminated = format!("{good}{}", good.trim_end());
+        assert_eq!(ingest_journal(&unterminated, "j").unwrap().len(), 1);
+        // Garbage mid-file is an error.
+        let corrupt = format!("garbage\n{good}");
+        assert!(ingest_journal(&corrupt, "j").is_err());
+    }
+
+    #[test]
+    fn job_id_is_deterministic_and_grid_sensitive() {
+        let spec = SweepSpec::new(ndp_sim::SimConfig::cli_default()).axis("pwc_entries", &[16, 64]);
+        let (id1, grid1) = job_id(&spec).unwrap();
+        let (id2, _) = job_id(&spec).unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(grid1, 2);
+        let wider =
+            SweepSpec::new(ndp_sim::SimConfig::cli_default()).axis("pwc_entries", &[16, 64, 256]);
+        assert_ne!(job_id(&wider).unwrap().0, id1);
+    }
+}

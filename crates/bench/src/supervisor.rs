@@ -22,6 +22,7 @@ use ndp_sim::shard::{shard_path, stream_path, ShardSpec};
 use ndp_sim::spec::{merge_sweep_jsonl, SweepSpec};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Every grid point completed and merged.
@@ -30,6 +31,9 @@ pub const EXIT_FULL: i32 = 0;
 pub const EXIT_PARTIAL: i32 = 3;
 /// Nothing completed at all.
 pub const EXIT_FAILED: i32 = 4;
+/// The run was cancelled mid-flight (workers killed, completed rows
+/// merged and kept). Only [`supervise_with_cancel`] returns this.
+pub const EXIT_CANCELLED: i32 = 5;
 
 /// Longest backoff between respawns, whatever the exponent says.
 const BACKOFF_CAP: Duration = Duration::from_secs(10);
@@ -160,6 +164,24 @@ fn register_failure(cfg: &SupervisorConfig, w: &mut Worker, why: &str) {
 /// Setup failures (cannot clear stale output, cannot spawn at all) and
 /// merge errors; worker failures are policy, not errors.
 pub fn supervise(spec: &SweepSpec, cfg: &SupervisorConfig) -> Result<i32, CliError> {
+    supervise_with_cancel(spec, cfg, None)
+}
+
+/// [`supervise`] with a cooperative cancellation flag (the experiment
+/// service's `cancel` verb). When `cancel` flips true the supervisor
+/// kills every running worker, skips pending respawns, merges the rows
+/// that already landed — cancellation **keeps completed rows** — and
+/// returns [`EXIT_CANCELLED`] (or [`EXIT_FULL`] when the grid happened
+/// to complete before the flag was observed).
+///
+/// # Errors
+///
+/// Same as [`supervise`].
+pub fn supervise_with_cancel(
+    spec: &SweepSpec,
+    cfg: &SupervisorConfig,
+    cancel: Option<&AtomicBool>,
+) -> Result<i32, CliError> {
     if !cfg.resume {
         // A fresh supervised run must not inherit stale rows.
         for stale in [cfg.out.clone(), stream_path(&cfg.out)]
@@ -189,7 +211,28 @@ pub fn supervise(spec: &SweepSpec, cfg: &SupervisorConfig) -> Result<i32, CliErr
         })
         .collect();
 
+    let mut cancelled = false;
     loop {
+        if !cancelled && cancel.is_some_and(|c| c.load(Ordering::SeqCst)) {
+            // Cancellation: kill what runs, skip what waits; completed
+            // rows stay on disk and merge below.
+            cancelled = true;
+            for w in &mut workers {
+                match &mut w.state {
+                    WorkerState::Running { child, .. } => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        eprintln!("supervisor: shard {} cancelled (worker killed)", w.shard);
+                        w.state = WorkerState::Failed;
+                    }
+                    WorkerState::Pending { .. } => {
+                        eprintln!("supervisor: shard {} cancelled (never spawned)", w.shard);
+                        w.state = WorkerState::Failed;
+                    }
+                    WorkerState::Done | WorkerState::Failed => {}
+                }
+            }
+        }
         let mut live = false;
         for w in &mut workers {
             match &mut w.state {
@@ -281,7 +324,10 @@ pub fn supervise(spec: &SweepSpec, cfg: &SupervisorConfig) -> Result<i32, CliErr
         })
         .collect();
     let (outcome, code) = if merge.missing.is_empty() {
+        // A cancel that raced completion is still a completed grid.
         ("full", EXIT_FULL)
+    } else if cancelled {
+        ("cancelled", EXIT_CANCELLED)
     } else if merge.merged > 0 {
         ("partial", EXIT_PARTIAL)
     } else {
@@ -300,7 +346,12 @@ pub fn supervise(spec: &SweepSpec, cfg: &SupervisorConfig) -> Result<i32, CliErr
             )
         })
         .collect();
-    println!(
+    // Not `println!`: when the supervisor runs inside `ndpsim serve`,
+    // stdout may be a pipe the launcher closed after reading the
+    // listening line — a macro panic on EPIPE would kill the executor
+    // thread mid-job. The summary is best-effort; the exit code and the
+    // merged file are the contract.
+    let summary = format!(
         "{{\"sweep\":\"{}\",\"grid\":{},\"merged\":{},\"missing\":[{}],\"digest\":{},\
          \"outcome\":\"{outcome}\",\"shards\":[{}]}}",
         spec.name.replace('\\', "\\\\").replace('"', "\\\""),
@@ -310,5 +361,7 @@ pub fn supervise(spec: &SweepSpec, cfg: &SupervisorConfig) -> Result<i32, CliErr
         merge.digest,
         shards.join(",")
     );
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "{summary}");
     Ok(code)
 }

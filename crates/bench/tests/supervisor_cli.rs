@@ -211,3 +211,28 @@ fn retries_exhausted_keeps_completed_rows_and_reports_missing() {
     assert_eq!(out.status.code(), Some(0));
     assert_eq!(std::fs::read_to_string(&fx.out).unwrap(), reference);
 }
+
+/// Exit-code audit: the documented 0/3/4 ladder's bottom rung. With a
+/// single worker owning the whole grid and a *persistent* abort at
+/// index 0, no row ever lands — the outcome is `failed` with exit 4,
+/// distinct from `partial`'s exit 3 above.
+#[test]
+fn zero_merged_rows_is_failed_exit_4() {
+    let fx = Fixture::new("failed");
+
+    let out = ndpsim()
+        .args(["sweep", "--spec", fx.spec.to_str().unwrap()])
+        .args(["--out", fx.out.to_str().unwrap()])
+        .args(["--workers", "1", "--backoff-ms", "20", "--max-retries", "1"])
+        .env("NDP_FAULT", "abort@0")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(4), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"outcome\":\"failed\""),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"merged\":0"), "stdout: {stdout}");
+}

@@ -506,3 +506,158 @@ fn figures_static_tables_stay_fast_and_tagged() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Table II"), "{stdout}");
 }
+
+// ---------------------------------------------------------------------------
+// Filtered specs at the CLI, and figures --from-jsonl.
+// ---------------------------------------------------------------------------
+
+fn example_spec(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/specs")
+        .join(name)
+}
+
+/// The shipped `filtered.json` example: `--dry-run` shows the pruned,
+/// compactly re-indexed grid, and the supervised path merges it
+/// byte-identically to a serial run — filters change *which* points
+/// exist, never how they stream, shard or merge.
+#[test]
+fn filtered_example_spec_is_pruned_and_workers_invariant() {
+    let spec = example_spec("filtered.json");
+    let spec = spec.to_str().unwrap();
+
+    let out = ndpsim()
+        .args(["sweep", "--spec", spec, "--dry-run"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 3x2 cross product, two clauses keep pwc<=64 x ndpage = 2 points.
+    assert!(stdout.contains("2 grid points"), "{stdout}");
+    assert!(
+        stdout.contains("[  0]") && stdout.contains("[  1]"),
+        "{stdout}"
+    );
+
+    let serial = tmp("filtered_serial", "jsonl");
+    let merged = tmp("filtered_workers", "jsonl");
+    for p in [&serial, &merged] {
+        std::fs::remove_file(p).ok();
+    }
+    let out = ndpsim()
+        .args(["sweep", "--spec", spec, "--jobs", "1"])
+        .args(["--out", serial.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = ndpsim()
+        .env_remove("NDP_FAULT")
+        .args(["sweep", "--spec", spec, "--workers", "2"])
+        .args(["--out", merged.to_str().unwrap(), "--backoff-ms", "20"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        std::fs::read_to_string(&merged).unwrap(),
+        std::fs::read_to_string(&serial).unwrap(),
+        "supervised merge of a filtered grid must match serial bytes"
+    );
+    for p in [&serial, &merged] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn sweep_rejects_bad_filter_clauses_with_usage_errors() {
+    // Unknown knob in a filter clause: registry list, exit 2.
+    let path = tmp("bad_filter", "json");
+    std::fs::write(
+        &path,
+        r#"{"axes": [{"knob": "cores", "values": [1, 2]}],
+            "filter": ["bogus_knob = 1"]}"#,
+    )
+    .unwrap();
+    let out = ndpsim()
+        .args(["sweep", "--spec", path.to_str().unwrap(), "--dry-run"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bogus_knob") && stderr.contains("pwc_entries"),
+        "filter errors list the registry: {stderr}"
+    );
+
+    // A filter that rejects the whole grid is an error, not a no-op run.
+    std::fs::write(
+        &path,
+        r#"{"axes": [{"knob": "cores", "values": [1, 2]}],
+            "filter": ["cores > 2"]}"#,
+    )
+    .unwrap();
+    let out = ndpsim()
+        .args(["sweep", "--spec", path.to_str().unwrap(), "--dry-run"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("rejects every grid point"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// `figures --from-jsonl` renders stored rows through exactly the code
+/// the simulated path uses: its stdout must equal the in-process
+/// `run_sweep` -> `to_jsonl` -> `jsonl_tables` bytes for the shipped CI
+/// spec, and the stored file itself must match the in-process rows.
+#[test]
+fn figures_from_jsonl_matches_the_simulated_path_byte_for_byte() {
+    let spec_path = example_spec("ci_quick.json");
+    let rows_path = tmp("figures_rows", "jsonl");
+    std::fs::remove_file(&rows_path).ok();
+
+    let out = ndpsim()
+        .args(["sweep", "--spec", spec_path.to_str().unwrap()])
+        .args(["--out", rows_path.to_str().unwrap(), "--jobs", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stored = std::fs::read_to_string(&rows_path).unwrap();
+
+    // Simulated path, in-process: same spec, same rows, same bytes.
+    let spec_text = std::fs::read_to_string(&spec_path).unwrap();
+    let spec = ndp_sim::spec::SweepSpec::from_json(&spec_text).unwrap();
+    let simulated = ndp_sim::spec::run_sweep(&spec).unwrap();
+    assert_eq!(simulated.to_jsonl(), stored, "CLI rows == in-process rows");
+    let expected_tables = ndp_bench::calibration::jsonl_tables(&stored).unwrap();
+
+    let out = figures()
+        .args(["--from-jsonl", rows_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let want = format!(
+        "\n=== Stored rows: {} ===\n\n{expected_tables}",
+        rows_path.to_str().unwrap()
+    );
+    assert_eq!(stdout, want, "stored-row tables == simulated-path tables");
+    std::fs::remove_file(&rows_path).ok();
+
+    // Garbage input is a structured error, not a panic or empty table.
+    let bad = tmp("figures_bad", "jsonl");
+    std::fs::write(&bad, "not json at all\n").unwrap();
+    let out = figures()
+        .args(["--from-jsonl", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(&bad).ok();
+    let out = figures()
+        .args(["--from-jsonl", "/nonexistent/x.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

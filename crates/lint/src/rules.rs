@@ -53,6 +53,8 @@ pub const ARENA_RS: &str = "crates/core/src/arena.rs";
 pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/bench/src/supervisor.rs",
     "crates/bench/src/cli.rs",
+    "crates/bench/src/serve.rs",
+    "crates/bench/src/client.rs",
     "crates/sim/src/spec.rs",
 ];
 

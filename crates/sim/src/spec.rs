@@ -657,13 +657,22 @@ pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
 
 /// A parsed JSON value. Numbers keep their source text so 64-bit seeds
 /// and fingerprints never round-trip through an `f64`.
+///
+/// Public because the experiment service speaks newline-delimited JSON
+/// through this same parser — the workspace deliberately vendors no
+/// serde, and one parser means the protocol and the spec files can
+/// never disagree about what a value is.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// Raw number text, e.g. `"4096"`.
     Num(String),
+    /// String contents (unescaped).
     Str(String),
+    /// Array elements in order.
     Arr(Vec<Json>),
     /// Key order is preserved — knob application order matters.
     Obj(Vec<(String, Json)>),
@@ -671,12 +680,46 @@ enum Json {
 
 impl Json {
     /// Coerces a scalar to the knob-value string it denotes.
-    fn scalar(&self) -> Option<String> {
+    #[must_use]
+    pub fn scalar(&self) -> Option<String> {
         match self {
             Json::Num(s) => Some(s.clone()),
             Json::Str(s) => Some(s.clone()),
             Json::Bool(b) => Some(b.to_string()),
             _ => None,
+        }
+    }
+
+    /// Looks a key up in an object value (`None` for non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value back to compact single-line JSON. Numbers keep
+    /// their original source text, so a parse → render round trip is
+    /// lossless for 64-bit integers; strings are re-escaped.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(raw) => raw.clone(),
+            Json::Str(s) => format!("\"{}\"", json_escape(s)),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
         }
     }
 }
@@ -829,7 +872,14 @@ impl<'a> JsonParser<'a> {
     }
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
+/// Parses one JSON document (the whole input; trailing content is an
+/// error). The workspace's one JSON entry point — spec files, JSONL
+/// rows, and the experiment-service protocol all come through here.
+///
+/// # Errors
+///
+/// Malformed JSON, with the byte offset of the problem.
+pub fn parse_json(text: &str) -> Result<Json, String> {
     let mut p = JsonParser::new(text);
     let v = p.value()?;
     p.skip_ws();
@@ -839,7 +889,9 @@ fn parse_json(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -878,9 +930,155 @@ pub struct Axis {
     pub points: Vec<AxisPoint>,
 }
 
+/// Comparison operator of a [`FilterClause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOp {
+    /// `=` / `==` (numeric when both sides parse, else string equality).
+    Eq,
+    /// `!=` (complement of [`FilterOp::Eq`]).
+    Ne,
+    /// `<` (numeric only).
+    Lt,
+    /// `<=` (numeric only).
+    Le,
+    /// `>` (numeric only).
+    Gt,
+    /// `>=` (numeric only).
+    Ge,
+}
+
+impl FilterOp {
+    fn parse(s: &str) -> Option<FilterOp> {
+        match s {
+            "=" | "==" => Some(FilterOp::Eq),
+            "!=" => Some(FilterOp::Ne),
+            "<" => Some(FilterOp::Lt),
+            "<=" => Some(FilterOp::Le),
+            ">" => Some(FilterOp::Gt),
+            ">=" => Some(FilterOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            FilterOp::Eq => "=",
+            FilterOp::Ne => "!=",
+            FilterOp::Lt => "<",
+            FilterOp::Le => "<=",
+            FilterOp::Gt => ">",
+            FilterOp::Ge => ">=",
+        }
+    }
+}
+
+/// One conjunctive constraint on grid expansion: `knob OP value`.
+/// A grid point is kept only when **every** clause holds; the knob's
+/// value at a point is its axis coordinate when the knob varies, or
+/// its base value otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterClause {
+    /// Registered knob name the clause constrains.
+    pub knob: String,
+    /// Comparison operator.
+    pub op: FilterOp,
+    /// Right-hand side, in knob-value syntax.
+    pub value: String,
+}
+
+impl fmt::Display for FilterClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.knob, self.op.symbol(), self.value)
+    }
+}
+
+impl FilterClause {
+    /// Parses `knob OP value` (whitespace-separated, e.g.
+    /// `"pwc_entries >= 64"`). The knob must be registered; an unknown
+    /// name errors with the registry list.
+    ///
+    /// # Errors
+    ///
+    /// Malformed clause syntax, an unknown operator, or an
+    /// unregistered knob name.
+    pub fn parse(text: &str) -> Result<FilterClause, SpecError> {
+        let mut parts = text.split_whitespace();
+        let (Some(name), Some(op_raw), Some(value), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(SpecError::new(format!(
+                "filter clause {text:?} must be `knob OP value` \
+                 (OP in =, !=, <, <=, >, >=)"
+            )));
+        };
+        let Some(op) = FilterOp::parse(op_raw) else {
+            return Err(SpecError::new(format!(
+                "filter clause {text:?}: unknown operator {op_raw:?} \
+                 (valid: =, !=, <, <=, >, >=)"
+            )));
+        };
+        if knob(name).is_none() {
+            return Err(SpecError::new(format!(
+                "filter clause {text:?}: {}",
+                unrecognized(name, &knob_names())
+            )));
+        }
+        Ok(FilterClause {
+            knob: name.to_string(),
+            op,
+            value: value.to_string(),
+        })
+    }
+
+    /// Whether the clause holds for `actual` (the point's value of the
+    /// clause's knob). Equality compares numerically when both sides
+    /// parse as numbers (so `16 = 16.0` and `16 = 016` hold), falling
+    /// back to string comparison; ordering operators require numbers.
+    ///
+    /// # Errors
+    ///
+    /// An ordering operator over a non-numeric value.
+    pub fn holds(&self, actual: &str) -> Result<bool, SpecError> {
+        let nums = (actual.parse::<f64>().ok(), self.value.parse::<f64>().ok());
+        match self.op {
+            FilterOp::Eq | FilterOp::Ne => {
+                let eq = match nums {
+                    (Some(a), Some(b)) => a == b,
+                    _ => actual == self.value,
+                };
+                Ok(eq == (self.op == FilterOp::Eq))
+            }
+            _ => {
+                let (Some(a), Some(b)) = nums else {
+                    return Err(SpecError::new(format!(
+                        "filter clause \"{self}\": operator {} needs numeric \
+                         values, got {actual:?} {} {:?}",
+                        self.op.symbol(),
+                        self.op.symbol(),
+                        self.value
+                    )));
+                };
+                Ok(match self.op {
+                    FilterOp::Lt => a < b,
+                    FilterOp::Le => a <= b,
+                    FilterOp::Gt => a > b,
+                    // Eq/Ne returned above; only Ge remains.
+                    _ => a >= b,
+                })
+            }
+        }
+    }
+}
+
 /// A declarative sweep: a base configuration plus axes whose cross
 /// product forms the grid. Expansion is row-major — the **first axis
-/// varies slowest**, the last fastest — and deterministic.
+/// varies slowest**, the last fastest — and deterministic. Optional
+/// [`FilterClause`]s prune the cross product during expansion: the
+/// kept points are re-indexed compactly (grid indices `0..len` with no
+/// holes), so filtered grids shard, stream and resume exactly like
+/// dense ones — the emit order is a deterministic function of the
+/// spec, and a filter edit changes config fingerprints' positions,
+/// which the resume path already treats as "re-run that point".
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Display name (JSONL metadata only; no semantic weight).
@@ -889,6 +1087,9 @@ pub struct SweepSpec {
     pub base: SimConfig,
     /// Grid dimensions, slowest-varying first.
     pub axes: Vec<Axis>,
+    /// Conjunctive constraint clauses applied during expansion
+    /// (empty = keep the full cross product).
+    pub filters: Vec<FilterClause>,
 }
 
 impl SweepSpec {
@@ -899,6 +1100,7 @@ impl SweepSpec {
             name: "sweep".to_string(),
             base,
             axes: Vec::new(),
+            filters: Vec::new(),
         }
     }
 
@@ -937,7 +1139,27 @@ impl SweepSpec {
         self
     }
 
-    /// Grid size: the product of the axis lengths (1 with no axes).
+    /// Appends a conjunctive filter clause (`"knob OP value"` syntax).
+    /// Invalid clauses surface when the spec expands.
+    #[must_use]
+    pub fn filter(mut self, clause: &str) -> Self {
+        match FilterClause::parse(clause) {
+            Ok(c) => self.filters.push(c),
+            // Remember the raw text so expand() reports the error with
+            // the clause named, instead of silently dropping it here.
+            Err(_) => self.filters.push(FilterClause {
+                knob: clause.to_string(),
+                op: FilterOp::Eq,
+                value: String::new(),
+            }),
+        }
+        self
+    }
+
+    /// Cross-product size: the product of the axis lengths (1 with no
+    /// axes). With filters this is an **upper bound** — the expanded
+    /// grid keeps only the points every clause accepts; use
+    /// `expand()?.len()` for the exact count.
     #[must_use]
     pub fn grid_len(&self) -> usize {
         self.axes.iter().map(|a| a.points.len()).product()
@@ -947,11 +1169,14 @@ impl SweepSpec {
     /// [`SimConfig::cli_default`] (the flag-less `ndpsim` configuration)
     /// and applies the `"base"` object's knobs in order. Axes are either
     /// `{"knob": NAME, "values": [..]}` or `{"points": [{KNOB: V, ..},
-    /// ..]}` (paired). Unknown keys and unknown knobs are errors.
+    /// ..]}` (paired). An optional `"filter"` array of `"knob OP value"`
+    /// clauses (conjunctive) prunes the cross product during expansion.
+    /// Unknown keys and unknown knobs are errors.
     ///
     /// # Errors
     ///
-    /// Malformed JSON, unknown keys/knobs, or bad knob values.
+    /// Malformed JSON, unknown keys/knobs, bad knob values, or
+    /// malformed filter clauses.
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
         let root = parse_json(text).map_err(|e| SpecError::new(format!("spec JSON: {e}")))?;
         let Json::Obj(fields) = root else {
@@ -984,9 +1209,24 @@ impl SweepSpec {
                         spec.axes.push(Self::axis_from_json(axis)?);
                     }
                 }
+                "filter" => {
+                    let Json::Arr(clauses) = val else {
+                        return Err(SpecError::new(
+                            "spec \"filter\" must be an array of \"knob OP value\" strings",
+                        ));
+                    };
+                    for clause in clauses {
+                        let Json::Str(text) = clause else {
+                            return Err(SpecError::new(
+                                "each filter clause must be a \"knob OP value\" string",
+                            ));
+                        };
+                        spec.filters.push(FilterClause::parse(&text)?);
+                    }
+                }
                 other => {
                     return Err(SpecError::new(format!(
-                        "unknown spec key {other:?}; valid keys: name, base, axes"
+                        "unknown spec key {other:?}; valid keys: name, base, axes, filter"
                     )));
                 }
             }
@@ -1124,37 +1364,83 @@ impl SweepSpec {
                 seen.push((k, a + 1));
             }
         }
+        for clause in &self.filters {
+            if knob(&clause.knob).is_none() {
+                return Err(SpecError::new(format!(
+                    "filter clause: {}",
+                    unrecognized(&clause.knob, &knob_names())
+                )));
+            }
+        }
         Ok(())
     }
 
     /// Expands the cross product into the deterministic grid: every
     /// combination exactly once, row-major (first axis slowest), each
-    /// config validated.
+    /// config validated. Filter clauses are evaluated on the **axis
+    /// coordinates** (base values for knobs that do not vary) before
+    /// any config is built, so sparse studies skip the cross-product
+    /// cost; surviving points are re-indexed compactly (`index` =
+    /// position in the filtered grid), keeping shard striping and
+    /// resume emit-positions deterministic and hole-free.
     ///
     /// # Errors
     ///
-    /// Structurally invalid axes ([`Self::validate_axes`]), unknown
-    /// knobs, bad values, or a grid point failing
-    /// [`SimConfig::validate`] (the error names the point).
+    /// Structurally invalid axes or filters ([`Self::validate_axes`]),
+    /// unknown knobs, bad values, a filter that rejects every point,
+    /// or a grid point failing [`SimConfig::validate`] (the error
+    /// names the point).
     pub fn expand(&self) -> Result<Vec<GridPoint>, SpecError> {
         self.validate_axes()?;
+        // Base values (registry-canonical text) for filter clauses over
+        // knobs that do not vary on any axis.
+        let base_knobs: Vec<(&'static str, String)> = if self.filters.is_empty() {
+            Vec::new()
+        } else {
+            config_knobs(&self.base)
+        };
         let total = self.grid_len();
-        let mut grid = Vec::with_capacity(total);
-        for index in 0..total {
-            // Decompose the row-major index into per-axis choices.
-            let mut rem = index;
+        let mut grid = Vec::new();
+        for raw in 0..total {
+            // Decompose the row-major cross-product index into per-axis
+            // choices.
+            let mut rem = raw;
             let mut choices = vec![0usize; self.axes.len()];
             for (a, axis) in self.axes.iter().enumerate().rev() {
                 choices[a] = rem % axis.points.len();
                 rem /= axis.points.len();
             }
-            let mut config = self.base.clone();
             let mut coords = Vec::new();
             for (a, axis) in self.axes.iter().enumerate() {
                 for (k, v) in &axis.points[choices[a]].sets {
-                    apply_knob(&mut config, k, v)?;
                     coords.push((k.clone(), v.clone()));
                 }
+            }
+            let mut keep = true;
+            for clause in &self.filters {
+                let actual = coords
+                    .iter()
+                    .find(|(k, _)| *k == clause.knob)
+                    .map(|(_, v)| v.as_str())
+                    .or_else(|| {
+                        base_knobs
+                            .iter()
+                            .find(|(k, _)| *k == clause.knob)
+                            .map(|(_, v)| v.as_str())
+                    })
+                    .unwrap_or("");
+                if !clause.holds(actual)? {
+                    keep = false;
+                    break;
+                }
+            }
+            if !keep {
+                continue;
+            }
+            let index = grid.len();
+            let mut config = self.base.clone();
+            for (k, v) in &coords {
+                apply_knob(&mut config, k, v)?;
             }
             if let Err(e) = config.validate() {
                 let at: Vec<String> = coords.iter().map(|(k, v)| format!("{k}={v}")).collect();
@@ -1168,6 +1454,14 @@ impl SweepSpec {
                 coords,
                 config,
             });
+        }
+        if grid.is_empty() && !self.filters.is_empty() {
+            let clauses: Vec<String> = self.filters.iter().map(ToString::to_string).collect();
+            return Err(SpecError::new(format!(
+                "filter [{}] rejects every grid point ({} candidates)",
+                clauses.join(", "),
+                total
+            )));
         }
         Ok(grid)
     }

@@ -507,6 +507,153 @@ fn shard_workers_plus_merge_equal_the_serial_bytes() {
     std::fs::remove_file(&out).ok();
 }
 
+// ---------------------------------------------------------------------------
+// Constraint filters on grid expansion.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn filters_prune_the_cross_product_with_compact_reindexing() {
+    let full = SweepSpec::new(quick_base())
+        .axis("pwc_entries", &[16u64, 64, 256])
+        .axis("mechanism", &["radix", "ndpage"]);
+    let filtered = full
+        .clone()
+        .filter("pwc_entries <= 64")
+        .filter("mechanism != radix");
+
+    // grid_len is the unfiltered upper bound; expansion prunes.
+    assert_eq!(filtered.grid_len(), 6);
+    let grid = filtered.expand().unwrap();
+    assert_eq!(grid.len(), 2);
+
+    // Kept points are re-indexed compactly in row-major order, and
+    // their configs are bit-identical to the matching points of the
+    // unfiltered grid — so resume keys (fingerprint) and emit order
+    // stay a deterministic function of the spec.
+    let dense = full.expand().unwrap();
+    let want: Vec<&_> = dense
+        .iter()
+        .filter(|p| {
+            p.config.pwc_entries.unwrap_or(0) <= 64 && p.config.mechanism == Mechanism::NdPage
+        })
+        .collect();
+    assert_eq!(grid.len(), want.len());
+    for (i, (kept, from_dense)) in grid.iter().zip(&want).enumerate() {
+        assert_eq!(kept.index, i, "compact re-index, no holes");
+        assert_eq!(
+            config_fingerprint(&kept.config),
+            config_fingerprint(&from_dense.config)
+        );
+        assert_eq!(kept.coords, from_dense.coords);
+    }
+}
+
+#[test]
+fn filters_reach_base_knobs_that_do_not_vary() {
+    // `cores` is not on any axis: the clause is evaluated against the
+    // base value, keeping everything or nothing.
+    let base = quick_base();
+    let keep = SweepSpec::new(base.clone())
+        .axis("pwc_entries", &[16u64, 64])
+        .filter("cores = 1");
+    assert_eq!(keep.expand().unwrap().len(), 2);
+
+    let reject = SweepSpec::new(base)
+        .axis("pwc_entries", &[16u64, 64])
+        .filter("cores > 1");
+    let err = reject.expand().unwrap_err().to_string();
+    assert!(
+        err.contains("rejects every grid point"),
+        "an all-rejecting filter is a named error, not an empty sweep: {err}"
+    );
+}
+
+#[test]
+fn filter_errors_name_the_clause_and_list_the_registry() {
+    // Unknown knob: rejected with the registry list (builder path).
+    let spec = SweepSpec::new(quick_base())
+        .axis("pwc_entries", &[16u64])
+        .filter("bogus_knob = 1");
+    let err = spec.expand().unwrap_err().to_string();
+    assert!(
+        err.contains("bogus_knob") && err.contains("valid values") && err.contains("pwc_entries"),
+        "unknown filter knob lists the registry: {err}"
+    );
+
+    // Malformed clause text also surfaces at expansion, naming it.
+    let spec = SweepSpec::new(quick_base())
+        .axis("pwc_entries", &[16u64])
+        .filter("pwc_entries");
+    assert!(spec.expand().is_err());
+
+    // Ordering operators need numeric values.
+    let spec = SweepSpec::new(quick_base())
+        .axis("mechanism", &["radix", "ndpage"])
+        .filter("mechanism < radix");
+    let err = spec.expand().unwrap_err().to_string();
+    assert!(err.contains("needs numeric"), "got: {err}");
+
+    // FilterClause::parse rejects unknown operators by name.
+    let err = ndp_sim::spec::FilterClause::parse("cores ~ 2")
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains('~') && err.contains("unknown operator"),
+        "{err}"
+    );
+}
+
+#[test]
+fn filtered_specs_load_from_json_and_stream_like_dense_ones() {
+    let json = r#"{
+      "name": "filtered",
+      "base": {"workload": "RND", "warmup_ops": 200, "measure_ops": 500,
+               "footprint": 268435456},
+      "axes": [{"knob": "pwc_entries", "values": [16, 64, 256]},
+               {"knob": "mechanism", "values": ["radix", "ndpage"]}],
+      "filter": ["pwc_entries <= 64", "mechanism != radix"]
+    }"#;
+    let spec = SweepSpec::from_json(json).unwrap();
+    assert_eq!(spec.filters.len(), 2);
+    assert_eq!(spec.expand().unwrap().len(), 2);
+
+    // The JSONL driver treats the filtered grid exactly like a dense
+    // 2-point one: stream, resume (full reuse), shard + merge all
+    // byte-identical.
+    let path = tmp_path("filtered_stream");
+    std::fs::remove_file(&path).ok();
+    let first = run_sweep_jsonl(&spec, &path, false).unwrap();
+    assert_eq!((first.grid, first.executed), (2, 2));
+    let reference = std::fs::read_to_string(&path).unwrap();
+
+    let resumed = run_sweep_jsonl(&spec, &path, true).unwrap();
+    assert_eq!((resumed.executed, resumed.reused), (0, 2));
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), reference);
+
+    let out = tmp_path("filtered_shards");
+    std::fs::remove_file(&out).ok();
+    for index in 0..2 {
+        let opts = JsonlOptions {
+            resume: true,
+            shard: Some(ShardSpec { index, count: 2 }),
+            fault: None,
+        };
+        run_sweep_jsonl_opts(&spec, &out, &opts).unwrap();
+    }
+    let merge = merge_sweep_jsonl(&spec, &out).unwrap();
+    assert_eq!(merge.merged, 2);
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), reference);
+
+    // A bad filter type in JSON is a named error.
+    let err = SweepSpec::from_json(r#"{"name": "x", "filter": "cores = 1"}"#)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("must be an array"), "{err}");
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&out).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
